@@ -1,0 +1,30 @@
+//! # sci-baselines
+//!
+//! Faithful miniatures of the two systems the paper positions itself
+//! against, built over the *same* event vocabulary as SCI so the three
+//! can be compared head-to-head on identical sensor streams:
+//!
+//! * [`toolkit`] — the Context Toolkit (Dey et al.): widgets,
+//!   interpreters and aggregators wired *at design time*. "After the
+//!   decision has been made and these context components are built, they
+//!   become fixed" (paper, Section 2) — so a failed sensor silently
+//!   starves the pipeline forever.
+//! * [`solar`] — Solar (Chen & Kotz): applications specify explicit
+//!   operator graphs; the engine deduplicates common subgraphs across
+//!   applications (the scalability idea SCI adopts) but "the requirement
+//!   that the application developer has to explicitly choose data
+//!   source\[s\] … will affect the robustness of the context system" —
+//!   recovering from failure needs the *application* to re-specify its
+//!   graph.
+//!
+//! Experiment E6 uses both as the fault-tolerance baselines; E8 uses
+//! Solar's sharing as the reference point for SCI's automatic reuse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod solar;
+pub mod toolkit;
+
+pub use solar::{GraphSpec, SolarEngine, SpecNode};
+pub use toolkit::{Aggregator, Interpreter, ToolkitPipeline, Widget};

@@ -1,0 +1,123 @@
+//! E1 — Figure 1 (the SCINET) and the Section 3 claim:
+//! "routing through an overlay network avoids any bottlenecks created
+//! when using hierarchical infrastructures whilst achieving comparable
+//! performance."
+//!
+//! Sweeps network size, routes an identical uniform traffic matrix over
+//! the overlay and over a balanced 4-ary hierarchy, and reports hop
+//! counts (the "comparable performance" half) and maximum per-node
+//! forwarding load (the "bottleneck" half). Criterion then times routing
+//! throughput on both arrangements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sci_overlay::hierarchy::HierarchicalNetwork;
+use sci_overlay::net::SimNetwork;
+use sci_types::guid::GuidGenerator;
+use sci_types::Guid;
+
+const MESSAGES_PER_NODE: usize = 16;
+
+fn build_overlay(n: usize, seed: u64) -> (SimNetwork, Vec<Guid>) {
+    let mut net = SimNetwork::new();
+    let mut ids = GuidGenerator::seeded(seed);
+    let guids: Vec<Guid> = (0..n)
+        .map(|i| {
+            let g = ids.next_guid();
+            net.add_node(g, format!("r{i}")).expect("fresh");
+            g
+        })
+        .collect();
+    net.populate_full();
+    (net, guids)
+}
+
+fn traffic(guids: &[Guid]) -> Vec<(Guid, Guid)> {
+    let n = guids.len();
+    let mut pairs = Vec::with_capacity(n * MESSAGES_PER_NODE);
+    for (i, &src) in guids.iter().enumerate() {
+        for k in 1..=MESSAGES_PER_NODE {
+            let dst = guids[(i + k * 131) % n];
+            if dst != src {
+                pairs.push((src, dst));
+            }
+        }
+    }
+    pairs
+}
+
+fn print_shape_table() {
+    println!("\nE1: overlay vs hierarchy — uniform traffic, {MESSAGES_PER_NODE} msgs/node");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>10} {:>10} | {:>10} {:>10}",
+        "N", "ovl hops", "tree hops", "ovl max", "tree max", "ovl imb", "tree imb"
+    );
+    for n in [16usize, 32, 64, 128, 256, 512, 1024] {
+        let (mut net, guids) = build_overlay(n, 42);
+        let mut tree = HierarchicalNetwork::new(guids.iter().copied(), 4);
+        for (src, dst) in traffic(&guids) {
+            net.route(src, dst).expect("routable");
+            tree.route(src, dst).expect("routable");
+        }
+        println!(
+            "{:>6} | {:>12.2} {:>12.2} | {:>10} {:>10} | {:>10.2} {:>10.2}",
+            n,
+            net.stats().mean_hops(),
+            tree.stats().mean_hops(),
+            net.stats().max_load().map(|(_, c)| c).unwrap_or(0),
+            tree.stats().max_load().map(|(_, c)| c).unwrap_or(0),
+            net.stats().imbalance(),
+            tree.stats().imbalance(),
+        );
+    }
+    println!();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    print_shape_table();
+
+    let mut group = c.benchmark_group("e1_route");
+    for n in [64usize, 256, 1024] {
+        let (net, guids) = build_overlay(n, 42);
+        let pairs = traffic(&guids);
+        group.bench_with_input(BenchmarkId::new("overlay", n), &n, |b, _| {
+            let mut net = net.clone();
+            let mut i = 0;
+            b.iter(|| {
+                let (src, dst) = pairs[i % pairs.len()];
+                i += 1;
+                net.route(src, dst).expect("routable")
+            });
+        });
+        let tree = HierarchicalNetwork::new(guids.iter().copied(), 4);
+        group.bench_with_input(BenchmarkId::new("hierarchy", n), &n, |b, _| {
+            let mut tree = tree.clone();
+            let mut i = 0;
+            b.iter(|| {
+                let (src, dst) = pairs[i % pairs.len()];
+                i += 1;
+                tree.route(src, dst).expect("routable")
+            });
+        });
+    }
+    group.finish();
+
+    // Discovery join cost (the "requiring little initialisation" claim).
+    let mut group = c.benchmark_group("e1_discovery_join");
+    for n in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = SimNetwork::new();
+                let mut ids = GuidGenerator::seeded(7);
+                sci_overlay::discovery::grow_network(&mut net, &mut ids, n, 7).expect("grows")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! E2 — Figures 2 and 5: the structure of a Range and its discovery
+//! sequence. Measures registration latency/throughput as the range's
+//! population grows, and the full announce→register→publish handshake.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sci_core::context_server::ContextServer;
+use sci_location::floorplan::capa_level10;
+use sci_types::guid::GuidGenerator;
+use sci_types::{ContextType, EntityKind, PortSpec, Profile, VirtualTime};
+
+fn populated_server(n: usize) -> (ContextServer, GuidGenerator) {
+    let mut ids = GuidGenerator::seeded(2);
+    let mut cs = ContextServer::new(ids.next_guid(), "hall", capa_level10());
+    for i in 0..n {
+        let id = ids.next_guid();
+        cs.register(
+            Profile::builder(id, EntityKind::Device, format!("sensor-{i}"))
+                .output(PortSpec::new("p", ContextType::Presence))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .expect("fresh");
+    }
+    (cs, ids)
+}
+
+fn print_shape_table() {
+    println!("\nE2: range population vs registration cost (amortised)");
+    println!("{:>8} | {:>14}", "entities", "reg+dereg (us)");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let (mut cs, mut ids) = populated_server(n);
+        let trials = 200;
+        let start = std::time::Instant::now();
+        for _ in 0..trials {
+            let id = ids.next_guid();
+            cs.register(
+                Profile::builder(id, EntityKind::Device, "probe")
+                    .output(PortSpec::new("p", ContextType::Presence))
+                    .build(),
+                VirtualTime::ZERO,
+            )
+            .expect("fresh");
+            cs.deregister(id, VirtualTime::ZERO).expect("present");
+        }
+        println!(
+            "{:>8} | {:>14.2}",
+            n,
+            start.elapsed().as_micros() as f64 / trials as f64
+        );
+    }
+    println!();
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    print_shape_table();
+
+    let mut group = c.benchmark_group("e2_register");
+    for n in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("register_deregister", n), &n, |b, &n| {
+            let (mut cs, mut ids) = populated_server(n);
+            b.iter(|| {
+                let id = ids.next_guid();
+                cs.register(
+                    Profile::builder(id, EntityKind::Device, "probe")
+                        .output(PortSpec::new("p", ContextType::Presence))
+                        .build(),
+                    VirtualTime::ZERO,
+                )
+                .expect("fresh");
+                cs.deregister(id, VirtualTime::ZERO).expect("present");
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("e2_figure5_handshake", |b| {
+        // The full component-integration sequence: announce, register a
+        // CE with an advertisement, publish one event.
+        let (mut cs, mut ids) = populated_server(100);
+        let mut rs = sci_core::range_service::RangeService::deploy("hall", cs.id());
+        b.iter(|| {
+            let info = rs.announce();
+            let id = ids.next_guid();
+            cs.register(
+                Profile::builder(id, EntityKind::Device, "hs")
+                    .output(PortSpec::new("p", ContextType::Presence))
+                    .build(),
+                VirtualTime::ZERO,
+            )
+            .expect("fresh");
+            cs.advertise(sci_types::Advertisement::new(id, "probe"))
+                .expect("registered");
+            cs.deregister(id, VirtualTime::ZERO).expect("present");
+            info
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_discovery
+}
+criterion_main!(benches);

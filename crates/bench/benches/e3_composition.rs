@@ -1,0 +1,130 @@
+//! E3 — Figure 3: the composition model. Measures (a) query resolution
+//! time — type matching down to the sensor level — as the CE population
+//! grows, and (b) end-to-end event propagation latency through the
+//! instantiated 3-stage configuration (door sensor → objLocationCE →
+//! pathCE → pathApp).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sci_bench::{path_query, presence_event, Figure3Rig};
+use sci_types::VirtualTime;
+
+fn print_shape_table() {
+    println!("\nE3: resolution cost vs registered-CE population");
+    println!(
+        "{:>8} {:>12} | {:>14} {:>10}",
+        "doors", "distractors", "resolve (us)", "instances"
+    );
+    for (doors, distractors) in [
+        (4usize, 0usize),
+        (4, 100),
+        (4, 1000),
+        (16, 1000),
+        (64, 5000),
+    ] {
+        let mut rig = Figure3Rig::new(doors, distractors, 3);
+        let app = rig.ids.next_guid();
+        let bob = rig.ids.next_guid();
+        let john = rig.ids.next_guid();
+        let trials = 50;
+        let start = std::time::Instant::now();
+        for _ in 0..trials {
+            let q = path_query(&mut rig.ids, app, bob, john);
+            rig.cs
+                .submit_query(&q, VirtualTime::ZERO)
+                .expect("resolves");
+            rig.cs.cancel_query(q.id).expect("live");
+        }
+        let us = start.elapsed().as_micros() as f64 / trials as f64;
+        let q = path_query(&mut rig.ids, app, bob, john);
+        rig.cs
+            .submit_query(&q, VirtualTime::ZERO)
+            .expect("resolves");
+        println!(
+            "{:>8} {:>12} | {:>14.1} {:>10}",
+            doors,
+            distractors,
+            us,
+            rig.cs.instance_count()
+        );
+    }
+    println!();
+}
+
+fn bench_composition(c: &mut Criterion) {
+    print_shape_table();
+
+    let mut group = c.benchmark_group("e3_resolve");
+    for distractors in [0usize, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("path_query", distractors),
+            &distractors,
+            |b, &d| {
+                let mut rig = Figure3Rig::new(8, d, 3);
+                let app = rig.ids.next_guid();
+                let bob = rig.ids.next_guid();
+                let john = rig.ids.next_guid();
+                b.iter(|| {
+                    let q = path_query(&mut rig.ids, app, bob, john);
+                    rig.cs
+                        .submit_query(&q, VirtualTime::ZERO)
+                        .expect("resolves");
+                    rig.cs.cancel_query(q.id).expect("live");
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e3_propagation");
+    for doors in [2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("door_event_to_path", doors),
+            &doors,
+            |b, &d| {
+                let mut rig = Figure3Rig::new(d, 0, 3);
+                let app = rig.ids.next_guid();
+                let bob = rig.ids.next_guid();
+                let john = rig.ids.next_guid();
+                let q = path_query(&mut rig.ids, app, bob, john);
+                rig.cs
+                    .submit_query(&q, VirtualTime::ZERO)
+                    .expect("resolves");
+                // Prime both endpoints so every event yields a path.
+                let t = VirtualTime::from_secs(1);
+                rig.cs
+                    .ingest(
+                        &presence_event(rig.doors[0], bob, "corridor", "L10.01", t),
+                        t,
+                    )
+                    .expect("ingests");
+                rig.cs
+                    .ingest(
+                        &presence_event(rig.doors[0], john, "corridor", "L10.02", t),
+                        t,
+                    )
+                    .expect("ingests");
+                rig.cs.drain_outbox();
+                let mut flip = false;
+                b.iter(|| {
+                    let t = VirtualTime::from_secs(2);
+                    let room = if flip { "L10.03" } else { "bay" };
+                    flip = !flip;
+                    rig.cs
+                        .ingest(&presence_event(rig.doors[0], john, "corridor", room, t), t)
+                        .expect("ingests");
+                    let out = rig.cs.drain_outbox();
+                    assert_eq!(out.len(), 1, "one path update per movement");
+                    out
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_composition
+}
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! E4 — Figure 6: the query model. Round-trip cost of the XML document
+//! codec at increasing query complexity, and the profile-matching
+//! primitive the resolver is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sci_query::codec::{from_xml, to_xml};
+use sci_query::{matcher, CmpOp, Mode, Predicate, Query, Subject, What, When, Which};
+use sci_types::{ContextType, ContextValue, EntityKind, Guid, PortSpec, Profile, VirtualTime};
+
+fn query_of_complexity(predicates: usize, nesting: usize) -> Query {
+    let mut which = Which::Closest;
+    for level in 0..nesting {
+        which = Which::Filtered {
+            predicates: (0..predicates)
+                .map(|i| {
+                    Predicate::new(
+                        format!("attr-{level}-{i}"),
+                        CmpOp::Le,
+                        ContextValue::Int(i as i64),
+                    )
+                })
+                .collect(),
+            then: Box::new(which),
+        };
+    }
+    Query {
+        id: Guid::from_u128(1),
+        owner: Guid::from_u128(2),
+        what: What::Information {
+            ty: ContextType::PrinterStatus,
+            constraints: (0..predicates)
+                .map(|i| Predicate::eq(format!("c{i}"), ContextValue::Int(i as i64)))
+                .collect(),
+        },
+        where_: sci_query::Where::Place("Room L10.01".into()),
+        when: When::OnEnter {
+            entity: Subject::Owner,
+            place: "L10.01".into(),
+        },
+        which,
+        mode: Mode::Advertisement,
+    }
+}
+
+fn print_shape_table() {
+    println!("\nE4: query document size and codec round-trip cost");
+    println!(
+        "{:>6} {:>8} | {:>10} {:>16}",
+        "preds", "nesting", "bytes", "roundtrip (us)"
+    );
+    for (p, n) in [(0usize, 0usize), (2, 1), (4, 2), (8, 4), (16, 8)] {
+        let q = query_of_complexity(p, n);
+        let xml = to_xml(&q);
+        let trials = 500;
+        let start = std::time::Instant::now();
+        for _ in 0..trials {
+            let parsed = from_xml(&xml).expect("well-formed");
+            assert_eq!(parsed.mode, q.mode);
+        }
+        println!(
+            "{:>6} {:>8} | {:>10} {:>16.2}",
+            p,
+            n,
+            xml.len(),
+            start.elapsed().as_micros() as f64 / trials as f64
+        );
+    }
+    println!();
+}
+
+fn bench_query(c: &mut Criterion) {
+    print_shape_table();
+
+    let mut group = c.benchmark_group("e4_codec");
+    for (p, n) in [(2usize, 1usize), (8, 4)] {
+        let q = query_of_complexity(p, n);
+        let xml = to_xml(&q);
+        group.bench_with_input(
+            BenchmarkId::new("serialise", format!("{p}x{n}")),
+            &q,
+            |b, q| {
+                b.iter(|| to_xml(q));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parse", format!("{p}x{n}")),
+            &xml,
+            |b, xml| {
+                b.iter(|| from_xml(xml).expect("well-formed"));
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("e4_profile_matching", |b| {
+        let profiles: Vec<Profile> = (0..1000)
+            .map(|i| {
+                Profile::builder(Guid::from_u128(i + 1), EntityKind::Device, format!("d{i}"))
+                    .output(PortSpec::new(
+                        "out",
+                        if i % 3 == 0 {
+                            ContextType::Temperature
+                        } else {
+                            ContextType::Presence
+                        },
+                    ))
+                    .attribute(
+                        "unit",
+                        ContextValue::text(if i % 2 == 0 { "celsius" } else { "kelvin" }),
+                    )
+                    .build()
+            })
+            .collect();
+        let what = What::Information {
+            ty: ContextType::Temperature,
+            constraints: vec![Predicate::eq("unit", ContextValue::text("celsius"))],
+        };
+        b.iter(|| matcher::candidates(&what, profiles.iter()).count());
+    });
+
+    let _ = VirtualTime::ZERO;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_query
+}
+criterion_main!(benches);

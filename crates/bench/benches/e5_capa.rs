@@ -1,0 +1,231 @@
+//! E5 — Figure 7 / Section 5: CAPA printer selection. Reproduces the
+//! selection outcomes (P1 for Bob, P4 for John) and measures the cost of
+//! the deferred-query machinery: storing the query, firing the On-Enter
+//! trigger, and evaluating the Which-clause over live printer state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sci_core::capa::CapaApp;
+use sci_core::context_server::{ContextServer, QueryAnswer};
+use sci_location::floorplan::capa_level10;
+use sci_types::guid::GuidGenerator;
+use sci_types::{
+    Advertisement, ContextEvent, ContextType, ContextValue, EntityKind, Guid, PortSpec, Profile,
+    VirtualTime,
+};
+
+struct CapaRig {
+    cs: ContextServer,
+    ids: GuidGenerator,
+    door: Guid,
+    bob: Guid,
+    john: Guid,
+    printers: Vec<(Guid, &'static str)>,
+}
+
+fn rig() -> CapaRig {
+    let mut ids = GuidGenerator::seeded(5);
+    let bob = ids.next_guid();
+    let john = ids.next_guid();
+    let mut cs = ContextServer::new(ids.next_guid(), "level-ten", capa_level10());
+    let door = ids.next_guid();
+    cs.register(
+        Profile::builder(door, EntityKind::Device, "door-L10.01")
+            .output(PortSpec::new("presence", ContextType::Presence))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .expect("fresh");
+
+    // P1 near Bob; P2 out of paper; P3 locked; P4 free in the bay.
+    let printers: Vec<(Guid, &'static str)> = ["P1", "P2", "P3", "P4"]
+        .into_iter()
+        .map(|name| (ids.next_guid(), name))
+        .collect();
+    for &(guid, name) in &printers {
+        let (room, paper, restricted, queue) = match name {
+            "P1" => ("L10.01", true, false, 0),
+            "P2" => ("corridor", false, false, 0),
+            "P3" => ("L10.03", true, true, 0),
+            _ => ("bay", true, false, 0),
+        };
+        cs.register(
+            Profile::builder(guid, EntityKind::Device, name)
+                .output(PortSpec::new("status", ContextType::PrinterStatus))
+                .attribute("service", ContextValue::text("printing"))
+                .attribute("room", ContextValue::place(room))
+                .attribute("paper", ContextValue::Bool(paper))
+                .attribute("restricted", ContextValue::Bool(restricted))
+                .attribute("queue", ContextValue::Int(queue))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .expect("fresh");
+        cs.advertise(Advertisement::new(guid, "printing"))
+            .expect("registered");
+    }
+    CapaRig {
+        cs,
+        ids,
+        door,
+        bob,
+        john,
+        printers,
+    }
+}
+
+fn bob_enters(rig: &CapaRig, t: VirtualTime) -> ContextEvent {
+    ContextEvent::new(
+        rig.door,
+        ContextType::Presence,
+        ContextValue::record([
+            ("subject", ContextValue::Id(rig.bob)),
+            ("from", ContextValue::place("corridor")),
+            ("to", ContextValue::place("L10.01")),
+        ]),
+        t,
+    )
+}
+
+fn selected_printer(rig: &CapaRig, answer: &QueryAnswer) -> &'static str {
+    match answer {
+        QueryAnswer::Advertisements(ads) => rig
+            .printers
+            .iter()
+            .find(|(g, _)| *g == ads[0].provider())
+            .map(|(_, n)| *n)
+            .expect("known printer"),
+        other => panic!("unexpected answer {other:?}"),
+    }
+}
+
+fn print_shape_table() {
+    println!("\nE5: CAPA selection outcomes (paper: P1 for Bob, P4 for John)");
+    let mut r = rig();
+
+    // Bob: deferred until he enters L10.01.
+    let bob_app = r.ids.next_guid();
+    let mut capa = CapaApp::new(r.bob, bob_app);
+    capa.queue_document("doc.pdf", 3);
+    capa.print_when_at("L10.01");
+    let qid = r.ids.next_guid();
+    {
+        let cs = &mut r.cs;
+        capa.on_connected(qid, |q| cs.submit_query(q, VirtualTime::ZERO))
+            .expect("stored");
+    }
+    let t = VirtualTime::from_secs(5);
+    let ev = bob_enters(&r, t);
+    r.cs.ingest(&ev, t).expect("ingests");
+    let answers = r.cs.drain_answers();
+    let bob_choice = selected_printer(&r, &answers[0].2);
+    println!("  Bob   -> {bob_choice}");
+    assert_eq!(bob_choice, "P1");
+
+    // P1 becomes busy; John asks for closest with no queue.
+    let p1 = r.printers[0].0;
+    let busy = ContextEvent::new(
+        p1,
+        ContextType::PrinterStatus,
+        ContextValue::record([
+            ("queue", ContextValue::Int(2)),
+            ("paper", ContextValue::Bool(true)),
+        ]),
+        VirtualTime::from_secs(6),
+    );
+    r.cs.ingest(&busy, VirtualTime::from_secs(6))
+        .expect("ingests");
+    // John is in L10.02.
+    let john_in = ContextEvent::new(
+        r.door,
+        ContextType::Presence,
+        ContextValue::record([
+            ("subject", ContextValue::Id(r.john)),
+            ("to", ContextValue::place("L10.02")),
+        ]),
+        VirtualTime::from_secs(6),
+    );
+    r.cs.ingest(&john_in, VirtualTime::from_secs(6))
+        .expect("ingests");
+
+    let john_app = r.ids.next_guid();
+    let mut capa_john = CapaApp::new(r.john, john_app);
+    capa_john.queue_document("lecture.pdf", 9);
+    capa_john.print_now();
+    let qid = r.ids.next_guid();
+    let mut john_choice = "";
+    {
+        let r_ref = &mut r;
+        capa_john
+            .on_connected(qid, |q| {
+                let a = r_ref.cs.submit_query(q, VirtualTime::from_secs(7))?;
+                john_choice = selected_printer(r_ref, &a);
+                Ok(a)
+            })
+            .expect("answers");
+    }
+    println!("  John  -> {john_choice}");
+    assert_eq!(john_choice, "P4");
+    println!();
+}
+
+fn bench_capa(c: &mut Criterion) {
+    print_shape_table();
+
+    c.bench_function("e5_trigger_to_answer", |b| {
+        // Cost of: trigger match + Which evaluation + advertisement
+        // answer, per door event that fires a stored query.
+        let mut r = rig();
+        let app = r.ids.next_guid();
+        let mut n = 0u64;
+        b.iter(|| {
+            let mut capa = CapaApp::new(r.bob, app);
+            capa.queue_document("doc.pdf", 1);
+            capa.print_when_at("L10.01");
+            let qid = r.ids.next_guid();
+            {
+                let cs = &mut r.cs;
+                capa.on_connected(qid, |q| cs.submit_query(q, VirtualTime::ZERO))
+                    .expect("stored");
+            }
+            n += 1;
+            let t = VirtualTime::from_secs(n);
+            let ev = bob_enters(&r, t);
+            r.cs.ingest(&ev, t).expect("ingests");
+            let answers = r.cs.drain_answers();
+            assert_eq!(answers.len(), 1);
+            answers
+        });
+    });
+
+    c.bench_function("e5_immediate_selection", |b| {
+        // John's immediate query: candidate filtering + closest.
+        let mut r = rig();
+        let john_in = ContextEvent::new(
+            r.door,
+            ContextType::Presence,
+            ContextValue::record([
+                ("subject", ContextValue::Id(r.john)),
+                ("to", ContextValue::place("L10.02")),
+            ]),
+            VirtualTime::ZERO,
+        );
+        r.cs.ingest(&john_in, VirtualTime::ZERO).expect("ingests");
+        let app = r.ids.next_guid();
+        b.iter(|| {
+            let mut capa = CapaApp::new(r.john, app);
+            capa.queue_document("x", 1);
+            capa.print_now();
+            let qid = r.ids.next_guid();
+            let cs = &mut r.cs;
+            capa.on_connected(qid, |q| cs.submit_query(q, VirtualTime::from_secs(1)))
+                .expect("answers")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_capa
+}
+criterion_main!(benches);

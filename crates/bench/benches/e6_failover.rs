@@ -1,0 +1,169 @@
+//! E6 — the adaptivity claim (Sections 2 and 6): "adjust the composition
+//! of these components dynamically in the case of environment changes,
+//! thus improving service and fault tolerance while minimising user
+//! intervention."
+//!
+//! Shape: on an identical sensor-failure schedule, counts events
+//! delivered by SCI (automatic repair), the Context Toolkit pipeline
+//! (static wiring — starves) and Solar (explicit graph — starves until
+//! re-specified). Criterion times the repair operation itself as
+//! redundancy grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sci_baselines::toolkit::Interpreter;
+use sci_baselines::{GraphSpec, SolarEngine, SpecNode, ToolkitPipeline};
+use sci_bench::{presence_event, Figure3Rig};
+use sci_core::adaptation;
+use sci_location::floorplan::capa_level10;
+use sci_query::{Mode, Predicate, Query};
+use sci_types::{ContextType, ContextValue, VirtualTime};
+
+fn print_shape_table() {
+    println!("\nE6: deliveries around one sensor failure (20 events, failure after 10)");
+    println!(
+        "{:>10} | {:>8} {:>8} {:>8}",
+        "phase", "sci", "toolkit", "solar"
+    );
+    let mut rig = Figure3Rig::new(2, 0, 11);
+    let bob = rig.ids.next_guid();
+    let app = rig.ids.next_guid();
+    let q = Query::builder(rig.ids.next_guid(), app)
+        .info_matching(
+            ContextType::Location,
+            vec![Predicate::eq("subject", ContextValue::Id(bob))],
+        )
+        .mode(Mode::Subscribe)
+        .build();
+    rig.cs
+        .submit_query(&q, VirtualTime::ZERO)
+        .expect("resolves");
+
+    let plan = capa_level10();
+    let mut toolkit = ToolkitPipeline::wire(
+        [rig.doors[0]],
+        ContextType::Presence,
+        Interpreter::presence_to_location(plan.clone()),
+        bob,
+    );
+    let mut solar = SolarEngine::new(plan);
+    let solar_app = rig.ids.next_guid();
+    solar
+        .attach(
+            solar_app,
+            &GraphSpec {
+                nodes: vec![SpecNode::LocationOf(bob), SpecNode::Source(rig.doors[0])],
+                children: vec![vec![1], vec![]],
+            },
+        )
+        .expect("valid spec");
+
+    let mut sci_n = 0usize;
+    let mut toolkit_n;
+    let mut solar_n = 0usize;
+    for i in 0..10u64 {
+        let t = VirtualTime::from_secs(i);
+        let ev = presence_event(rig.doors[0], bob, "corridor", "L10.01", t);
+        rig.cs.ingest(&ev, t).expect("ingests");
+        sci_n += rig.cs.drain_outbox().len();
+        toolkit.ingest(&ev, t);
+        solar.ingest(&ev, t);
+        solar_n += solar.deliveries_for(solar_app).len();
+    }
+    toolkit_n = toolkit.deliveries().len();
+    println!(
+        "{:>10} | {:>8} {:>8} {:>8}",
+        "healthy", sci_n, toolkit_n, solar_n
+    );
+
+    // Door 0 fails; SCI repairs; the baselines are left as-is.
+    adaptation::repair_source(&mut rig.cs, rig.doors[0], VirtualTime::from_secs(10));
+    let (mut sci2, mut solar2) = (0usize, 0usize);
+    for i in 0..10u64 {
+        let t = VirtualTime::from_secs(11 + i);
+        let ev = presence_event(rig.doors[1], bob, "corridor", "L10.02", t);
+        rig.cs.ingest(&ev, t).expect("ingests");
+        sci2 += rig.cs.drain_outbox().len();
+        toolkit.ingest(&ev, t);
+        solar.ingest(&ev, t);
+        solar2 += solar.deliveries_for(solar_app).len();
+    }
+    toolkit_n = toolkit.deliveries().len() - toolkit_n;
+    println!(
+        "{:>10} | {:>8} {:>8} {:>8}",
+        "post-fail", sci2, toolkit_n, solar2
+    );
+    assert_eq!(sci2, 10, "SCI lost nothing after repair");
+    assert_eq!(toolkit_n, 0, "toolkit starved");
+    assert_eq!(solar2, 0, "solar starved");
+    println!();
+}
+
+fn bench_failover(c: &mut Criterion) {
+    print_shape_table();
+
+    let mut group = c.benchmark_group("e6_repair");
+    for redundancy in [2usize, 4, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("repair_source", redundancy),
+            &redundancy,
+            |b, &r| {
+                b.iter_with_setup(
+                    || {
+                        let mut rig = Figure3Rig::new(r, 0, 11);
+                        let bob = rig.ids.next_guid();
+                        let app = rig.ids.next_guid();
+                        let q = Query::builder(rig.ids.next_guid(), app)
+                            .info_matching(
+                                ContextType::Location,
+                                vec![Predicate::eq("subject", ContextValue::Id(bob))],
+                            )
+                            .mode(Mode::Subscribe)
+                            .build();
+                        rig.cs
+                            .submit_query(&q, VirtualTime::ZERO)
+                            .expect("resolves");
+                        rig
+                    },
+                    |mut rig| {
+                        let failed = rig.doors[0];
+                        adaptation::repair_source(&mut rig.cs, failed, VirtualTime::from_secs(1))
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("e6_detection_scan", |b| {
+        // Cost of one liveness scan over many tracked publishers.
+        let mut rig = Figure3Rig::new(2, 0, 11);
+        for i in 0..1000u64 {
+            let id = rig.ids.next_guid();
+            rig.cs
+                .register(
+                    sci_types::Profile::builder(
+                        id,
+                        sci_types::EntityKind::Device,
+                        format!("hb-{i}"),
+                    )
+                    .output(sci_types::PortSpec::new("p", ContextType::Presence))
+                    .attribute("max-silence-us", ContextValue::Int(60_000_000))
+                    .build(),
+                    VirtualTime::ZERO,
+                )
+                .expect("fresh");
+        }
+        b.iter(|| {
+            rig.cs
+                .mediator()
+                .silent_publishers(VirtualTime::from_secs(30))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_failover
+}
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! E8 — the subgraph-reuse ablation. SCI adopts Solar's insight that
+//! "the common parts of context processing graphs of different
+//! applications" should be shared. Shape: instances created as identical
+//! concurrent queries accumulate, reuse ON (constant) vs OFF (linear).
+//! Criterion times query admission under both policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sci_bench::{path_query, presence_event, Figure3Rig};
+use sci_types::VirtualTime;
+
+fn rig_with_reuse(reuse: bool) -> Figure3Rig {
+    let mut rig = Figure3Rig::new(4, 0, 8);
+    rig.cs.set_reuse(reuse);
+    rig
+}
+
+fn print_shape_table() {
+    println!("\nE8: live instances vs concurrent identical path queries");
+    println!("{:>8} | {:>12} {:>12}", "queries", "reuse ON", "reuse OFF");
+    for n in [1usize, 8, 64, 512] {
+        let counts: Vec<usize> = [true, false]
+            .into_iter()
+            .map(|reuse| {
+                let mut rig = rig_with_reuse(reuse);
+                let bob = rig.ids.next_guid();
+                let john = rig.ids.next_guid();
+                for _ in 0..n {
+                    let app = rig.ids.next_guid();
+                    let q = path_query(&mut rig.ids, app, bob, john);
+                    rig.cs
+                        .submit_query(&q, VirtualTime::ZERO)
+                        .expect("resolves");
+                }
+                rig.cs.instance_count()
+            })
+            .collect();
+        println!("{:>8} | {:>12} {:>12}", n, counts[0], counts[1]);
+    }
+    println!();
+}
+
+fn bench_reuse(c: &mut Criterion) {
+    print_shape_table();
+
+    let mut group = c.benchmark_group("e8_admission");
+    for reuse in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("hundredth_identical_query", reuse),
+            &reuse,
+            |b, &reuse| {
+                b.iter_with_setup(
+                    || {
+                        let mut rig = rig_with_reuse(reuse);
+                        let bob = rig.ids.next_guid();
+                        let john = rig.ids.next_guid();
+                        for _ in 0..99 {
+                            let app = rig.ids.next_guid();
+                            let q = path_query(&mut rig.ids, app, bob, john);
+                            rig.cs
+                                .submit_query(&q, VirtualTime::ZERO)
+                                .expect("resolves");
+                        }
+                        (rig, bob, john)
+                    },
+                    |(mut rig, bob, john)| {
+                        let app = rig.ids.next_guid();
+                        let q = path_query(&mut rig.ids, app, bob, john);
+                        rig.cs
+                            .submit_query(&q, VirtualTime::ZERO)
+                            .expect("resolves")
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e8_event_dispatch");
+    for reuse in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("event_through_64_queries", reuse),
+            &reuse,
+            |b, &reuse| {
+                // One door event cascading to 64 subscribed apps: shared
+                // instances compute once; duplicated ones 64 times.
+                let mut rig = rig_with_reuse(reuse);
+                let bob = rig.ids.next_guid();
+                let john = rig.ids.next_guid();
+                for _ in 0..64 {
+                    let app = rig.ids.next_guid();
+                    let q = path_query(&mut rig.ids, app, bob, john);
+                    rig.cs
+                        .submit_query(&q, VirtualTime::ZERO)
+                        .expect("resolves");
+                }
+                // Prime both endpoints.
+                let t = VirtualTime::from_secs(1);
+                rig.cs
+                    .ingest(
+                        &presence_event(rig.doors[0], bob, "corridor", "L10.01", t),
+                        t,
+                    )
+                    .expect("ingests");
+                rig.cs
+                    .ingest(
+                        &presence_event(rig.doors[0], john, "corridor", "L10.02", t),
+                        t,
+                    )
+                    .expect("ingests");
+                rig.cs.drain_outbox();
+                let mut flip = false;
+                b.iter(|| {
+                    let room = if flip { "L10.03" } else { "bay" };
+                    flip = !flip;
+                    let t = VirtualTime::from_secs(2);
+                    rig.cs
+                        .ingest(&presence_event(rig.doors[0], john, "corridor", room, t), t)
+                        .expect("ingests");
+                    let out = rig.cs.drain_outbox();
+                    assert_eq!(out.len(), 64, "one update per subscribed app");
+                    out
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_reuse
+}
+criterion_main!(benches);

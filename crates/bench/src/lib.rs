@@ -1,0 +1,153 @@
+//! # sci-bench
+//!
+//! Shared fixtures for the benchmark harness that regenerates every
+//! figure of the paper (experiments E1–E8; see `DESIGN.md` for the
+//! figure → experiment mapping and `EXPERIMENTS.md` for measured
+//! results). Each bench target prints the experiment's shape metrics
+//! (the "rows" a paper table would hold) before running its Criterion
+//! timings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sci_core::context_server::ContextServer;
+use sci_core::logic::{factory, ObjLocationLogic, PathLogic};
+use sci_location::floorplan::{capa_level10, FloorPlan};
+use sci_types::guid::GuidGenerator;
+use sci_types::{
+    ContextEvent, ContextType, ContextValue, EntityKind, Guid, PortSpec, Profile, VirtualTime,
+};
+
+/// A Context Server populated with the Figure 3 entity classes:
+/// `door_count` door sensors, one `objLocationCE`, one `pathCE`, plus
+/// `distractors` unrelated source CEs (temperature) to dilute the
+/// resolver's search space.
+pub struct Figure3Rig {
+    /// The server under test.
+    pub cs: ContextServer,
+    /// Deterministic id source.
+    pub ids: GuidGenerator,
+    /// The door sensor GUIDs.
+    pub doors: Vec<Guid>,
+    /// The floor plan.
+    pub plan: FloorPlan,
+}
+
+impl Figure3Rig {
+    /// Builds the rig.
+    pub fn new(door_count: usize, distractors: usize, seed: u64) -> Self {
+        let plan = capa_level10();
+        let mut ids = GuidGenerator::seeded(seed);
+        let mut cs = ContextServer::new(ids.next_guid(), "level-ten", plan.clone());
+
+        let doors: Vec<Guid> = (0..door_count)
+            .map(|i| {
+                let id = ids.next_guid();
+                cs.register(
+                    Profile::builder(id, EntityKind::Device, format!("door-{i}"))
+                        .output(PortSpec::new("presence", ContextType::Presence))
+                        .build(),
+                    VirtualTime::ZERO,
+                )
+                .expect("fresh guid");
+                id
+            })
+            .collect();
+
+        for i in 0..distractors {
+            let id = ids.next_guid();
+            cs.register(
+                Profile::builder(id, EntityKind::Device, format!("thermo-{i}"))
+                    .output(PortSpec::new("t", ContextType::Temperature))
+                    .attribute("unit", ContextValue::text("celsius"))
+                    .build(),
+                VirtualTime::ZERO,
+            )
+            .expect("fresh guid");
+        }
+
+        let obj_loc = ids.next_guid();
+        cs.register(
+            Profile::builder(obj_loc, EntityKind::Software, "objLocationCE")
+                .input(PortSpec::new("presence", ContextType::Presence))
+                .output(PortSpec::new("location", ContextType::Location))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .expect("fresh guid");
+        let p = plan.clone();
+        cs.register_logic(obj_loc, factory(move || ObjLocationLogic::new(p.clone())));
+
+        let path_ce = ids.next_guid();
+        cs.register(
+            Profile::builder(path_ce, EntityKind::Software, "pathCE")
+                .input(PortSpec::new("from", ContextType::Location))
+                .input(PortSpec::new("to", ContextType::Location))
+                .output(PortSpec::new("path", ContextType::Path))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .expect("fresh guid");
+        let p = plan.clone();
+        cs.register_logic(path_ce, factory(move || PathLogic::new(p.clone())));
+
+        Figure3Rig {
+            cs,
+            ids,
+            doors,
+            plan,
+        }
+    }
+}
+
+/// A door-sensor presence event.
+pub fn presence_event(
+    source: Guid,
+    subject: Guid,
+    from: &str,
+    to: &str,
+    t: VirtualTime,
+) -> ContextEvent {
+    ContextEvent::new(
+        source,
+        ContextType::Presence,
+        ContextValue::record([
+            ("subject", ContextValue::Id(subject)),
+            ("from", ContextValue::place(from)),
+            ("to", ContextValue::place(to)),
+        ]),
+        t,
+    )
+}
+
+/// The path query of Figure 3.
+pub fn path_query(ids: &mut GuidGenerator, app: Guid, from: Guid, to: Guid) -> sci_query::Query {
+    sci_query::Query::builder(ids.next_guid(), app)
+        .info_matching(
+            ContextType::Path,
+            vec![
+                sci_query::Predicate::eq("from", ContextValue::Id(from)),
+                sci_query::Predicate::eq("to", ContextValue::Id(to)),
+            ],
+        )
+        .mode(sci_query::Mode::Subscribe)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_builds_and_resolves() {
+        let mut rig = Figure3Rig::new(4, 10, 1);
+        let app = rig.ids.next_guid();
+        let bob = rig.ids.next_guid();
+        let john = rig.ids.next_guid();
+        let q = path_query(&mut rig.ids, app, bob, john);
+        rig.cs
+            .submit_query(&q, VirtualTime::ZERO)
+            .expect("resolves");
+        assert_eq!(rig.cs.instance_count(), 3);
+    }
+}

@@ -1,0 +1,535 @@
+//! Configuration instantiation, reuse and teardown.
+//!
+//! "Once a complete configuration has been discovered (i.e. down to the
+//! sensor/data level) to fulfill a query's requirements, the Context
+//! Server sets up event subscriptions between the CEs involved" (paper,
+//! Section 3.2). This module turns a [`ConfigurationPlan`] into live
+//! state:
+//!
+//! * an **instance** per derived plan node — a hosted [`EntityLogic`]
+//!   parameterised by the node's binding, addressed by its own GUID;
+//! * **subscriptions** wiring each instance to its producers;
+//! * a [`Configuration`] record tying everything to the query that asked
+//!   for it.
+//!
+//! Identical sub-graphs are shared between queries when reuse is enabled
+//! (the Solar-inspired scalability feature the paper adopts): an
+//! instance is keyed by `(CE, binding)` and reference-counted, so two
+//! applications asking for the path between Bob and John drive one
+//! `pathCE` instance, not two. Experiment E8 ablates exactly this flag.
+
+use std::collections::HashMap;
+
+use sci_event::bus::SubId;
+use sci_event::{EventMediator, Topic};
+use sci_types::{ContextType, EventSeq, Guid, Metadata, SciError, SciResult};
+
+use crate::logic::{EntityLogic, LogicFactory};
+use crate::resolver::{ConfigurationPlan, NodeKind};
+
+/// A hosted logic instance for one configuration node.
+pub struct InstanceState {
+    /// The instance's own GUID (events it emits use this as source).
+    pub instance: Guid,
+    /// The registered CE this instance embodies.
+    pub ce: Guid,
+    /// Per-configuration parameters.
+    pub binding: Metadata,
+    /// How many live configurations use this instance.
+    pub refcount: usize,
+    /// The behaviour.
+    pub logic: Box<dyn EntityLogic>,
+    /// Next output sequence number.
+    pub seq: EventSeq,
+    /// Input subscriptions held by this instance.
+    pub subs: Vec<SubId>,
+    /// The typed demands this instance needs satisfied, independent of
+    /// which producers currently satisfy them — the record that lets a
+    /// newly arrived source be wired in.
+    pub needs: Vec<(ContextType, Option<Guid>)>,
+}
+
+fn binding_key(binding: &Metadata) -> String {
+    let mut parts: Vec<String> = binding.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    parts.sort();
+    parts.join(";")
+}
+
+/// The store of live logic instances, with optional subgraph reuse.
+pub struct InstanceStore {
+    instances: HashMap<Guid, InstanceState>,
+    cache: HashMap<(Guid, String), Guid>,
+    reuse: bool,
+}
+
+impl std::fmt::Debug for InstanceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceStore")
+            .field("instances", &self.instances.len())
+            .field("reuse", &self.reuse)
+            .finish()
+    }
+}
+
+/// The live state created for one subscribed query.
+#[derive(Clone, Debug)]
+pub struct Configuration {
+    /// The query this configuration answers.
+    pub query_id: Guid,
+    /// The subscribing CAA.
+    pub owner: Guid,
+    /// The context type delivered to the CAA.
+    pub requested: ContextType,
+    /// Producers the CAA is subscribed to (instance GUIDs, or source CE
+    /// GUIDs when the demand resolved directly to sensors).
+    pub root_producers: Vec<Guid>,
+    /// Derived instances this configuration holds a reference on.
+    pub instances: Vec<Guid>,
+    /// The CAA's own subscriptions.
+    pub caa_subs: Vec<SubId>,
+    /// Whether the paper's "one-time subscription" mode applies.
+    pub one_time: bool,
+    /// Source CEs the configuration ultimately depends on.
+    pub sources: Vec<Guid>,
+    /// The plan, retained for failure repair.
+    pub plan: ConfigurationPlan,
+    /// Subject scope of the root demand, if the query constrained one
+    /// (used when wiring newly arrived sources into direct-source
+    /// configurations).
+    pub root_subject: Option<Guid>,
+    /// Quality-of-context contract: maximum acceptable event age at
+    /// delivery time, if the query demanded one (`qoc-max-age-us`).
+    pub max_age: Option<sci_types::VirtualDuration>,
+}
+
+impl InstanceStore {
+    /// Creates a store; `reuse` enables subgraph sharing.
+    pub fn new(reuse: bool) -> Self {
+        InstanceStore {
+            instances: HashMap::new(),
+            cache: HashMap::new(),
+            reuse,
+        }
+    }
+
+    /// Whether reuse is enabled.
+    pub fn reuse_enabled(&self) -> bool {
+        self.reuse
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Returns `true` when no instances are live.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Looks up an instance.
+    pub fn get(&self, instance: Guid) -> Option<&InstanceState> {
+        self.instances.get(&instance)
+    }
+
+    /// Mutable lookup (the Context Server dispatches events through
+    /// this).
+    pub fn get_mut(&mut self, instance: Guid) -> Option<&mut InstanceState> {
+        self.instances.get_mut(&instance)
+    }
+
+    /// Returns `true` if the GUID names a live instance.
+    pub fn contains(&self, instance: Guid) -> bool {
+        self.instances.contains_key(&instance)
+    }
+
+    /// Iterates over live instances.
+    pub fn iter(&self) -> impl Iterator<Item = &InstanceState> {
+        self.instances.values()
+    }
+
+    /// Mutable iteration (used by failure repair).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut InstanceState> {
+        self.instances.values_mut()
+    }
+
+    /// Instantiates a plan: creates (or reuses) instances bottom-up and
+    /// wires their input subscriptions through the mediator.
+    ///
+    /// Returns the configuration record; the caller adds the CAA's own
+    /// subscriptions to `caa_subs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::Internal`] if a derived node's CE has no
+    /// registered [`LogicFactory`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn instantiate(
+        &mut self,
+        plan: &ConfigurationPlan,
+        query_id: Guid,
+        owner: Guid,
+        one_time: bool,
+        mediator: &mut EventMediator,
+        ids: &mut sci_types::guid::GuidGenerator,
+        factories: &HashMap<Guid, LogicFactory>,
+    ) -> SciResult<Configuration> {
+        // node index → the GUID events from that node carry.
+        let mut producer_guid: Vec<Guid> = vec![Guid::NIL; plan.nodes.len()];
+        let mut used_instances = Vec::new();
+
+        for (idx, node) in plan.nodes.iter().enumerate() {
+            match node.kind {
+                NodeKind::Source => {
+                    // Sources are the registered CEs themselves.
+                    producer_guid[idx] = node.ce;
+                }
+                NodeKind::Derived => {
+                    let key = (node.ce, binding_key(&node.binding));
+                    if self.reuse {
+                        if let Some(&existing) = self.cache.get(&key) {
+                            let state = self
+                                .instances
+                                .get_mut(&existing)
+                                .expect("cache points at live instances");
+                            state.refcount += 1;
+                            producer_guid[idx] = existing;
+                            used_instances.push(existing);
+                            continue;
+                        }
+                    }
+                    let factory = factories.get(&node.ce).ok_or_else(|| {
+                        SciError::Internal(format!(
+                            "no logic registered for derived CE {}",
+                            node.ce
+                        ))
+                    })?;
+                    let instance = ids.next_guid();
+                    let mut subs = Vec::new();
+                    let mut needs = Vec::new();
+                    for edge in &node.inputs {
+                        let need = (edge.ty.clone(), edge.subject);
+                        if !needs.contains(&need) {
+                            needs.push(need);
+                        }
+                        for &p in &edge.producers {
+                            debug_assert!(p < idx, "children precede parents");
+                            // Subscribe with the *producer's* concrete
+                            // output type: a semantically equivalent
+                            // provider emits its own type, not the
+                            // demanded one.
+                            let mut topic =
+                                Topic::of_type(plan.nodes[p].output.clone()).from(producer_guid[p]);
+                            if let Some(subject) = edge.subject {
+                                topic = topic.about(subject);
+                            }
+                            subs.push(mediator.subscribe(instance, topic, false));
+                        }
+                    }
+                    self.instances.insert(
+                        instance,
+                        InstanceState {
+                            instance,
+                            ce: node.ce,
+                            binding: node.binding.clone(),
+                            refcount: 1,
+                            logic: (factory)(),
+                            seq: EventSeq::FIRST,
+                            subs,
+                            needs,
+                        },
+                    );
+                    if self.reuse {
+                        self.cache.insert(key, instance);
+                    }
+                    producer_guid[idx] = instance;
+                    used_instances.push(instance);
+                }
+            }
+        }
+
+        Ok(Configuration {
+            query_id,
+            owner,
+            requested: plan.output.clone(),
+            root_producers: plan.roots.iter().map(|&r| producer_guid[r]).collect(),
+            instances: used_instances,
+            caa_subs: Vec::new(),
+            one_time,
+            sources: plan.source_ces(),
+            plan: plan.clone(),
+            root_subject: None,
+            max_age: None,
+        })
+    }
+
+    /// Releases a configuration's references: unsubscribes the CAA and
+    /// drops instances whose refcount reaches zero (purging their input
+    /// subscriptions). Returns the number of instances destroyed.
+    pub fn teardown(&mut self, config: &Configuration, mediator: &mut EventMediator) -> usize {
+        for &sub in &config.caa_subs {
+            // Already-consumed one-time subscriptions are gone; ignore.
+            let _ = mediator.unsubscribe(sub);
+        }
+        let mut destroyed = 0;
+        for &instance in &config.instances {
+            let Some(state) = self.instances.get_mut(&instance) else {
+                continue;
+            };
+            state.refcount -= 1;
+            if state.refcount == 0 {
+                let state = self.instances.remove(&instance).expect("present");
+                mediator.purge_entity(instance);
+                self.cache.remove(&(state.ce, binding_key(&state.binding)));
+                destroyed += 1;
+            }
+        }
+        destroyed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{factory, ObjLocationLogic, PathLogic};
+    use crate::profile_manager::ProfileManager;
+    use crate::resolver::{plan_configuration, Demand};
+    use sci_location::floorplan::capa_level10;
+    use sci_query::Predicate;
+    use sci_types::guid::GuidGenerator;
+    use sci_types::{ContextValue, EntityKind, PortSpec, Profile};
+    use std::collections::HashSet;
+
+    struct Fixture {
+        pm: ProfileManager,
+        factories: HashMap<Guid, LogicFactory>,
+        mediator: EventMediator,
+        ids: GuidGenerator,
+        path_ce: Guid,
+        obj_loc: Guid,
+        doors: Vec<Guid>,
+    }
+
+    fn fixture() -> Fixture {
+        let plan = capa_level10();
+        let mut pm = ProfileManager::new();
+        let mut factories: HashMap<Guid, LogicFactory> = HashMap::new();
+        let path_ce = Guid::from_u128(0x100);
+        pm.insert(
+            Profile::builder(path_ce, EntityKind::Software, "pathCE")
+                .input(PortSpec::new("from", ContextType::Location))
+                .input(PortSpec::new("to", ContextType::Location))
+                .output(PortSpec::new("path", ContextType::Path))
+                .build(),
+        )
+        .unwrap();
+        let p = plan.clone();
+        factories.insert(path_ce, factory(move || PathLogic::new(p.clone())));
+        let obj_loc = Guid::from_u128(0x200);
+        pm.insert(
+            Profile::builder(obj_loc, EntityKind::Software, "objLocationCE")
+                .input(PortSpec::new("presence", ContextType::Presence))
+                .output(PortSpec::new("location", ContextType::Location))
+                .build(),
+        )
+        .unwrap();
+        let p = plan.clone();
+        factories.insert(obj_loc, factory(move || ObjLocationLogic::new(p.clone())));
+        let doors: Vec<Guid> = (0..2)
+            .map(|i| {
+                let id = Guid::from_u128(0x300 + i);
+                pm.insert(
+                    Profile::builder(id, EntityKind::Device, format!("door-{i}"))
+                        .output(PortSpec::new("presence", ContextType::Presence))
+                        .build(),
+                )
+                .unwrap();
+                id
+            })
+            .collect();
+        Fixture {
+            pm,
+            factories,
+            mediator: EventMediator::new(),
+            ids: GuidGenerator::seeded(77),
+            path_ce,
+            obj_loc,
+            doors,
+        }
+    }
+
+    fn path_plan(f: &Fixture, bob: Guid, john: Guid) -> ConfigurationPlan {
+        plan_configuration(
+            &f.pm,
+            &Demand::of(ContextType::Path),
+            &[
+                Predicate::eq("from", ContextValue::Id(bob)),
+                Predicate::eq("to", ContextValue::Id(john)),
+            ],
+            &HashSet::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn instantiation_wires_subscriptions() {
+        let mut f = fixture();
+        let (bob, john) = (Guid::from_u128(0xb0b), Guid::from_u128(0x70e));
+        let plan = path_plan(&f, bob, john);
+        let mut store = InstanceStore::new(true);
+        let config = store
+            .instantiate(
+                &plan,
+                Guid::from_u128(1),
+                Guid::from_u128(2),
+                false,
+                &mut f.mediator,
+                &mut f.ids,
+                &f.factories,
+            )
+            .unwrap();
+        // 1 pathCE + 2 objLocation instances.
+        assert_eq!(store.len(), 3);
+        assert_eq!(config.instances.len(), 3);
+        assert_eq!(config.root_producers.len(), 1);
+        // pathCE has 2 input subs (one per objLocation), each objLocation
+        // has |doors| subs.
+        let total_subs: usize = store.iter().map(|i| i.subs.len()).sum();
+        assert_eq!(total_subs, 2 + 2 * f.doors.len());
+        assert_eq!(f.mediator.bus().len(), total_subs);
+        let mut sources = config.sources.clone();
+        sources.sort();
+        assert_eq!(sources, f.doors);
+        assert_eq!(config.requested, ContextType::Path);
+        let _ = (f.path_ce, f.obj_loc);
+    }
+
+    #[test]
+    fn reuse_shares_identical_subgraphs() {
+        let mut f = fixture();
+        let (bob, john) = (Guid::from_u128(0xb0b), Guid::from_u128(0x70e));
+        let plan = path_plan(&f, bob, john);
+        let mut store = InstanceStore::new(true);
+        let c1 = store
+            .instantiate(
+                &plan,
+                Guid::from_u128(1),
+                Guid::from_u128(11),
+                false,
+                &mut f.mediator,
+                &mut f.ids,
+                &f.factories,
+            )
+            .unwrap();
+        let c2 = store
+            .instantiate(
+                &plan,
+                Guid::from_u128(2),
+                Guid::from_u128(12),
+                false,
+                &mut f.mediator,
+                &mut f.ids,
+                &f.factories,
+            )
+            .unwrap();
+        assert_eq!(store.len(), 3, "second query created no new instances");
+        assert_eq!(c1.root_producers, c2.root_producers);
+        // Teardown of one keeps the shared instances alive for the other.
+        assert_eq!(store.teardown(&c1, &mut f.mediator), 0);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.teardown(&c2, &mut f.mediator), 3);
+        assert!(store.is_empty());
+        assert!(f.mediator.bus().is_empty(), "all subscriptions cleaned up");
+    }
+
+    #[test]
+    fn no_reuse_duplicates_subgraphs() {
+        let mut f = fixture();
+        let (bob, john) = (Guid::from_u128(0xb0b), Guid::from_u128(0x70e));
+        let plan = path_plan(&f, bob, john);
+        let mut store = InstanceStore::new(false);
+        let c1 = store
+            .instantiate(
+                &plan,
+                Guid::from_u128(1),
+                Guid::from_u128(11),
+                false,
+                &mut f.mediator,
+                &mut f.ids,
+                &f.factories,
+            )
+            .unwrap();
+        let _c2 = store
+            .instantiate(
+                &plan,
+                Guid::from_u128(2),
+                Guid::from_u128(12),
+                false,
+                &mut f.mediator,
+                &mut f.ids,
+                &f.factories,
+            )
+            .unwrap();
+        assert_eq!(store.len(), 6, "reuse disabled: everything duplicated");
+        assert_eq!(store.teardown(&c1, &mut f.mediator), 3);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn different_subjects_do_not_share() {
+        let mut f = fixture();
+        let (bob, john, eve) = (
+            Guid::from_u128(0xb0b),
+            Guid::from_u128(0x70e),
+            Guid::from_u128(0xe5e),
+        );
+        let mut store = InstanceStore::new(true);
+        let p1 = path_plan(&f, bob, john);
+        store
+            .instantiate(
+                &p1,
+                Guid::from_u128(1),
+                Guid::from_u128(11),
+                false,
+                &mut f.mediator,
+                &mut f.ids,
+                &f.factories,
+            )
+            .unwrap();
+        let p2 = path_plan(&f, bob, eve);
+        store
+            .instantiate(
+                &p2,
+                Guid::from_u128(2),
+                Guid::from_u128(12),
+                false,
+                &mut f.mediator,
+                &mut f.ids,
+                &f.factories,
+            )
+            .unwrap();
+        // Shares objLocation(bob) but not objLocation(john)/objLocation(eve)
+        // or the differently-bound pathCE.
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn missing_factory_is_an_error() {
+        let mut f = fixture();
+        f.factories.clear();
+        let plan = path_plan(&f, Guid::from_u128(1), Guid::from_u128(2));
+        let mut store = InstanceStore::new(true);
+        let err = store
+            .instantiate(
+                &plan,
+                Guid::from_u128(1),
+                Guid::from_u128(2),
+                false,
+                &mut f.mediator,
+                &mut f.ids,
+                &f.factories,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SciError::Internal(_)));
+    }
+}

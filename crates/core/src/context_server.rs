@@ -1,0 +1,1402 @@
+//! The Context Server.
+//!
+//! "The Context Server (CS) is the most important component of a Range.
+//! It manages the other components and provides the means of
+//! communicating with other Ranges in the SCINET. It maintains a central
+//! store of entity information as well as managing the context utilities
+//! operating within its range. The CS provides the access point for
+//! Context Aware Applications to interact with the infrastructure."
+//! (paper, Section 3.1)
+//!
+//! One `ContextServer` governs one Range. It owns the Registrar, Profile
+//! Manager, Location Service, Event Mediator and instance store, accepts
+//! the four query modes of Section 4.3, stores deferred queries until
+//! their When-clause triggers (the CAPA pattern), and dispatches sensor
+//! events through live configurations.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sci_event::bus::SubId;
+use sci_event::sim::Scheduler;
+use sci_event::{EventMediator, Topic};
+use sci_location::floorplan::FloorPlan;
+use sci_query::{Mode, Query, What, When, Where, Which};
+use sci_types::guid::GuidGenerator;
+use sci_types::{
+    Advertisement, ContextEvent, ContextType, ContextValue, EntityDescriptor, EntityKind, Guid,
+    Profile, SciError, SciResult, VirtualDuration, VirtualTime,
+};
+
+use crate::configuration::{Configuration, InstanceStore};
+use crate::history::ContextStore;
+use crate::location_service::LocationService;
+use crate::logic::LogicFactory;
+use crate::profile_manager::ProfileManager;
+use crate::registrar::Registrar;
+use crate::resolver::{plan_configuration, Demand};
+
+/// Default liveness window for source CEs that declare a
+/// `max-silence-us` attribute without a value the mediator can read.
+const DEFAULT_MAX_SILENCE: VirtualDuration = VirtualDuration::from_secs(60);
+
+/// The answer to a submitted query.
+#[derive(Clone, Debug)]
+pub enum QueryAnswer {
+    /// Mode `profile`: the matching profiles.
+    Profiles(Vec<Profile>),
+    /// Mode `advertisement`: the selected services' interfaces.
+    Advertisements(Vec<Advertisement>),
+    /// Modes `subscribe`/`subscribe-once`: a configuration is live;
+    /// events will arrive in the application outbox.
+    Subscribed {
+        /// The query (= configuration) id.
+        configuration: Guid,
+        /// The producers the application is now subscribed to.
+        producers: Vec<Guid>,
+    },
+    /// The query waits for its When clause; the answer will appear in
+    /// [`ContextServer::drain_answers`] once triggered.
+    Deferred,
+    /// The Where clause names another range; federation must forward.
+    Forward {
+        /// Target range name.
+        range: String,
+    },
+}
+
+/// An event delivered to a Context Aware Application.
+#[derive(Clone, Debug)]
+pub struct AppDelivery {
+    /// The receiving application.
+    pub app: Guid,
+    /// The query whose configuration produced the event.
+    pub query: Guid,
+    /// The event itself.
+    pub event: ContextEvent,
+}
+
+struct DeferredQuery {
+    query: Query,
+    stored_at: VirtualTime,
+}
+
+/// The governing server of one Range.
+pub struct ContextServer {
+    id: Guid,
+    name: String,
+    registrar: Registrar,
+    profiles: ProfileManager,
+    mediator: EventMediator,
+    location: LocationService,
+    instances: InstanceStore,
+    factories: HashMap<Guid, LogicFactory>,
+    advertisements: HashMap<Guid, Vec<Advertisement>>,
+    configurations: HashMap<Guid, Configuration>,
+    caa_sub_index: HashMap<SubId, Guid>,
+    deferred: Vec<DeferredQuery>,
+    timers: Scheduler<Guid>,
+    outbox: Vec<AppDelivery>,
+    answers: Vec<(Guid, Guid, QueryAnswer)>,
+    excluded: HashSet<Guid>,
+    ids: GuidGenerator,
+    auto_register_people: bool,
+    stale_drops: u64,
+    history: ContextStore,
+}
+
+impl std::fmt::Debug for ContextServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContextServer")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("entities", &self.registrar.len())
+            .field("configurations", &self.configurations.len())
+            .finish()
+    }
+}
+
+impl ContextServer {
+    /// Creates a Context Server for the range `name` covering `plan`.
+    pub fn new(id: Guid, name: impl Into<String>, plan: FloorPlan) -> Self {
+        ContextServer {
+            id,
+            name: name.into(),
+            registrar: Registrar::new(),
+            profiles: ProfileManager::new(),
+            mediator: EventMediator::new(),
+            location: LocationService::new(plan),
+            instances: InstanceStore::new(true),
+            factories: HashMap::new(),
+            advertisements: HashMap::new(),
+            configurations: HashMap::new(),
+            caa_sub_index: HashMap::new(),
+            deferred: Vec::new(),
+            timers: Scheduler::new(),
+            outbox: Vec::new(),
+            answers: Vec::new(),
+            excluded: HashSet::new(),
+            ids: GuidGenerator::seeded(id.as_u128() as u64),
+            auto_register_people: true,
+            stale_drops: 0,
+            history: ContextStore::default(),
+        }
+    }
+
+    /// The server's SCINET GUID.
+    pub fn id(&self) -> Guid {
+        self.id
+    }
+
+    /// The range name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Enables or disables configuration-subgraph reuse (E8 ablation).
+    /// Only affects configurations created afterwards.
+    pub fn set_reuse(&mut self, reuse: bool) {
+        if self.instances.is_empty() {
+            self.instances = InstanceStore::new(reuse);
+        }
+    }
+
+    /// Disables the Range Service's automatic registration of sensed,
+    /// unknown people.
+    pub fn set_auto_register_people(&mut self, enabled: bool) {
+        self.auto_register_people = enabled;
+    }
+
+    /// The Registrar (read access).
+    pub fn registrar(&self) -> &Registrar {
+        &self.registrar
+    }
+
+    /// The Profile Manager (read access).
+    pub fn profiles(&self) -> &ProfileManager {
+        &self.profiles
+    }
+
+    /// The Location Service (read access).
+    pub fn location(&self) -> &LocationService {
+        &self.location
+    }
+
+    /// The Event Mediator (read access).
+    pub fn mediator(&self) -> &EventMediator {
+        &self.mediator
+    }
+
+    /// Number of live logic instances (E8 measurable).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The instance store (read access, for invariant checking and
+    /// diagnostics).
+    pub fn instances(&self) -> &InstanceStore {
+        &self.instances
+    }
+
+    /// Iterates over the live configurations.
+    pub fn configurations(&self) -> impl Iterator<Item = &Configuration> {
+        self.configurations.values()
+    }
+
+    /// Number of live configurations.
+    pub fn configuration_count(&self) -> usize {
+        self.configurations.len()
+    }
+
+    /// CEs currently excluded as failed.
+    pub fn excluded(&self) -> &HashSet<Guid> {
+        &self.excluded
+    }
+
+    /// Deliveries dropped for violating a freshness contract
+    /// (`qoc-max-age-us`).
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
+    }
+
+    /// The range's context history (paper: "context gathering and
+    /// storage"). Records every ingested and derived event, bounded per
+    /// (type, subject).
+    pub fn history(&self) -> &ContextStore {
+        &self.history
+    }
+
+    /// Expires history entries past their retention window.
+    pub fn expire_history(&mut self, now: VirtualTime) -> usize {
+        self.history.expire(now)
+    }
+
+    // ------------------------------------------------------------------
+    // Registration (Figure 5's discovery endpoint)
+    // ------------------------------------------------------------------
+
+    /// Registers an entity with its profile (the Registrar/Profile
+    /// Manager handshake of Figure 5).
+    ///
+    /// Source CEs that declare a `max-silence-us` integer attribute are
+    /// liveness-tracked by the Event Mediator for failure detection.
+    ///
+    /// # Errors
+    ///
+    /// Rejects double registrations.
+    pub fn register(&mut self, profile: Profile, now: VirtualTime) -> SciResult<()> {
+        self.registrar.register(profile.descriptor().clone(), now)?;
+        if profile.is_source() {
+            if let Some(us) = profile
+                .attributes()
+                .get("max-silence-us")
+                .and_then(ContextValue::as_int)
+            {
+                let window = if us > 0 {
+                    VirtualDuration::from_micros(us as u64)
+                } else {
+                    DEFAULT_MAX_SILENCE
+                };
+                self.mediator.track_publisher(profile.id(), window, now);
+            }
+        }
+        // A repaired CE re-registering stops being excluded.
+        self.excluded.remove(&profile.id());
+        let id = profile.id();
+        let outputs: Vec<ContextType> = profile.outputs().iter().map(|p| p.ty.clone()).collect();
+        let is_source = profile.is_source();
+        self.profiles.insert(profile)?;
+        // New sensing capability benefits running configurations
+        // immediately (positive adaptivity).
+        if is_source {
+            crate::adaptation::wire_new_source(self, id, &outputs);
+        }
+        Ok(())
+    }
+
+    /// Registers the behaviour of a derived CE class, enabling the
+    /// resolver to instantiate it.
+    pub fn register_logic(&mut self, ce: Guid, factory: LogicFactory) {
+        self.factories.insert(ce, factory);
+    }
+
+    /// Declares two context types semantically equivalent for this
+    /// range: providers of either satisfy demands for the other (paper
+    /// §6, open issue 2 — and the fix for the iQueue limitation
+    /// discussed in §2).
+    pub fn declare_equivalence(&mut self, a: ContextType, b: ContextType) {
+        self.profiles.declare_equivalence(a, b);
+    }
+
+    /// Records a liveness heartbeat from a tracked source CE without an
+    /// event (sensors that only publish on activity heartbeat instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownEntity`] if the CE is not
+    /// liveness-tracked.
+    pub fn heartbeat(&mut self, ce: Guid, now: VirtualTime) -> SciResult<()> {
+        self.mediator.heartbeat(ce, now)
+    }
+
+    /// Stores a service advertisement for a registered entity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownEntity`] if the provider is not
+    /// registered.
+    pub fn advertise(&mut self, ad: Advertisement) -> SciResult<()> {
+        if !self.registrar.is_registered(ad.provider()) {
+            return Err(SciError::UnknownEntity(ad.provider()));
+        }
+        self.advertisements
+            .entry(ad.provider())
+            .or_default()
+            .push(ad);
+        Ok(())
+    }
+
+    /// Deregisters a departing entity, cleaning up its subscriptions and
+    /// repairing configurations that depended on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownEntity`] if absent.
+    pub fn deregister(&mut self, id: Guid, now: VirtualTime) -> SciResult<EntityDescriptor> {
+        let descriptor = self.registrar.deregister(id, now)?;
+        let _ = self.profiles.remove(id);
+        self.mediator.purge_entity(id);
+        self.location.forget(id);
+        self.advertisements.remove(&id);
+        // Departure behaves like failure for dependent configurations.
+        self.excluded.insert(id);
+        let _ = crate::adaptation::repair_source(self, id, now);
+        Ok(descriptor)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (Section 4.3)
+    // ------------------------------------------------------------------
+
+    /// Submits a query to this range's Context Server.
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::Unresolvable`] when no configuration satisfies it.
+    /// * [`SciError::UnknownLocation`] for Where clauses naming nothing.
+    pub fn submit_query(&mut self, query: &Query, now: VirtualTime) -> SciResult<QueryAnswer> {
+        // Federation: a Where targeting a different range is forwarded.
+        if let Where::Range(range) = &query.where_ {
+            if range != &self.name {
+                return Ok(QueryAnswer::Forward {
+                    range: range.clone(),
+                });
+            }
+        }
+        // Places this server must know about: an explicit Where place
+        // and any When trigger place (we cannot hear a door we do not
+        // cover). Unknown places error with `UnknownLocation`, which the
+        // federation layer turns into forwarding via its place
+        // directory — the lobby→Level-Ten hand-off of the CAPA story.
+        let mut required_places: Vec<&str> = Vec::new();
+        if let Where::Place(place) = &query.where_ {
+            required_places.push(place);
+        }
+        if let When::OnEnter { place, .. } | When::OnLeave { place, .. } = &query.when {
+            required_places.push(place);
+        }
+        for place in required_places {
+            if self.location.plan().room(place).is_none()
+                && self.location.plan().logical().path_of(place).is_none()
+            {
+                return Err(SciError::UnknownLocation(place.to_owned()));
+            }
+        }
+
+        if query.is_deferred() {
+            match &query.when {
+                When::At(t) => self.timers.schedule(*t, query.id),
+                When::After(d) => self.timers.schedule(now.saturating_add(*d), query.id),
+                When::OnEnter { .. } | When::OnLeave { .. } => {}
+                When::Immediate => unreachable!("is_deferred excludes Immediate"),
+            }
+            self.deferred.push(DeferredQuery {
+                query: query.clone(),
+                stored_at: now,
+            });
+            return Ok(QueryAnswer::Deferred);
+        }
+
+        self.execute_query(query, now)
+    }
+
+    /// Cancels a live configuration or pending deferred query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownSubscription`] when nothing with that
+    /// id is live.
+    pub fn cancel_query(&mut self, query_id: Guid) -> SciResult<()> {
+        if let Some(config) = self.configurations.remove(&query_id) {
+            for sub in &config.caa_subs {
+                self.caa_sub_index.remove(sub);
+            }
+            self.instances.teardown(&config, &mut self.mediator);
+            return Ok(());
+        }
+        let before = self.deferred.len();
+        self.deferred.retain(|d| d.query.id != query_id);
+        if self.deferred.len() < before {
+            return Ok(());
+        }
+        Err(SciError::UnknownSubscription(query_id.as_u128() as u64))
+    }
+
+    fn execute_query(&mut self, query: &Query, now: VirtualTime) -> SciResult<QueryAnswer> {
+        match query.mode {
+            Mode::Profile => {
+                let selected = self.select_entities(query)?;
+                Ok(QueryAnswer::Profiles(
+                    selected
+                        .iter()
+                        .filter_map(|&id| self.profiles.get(id).cloned())
+                        .collect(),
+                ))
+            }
+            Mode::Advertisement => {
+                let selected = self.select_entities(query)?;
+                let ads: Vec<Advertisement> = selected
+                    .iter()
+                    .flat_map(|id| self.advertisements.get(id).cloned().unwrap_or_default())
+                    .collect();
+                if ads.is_empty() {
+                    return Err(SciError::Unresolvable(format!(
+                        "query {}: selected entities advertise no services",
+                        query.id
+                    )));
+                }
+                Ok(QueryAnswer::Advertisements(ads))
+            }
+            Mode::Subscribe | Mode::SubscribeOnce => {
+                let one_time = query.mode == Mode::SubscribeOnce;
+                self.build_subscription(query, one_time, now)
+            }
+        }
+    }
+
+    fn build_subscription(
+        &mut self,
+        query: &Query,
+        one_time: bool,
+        _now: VirtualTime,
+    ) -> SciResult<QueryAnswer> {
+        let mut config = match &query.what {
+            What::Information { ty, constraints } => {
+                let subject = constraints
+                    .iter()
+                    .find(|c| c.attr == "subject")
+                    .and_then(|c| c.value.as_id());
+                let demand = Demand {
+                    ty: ty.clone(),
+                    subject,
+                };
+                let plan =
+                    plan_configuration(&self.profiles, &demand, constraints, &self.excluded)?;
+                self.instances.instantiate(
+                    &plan,
+                    query.id,
+                    query.owner,
+                    one_time,
+                    &mut self.mediator,
+                    &mut self.ids,
+                    &self.factories,
+                )?
+            }
+            What::Kind(_) | What::Named(_) => {
+                // Subscribe to raw events from the selected entities.
+                let selected = self.select_entities(query)?;
+                Configuration {
+                    query_id: query.id,
+                    owner: query.owner,
+                    requested: ContextType::custom("raw"),
+                    root_producers: selected,
+                    instances: Vec::new(),
+                    caa_subs: Vec::new(),
+                    one_time,
+                    sources: Vec::new(),
+                    plan: crate::resolver::ConfigurationPlan {
+                        nodes: Vec::new(),
+                        roots: Vec::new(),
+                        output: ContextType::custom("raw"),
+                    },
+                    root_subject: None,
+                    max_age: None,
+                }
+            }
+        };
+        if let What::Information { constraints, .. } = &query.what {
+            config.root_subject = constraints
+                .iter()
+                .find(|c| c.attr == "subject")
+                .and_then(|c| c.value.as_id());
+            config.max_age = constraints
+                .iter()
+                .find(|c| c.attr == "qoc-max-age-us")
+                .and_then(|c| c.value.as_int())
+                .filter(|&us| us >= 0)
+                .map(|us| VirtualDuration::from_micros(us as u64));
+        }
+
+        // Subscribe the CAA to each root producer, using the producer's
+        // concrete output type (which may be a semantic equivalent of
+        // the demanded type).
+        for (i, &producer) in config.root_producers.iter().enumerate() {
+            let mut topic = match config.plan.roots.get(i) {
+                Some(&root) => {
+                    Topic::of_type(config.plan.nodes[root].output.clone()).from(producer)
+                }
+                // Kind/Named subscriptions have no plan: raw events.
+                None => Topic::from_source(producer),
+            };
+            if let Some(subject) = config.root_subject {
+                topic = topic.about(subject);
+            }
+            let sub = self.mediator.subscribe(query.owner, topic, one_time);
+            config.caa_subs.push(sub);
+            self.caa_sub_index.insert(sub, query.id);
+        }
+
+        let producers = config.root_producers.clone();
+        self.configurations.insert(query.id, config);
+        Ok(QueryAnswer::Subscribed {
+            configuration: query.id,
+            producers,
+        })
+    }
+
+    /// Applies What, Where and Which to the registered profiles,
+    /// returning the selected entity GUIDs.
+    fn select_entities(&self, query: &Query) -> SciResult<Vec<Guid>> {
+        let candidates: Vec<&Profile> = self
+            .profiles
+            .iter()
+            .filter(|p| sci_query::matcher::matches(&query.what, p))
+            .filter(|p| !self.excluded.contains(&p.id()))
+            .filter(|p| self.where_allows(&query.where_, query.owner, p))
+            .collect();
+        if candidates.is_empty() {
+            return Err(SciError::Unresolvable(format!(
+                "no entity matches {} {}",
+                query.what, query.where_
+            )));
+        }
+        let mut sorted: Vec<&Profile> = candidates;
+        sorted.sort_by(|a, b| a.name().cmp(b.name()));
+        self.apply_which(&query.which, &query.where_, query.owner, sorted)
+    }
+
+    fn candidate_position(&self, profile: &Profile) -> Option<sci_types::Coord> {
+        if let Some(room) = profile
+            .attributes()
+            .get("room")
+            .and_then(ContextValue::as_text)
+        {
+            if let Ok(c) = self.location.plan().centroid(room) {
+                return Some(c);
+            }
+        }
+        self.location.position_of(profile.id())
+    }
+
+    fn where_allows(&self, where_: &Where, owner: Guid, profile: &Profile) -> bool {
+        match where_ {
+            Where::Anywhere | Where::ClosestTo(_) => true,
+            Where::Range(r) => r == &self.name,
+            Where::Place(place) => {
+                let room = profile
+                    .attributes()
+                    .get("room")
+                    .and_then(ContextValue::as_text)
+                    .map(str::to_owned)
+                    .or_else(|| self.location.room_of(profile.id()).map(str::to_owned));
+                match room {
+                    Some(room) => self.location.room_in_scope(&room, place),
+                    None => false,
+                }
+            }
+            Where::Within { center, radius_m } => {
+                let reference = self.location.position_of(center.resolve(owner));
+                match (reference, self.candidate_position(profile)) {
+                    (Some(r), Some(c)) => r.distance(c) <= *radius_m,
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    fn apply_which(
+        &self,
+        which: &Which,
+        where_: &Where,
+        owner: Guid,
+        candidates: Vec<&Profile>,
+    ) -> SciResult<Vec<Guid>> {
+        match which {
+            Which::All => Ok(candidates.iter().map(|p| p.id()).collect()),
+            Which::Any => Ok(vec![candidates[0].id()]),
+            Which::Closest => {
+                let reference_entity = match where_ {
+                    Where::ClosestTo(s) => s.resolve(owner),
+                    Where::Within { center, .. } => center.resolve(owner),
+                    _ => owner,
+                };
+                let reference = self.location.position_of(reference_entity).ok_or_else(|| {
+                    SciError::Unresolvable(format!(
+                        "closest-selection reference {reference_entity} has unknown position"
+                    ))
+                })?;
+                let best = candidates
+                    .iter()
+                    .filter_map(|p| {
+                        self.candidate_position(p)
+                            .map(|c| (p.id(), c.distance(reference)))
+                    })
+                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite distances"))
+                    .ok_or_else(|| {
+                        SciError::Unresolvable(
+                            "no candidate has a known position for closest-selection".into(),
+                        )
+                    })?;
+                Ok(vec![best.0])
+            }
+            Which::MinAttr(attr) | Which::MaxAttr(attr) => {
+                let maximize = matches!(which, Which::MaxAttr(_));
+                let best = candidates
+                    .iter()
+                    .filter_map(|p| {
+                        p.attributes()
+                            .get(attr)
+                            .and_then(ContextValue::as_float)
+                            .map(|v| (p.id(), v))
+                    })
+                    .min_by(|(_, a), (_, b)| {
+                        let ord = a.partial_cmp(b).expect("finite attributes");
+                        if maximize {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    })
+                    .ok_or_else(|| {
+                        SciError::Unresolvable(format!("no candidate has attribute `{attr}`"))
+                    })?;
+                Ok(vec![best.0])
+            }
+            Which::Filtered { predicates, then } => {
+                let surviving: Vec<&Profile> = candidates
+                    .into_iter()
+                    .filter(|p| sci_query::predicate::eval_all(predicates, p.attributes()))
+                    .collect();
+                if surviving.is_empty() {
+                    return Err(SciError::Unresolvable(
+                        "no candidate satisfies the which-filter".into(),
+                    ));
+                }
+                self.apply_which(then, where_, owner, surviving)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event ingestion and dispatch
+    // ------------------------------------------------------------------
+
+    /// Feeds one sensor event into the range: updates location and
+    /// profile state, fires deferred-query triggers, then cascades it
+    /// through live configurations to applications.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trigger-execution failures (the event itself is always
+    /// absorbed).
+    pub fn ingest(&mut self, event: &ContextEvent, now: VirtualTime) -> SciResult<()> {
+        self.history.record(event);
+        self.location.ingest(event);
+        self.range_service_observe(event, now)?;
+        self.refresh_profile_from_event(event);
+        self.check_triggers(event, now)?;
+        self.dispatch(event.clone(), now);
+        Ok(())
+    }
+
+    /// The Range Service behaviour: sensed but unregistered people are
+    /// registered on arrival; W-LAN disassociation deregisters entities
+    /// that were auto-registered this way.
+    fn range_service_observe(&mut self, event: &ContextEvent, now: VirtualTime) -> SciResult<()> {
+        if !self.auto_register_people || event.topic != ContextType::Presence {
+            return Ok(());
+        }
+        let Some(subject) = event.subject() else {
+            return Ok(());
+        };
+        let kind = event
+            .payload
+            .field("kind")
+            .and_then(ContextValue::as_text)
+            .unwrap_or("crossing");
+        match kind {
+            "disassociate" => {
+                if self.registrar.is_registered(subject) {
+                    // Graceful departure of a sensed person.
+                    let _ = self.deregister(subject, now);
+                    // Departure is not failure: do not exclude them.
+                    self.excluded.remove(&subject);
+                }
+            }
+            _ => {
+                if !self.registrar.is_registered(subject) {
+                    let profile =
+                        Profile::builder(subject, EntityKind::Person, format!("person-{subject}"))
+                            .build();
+                    self.register(profile, now)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Keeps profile attributes current from device status events so
+    /// Which-clause selection sees live state (printer queues, paper).
+    fn refresh_profile_from_event(&mut self, event: &ContextEvent) {
+        if event.topic != ContextType::PrinterStatus {
+            return;
+        }
+        for key in ["queue", "paper", "room", "restricted"] {
+            if let Some(value) = event.payload.field(key) {
+                let _ = self
+                    .profiles
+                    .update_attribute(event.source, key, value.clone());
+            }
+        }
+    }
+
+    fn check_triggers(&mut self, event: &ContextEvent, now: VirtualTime) -> SciResult<()> {
+        if event.topic != ContextType::Presence {
+            return Ok(());
+        }
+        let Some(subject) = event.subject() else {
+            return Ok(());
+        };
+        let to = event
+            .payload
+            .field("to")
+            .and_then(ContextValue::as_text)
+            .map(str::to_owned);
+        let from = event
+            .payload
+            .field("from")
+            .and_then(ContextValue::as_text)
+            .map(str::to_owned);
+
+        let mut fired = Vec::new();
+        self.deferred.retain(|d| {
+            let hit = match &d.query.when {
+                When::OnEnter { entity, place } => {
+                    entity.resolve(d.query.owner) == subject && to.as_deref() == Some(place)
+                }
+                When::OnLeave { entity, place } => {
+                    entity.resolve(d.query.owner) == subject && from.as_deref() == Some(place)
+                }
+                _ => false,
+            };
+            if hit {
+                fired.push(d.query.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for query in fired {
+            let answer = self.execute_query(&query, now);
+            self.record_deferred_answer(query, answer);
+        }
+        Ok(())
+    }
+
+    fn record_deferred_answer(&mut self, query: Query, answer: SciResult<QueryAnswer>) {
+        // Failures surface as empty answers; applications re-query.
+        match answer {
+            Ok(a) => self.answers.push((query.id, query.owner, a)),
+            Err(_) => self
+                .answers
+                .push((query.id, query.owner, QueryAnswer::Profiles(Vec::new()))),
+        }
+    }
+
+    /// Fires timer-based deferred queries (`When::At` / `When::After`)
+    /// that are due.
+    ///
+    /// # Errors
+    ///
+    /// Never currently errs; kept fallible for future trigger kinds.
+    pub fn poll_timers(&mut self, now: VirtualTime) -> SciResult<usize> {
+        // Periodic housekeeping: drop history past its retention window.
+        self.history.expire(now);
+        let mut fired = 0;
+        while let Some((_, query_id)) = self.timers.pop_due(now) {
+            let Some(pos) = self.deferred.iter().position(|d| d.query.id == query_id) else {
+                continue; // cancelled
+            };
+            let d = self.deferred.remove(pos);
+            let answer = self.execute_query(&d.query, now);
+            self.record_deferred_answer(d.query, answer);
+            fired += 1;
+        }
+        Ok(fired)
+    }
+
+    /// Cascades an event through the mediator and live instances until
+    /// the wavefront dies out, collecting application deliveries.
+    fn dispatch(&mut self, event: ContextEvent, now: VirtualTime) {
+        let mut queue = VecDeque::new();
+        queue.push_back(event);
+        let mut consumed_configs: Vec<Guid> = Vec::new();
+
+        while let Some(ev) = queue.pop_front() {
+            for delivery in self.mediator.publish(&ev) {
+                let target = delivery.subscriber;
+                if let Some(instance) = self.instances.get_mut(target) {
+                    let outputs = {
+                        let binding = instance.binding.clone();
+                        instance.logic.on_event(&delivery.event, &binding, now)
+                    };
+                    for (ty, payload) in outputs {
+                        let seq = instance.seq;
+                        instance.seq = seq.next();
+                        let derived = ContextEvent::new(target, ty, payload, now).with_seq(seq);
+                        self.history.record(&derived);
+                        queue.push_back(derived);
+                    }
+                } else if let Some(&query) = self.caa_sub_index.get(&delivery.sub) {
+                    // Quality-of-context contract: drop deliveries older
+                    // than the configuration's freshness bound.
+                    let stale = self
+                        .configurations
+                        .get(&query)
+                        .and_then(|c| c.max_age)
+                        .map(|max| now.saturating_since(delivery.event.timestamp) > max)
+                        .unwrap_or(false);
+                    if stale {
+                        self.stale_drops += 1;
+                        if delivery.last {
+                            // The one-time subscription was consumed by
+                            // the (dropped) delivery; clean up anyway.
+                            consumed_configs.push(query);
+                        }
+                        continue;
+                    }
+                    self.outbox.push(AppDelivery {
+                        app: target,
+                        query,
+                        event: delivery.event.clone(),
+                    });
+                    if delivery.last {
+                        // One-time subscription consumed: tear the
+                        // configuration down once the cascade settles.
+                        consumed_configs.push(query);
+                    }
+                }
+            }
+        }
+
+        for query in consumed_configs {
+            let _ = self.cancel_query(query);
+        }
+    }
+
+    /// Removes and returns pending application deliveries.
+    pub fn drain_outbox(&mut self) -> Vec<AppDelivery> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Removes and returns pending deliveries for one application,
+    /// leaving other applications' deliveries queued.
+    pub fn drain_outbox_for(&mut self, app: Guid) -> Vec<AppDelivery> {
+        let mut mine = Vec::new();
+        let mut rest = Vec::new();
+        for d in self.outbox.drain(..) {
+            if d.app == app {
+                mine.push(d);
+            } else {
+                rest.push(d);
+            }
+        }
+        self.outbox = rest;
+        mine
+    }
+
+    /// Removes and returns answers produced by deferred queries since
+    /// the last drain: `(query, owner, answer)` triples.
+    pub fn drain_answers(&mut self) -> Vec<(Guid, Guid, QueryAnswer)> {
+        std::mem::take(&mut self.answers)
+    }
+
+    /// Number of stored deferred queries.
+    pub fn deferred_count(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Age of the oldest stored deferred query, if any.
+    pub fn oldest_deferred_age(&self, now: VirtualTime) -> Option<VirtualDuration> {
+        self.deferred
+            .iter()
+            .map(|d| now.saturating_since(d.stored_at))
+            .max()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal access for the adaptation and federation modules
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts_for_repair(
+        &mut self,
+    ) -> (
+        &mut InstanceStore,
+        &mut EventMediator,
+        &ProfileManager,
+        &mut HashMap<Guid, Configuration>,
+        &HashSet<Guid>,
+        &mut HashMap<SubId, Guid>,
+    ) {
+        (
+            &mut self.instances,
+            &mut self.mediator,
+            &self.profiles,
+            &mut self.configurations,
+            &self.excluded,
+            &mut self.caa_sub_index,
+        )
+    }
+
+    pub(crate) fn mark_failed(&mut self, ce: Guid) {
+        self.excluded.insert(ce);
+        self.mediator.untrack_publisher(ce);
+    }
+
+    /// The configuration of a live query, if any.
+    pub fn configuration(&self, query_id: Guid) -> Option<&Configuration> {
+        self.configurations.get(&query_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{factory, ObjLocationLogic, PathLogic};
+    use sci_location::floorplan::capa_level10;
+    use sci_query::{Predicate, Subject};
+    use sci_types::PortSpec;
+
+    struct Rig {
+        cs: ContextServer,
+        ids: GuidGenerator,
+        doors: Vec<Guid>,
+        path_ce: Guid,
+    }
+
+    fn presence(source: Guid, subject: Guid, from: &str, to: &str, t: VirtualTime) -> ContextEvent {
+        ContextEvent::new(
+            source,
+            ContextType::Presence,
+            ContextValue::record([
+                ("subject", ContextValue::Id(subject)),
+                ("from", ContextValue::place(from)),
+                ("to", ContextValue::place(to)),
+            ]),
+            t,
+        )
+    }
+
+    fn rig() -> Rig {
+        let plan = capa_level10();
+        let mut ids = GuidGenerator::seeded(5);
+        let mut cs = ContextServer::new(ids.next_guid(), "level-ten", plan.clone());
+
+        let doors: Vec<Guid> = (0..3)
+            .map(|i| {
+                let id = ids.next_guid();
+                cs.register(
+                    Profile::builder(id, EntityKind::Device, format!("door-{i}"))
+                        .output(PortSpec::new("presence", ContextType::Presence))
+                        .build(),
+                    VirtualTime::ZERO,
+                )
+                .unwrap();
+                id
+            })
+            .collect();
+
+        let obj_loc = ids.next_guid();
+        cs.register(
+            Profile::builder(obj_loc, EntityKind::Software, "objLocationCE")
+                .input(PortSpec::new("presence", ContextType::Presence))
+                .output(PortSpec::new("location", ContextType::Location))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+        let p = plan.clone();
+        cs.register_logic(obj_loc, factory(move || ObjLocationLogic::new(p.clone())));
+
+        let path_ce = ids.next_guid();
+        cs.register(
+            Profile::builder(path_ce, EntityKind::Software, "pathCE")
+                .input(PortSpec::new("from", ContextType::Location))
+                .input(PortSpec::new("to", ContextType::Location))
+                .output(PortSpec::new("path", ContextType::Path))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+        let p = plan.clone();
+        cs.register_logic(path_ce, factory(move || PathLogic::new(p.clone())));
+
+        Rig {
+            cs,
+            ids,
+            doors,
+            path_ce,
+        }
+    }
+
+    #[test]
+    fn figure3_end_to_end_path_updates() {
+        let mut r = rig();
+        let bob = r.ids.next_guid();
+        let john = r.ids.next_guid();
+        let app = r.ids.next_guid();
+
+        // pathApp subscribes to the path between Bob and John.
+        let q = Query::builder(r.ids.next_guid(), app)
+            .info_matching(
+                ContextType::Path,
+                vec![
+                    Predicate::eq("from", ContextValue::Id(bob)),
+                    Predicate::eq("to", ContextValue::Id(john)),
+                ],
+            )
+            .mode(Mode::Subscribe)
+            .build();
+        let answer = r.cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+        assert!(matches!(answer, QueryAnswer::Subscribed { .. }));
+        assert_eq!(r.cs.instance_count(), 3);
+
+        // Bob walks into L10.01; John into L10.02.
+        r.cs.ingest(
+            &presence(
+                r.doors[0],
+                bob,
+                "corridor",
+                "L10.01",
+                VirtualTime::from_secs(1),
+            ),
+            VirtualTime::from_secs(1),
+        )
+        .unwrap();
+        assert!(
+            r.cs.drain_outbox().is_empty(),
+            "no path until both endpoints known"
+        );
+        r.cs.ingest(
+            &presence(
+                r.doors[1],
+                john,
+                "corridor",
+                "L10.02",
+                VirtualTime::from_secs(2),
+            ),
+            VirtualTime::from_secs(2),
+        )
+        .unwrap();
+        let deliveries = r.cs.drain_outbox();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].app, app);
+        assert_eq!(deliveries[0].event.topic, ContextType::Path);
+
+        // John moves: updated path arrives automatically.
+        r.cs.ingest(
+            &presence(
+                r.doors[2],
+                john,
+                "L10.02",
+                "corridor",
+                VirtualTime::from_secs(3),
+            ),
+            VirtualTime::from_secs(3),
+        )
+        .unwrap();
+        let deliveries = r.cs.drain_outbox();
+        assert_eq!(deliveries.len(), 1, "environmental change propagates");
+        let _ = r.path_ce;
+    }
+
+    #[test]
+    fn one_time_subscription_tears_down() {
+        let mut r = rig();
+        let bob = r.ids.next_guid();
+        let app = r.ids.next_guid();
+        let q = Query::builder(r.ids.next_guid(), app)
+            .info_matching(
+                ContextType::Location,
+                vec![Predicate::eq("subject", ContextValue::Id(bob))],
+            )
+            .mode(Mode::SubscribeOnce)
+            .build();
+        r.cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+        assert_eq!(r.cs.configuration_count(), 1);
+        r.cs.ingest(
+            &presence(
+                r.doors[0],
+                bob,
+                "lobby",
+                "corridor",
+                VirtualTime::from_secs(1),
+            ),
+            VirtualTime::from_secs(1),
+        )
+        .unwrap();
+        assert_eq!(r.cs.drain_outbox().len(), 1);
+        assert_eq!(r.cs.configuration_count(), 0, "one-time config gone");
+        assert_eq!(r.cs.instance_count(), 0, "instances reclaimed");
+        // Further movement delivers nothing.
+        r.cs.ingest(
+            &presence(
+                r.doors[0],
+                bob,
+                "corridor",
+                "L10.01",
+                VirtualTime::from_secs(2),
+            ),
+            VirtualTime::from_secs(2),
+        )
+        .unwrap();
+        assert!(r.cs.drain_outbox().is_empty());
+    }
+
+    #[test]
+    fn profile_mode_returns_matching_profiles() {
+        let mut r = rig();
+        let app = r.ids.next_guid();
+        let q = Query::builder(r.ids.next_guid(), app)
+            .kind(EntityKind::Device)
+            .all()
+            .mode(Mode::Profile)
+            .build();
+        match r.cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+            QueryAnswer::Profiles(ps) => assert_eq!(ps.len(), r.doors.len()),
+            other => panic!("expected profiles, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_forwarding_detected() {
+        let mut r = rig();
+        let q = Query::builder(r.ids.next_guid(), r.ids.next_guid())
+            .info(ContextType::Temperature)
+            .in_range("level-nine")
+            .mode(Mode::Profile)
+            .build();
+        match r.cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+            QueryAnswer::Forward { range } => assert_eq!(range, "level-nine"),
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn on_enter_trigger_fires_once() {
+        let mut r = rig();
+        let bob = r.ids.next_guid();
+        let app = r.ids.next_guid();
+        // Pre-register a printer so the deferred advertisement query can
+        // answer.
+        let p1 = r.ids.next_guid();
+        r.cs.register(
+            Profile::builder(p1, EntityKind::Device, "P1")
+                .attribute("service", ContextValue::text("printing"))
+                .attribute("room", ContextValue::place("L10.01"))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+        r.cs.advertise(Advertisement::new(p1, "printing")).unwrap();
+
+        let q = Query::builder(r.ids.next_guid(), app)
+            .kind(EntityKind::Device)
+            .attr_eq("service", "printing")
+            .where_(Where::ClosestTo(Subject::Entity(bob)))
+            .when(When::OnEnter {
+                entity: Subject::Entity(bob),
+                place: "L10.01".into(),
+            })
+            .closest()
+            .mode(Mode::Advertisement)
+            .build();
+        let a = r.cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+        assert!(matches!(a, QueryAnswer::Deferred));
+        assert_eq!(r.cs.deferred_count(), 1);
+
+        // An unrelated event does not fire it.
+        r.cs.ingest(
+            &presence(
+                r.doors[0],
+                bob,
+                "lobby",
+                "corridor",
+                VirtualTime::from_secs(1),
+            ),
+            VirtualTime::from_secs(1),
+        )
+        .unwrap();
+        assert!(r.cs.drain_answers().is_empty());
+
+        // Bob enters L10.01 — the trigger fires.
+        r.cs.ingest(
+            &presence(
+                r.doors[0],
+                bob,
+                "corridor",
+                "L10.01",
+                VirtualTime::from_secs(2),
+            ),
+            VirtualTime::from_secs(2),
+        )
+        .unwrap();
+        let answers = r.cs.drain_answers();
+        assert_eq!(answers.len(), 1);
+        match &answers[0].2 {
+            QueryAnswer::Advertisements(ads) => {
+                assert_eq!(ads[0].provider(), p1);
+            }
+            other => panic!("expected advertisement answer, got {other:?}"),
+        }
+        assert_eq!(r.cs.deferred_count(), 0, "trigger consumed");
+    }
+
+    #[test]
+    fn timer_deferred_query_fires_on_poll() {
+        let mut r = rig();
+        let app = r.ids.next_guid();
+        let q = Query::builder(r.ids.next_guid(), app)
+            .kind(EntityKind::Device)
+            .all()
+            .after(VirtualDuration::from_secs(30))
+            .mode(Mode::Profile)
+            .build();
+        assert!(matches!(
+            r.cs.submit_query(&q, VirtualTime::ZERO).unwrap(),
+            QueryAnswer::Deferred
+        ));
+        assert_eq!(r.cs.poll_timers(VirtualTime::from_secs(29)).unwrap(), 0);
+        assert_eq!(r.cs.poll_timers(VirtualTime::from_secs(31)).unwrap(), 1);
+        assert_eq!(r.cs.drain_answers().len(), 1);
+    }
+
+    #[test]
+    fn which_min_attr_and_filter() {
+        let mut r = rig();
+        for (name, queue, paper) in [("PA", 3i64, true), ("PB", 0, true), ("PC", 0, false)] {
+            let id = r.ids.next_guid();
+            r.cs.register(
+                Profile::builder(id, EntityKind::Device, name)
+                    .attribute("service", ContextValue::text("printing"))
+                    .attribute("queue", ContextValue::Int(queue))
+                    .attribute("paper", ContextValue::Bool(paper))
+                    .build(),
+                VirtualTime::ZERO,
+            )
+            .unwrap();
+        }
+        let app = r.ids.next_guid();
+        let q = Query::builder(r.ids.next_guid(), app)
+            .kind(EntityKind::Device)
+            .attr_eq("service", "printing")
+            .attr_true("paper")
+            .min_attr("queue")
+            .mode(Mode::Profile)
+            .build();
+        match r.cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+            QueryAnswer::Profiles(ps) => {
+                assert_eq!(ps.len(), 1);
+                assert_eq!(ps[0].name(), "PB");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_registration_of_sensed_people() {
+        let mut r = rig();
+        let stranger = r.ids.next_guid();
+        assert!(!r.cs.registrar().is_registered(stranger));
+        r.cs.ingest(
+            &presence(
+                r.doors[0],
+                stranger,
+                "lobby",
+                "corridor",
+                VirtualTime::from_secs(1),
+            ),
+            VirtualTime::from_secs(1),
+        )
+        .unwrap();
+        assert!(r.cs.registrar().is_registered(stranger));
+        assert_eq!(
+            r.cs.location().room_of(stranger),
+            Some("corridor"),
+            "location service learned the position"
+        );
+    }
+
+    #[test]
+    fn auto_registration_can_be_disabled() {
+        let mut r = rig();
+        r.cs.set_auto_register_people(false);
+        let stranger = r.ids.next_guid();
+        r.cs.ingest(
+            &presence(
+                r.doors[0],
+                stranger,
+                "lobby",
+                "corridor",
+                VirtualTime::from_secs(1),
+            ),
+            VirtualTime::from_secs(1),
+        )
+        .unwrap();
+        assert!(
+            !r.cs.registrar().is_registered(stranger),
+            "range service disabled: no auto-registration"
+        );
+        // The location service still learns positions from the event.
+        assert_eq!(r.cs.location().room_of(stranger), Some("corridor"));
+    }
+
+    #[test]
+    fn history_records_raw_and_derived_context() {
+        let mut r = rig();
+        let bob = r.ids.next_guid();
+        let app = r.ids.next_guid();
+        let q = Query::builder(r.ids.next_guid(), app)
+            .info_matching(
+                ContextType::Location,
+                vec![Predicate::eq("subject", ContextValue::Id(bob))],
+            )
+            .mode(Mode::Subscribe)
+            .build();
+        r.cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+        for (i, room) in ["corridor", "L10.01", "corridor"].iter().enumerate() {
+            let t = VirtualTime::from_secs(i as u64 + 1);
+            r.cs.ingest(&presence(r.doors[0], bob, "lobby", room, t), t)
+                .unwrap();
+        }
+        // Raw presence history and derived location history both exist.
+        let last_presence =
+            r.cs.history()
+                .last(&ContextType::Presence, Some(bob))
+                .unwrap();
+        assert_eq!(
+            last_presence
+                .payload
+                .field("to")
+                .and_then(|v| v.as_text().map(str::to_owned)),
+            Some("corridor".to_owned())
+        );
+        let locations =
+            r.cs.history()
+                .since(&ContextType::Location, Some(bob), VirtualTime::ZERO);
+        assert_eq!(locations.len(), 3, "every derived event is stored");
+        // Expiry trims the past.
+        let evicted = r.cs.expire_history(VirtualTime::MAX);
+        assert!(evicted >= 6);
+        assert!(r.cs.history().is_empty());
+    }
+
+    #[test]
+    fn cancel_query_cleans_up() {
+        let mut r = rig();
+        let bob = r.ids.next_guid();
+        let app = r.ids.next_guid();
+        let q = Query::builder(r.ids.next_guid(), app)
+            .info_matching(
+                ContextType::Location,
+                vec![Predicate::eq("subject", ContextValue::Id(bob))],
+            )
+            .mode(Mode::Subscribe)
+            .build();
+        r.cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+        assert!(r.cs.instance_count() > 0);
+        r.cs.cancel_query(q.id).unwrap();
+        assert_eq!(r.cs.instance_count(), 0);
+        assert!(r.cs.cancel_query(q.id).is_err(), "second cancel errors");
+    }
+}

@@ -1,0 +1,324 @@
+//! Single-range deployments: the world simulator and a Context Server
+//! wired together.
+//!
+//! Every experiment needs the same scaffolding — build a world, mirror
+//! its devices as registered Context Entities, install the standard
+//! derived-CE classes, then loop: tick the world, ingest the events,
+//! fire timers, collect deliveries. [`Deployment`] packages that loop
+//! behind a handful of calls so examples and tests drive the *scenario*,
+//! not the plumbing.
+
+use sci_sensors::world::World;
+use sci_types::guid::GuidGenerator;
+use sci_types::{
+    Advertisement, ContextType, ContextValue, EntityKind, Guid, PortSpec, Profile, SciResult,
+    VirtualDuration, VirtualTime,
+};
+
+use crate::context_server::{AppDelivery, ContextServer};
+use crate::logic::{factory, ObjLocationLogic, OccupancyLogic, PathLogic, WlanLocationLogic};
+
+/// The GUIDs of the standard derived-CE classes installed by
+/// [`Deployment::install_standard_logic`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StandardCes {
+    /// Figure 3's `objLocationCE` (presence → location).
+    pub obj_location: Guid,
+    /// The W-LAN location provider (signal strength → location).
+    pub wlan_location: Guid,
+    /// Figure 3's `pathCE` (two locations → path).
+    pub path: Guid,
+    /// The occupancy aggregator (presence → per-room counts).
+    pub occupancy: Guid,
+}
+
+/// One range: a simulated world and the Context Server governing it.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The physical world.
+    pub world: World,
+    /// The range's Context Server.
+    pub cs: ContextServer,
+    now: VirtualTime,
+}
+
+impl Deployment {
+    /// Wraps an existing world and server. Their floor plans should
+    /// agree (the server resolves the room names the world's sensors
+    /// emit).
+    pub fn new(world: World, cs: ContextServer) -> Self {
+        Deployment {
+            world,
+            cs,
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Registers every device of the world as a Context Entity:
+    ///
+    /// * door sensors → `Presence` sources;
+    /// * base stations → `SignalStrength` sources;
+    /// * thermometers → `Temperature` sources (with a `unit` attribute);
+    /// * printers → `PrinterStatus` sources with live `queue`/`paper`/
+    ///   `restricted`/`room` attributes and a `printing` advertisement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration failures (duplicate GUIDs).
+    pub fn register_world(&mut self, now: VirtualTime) -> SciResult<()> {
+        let door_profiles: Vec<Profile> = self
+            .world
+            .door_sensors()
+            .iter()
+            .map(|d| {
+                Profile::builder(
+                    d.id(),
+                    EntityKind::Device,
+                    format!("doorSensor-{}", d.door()),
+                )
+                .output(PortSpec::new("presence", ContextType::Presence))
+                .attribute("door", ContextValue::text(d.door()))
+                .build()
+            })
+            .collect();
+        for p in door_profiles {
+            self.cs.register(p, now)?;
+        }
+
+        let station_profiles: Vec<Profile> = self
+            .world
+            .base_stations()
+            .iter()
+            .map(|b| {
+                Profile::builder(b.id(), EntityKind::Device, b.name())
+                    .output(PortSpec::new("rssi", ContextType::SignalStrength))
+                    .output(PortSpec::new("presence", ContextType::Presence))
+                    .build()
+            })
+            .collect();
+        for p in station_profiles {
+            self.cs.register(p, now)?;
+        }
+
+        let thermo_profiles: Vec<Profile> = self
+            .world
+            .thermometers()
+            .iter()
+            .map(|t| {
+                Profile::builder(t.id(), EntityKind::Device, format!("thermo-{}", t.room()))
+                    .output(PortSpec::new("t", ContextType::Temperature))
+                    .attribute("unit", ContextValue::text("celsius"))
+                    .attribute("room", ContextValue::place(t.room()))
+                    .build()
+            })
+            .collect();
+        for p in thermo_profiles {
+            self.cs.register(p, now)?;
+        }
+
+        let printer_data: Vec<(Guid, String, String, usize, bool, bool)> = self
+            .world
+            .printers()
+            .iter()
+            .map(|p| {
+                (
+                    p.id(),
+                    p.name().to_owned(),
+                    p.room().to_owned(),
+                    p.queue_len(),
+                    p.has_paper(),
+                    matches!(p.access(), sci_sensors::printer::Access::Restricted(_)),
+                )
+            })
+            .collect();
+        for (id, name, room, queue, paper, restricted) in printer_data {
+            self.cs.register(
+                Profile::builder(id, EntityKind::Device, name)
+                    .output(PortSpec::new("status", ContextType::PrinterStatus))
+                    .attribute("service", ContextValue::text("printing"))
+                    .attribute("room", ContextValue::place(room))
+                    .attribute("queue", ContextValue::Int(queue as i64))
+                    .attribute("paper", ContextValue::Bool(paper))
+                    .attribute("restricted", ContextValue::Bool(restricted))
+                    .build(),
+                now,
+            )?;
+            self.cs.advertise(Advertisement::new(id, "printing"))?;
+        }
+        Ok(())
+    }
+
+    /// Registers the standard derived-CE classes (location, W-LAN
+    /// location, path, occupancy) with their logic, minting GUIDs from
+    /// `ids`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration failures.
+    pub fn install_standard_logic(
+        &mut self,
+        ids: &mut GuidGenerator,
+        now: VirtualTime,
+    ) -> SciResult<StandardCes> {
+        let plan = self.world.plan().clone();
+
+        let obj_location = ids.next_guid();
+        self.cs.register(
+            Profile::builder(obj_location, EntityKind::Software, "objLocationCE")
+                .input(PortSpec::new("presence", ContextType::Presence))
+                .output(PortSpec::new("location", ContextType::Location))
+                .build(),
+            now,
+        )?;
+        let p = plan.clone();
+        self.cs.register_logic(
+            obj_location,
+            factory(move || ObjLocationLogic::new(p.clone())),
+        );
+
+        let wlan_location = ids.next_guid();
+        self.cs.register(
+            Profile::builder(wlan_location, EntityKind::Software, "wlanLocationCE")
+                .input(PortSpec::new("rssi", ContextType::SignalStrength))
+                .output(PortSpec::new("location", ContextType::Location))
+                .build(),
+            now,
+        )?;
+        let p = plan.clone();
+        self.cs.register_logic(
+            wlan_location,
+            factory(move || WlanLocationLogic::new(p.clone())),
+        );
+
+        let path = ids.next_guid();
+        self.cs.register(
+            Profile::builder(path, EntityKind::Software, "pathCE")
+                .input(PortSpec::new("from", ContextType::Location))
+                .input(PortSpec::new("to", ContextType::Location))
+                .output(PortSpec::new("path", ContextType::Path))
+                .build(),
+            now,
+        )?;
+        let p = plan.clone();
+        self.cs
+            .register_logic(path, factory(move || PathLogic::new(p.clone())));
+
+        let occupancy = ids.next_guid();
+        self.cs.register(
+            Profile::builder(occupancy, EntityKind::Software, "occupancyCE")
+                .input(PortSpec::new("presence", ContextType::Presence))
+                .output(PortSpec::new("occupancy", ContextType::Occupancy))
+                .build(),
+            now,
+        )?;
+        self.cs
+            .register_logic(occupancy, factory(OccupancyLogic::new));
+
+        Ok(StandardCes {
+            obj_location,
+            wlan_location,
+            path,
+            occupancy,
+        })
+    }
+
+    /// Advances one step: ticks the world by `dt`, ingests every sensor
+    /// event, fires due timers, and returns the application deliveries
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world and ingestion failures.
+    pub fn step(&mut self, dt: VirtualDuration) -> SciResult<Vec<AppDelivery>> {
+        self.now += dt;
+        for event in self.world.tick(self.now, dt)? {
+            self.cs.ingest(&event, self.now)?;
+        }
+        self.cs.poll_timers(self.now)?;
+        Ok(self.cs.drain_outbox())
+    }
+
+    /// Runs `steps` steps, concatenating deliveries.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Deployment::step`].
+    pub fn run(&mut self, dt: VirtualDuration, steps: usize) -> SciResult<Vec<AppDelivery>> {
+        let mut all = Vec::new();
+        for _ in 0..steps {
+            all.extend(self.step(dt)?);
+        }
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_location::floorplan::capa_level10;
+    use sci_query::{Mode, Predicate, Query};
+    use sci_sensors::mobility::{Leg, MovementPlan};
+    use sci_sensors::person::SimPerson;
+    use sci_sensors::workload::capa_world;
+    use sci_types::Coord;
+
+    #[test]
+    fn deployment_wires_a_full_range_in_three_calls() {
+        let mut ids = GuidGenerator::seeded(301);
+        let bob = ids.next_guid();
+        // capa_world installs door sensors itself.
+        let (mut world, _) = capa_world(&mut ids, &[bob]);
+        world
+            .spawn_person(SimPerson::new(bob, "Bob", Coord::new(4.0, 1.0)).with_plan(
+                MovementPlan::scripted([Leg::new("L10.01", VirtualDuration::from_secs(60))]),
+            ))
+            .unwrap();
+        let cs = ContextServer::new(ids.next_guid(), "level-ten", capa_level10());
+        let mut dep = Deployment::new(world, cs);
+        dep.register_world(VirtualTime::ZERO).unwrap();
+        dep.install_standard_logic(&mut ids, VirtualTime::ZERO)
+            .unwrap();
+
+        // 4 doors + 4 printers + 4 derived classes (+0 stations).
+        assert_eq!(dep.cs.registrar().len(), 12);
+
+        // Subscribe to Bob's location and run the world.
+        let app = ids.next_guid();
+        let q = Query::builder(ids.next_guid(), app)
+            .info_matching(
+                ContextType::Location,
+                vec![Predicate::eq("subject", ContextValue::Id(bob))],
+            )
+            .mode(Mode::Subscribe)
+            .build();
+        dep.cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+        let deliveries = dep.run(VirtualDuration::from_secs(2), 60).unwrap();
+        let locations: Vec<&AppDelivery> = deliveries
+            .iter()
+            .filter(|d| d.app == app && d.event.topic == ContextType::Location)
+            .collect();
+        assert!(locations.len() >= 2, "walk produced location updates");
+        assert_eq!(dep.now(), VirtualTime::from_secs(120));
+    }
+
+    #[test]
+    fn standard_ces_have_distinct_ids() {
+        let mut ids = GuidGenerator::seeded(302);
+        let world = sci_sensors::world::World::new(capa_level10());
+        let cs = ContextServer::new(ids.next_guid(), "r", capa_level10());
+        let mut dep = Deployment::new(world, cs);
+        let ces = dep
+            .install_standard_logic(&mut ids, VirtualTime::ZERO)
+            .unwrap();
+        let all = [ces.obj_location, ces.wlan_location, ces.path, ces.occupancy];
+        let mut dedup = all.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

@@ -1,0 +1,323 @@
+//! Component interfaces and hosts (the paper's Figure 4).
+//!
+//! "Both entities share the RegisterInterface in order to facilitate
+//! communication with a Range Service … while CAA's include the
+//! ConsumeInterface for dealing with events (in response to a query).
+//! The ServiceInterface, implemented by the CE represents the 'well
+//! known' Advertisement interface … At the Concrete level, CE or CAA
+//! developers need only to deal with the service they provide or the
+//! events they receive. The work of integrating components into the
+//! system, query submission and event distribution is all handled
+//! internally by the infrastructure." (paper, Section 4.1)
+//!
+//! * [`RegisterInterface`] — who am I (profile)?
+//! * [`ServiceInterface`] — a CE's advertised operations.
+//! * [`ConsumeInterface`] — a CAA's event sink.
+//! * [`start_ce`] / [`start_caa`] — the Figure 5 integration sequence:
+//!   announce → register → receive the mediator/CS endpoint, packaged as
+//!   a [`CeHandle`] / [`CaaHandle`].
+
+use sci_query::Query;
+use sci_types::{
+    Advertisement, ContextEvent, ContextType, ContextValue, EventSeq, Guid, Profile, SciError,
+    SciResult, VirtualTime,
+};
+
+use crate::context_server::{ContextServer, QueryAnswer};
+use crate::range_service::{RangeInfo, RangeService};
+
+/// Shared by CEs and CAAs: identity and typed ports.
+pub trait RegisterInterface {
+    /// The profile to register with the range.
+    fn profile(&self) -> Profile;
+}
+
+/// The CE side: a well-known service interface.
+pub trait ServiceInterface: RegisterInterface {
+    /// The service advertisement, if this entity offers one.
+    fn advertisement(&self) -> Option<Advertisement> {
+        None
+    }
+
+    /// Invokes an advertised operation ("CAAs may transfer service
+    /// specific data to CEs").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::BadInvocation`] for unknown operations or
+    /// malformed arguments.
+    fn invoke(
+        &mut self,
+        operation: &str,
+        args: &[ContextValue],
+        now: VirtualTime,
+    ) -> SciResult<ContextValue>;
+}
+
+/// The CAA side: receives context events for its queries.
+pub trait ConsumeInterface: RegisterInterface {
+    /// Called once per delivered event.
+    fn on_context(&mut self, query: Guid, event: &ContextEvent);
+}
+
+/// The infrastructure endpoint handed to a started CE.
+#[derive(Debug)]
+pub struct CeHandle {
+    id: Guid,
+    info: RangeInfo,
+    seq: EventSeq,
+}
+
+impl CeHandle {
+    /// The CE's GUID.
+    pub fn id(&self) -> Guid {
+        self.id
+    }
+
+    /// The range coordinates learned during discovery.
+    pub fn range_info(&self) -> &RangeInfo {
+        &self.info
+    }
+
+    /// Publishes a typed event through the range's Event Mediator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ingestion failures.
+    pub fn publish(
+        &mut self,
+        cs: &mut ContextServer,
+        ty: ContextType,
+        payload: ContextValue,
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        let seq = self.seq;
+        self.seq = seq.next();
+        let event = ContextEvent::new(self.id, ty, payload, now).with_seq(seq);
+        cs.ingest(&event, now)
+    }
+}
+
+/// The infrastructure endpoint handed to a started CAA.
+#[derive(Debug)]
+pub struct CaaHandle {
+    id: Guid,
+    info: RangeInfo,
+}
+
+impl CaaHandle {
+    /// The CAA's GUID.
+    pub fn id(&self) -> Guid {
+        self.id
+    }
+
+    /// The range coordinates learned during discovery.
+    pub fn range_info(&self) -> &RangeInfo {
+        &self.info
+    }
+
+    /// Submits a query to the Context Server.
+    ///
+    /// # Errors
+    ///
+    /// Rejects queries not owned by this CAA, then behaves as
+    /// [`ContextServer::submit_query`].
+    pub fn submit(
+        &self,
+        cs: &mut ContextServer,
+        query: &Query,
+        now: VirtualTime,
+    ) -> SciResult<QueryAnswer> {
+        if query.owner != self.id {
+            return Err(SciError::BadInvocation(format!(
+                "query owner {} is not this application ({})",
+                query.owner, self.id
+            )));
+        }
+        cs.submit_query(query, now)
+    }
+
+    /// Pulls pending deliveries into the application's
+    /// [`ConsumeInterface::on_context`]. Returns how many events were
+    /// delivered.
+    pub fn poll<A: ConsumeInterface>(&self, cs: &mut ContextServer, app: &mut A) -> usize {
+        let deliveries = cs.drain_outbox_for(self.id);
+        let n = deliveries.len();
+        for d in deliveries {
+            app.on_context(d.query, &d.event);
+        }
+        n
+    }
+}
+
+/// Starts a Context Entity: the Figure 5 sequence (announce → register →
+/// advertisement), returning the publish endpoint.
+///
+/// # Errors
+///
+/// Propagates registration failures (e.g. duplicate GUIDs).
+pub fn start_ce<E: ServiceInterface>(
+    entity: &E,
+    rs: &mut RangeService,
+    cs: &mut ContextServer,
+    now: VirtualTime,
+) -> SciResult<CeHandle> {
+    let info = rs.announce();
+    let profile = entity.profile();
+    let id = profile.id();
+    cs.register(profile, now)?;
+    if let Some(ad) = entity.advertisement() {
+        cs.advertise(ad)?;
+    }
+    Ok(CeHandle {
+        id,
+        info,
+        seq: EventSeq::FIRST,
+    })
+}
+
+/// Starts a Context Aware Application: announce → register, returning
+/// the query/poll endpoint.
+///
+/// # Errors
+///
+/// Propagates registration failures.
+pub fn start_caa<A: ConsumeInterface>(
+    app: &A,
+    rs: &mut RangeService,
+    cs: &mut ContextServer,
+    now: VirtualTime,
+) -> SciResult<CaaHandle> {
+    let info = rs.announce();
+    let profile = app.profile();
+    let id = profile.id();
+    cs.register(profile, now)?;
+    Ok(CaaHandle { id, info })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_location::floorplan::capa_level10;
+    use sci_query::Mode;
+    use sci_types::{EntityKind, PortSpec};
+
+    struct Thermometer {
+        id: Guid,
+        reading: f64,
+    }
+
+    impl RegisterInterface for Thermometer {
+        fn profile(&self) -> Profile {
+            Profile::builder(self.id, EntityKind::Device, "thermo")
+                .output(PortSpec::new("t", ContextType::Temperature))
+                .build()
+        }
+    }
+
+    impl ServiceInterface for Thermometer {
+        fn advertisement(&self) -> Option<Advertisement> {
+            Some(Advertisement::new(self.id, "thermometry"))
+        }
+
+        fn invoke(
+            &mut self,
+            operation: &str,
+            _args: &[ContextValue],
+            _now: VirtualTime,
+        ) -> SciResult<ContextValue> {
+            match operation {
+                "read" => Ok(ContextValue::Float(self.reading)),
+                other => Err(SciError::BadInvocation(format!(
+                    "unknown operation `{other}`"
+                ))),
+            }
+        }
+    }
+
+    struct Dashboard {
+        id: Guid,
+        received: Vec<(Guid, f64)>,
+    }
+
+    impl RegisterInterface for Dashboard {
+        fn profile(&self) -> Profile {
+            Profile::builder(self.id, EntityKind::Software, "dashboard").build()
+        }
+    }
+
+    impl ConsumeInterface for Dashboard {
+        fn on_context(&mut self, query: Guid, event: &ContextEvent) {
+            if let Some(t) = event
+                .payload
+                .field("celsius")
+                .and_then(ContextValue::as_float)
+            {
+                self.received.push((query, t));
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_sequence_end_to_end() {
+        let mut cs = ContextServer::new(Guid::from_u128(0xc5), "lab", capa_level10());
+        let mut rs = RangeService::deploy("lab", cs.id());
+        let now = VirtualTime::ZERO;
+
+        let mut thermo = Thermometer {
+            id: Guid::from_u128(1),
+            reading: 21.5,
+        };
+        let mut ce = start_ce(&thermo, &mut rs, &mut cs, now).unwrap();
+        assert!(cs.registrar().is_registered(ce.id()));
+        assert_eq!(ce.range_info().range, "lab");
+
+        let mut dash = Dashboard {
+            id: Guid::from_u128(2),
+            received: Vec::new(),
+        };
+        let caa = start_caa(&dash, &mut rs, &mut cs, now).unwrap();
+        assert_eq!(rs.announcements(), 2);
+
+        // Subscribe, publish, poll.
+        let q = Query::builder(Guid::from_u128(3), caa.id())
+            .info(ContextType::Temperature)
+            .mode(Mode::Subscribe)
+            .build();
+        caa.submit(&mut cs, &q, now).unwrap();
+        ce.publish(
+            &mut cs,
+            ContextType::Temperature,
+            ContextValue::record([("celsius", ContextValue::Float(21.5))]),
+            VirtualTime::from_secs(1),
+        )
+        .unwrap();
+        assert_eq!(caa.poll(&mut cs, &mut dash), 1);
+        assert_eq!(dash.received, vec![(q.id, 21.5)]);
+
+        // Service invocation through the well-known interface.
+        assert_eq!(
+            thermo.invoke("read", &[], now).unwrap(),
+            ContextValue::Float(21.5)
+        );
+        assert!(thermo.invoke("explode", &[], now).is_err());
+    }
+
+    #[test]
+    fn caa_cannot_submit_others_queries() {
+        let mut cs = ContextServer::new(Guid::from_u128(0xc5), "lab", capa_level10());
+        let mut rs = RangeService::deploy("lab", cs.id());
+        let dash = Dashboard {
+            id: Guid::from_u128(2),
+            received: Vec::new(),
+        };
+        let caa = start_caa(&dash, &mut rs, &mut cs, VirtualTime::ZERO).unwrap();
+        let q = Query::builder(Guid::from_u128(3), Guid::from_u128(99))
+            .info(ContextType::Temperature)
+            .build();
+        assert!(matches!(
+            caa.submit(&mut cs, &q, VirtualTime::ZERO),
+            Err(SciError::BadInvocation(_))
+        ));
+    }
+}

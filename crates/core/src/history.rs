@@ -1,0 +1,214 @@
+//! The context store.
+//!
+//! The paper closes by describing SCI as "an open source infrastructure
+//! that supports context gathering and *storage*", and the CAPA
+//! walk-through has applications consult "a users Profile stored in
+//! their CE to determine previous behaviour". [`ContextStore`] is that
+//! storage: a bounded, queryable history of the context events a range
+//! has seen, indexed by type and subject, with per-key retention.
+
+use std::collections::HashMap;
+
+use sci_types::{ContextEvent, ContextType, Guid, VirtualDuration, VirtualTime};
+
+/// Key under which history is kept: the context type plus the subject
+/// entity (if the payload names one).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct HistoryKey {
+    ty: ContextType,
+    subject: Option<Guid>,
+}
+
+/// A bounded per-range context history.
+#[derive(Clone, Debug)]
+pub struct ContextStore {
+    entries: HashMap<HistoryKey, Vec<ContextEvent>>,
+    /// Maximum events retained per key.
+    depth: usize,
+    /// Maximum age retained.
+    retention: VirtualDuration,
+}
+
+impl ContextStore {
+    /// Creates a store keeping up to `depth` events per (type, subject)
+    /// for at most `retention`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize, retention: VirtualDuration) -> Self {
+        assert!(depth > 0, "history depth must be positive");
+        ContextStore {
+            entries: HashMap::new(),
+            depth,
+            retention,
+        }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: &ContextEvent) {
+        let key = HistoryKey {
+            ty: event.topic.clone(),
+            subject: event.subject(),
+        };
+        let bucket = self.entries.entry(key).or_default();
+        bucket.push(event.clone());
+        if bucket.len() > self.depth {
+            let excess = bucket.len() - self.depth;
+            bucket.drain(..excess);
+        }
+    }
+
+    /// Drops entries older than the retention window, measured from
+    /// `now`. Returns how many were evicted.
+    pub fn expire(&mut self, now: VirtualTime) -> usize {
+        let retention = self.retention;
+        let mut evicted = 0;
+        self.entries.retain(|_, bucket| {
+            let before = bucket.len();
+            bucket.retain(|e| now.saturating_since(e.timestamp) <= retention);
+            evicted += before - bucket.len();
+            !bucket.is_empty()
+        });
+        evicted
+    }
+
+    /// The most recent stored event of `ty` about `subject` (`None`
+    /// subject = events that named no subject).
+    pub fn last(&self, ty: &ContextType, subject: Option<Guid>) -> Option<&ContextEvent> {
+        self.entries
+            .get(&HistoryKey {
+                ty: ty.clone(),
+                subject,
+            })
+            .and_then(|b| b.last())
+    }
+
+    /// All stored events of `ty` about `subject` since `since`, oldest
+    /// first.
+    pub fn since(
+        &self,
+        ty: &ContextType,
+        subject: Option<Guid>,
+        since: VirtualTime,
+    ) -> Vec<&ContextEvent> {
+        self.entries
+            .get(&HistoryKey {
+                ty: ty.clone(),
+                subject,
+            })
+            .map(|b| b.iter().filter(|e| e.timestamp >= since).collect())
+            .unwrap_or_default()
+    }
+
+    /// Every subject with stored history of `ty`.
+    pub fn subjects_of(&self, ty: &ContextType) -> Vec<Guid> {
+        let mut out: Vec<Guid> = self
+            .entries
+            .keys()
+            .filter(|k| k.ty == *ty)
+            .filter_map(|k| k.subject)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Total stored events.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for ContextStore {
+    /// 32 events per key, one hour of retention.
+    fn default() -> Self {
+        ContextStore::new(32, VirtualDuration::from_secs(3600))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_types::ContextValue;
+
+    fn ev(ty: ContextType, subject: Option<Guid>, t: u64, tag: i64) -> ContextEvent {
+        let payload = match subject {
+            Some(s) => ContextValue::record([
+                ("subject", ContextValue::Id(s)),
+                ("tag", ContextValue::Int(tag)),
+            ]),
+            None => ContextValue::Int(tag),
+        };
+        ContextEvent::new(Guid::from_u128(1), ty, payload, VirtualTime::from_secs(t))
+    }
+
+    #[test]
+    fn last_and_since() {
+        let mut store = ContextStore::default();
+        let bob = Guid::from_u128(0xb0b);
+        for t in 0..5 {
+            store.record(&ev(ContextType::Location, Some(bob), t, t as i64));
+        }
+        let last = store.last(&ContextType::Location, Some(bob)).unwrap();
+        assert_eq!(
+            last.payload.field("tag").and_then(ContextValue::as_int),
+            Some(4)
+        );
+        assert_eq!(
+            store
+                .since(&ContextType::Location, Some(bob), VirtualTime::from_secs(3))
+                .len(),
+            2
+        );
+        assert!(store.last(&ContextType::Location, None).is_none());
+        assert_eq!(store.subjects_of(&ContextType::Location), vec![bob]);
+    }
+
+    #[test]
+    fn depth_bound_evicts_oldest() {
+        let mut store = ContextStore::new(3, VirtualDuration::from_secs(1_000_000));
+        for t in 0..10 {
+            store.record(&ev(ContextType::Temperature, None, t, t as i64));
+        }
+        assert_eq!(store.len(), 3);
+        let events = store.since(&ContextType::Temperature, None, VirtualTime::ZERO);
+        let tags: Vec<i64> = events.iter().filter_map(|e| e.payload.as_int()).collect();
+        assert_eq!(tags, [7, 8, 9]);
+    }
+
+    #[test]
+    fn retention_expiry() {
+        let mut store = ContextStore::new(100, VirtualDuration::from_secs(10));
+        for t in 0..20 {
+            store.record(&ev(ContextType::Occupancy, None, t, t as i64));
+        }
+        let evicted = store.expire(VirtualTime::from_secs(20));
+        assert_eq!(evicted, 10, "events at t<10 are past retention");
+        assert_eq!(store.len(), 10);
+        // Expiring an empty window clears the store entirely.
+        let evicted = store.expire(VirtualTime::from_secs(100));
+        assert_eq!(evicted, 10);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn subjects_kept_separate() {
+        let mut store = ContextStore::default();
+        let (a, b) = (Guid::from_u128(1), Guid::from_u128(2));
+        store.record(&ev(ContextType::Location, Some(a), 1, 10));
+        store.record(&ev(ContextType::Location, Some(b), 2, 20));
+        assert_eq!(
+            store
+                .last(&ContextType::Location, Some(a))
+                .and_then(|e| e.payload.field("tag"))
+                .and_then(ContextValue::as_int),
+            Some(10)
+        );
+        assert_eq!(store.subjects_of(&ContextType::Location), vec![a, b]);
+    }
+}

@@ -1,0 +1,271 @@
+//! The Profile Manager.
+//!
+//! "Provides access and update abilities to Context Entities Profiles"
+//! (paper, Section 3.1). Profiles are the resolver's search space: the
+//! manager indexes them by provided context type so type matching stays
+//! fast as ranges grow, and applies live attribute updates (a printer's
+//! queue length changes with every status event) so Which-clause
+//! selection sees current state.
+
+use std::collections::HashMap;
+
+use sci_types::{ContextType, ContextValue, Guid, Profile, SciError, SciResult};
+
+/// Storage and indexing for Context Entity profiles.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileManager {
+    profiles: HashMap<Guid, Profile>,
+    by_output: HashMap<ContextType, Vec<Guid>>,
+    /// Semantic-equivalence classes over context types (paper §6, open
+    /// issue 2: "notions of semantic equivalence"). Types in one class
+    /// are interchangeable during composition — the answer to the
+    /// iQueue critique that a door-sensor location network cannot stand
+    /// in for a wireless detection scheme.
+    equivalence_classes: Vec<Vec<ContextType>>,
+}
+
+impl ProfileManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        ProfileManager::default()
+    }
+
+    /// Stores a profile (on entity registration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::Internal`] if the entity already has a
+    /// profile.
+    pub fn insert(&mut self, profile: Profile) -> SciResult<()> {
+        let id = profile.id();
+        if self.profiles.contains_key(&id) {
+            return Err(SciError::Internal(format!(
+                "profile for {id} already stored"
+            )));
+        }
+        for port in profile.outputs() {
+            self.by_output.entry(port.ty.clone()).or_default().push(id);
+        }
+        self.profiles.insert(id, profile);
+        Ok(())
+    }
+
+    /// Removes a profile (on deregistration), returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownEntity`] if absent.
+    pub fn remove(&mut self, id: Guid) -> SciResult<Profile> {
+        let profile = self
+            .profiles
+            .remove(&id)
+            .ok_or(SciError::UnknownEntity(id))?;
+        for port in profile.outputs() {
+            if let Some(list) = self.by_output.get_mut(&port.ty) {
+                list.retain(|&g| g != id);
+            }
+        }
+        Ok(profile)
+    }
+
+    /// Looks up a profile.
+    pub fn get(&self, id: Guid) -> Option<&Profile> {
+        self.profiles.get(&id)
+    }
+
+    /// Updates one attribute of a profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownEntity`] if absent.
+    pub fn update_attribute(
+        &mut self,
+        id: Guid,
+        key: &str,
+        value: ContextValue,
+    ) -> SciResult<Option<ContextValue>> {
+        let profile = self
+            .profiles
+            .get_mut(&id)
+            .ok_or(SciError::UnknownEntity(id))?;
+        Ok(profile.attributes_mut().set(key, value))
+    }
+
+    /// Entities whose profiles provide `ty` as an output, in
+    /// registration order.
+    pub fn providers_of(&self, ty: &ContextType) -> Vec<&Profile> {
+        self.by_output
+            .get(ty)
+            .map(|ids| ids.iter().filter_map(|id| self.profiles.get(id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Declares two context types semantically equivalent (symmetric
+    /// and transitive: classes merge).
+    pub fn declare_equivalence(&mut self, a: ContextType, b: ContextType) {
+        let ia = self.equivalence_classes.iter().position(|c| c.contains(&a));
+        let ib = self.equivalence_classes.iter().position(|c| c.contains(&b));
+        match (ia, ib) {
+            (Some(i), Some(j)) if i == j => {}
+            (Some(i), Some(j)) => {
+                let (keep, merge) = if i < j { (i, j) } else { (j, i) };
+                let merged = self.equivalence_classes.remove(merge);
+                self.equivalence_classes[keep].extend(merged);
+            }
+            (Some(i), None) => self.equivalence_classes[i].push(b),
+            (None, Some(j)) => self.equivalence_classes[j].push(a),
+            (None, None) => self.equivalence_classes.push(vec![a, b]),
+        }
+    }
+
+    /// The types semantically equivalent to `ty`, including `ty` itself.
+    pub fn equivalents(&self, ty: &ContextType) -> Vec<ContextType> {
+        self.equivalence_classes
+            .iter()
+            .find(|c| c.contains(ty))
+            .cloned()
+            .unwrap_or_else(|| vec![ty.clone()])
+    }
+
+    /// Returns `true` if the two types are the same or declared
+    /// equivalent.
+    pub fn compatible(&self, a: &ContextType, b: &ContextType) -> bool {
+        a == b || self.equivalents(a).contains(b)
+    }
+
+    /// Providers of `ty` or of any type declared equivalent to it, in
+    /// registration order per class member.
+    pub fn providers_of_compatible(&self, ty: &ContextType) -> Vec<&Profile> {
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for t in self.equivalents(ty) {
+            for p in self.providers_of(&t) {
+                if !seen.contains(&p.id()) {
+                    seen.push(p.id());
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// All stored profiles (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Profile> {
+        self.profiles.values()
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Returns `true` if no profiles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_types::{EntityKind, PortSpec};
+
+    fn sensor(raw: u128) -> Profile {
+        Profile::builder(Guid::from_u128(raw), EntityKind::Device, format!("s{raw}"))
+            .output(PortSpec::new("presence", ContextType::Presence))
+            .build()
+    }
+
+    #[test]
+    fn index_tracks_inserts_and_removals() {
+        let mut pm = ProfileManager::new();
+        pm.insert(sensor(1)).unwrap();
+        pm.insert(sensor(2)).unwrap();
+        assert_eq!(pm.providers_of(&ContextType::Presence).len(), 2);
+        pm.remove(Guid::from_u128(1)).unwrap();
+        let providers = pm.providers_of(&ContextType::Presence);
+        assert_eq!(providers.len(), 1);
+        assert_eq!(providers[0].id(), Guid::from_u128(2));
+        assert!(pm.providers_of(&ContextType::Path).is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut pm = ProfileManager::new();
+        pm.insert(sensor(1)).unwrap();
+        assert!(pm.insert(sensor(1)).is_err());
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn attribute_updates_visible_to_queries() {
+        let mut pm = ProfileManager::new();
+        pm.insert(sensor(1)).unwrap();
+        let old = pm
+            .update_attribute(Guid::from_u128(1), "queue", ContextValue::Int(3))
+            .unwrap();
+        assert_eq!(old, None);
+        let old = pm
+            .update_attribute(Guid::from_u128(1), "queue", ContextValue::Int(0))
+            .unwrap();
+        assert_eq!(old, Some(ContextValue::Int(3)));
+        assert_eq!(
+            pm.get(Guid::from_u128(1))
+                .unwrap()
+                .attributes()
+                .get("queue")
+                .and_then(ContextValue::as_int),
+            Some(0)
+        );
+        assert!(pm
+            .update_attribute(Guid::from_u128(9), "x", ContextValue::Empty)
+            .is_err());
+    }
+
+    #[test]
+    fn equivalence_classes_merge_and_resolve() {
+        let mut pm = ProfileManager::new();
+        pm.insert(sensor(1)).unwrap();
+        let badge = ContextType::custom("badge-scan");
+        let rfid = ContextType::custom("rfid-read");
+        pm.insert(
+            Profile::builder(Guid::from_u128(2), EntityKind::Device, "badge-reader")
+                .output(PortSpec::new("scan", badge.clone()))
+                .build(),
+        )
+        .unwrap();
+
+        assert_eq!(pm.providers_of_compatible(&ContextType::Presence).len(), 1);
+        pm.declare_equivalence(ContextType::Presence, badge.clone());
+        assert_eq!(pm.providers_of_compatible(&ContextType::Presence).len(), 2);
+        assert!(pm.compatible(&badge, &ContextType::Presence));
+        assert!(!pm.compatible(&badge, &ContextType::Path));
+
+        // Transitivity through class merging.
+        pm.declare_equivalence(rfid.clone(), badge.clone());
+        assert!(pm.compatible(&rfid, &ContextType::Presence));
+        let mut eq = pm.equivalents(&ContextType::Presence);
+        eq.sort_by_key(|t| t.name().to_owned());
+        assert_eq!(eq.len(), 3);
+
+        // Re-declaring within one class is a no-op.
+        pm.declare_equivalence(rfid, ContextType::Presence);
+        assert_eq!(pm.equivalents(&badge).len(), 3);
+    }
+
+    #[test]
+    fn unrelated_type_is_its_own_class() {
+        let pm = ProfileManager::new();
+        assert_eq!(pm.equivalents(&ContextType::Path), vec![ContextType::Path]);
+        assert!(pm.compatible(&ContextType::Path, &ContextType::Path));
+    }
+
+    #[test]
+    fn remove_unknown_errors() {
+        let mut pm = ProfileManager::new();
+        assert!(matches!(
+            pm.remove(Guid::from_u128(5)),
+            Err(SciError::UnknownEntity(_))
+        ));
+    }
+}

@@ -1,0 +1,95 @@
+//! The Range Service.
+//!
+//! "When a Context Server starts up, it deploys a Range Service (RS) to
+//! all the machines within its jurisdiction. The RS performs the task of
+//! listening for CAAs or CEs starting up in order to inform them about
+//! the Range's Registrar. The CAA/CE can then contact the Registrar in
+//! order to gain access to the infrastructure. Upon completion of the
+//! registration process, the Registrar will return the Context Server
+//! details to a CAA (in order to submit queries) or the Event Mediator
+//! details to a CE (in order to publish events)." (paper, Section 4.2)
+//!
+//! [`RangeService`] reifies exactly that Figure 5 handshake as data: a
+//! component starting up calls [`RangeService::announce`] to learn the
+//! range's coordinates, registers through the returned info, and receives
+//! the endpoint appropriate to its role. The second Range Service duty —
+//! detecting arrival and departure of *sensed* entities at range
+//! boundaries — is wired into [`crate::context_server::ContextServer`]'s
+//! event ingestion (auto-registration of badge holders, deregistration
+//! on W-LAN disassociation).
+
+use sci_types::Guid;
+
+/// The coordinates a Range Service hands to components starting up.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RangeInfo {
+    /// Range name (e.g. `"level-ten"`).
+    pub range: String,
+    /// GUID of the Context Server (CAAs submit queries here).
+    pub context_server: Guid,
+    /// GUID of the Registrar endpoint.
+    pub registrar: Guid,
+    /// GUID of the Event Mediator endpoint (CEs publish events here).
+    pub event_mediator: Guid,
+}
+
+/// The per-machine discovery endpoint of one range.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RangeService {
+    info: RangeInfo,
+    announcements: u64,
+}
+
+impl RangeService {
+    /// Deploys a Range Service for the range with the given coordinates.
+    /// In this reproduction the Registrar and Event Mediator share the
+    /// Context Server process, so one GUID serves all three endpoints;
+    /// the structure keeps them distinct for fidelity to Figure 5.
+    pub fn deploy(range: impl Into<String>, context_server: Guid) -> Self {
+        RangeService {
+            info: RangeInfo {
+                range: range.into(),
+                context_server,
+                registrar: context_server,
+                event_mediator: context_server,
+            },
+            announcements: 0,
+        }
+    }
+
+    /// A starting component asks who governs this machine; the RS
+    /// answers with the range coordinates (step 1 of Figure 5).
+    pub fn announce(&mut self) -> RangeInfo {
+        self.announcements += 1;
+        self.info.clone()
+    }
+
+    /// The range this service covers.
+    pub fn range(&self) -> &str {
+        &self.info.range
+    }
+
+    /// How many components discovered the range through this service.
+    pub fn announcements(&self) -> u64 {
+        self.announcements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_returns_coordinates_and_counts() {
+        let cs = Guid::from_u128(0xc5);
+        let mut rs = RangeService::deploy("level-ten", cs);
+        let info = rs.announce();
+        assert_eq!(info.range, "level-ten");
+        assert_eq!(info.context_server, cs);
+        assert_eq!(info.registrar, cs);
+        assert_eq!(info.event_mediator, cs);
+        rs.announce();
+        assert_eq!(rs.announcements(), 2);
+        assert_eq!(rs.range(), "level-ten");
+    }
+}

@@ -1,0 +1,253 @@
+//! The deterministic subscription table.
+//!
+//! [`EventBus`] is pure: `publish` computes and returns the deliveries an
+//! event implies instead of performing I/O, so the middleware built on
+//! top of it is exactly replayable. The threaded runtime in [`crate::rt`]
+//! wraps the same table with channels.
+
+use std::fmt;
+
+use sci_types::{ContextEvent, Guid, SciError, SciResult};
+
+use crate::topic::Topic;
+
+/// Identifier of a subscription issued by a bus.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SubId(pub u64);
+
+impl fmt::Display for SubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub{}", self.0)
+    }
+}
+
+/// One delivery implied by a publish: which subscription fired, who
+/// receives the event, and whether this was the subscription's last
+/// delivery (one-time subscriptions auto-cancel).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Delivery {
+    /// The subscription that matched.
+    pub sub: SubId,
+    /// The subscribing entity.
+    pub subscriber: Guid,
+    /// The event being delivered.
+    pub event: ContextEvent,
+    /// `true` if the subscription was one-time and is now cancelled.
+    pub last: bool,
+}
+
+#[derive(Clone, Debug)]
+struct SubEntry {
+    id: SubId,
+    subscriber: Guid,
+    topic: Topic,
+    one_time: bool,
+}
+
+/// A deterministic pub/sub subscription table.
+///
+/// # Example
+///
+/// ```
+/// use sci_event::{EventBus, Topic};
+/// use sci_types::{ContextEvent, ContextType, ContextValue, Guid, VirtualTime};
+///
+/// let mut bus = EventBus::new();
+/// let app = Guid::from_u128(1);
+/// let sub = bus.subscribe(app, Topic::of_type(ContextType::Temperature), false);
+/// let ev = ContextEvent::new(
+///     Guid::from_u128(2), ContextType::Temperature,
+///     ContextValue::Float(21.0), VirtualTime::ZERO,
+/// );
+/// let deliveries = bus.publish(&ev);
+/// assert_eq!(deliveries.len(), 1);
+/// assert_eq!(deliveries[0].subscriber, app);
+/// assert_eq!(deliveries[0].sub, sub);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EventBus {
+    subs: Vec<SubEntry>,
+    next_id: u64,
+}
+
+impl EventBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        EventBus::default()
+    }
+
+    /// Registers a subscription and returns its id.
+    ///
+    /// `one_time` subscriptions are cancelled automatically after their
+    /// first delivery — the paper's "one-time subscription" query mode.
+    pub fn subscribe(&mut self, subscriber: Guid, topic: Topic, one_time: bool) -> SubId {
+        let id = SubId(self.next_id);
+        self.next_id += 1;
+        self.subs.push(SubEntry {
+            id,
+            subscriber,
+            topic,
+            one_time,
+        });
+        id
+    }
+
+    /// Cancels a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownSubscription`] if the id is not live.
+    pub fn unsubscribe(&mut self, id: SubId) -> SciResult<()> {
+        let pos = self
+            .subs
+            .iter()
+            .position(|s| s.id == id)
+            .ok_or(SciError::UnknownSubscription(id.0))?;
+        self.subs.remove(pos);
+        Ok(())
+    }
+
+    /// Cancels all subscriptions held by a subscriber (used when an
+    /// entity deregisters from the range). Returns how many were removed.
+    pub fn unsubscribe_all(&mut self, subscriber: Guid) -> usize {
+        let before = self.subs.len();
+        self.subs.retain(|s| s.subscriber != subscriber);
+        before - self.subs.len()
+    }
+
+    /// Matches an event against every live subscription, removing
+    /// one-time subscriptions that fire. Deliveries are returned in
+    /// subscription order.
+    pub fn publish(&mut self, event: &ContextEvent) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
+        self.subs.retain(|entry| {
+            if entry.topic.matches(event) {
+                deliveries.push(Delivery {
+                    sub: entry.id,
+                    subscriber: entry.subscriber,
+                    event: event.clone(),
+                    last: entry.one_time,
+                });
+                !entry.one_time
+            } else {
+                true
+            }
+        });
+        deliveries
+    }
+
+    /// Number of live subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Returns `true` if there are no live subscriptions.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Returns `true` if the subscription id is live.
+    pub fn is_live(&self, id: SubId) -> bool {
+        self.subs.iter().any(|s| s.id == id)
+    }
+
+    /// Live subscriptions held by a subscriber.
+    pub fn subscriptions_of(&self, subscriber: Guid) -> Vec<SubId> {
+        self.subs
+            .iter()
+            .filter(|s| s.subscriber == subscriber)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The topic of a live subscription.
+    pub fn topic_of(&self, id: SubId) -> Option<&Topic> {
+        self.subs.iter().find(|s| s.id == id).map(|s| &s.topic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_types::{ContextType, ContextValue, VirtualTime};
+
+    fn temp_event(value: f64) -> ContextEvent {
+        ContextEvent::new(
+            Guid::from_u128(99),
+            ContextType::Temperature,
+            ContextValue::Float(value),
+            VirtualTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn fanout_to_multiple_subscribers() {
+        let mut bus = EventBus::new();
+        let (a, b, c) = (Guid::from_u128(1), Guid::from_u128(2), Guid::from_u128(3));
+        bus.subscribe(a, Topic::of_type(ContextType::Temperature), false);
+        bus.subscribe(b, Topic::any(), false);
+        bus.subscribe(c, Topic::of_type(ContextType::Presence), false);
+        let deliveries = bus.publish(&temp_event(20.0));
+        let receivers: Vec<Guid> = deliveries.iter().map(|d| d.subscriber).collect();
+        assert_eq!(receivers, [a, b]);
+    }
+
+    #[test]
+    fn one_time_subscription_cancels_after_first_delivery() {
+        let mut bus = EventBus::new();
+        let app = Guid::from_u128(1);
+        let sub = bus.subscribe(app, Topic::any(), true);
+        let first = bus.publish(&temp_event(1.0));
+        assert_eq!(first.len(), 1);
+        assert!(first[0].last);
+        assert!(!bus.is_live(sub));
+        assert!(bus.publish(&temp_event(2.0)).is_empty());
+    }
+
+    #[test]
+    fn continuous_subscription_keeps_delivering() {
+        let mut bus = EventBus::new();
+        let sub = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+        for i in 0..5 {
+            let d = bus.publish(&temp_event(i as f64));
+            assert_eq!(d.len(), 1);
+            assert!(!d[0].last);
+        }
+        assert!(bus.is_live(sub));
+    }
+
+    #[test]
+    fn unsubscribe_lifecycle() {
+        let mut bus = EventBus::new();
+        let sub = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+        assert!(bus.unsubscribe(sub).is_ok());
+        assert!(matches!(
+            bus.unsubscribe(sub),
+            Err(SciError::UnknownSubscription(_))
+        ));
+        assert!(bus.publish(&temp_event(0.0)).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_all_for_departing_entity() {
+        let mut bus = EventBus::new();
+        let leaving = Guid::from_u128(1);
+        let staying = Guid::from_u128(2);
+        bus.subscribe(leaving, Topic::any(), false);
+        bus.subscribe(leaving, Topic::of_type(ContextType::Presence), false);
+        bus.subscribe(staying, Topic::any(), false);
+        assert_eq!(bus.unsubscribe_all(leaving), 2);
+        assert_eq!(bus.len(), 1);
+        assert_eq!(bus.subscriptions_of(staying).len(), 1);
+        assert!(bus.subscriptions_of(leaving).is_empty());
+    }
+
+    #[test]
+    fn subscription_ids_are_unique_across_removal() {
+        let mut bus = EventBus::new();
+        let a = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+        bus.unsubscribe(a).unwrap();
+        let b = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+        assert_ne!(a, b);
+    }
+}

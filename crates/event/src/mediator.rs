@@ -1,0 +1,220 @@
+//! The Event Mediator.
+//!
+//! One of the paper's core Context Utilities: it "manages the
+//! establishment, maintenance and removal of event subscriptions between
+//! Context Entities and Context Aware Applications" (Section 3.1).
+//! Beyond the raw [`EventBus`] table it adds:
+//!
+//! * delivery statistics ([`DeliveryStats`]);
+//! * publisher liveness tracking — every registered publisher is expected
+//!   to produce an event (or heartbeat) within its declared interval, and
+//!   [`EventMediator::silent_publishers`] reports the ones that have gone
+//!   quiet. The adaptation manager in `sci-core` uses this to detect
+//!   failed Context Entities and trigger reconfiguration, the paper's
+//!   "adaptivity to environmental changes (e.g. component failure)".
+
+use std::collections::HashMap;
+
+use sci_types::{ContextEvent, Guid, SciError, SciResult, VirtualDuration, VirtualTime};
+
+use crate::bus::{Delivery, EventBus, SubId};
+use crate::stats::DeliveryStats;
+use crate::topic::Topic;
+
+#[derive(Clone, Debug)]
+struct PublisherState {
+    last_seen: VirtualTime,
+    max_silence: VirtualDuration,
+}
+
+/// Subscription lifecycle management plus liveness monitoring.
+#[derive(Clone, Debug, Default)]
+pub struct EventMediator {
+    bus: EventBus,
+    stats: DeliveryStats,
+    publishers: HashMap<Guid, PublisherState>,
+}
+
+impl EventMediator {
+    /// Creates an empty mediator.
+    pub fn new() -> Self {
+        EventMediator::default()
+    }
+
+    /// Establishes a subscription.
+    pub fn subscribe(&mut self, subscriber: Guid, topic: Topic, one_time: bool) -> SubId {
+        self.bus.subscribe(subscriber, topic, one_time)
+    }
+
+    /// Removes a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownSubscription`] for stale ids.
+    pub fn unsubscribe(&mut self, id: SubId) -> SciResult<()> {
+        self.bus.unsubscribe(id)
+    }
+
+    /// Removes all subscriptions of a departing entity and stops
+    /// tracking it as a publisher. Returns the number of subscriptions
+    /// removed.
+    pub fn purge_entity(&mut self, entity: Guid) -> usize {
+        self.publishers.remove(&entity);
+        self.bus.unsubscribe_all(entity)
+    }
+
+    /// Declares that `publisher` will produce events at least every
+    /// `max_silence`; silence beyond that is reported as suspected
+    /// failure.
+    pub fn track_publisher(
+        &mut self,
+        publisher: Guid,
+        max_silence: VirtualDuration,
+        now: VirtualTime,
+    ) {
+        self.publishers.insert(
+            publisher,
+            PublisherState {
+                last_seen: now,
+                max_silence,
+            },
+        );
+    }
+
+    /// Stops liveness tracking for a publisher.
+    pub fn untrack_publisher(&mut self, publisher: Guid) {
+        self.publishers.remove(&publisher);
+    }
+
+    /// Publishes an event: matches subscriptions, updates stats and the
+    /// publisher's liveness.
+    pub fn publish(&mut self, event: &ContextEvent) -> Vec<Delivery> {
+        if let Some(state) = self.publishers.get_mut(&event.source) {
+            state.last_seen = event.timestamp;
+        }
+        let deliveries = self.bus.publish(event);
+        let one_time = deliveries.iter().filter(|d| d.last).count();
+        self.stats
+            .record_publish(&event.topic, deliveries.len(), one_time);
+        deliveries
+    }
+
+    /// Records a heartbeat from a publisher without publishing an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownEntity`] if the publisher is not
+    /// tracked.
+    pub fn heartbeat(&mut self, publisher: Guid, now: VirtualTime) -> SciResult<()> {
+        let state = self
+            .publishers
+            .get_mut(&publisher)
+            .ok_or(SciError::UnknownEntity(publisher))?;
+        state.last_seen = now;
+        Ok(())
+    }
+
+    /// Tracked publishers that have been silent longer than their
+    /// declared interval, with the observed silence duration.
+    pub fn silent_publishers(&self, now: VirtualTime) -> Vec<(Guid, VirtualDuration)> {
+        let mut silent: Vec<(Guid, VirtualDuration)> = self
+            .publishers
+            .iter()
+            .filter_map(|(&id, st)| {
+                let silence = now.saturating_since(st.last_seen);
+                (silence > st.max_silence).then_some((id, silence))
+            })
+            .collect();
+        silent.sort_by_key(|&(id, _)| id);
+        silent
+    }
+
+    /// Read access to the underlying subscription table.
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Cumulative delivery statistics.
+    pub fn stats(&self) -> &DeliveryStats {
+        &self.stats
+    }
+
+    /// Number of publishers under liveness tracking.
+    pub fn tracked_publishers(&self) -> usize {
+        self.publishers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_types::{ContextType, ContextValue};
+
+    fn event_from(source: Guid, at: VirtualTime) -> ContextEvent {
+        ContextEvent::new(source, ContextType::Presence, ContextValue::Empty, at)
+    }
+
+    #[test]
+    fn publish_updates_stats_and_liveness() {
+        let mut m = EventMediator::new();
+        let sensor = Guid::from_u128(1);
+        let app = Guid::from_u128(2);
+        m.track_publisher(sensor, VirtualDuration::from_secs(10), VirtualTime::ZERO);
+        m.subscribe(app, Topic::any(), false);
+
+        let d = m.publish(&event_from(sensor, VirtualTime::from_secs(5)));
+        assert_eq!(d.len(), 1);
+        assert_eq!(m.stats().published, 1);
+        assert!(m.silent_publishers(VirtualTime::from_secs(14)).is_empty());
+        assert_eq!(
+            m.silent_publishers(VirtualTime::from_secs(16)),
+            vec![(sensor, VirtualDuration::from_secs(11))]
+        );
+    }
+
+    #[test]
+    fn heartbeat_defers_failure_suspicion() {
+        let mut m = EventMediator::new();
+        let sensor = Guid::from_u128(1);
+        m.track_publisher(sensor, VirtualDuration::from_secs(10), VirtualTime::ZERO);
+        m.heartbeat(sensor, VirtualTime::from_secs(30)).unwrap();
+        assert!(m.silent_publishers(VirtualTime::from_secs(39)).is_empty());
+        assert_eq!(m.silent_publishers(VirtualTime::from_secs(41)).len(), 1);
+        assert!(m.heartbeat(Guid::from_u128(9), VirtualTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn purge_removes_subscriptions_and_tracking() {
+        let mut m = EventMediator::new();
+        let entity = Guid::from_u128(1);
+        m.subscribe(entity, Topic::any(), false);
+        m.subscribe(entity, Topic::of_type(ContextType::Path), false);
+        m.track_publisher(entity, VirtualDuration::from_secs(1), VirtualTime::ZERO);
+        assert_eq!(m.purge_entity(entity), 2);
+        assert_eq!(m.tracked_publishers(), 0);
+        assert!(m.silent_publishers(VirtualTime::from_secs(100)).is_empty());
+    }
+
+    #[test]
+    fn untracked_publisher_never_reported() {
+        let mut m = EventMediator::new();
+        let sensor = Guid::from_u128(1);
+        m.publish(&event_from(sensor, VirtualTime::ZERO));
+        assert!(m.silent_publishers(VirtualTime::MAX).is_empty());
+    }
+
+    #[test]
+    fn silent_publishers_sorted_and_complete() {
+        let mut m = EventMediator::new();
+        for raw in [5u128, 1, 3] {
+            m.track_publisher(
+                Guid::from_u128(raw),
+                VirtualDuration::from_secs(1),
+                VirtualTime::ZERO,
+            );
+        }
+        let silent = m.silent_publishers(VirtualTime::from_secs(10));
+        let ids: Vec<u128> = silent.iter().map(|(g, _)| g.as_u128()).collect();
+        assert_eq!(ids, [1, 3, 5]);
+    }
+}

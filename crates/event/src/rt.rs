@@ -1,0 +1,372 @@
+//! Threaded event runtime.
+//!
+//! The paper's prototype used "a hybrid communication model (a
+//! combination of distributed events and point to point communication)".
+//! [`ThreadedBus`] is the distributed-events half under real concurrency:
+//! the same topic/subscription semantics as [`crate::bus::EventBus`], but
+//! deliveries flow through crossbeam channels to subscriber threads.
+//! Point-to-point communication is plain request/response over a
+//! dedicated channel pair ([`point_to_point`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use sci_types::{ContextEvent, Guid, SciError, SciResult};
+
+use crate::bus::SubId;
+use crate::stats::DeliveryStats;
+use crate::topic::Topic;
+
+struct Entry {
+    id: SubId,
+    subscriber: Guid,
+    topic: Topic,
+    one_time: bool,
+    tx: Sender<ContextEvent>,
+}
+
+struct Inner {
+    subs: Mutex<Vec<Entry>>,
+    stats: Mutex<DeliveryStats>,
+    next_id: AtomicU64,
+}
+
+/// A thread-safe pub/sub bus delivering over channels.
+///
+/// Cloning the bus is cheap and shares the subscription table, so any
+/// number of producer threads can publish concurrently.
+///
+/// # Example
+///
+/// ```
+/// use sci_event::rt::ThreadedBus;
+/// use sci_event::Topic;
+/// use sci_types::{ContextEvent, ContextType, ContextValue, Guid, VirtualTime};
+///
+/// let bus = ThreadedBus::new();
+/// let (_, rx) = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+///
+/// let publisher = bus.clone();
+/// std::thread::spawn(move || {
+///     let ev = ContextEvent::new(
+///         Guid::from_u128(2), ContextType::Temperature,
+///         ContextValue::Float(19.5), VirtualTime::ZERO,
+///     );
+///     publisher.publish(&ev);
+/// });
+///
+/// let received = rx.recv().unwrap();
+/// assert_eq!(received.topic, ContextType::Temperature);
+/// ```
+#[derive(Clone)]
+pub struct ThreadedBus {
+    inner: Arc<Inner>,
+}
+
+impl ThreadedBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        ThreadedBus {
+            inner: Arc::new(Inner {
+                subs: Mutex::new(Vec::new()),
+                stats: Mutex::new(DeliveryStats::new()),
+                next_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a subscription, returning its id and the receiving end
+    /// of its delivery channel.
+    pub fn subscribe(
+        &self,
+        subscriber: Guid,
+        topic: Topic,
+        one_time: bool,
+    ) -> (SubId, Receiver<ContextEvent>) {
+        let (tx, rx) = unbounded();
+        let id = SubId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        self.inner.subs.lock().push(Entry {
+            id,
+            subscriber,
+            topic,
+            one_time,
+            tx,
+        });
+        (id, rx)
+    }
+
+    /// Cancels a subscription; its channel disconnects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownSubscription`] for stale ids.
+    pub fn unsubscribe(&self, id: SubId) -> SciResult<()> {
+        let mut subs = self.inner.subs.lock();
+        let pos = subs
+            .iter()
+            .position(|e| e.id == id)
+            .ok_or(SciError::UnknownSubscription(id.0))?;
+        subs.remove(pos);
+        Ok(())
+    }
+
+    /// Cancels every subscription held by `subscriber`, returning how
+    /// many were removed.
+    pub fn unsubscribe_all(&self, subscriber: Guid) -> usize {
+        let mut subs = self.inner.subs.lock();
+        let before = subs.len();
+        subs.retain(|e| e.subscriber != subscriber);
+        before - subs.len()
+    }
+
+    /// Publishes an event to every matching live subscription. Returns
+    /// the fanout. Subscriptions whose receiver has been dropped are
+    /// garbage-collected; one-time subscriptions are consumed.
+    pub fn publish(&self, event: &ContextEvent) -> usize {
+        let mut fanout = 0;
+        let mut one_time = 0;
+        {
+            let mut subs = self.inner.subs.lock();
+            subs.retain(|entry| {
+                if !entry.topic.matches(event) {
+                    return true;
+                }
+                match entry.tx.send(event.clone()) {
+                    Ok(()) => {
+                        fanout += 1;
+                        if entry.one_time {
+                            one_time += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                    // Receiver dropped: reap the subscription.
+                    Err(_) => false,
+                }
+            });
+        }
+        self.inner
+            .stats
+            .lock()
+            .record_publish(&event.topic, fanout, one_time);
+        fanout
+    }
+
+    /// Number of live subscriptions.
+    pub fn len(&self) -> usize {
+        self.inner.subs.lock().len()
+    }
+
+    /// Returns `true` if there are no live subscriptions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cumulative delivery statistics.
+    pub fn stats(&self) -> DeliveryStats {
+        self.inner.stats.lock().clone()
+    }
+}
+
+impl Default for ThreadedBus {
+    fn default() -> Self {
+        ThreadedBus::new()
+    }
+}
+
+impl std::fmt::Debug for ThreadedBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedBus")
+            .field("subscriptions", &self.len())
+            .finish()
+    }
+}
+
+/// A point-to-point duplex channel pair: the second half of the paper's
+/// hybrid communication model, used for request/response interactions
+/// such as advertisement invocations.
+///
+/// Returns `(client, server)` endpoints; requests of type `Q` flow
+/// client→server, responses of type `R` flow back.
+pub fn point_to_point<Q, R>() -> (P2pClient<Q, R>, P2pServer<Q, R>) {
+    let (qtx, qrx) = unbounded();
+    let (rtx, rrx) = unbounded();
+    (
+        P2pClient { tx: qtx, rx: rrx },
+        P2pServer { rx: qrx, tx: rtx },
+    )
+}
+
+/// Client endpoint of a point-to-point link.
+#[derive(Debug)]
+pub struct P2pClient<Q, R> {
+    tx: Sender<Q>,
+    rx: Receiver<R>,
+}
+
+impl<Q, R> P2pClient<Q, R> {
+    /// Sends a request and blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::Stopped`] if the server endpoint is gone.
+    pub fn call(&self, request: Q) -> SciResult<R> {
+        self.tx
+            .send(request)
+            .map_err(|_| SciError::Stopped("point-to-point server".into()))?;
+        self.rx
+            .recv()
+            .map_err(|_| SciError::Stopped("point-to-point server".into()))
+    }
+}
+
+/// Server endpoint of a point-to-point link.
+#[derive(Debug)]
+pub struct P2pServer<Q, R> {
+    rx: Receiver<Q>,
+    tx: Sender<R>,
+}
+
+impl<Q, R> P2pServer<Q, R> {
+    /// Blocks for the next request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::Stopped`] if all clients are gone.
+    pub fn next_request(&self) -> SciResult<Q> {
+        self.rx
+            .recv()
+            .map_err(|_| SciError::Stopped("point-to-point client".into()))
+    }
+
+    /// Sends a response to the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::Stopped`] if the client endpoint is gone.
+    pub fn respond(&self, response: R) -> SciResult<()> {
+        self.tx
+            .send(response)
+            .map_err(|_| SciError::Stopped("point-to-point client".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_types::{ContextType, ContextValue, VirtualTime};
+    use std::thread;
+
+    fn ev(source: u128, seq: u64) -> ContextEvent {
+        ContextEvent::new(
+            Guid::from_u128(source),
+            ContextType::Temperature,
+            ContextValue::Int(seq as i64),
+            VirtualTime::from_micros(seq),
+        )
+    }
+
+    #[test]
+    fn concurrent_publishers_single_subscriber() {
+        let bus = ThreadedBus::new();
+        let (_, rx) = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = bus.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    b.publish(&ev(t, i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(bus);
+        let received: Vec<ContextEvent> = rx.try_iter().collect();
+        assert_eq!(received.len(), 400);
+    }
+
+    #[test]
+    fn one_time_in_threaded_mode() {
+        let bus = ThreadedBus::new();
+        let (_, rx) = bus.subscribe(Guid::from_u128(1), Topic::any(), true);
+        assert_eq!(bus.publish(&ev(9, 0)), 1);
+        assert_eq!(bus.publish(&ev(9, 1)), 0);
+        assert_eq!(rx.try_iter().count(), 1);
+        assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn dropped_receiver_is_reaped() {
+        let bus = ThreadedBus::new();
+        let (_, rx) = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+        drop(rx);
+        assert_eq!(bus.publish(&ev(9, 0)), 0);
+        assert!(bus.is_empty(), "dead subscription garbage-collected");
+    }
+
+    #[test]
+    fn unsubscribe_disconnects() {
+        let bus = ThreadedBus::new();
+        let (id, rx) = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+        bus.unsubscribe(id).unwrap();
+        assert!(bus.unsubscribe(id).is_err());
+        assert_eq!(bus.publish(&ev(9, 0)), 0);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn topic_filtering_under_threads() {
+        let bus = ThreadedBus::new();
+        let (_, temp_rx) = bus.subscribe(
+            Guid::from_u128(1),
+            Topic::of_type(ContextType::Temperature),
+            false,
+        );
+        let (_, pres_rx) = bus.subscribe(
+            Guid::from_u128(2),
+            Topic::of_type(ContextType::Presence),
+            false,
+        );
+        bus.publish(&ev(9, 0));
+        assert_eq!(temp_rx.try_iter().count(), 1);
+        assert_eq!(pres_rx.try_iter().count(), 0);
+        assert_eq!(bus.stats().published, 1);
+        assert_eq!(bus.stats().delivered, 1);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let (client, server) = point_to_point::<String, usize>();
+        let h = thread::spawn(move || {
+            let req = server.next_request().unwrap();
+            server.respond(req.len()).unwrap();
+        });
+        let len = client.call("hello".to_owned()).unwrap();
+        assert_eq!(len, 5);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn point_to_point_detects_dead_server() {
+        let (client, server) = point_to_point::<u8, u8>();
+        drop(server);
+        assert!(matches!(client.call(1), Err(SciError::Stopped(_))));
+    }
+
+    #[test]
+    fn unsubscribe_all_threaded() {
+        let bus = ThreadedBus::new();
+        let e = Guid::from_u128(7);
+        let _r1 = bus.subscribe(e, Topic::any(), false);
+        let _r2 = bus.subscribe(e, Topic::any(), false);
+        let _r3 = bus.subscribe(Guid::from_u128(8), Topic::any(), false);
+        assert_eq!(bus.unsubscribe_all(e), 2);
+        assert_eq!(bus.len(), 1);
+    }
+}

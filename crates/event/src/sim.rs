@@ -1,0 +1,281 @@
+//! Deterministic virtual-time scheduling.
+//!
+//! SCI's experiments run on a logical clock: a [`VirtualClock`] that only
+//! advances when the simulation driver says so, and a [`Scheduler`] —
+//! a priority queue of timestamped actions with stable FIFO ordering for
+//! equal timestamps. Sensors, mobility models, failure injectors and
+//! deferred queries all schedule through this module.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sci_types::{VirtualDuration, VirtualTime};
+
+/// A monotonically advancing logical clock.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: VirtualTime,
+}
+
+impl VirtualClock {
+    /// Creates a clock at [`VirtualTime::ZERO`].
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Advances the clock by a duration.
+    pub fn advance(&mut self, d: VirtualDuration) {
+        self.now += d;
+    }
+
+    /// Advances the clock to an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past — virtual time never goes backwards.
+    pub fn advance_to(&mut self, t: VirtualTime) {
+        assert!(
+            t >= self.now,
+            "clock cannot go backwards: {t:?} < {:?}",
+            self.now
+        );
+        self.now = t;
+    }
+}
+
+struct Scheduled<T> {
+    at: VirtualTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the
+        // earliest (and, among equals, lowest-seq) item on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic timed action queue.
+///
+/// Actions scheduled for the same instant pop in scheduling order, so a
+/// run is a pure function of the schedule.
+///
+/// # Example
+///
+/// ```
+/// use sci_event::Scheduler;
+/// use sci_types::VirtualTime;
+///
+/// let mut s = Scheduler::new();
+/// s.schedule(VirtualTime::from_secs(2), "late");
+/// s.schedule(VirtualTime::from_secs(1), "early");
+/// s.schedule(VirtualTime::from_secs(1), "early-second");
+///
+/// assert_eq!(s.pop(), Some((VirtualTime::from_secs(1), "early")));
+/// assert_eq!(s.pop(), Some((VirtualTime::from_secs(1), "early-second")));
+/// assert_eq!(s.pop(), Some((VirtualTime::from_secs(2), "late")));
+/// assert_eq!(s.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct Scheduler<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T> Scheduler<T> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `item` to fire at `at`.
+    pub fn schedule(&mut self, at: VirtualTime, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, item });
+    }
+
+    /// The instant of the next action without removing it.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Removes and returns the earliest action.
+    pub fn pop(&mut self) -> Option<(VirtualTime, T)> {
+        self.heap.pop().map(|s| (s.at, s.item))
+    }
+
+    /// Removes and returns the earliest action only if it is due at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: VirtualTime) -> Option<(VirtualTime, T)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending actions.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for Scheduler<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("pending", &self.heap.len())
+            .field("next_due", &self.peek_time())
+            .finish()
+    }
+}
+
+/// Runs a scheduler to exhaustion (or until `deadline`), advancing the
+/// clock to each action's timestamp and invoking `handle`. The handler
+/// may schedule further actions.
+///
+/// Returns the number of actions executed.
+pub fn run_until<T>(
+    clock: &mut VirtualClock,
+    scheduler: &mut Scheduler<T>,
+    deadline: VirtualTime,
+    mut handle: impl FnMut(&mut VirtualClock, &mut Scheduler<T>, VirtualTime, T),
+) -> usize {
+    let mut executed = 0;
+    while let Some(at) = scheduler.peek_time() {
+        if at > deadline {
+            break;
+        }
+        let (at, item) = scheduler.pop().expect("peeked");
+        clock.advance_to(at.max(clock.now()));
+        handle(clock, scheduler, at, item);
+        executed += 1;
+    }
+    if clock.now() < deadline {
+        clock.advance_to(deadline);
+    }
+    executed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_monotonicity() {
+        let mut c = VirtualClock::new();
+        c.advance(VirtualDuration::from_secs(1));
+        c.advance_to(VirtualTime::from_secs(2));
+        assert_eq!(c.now(), VirtualTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_rejects_time_travel() {
+        let mut c = VirtualClock::new();
+        c.advance_to(VirtualTime::from_secs(2));
+        c.advance_to(VirtualTime::from_secs(1));
+    }
+
+    #[test]
+    fn fifo_for_equal_timestamps() {
+        let mut s = Scheduler::new();
+        let t = VirtualTime::from_secs(1);
+        for i in 0..100 {
+            s.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, i)| i)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut s = Scheduler::new();
+        s.schedule(VirtualTime::from_secs(5), "later");
+        assert!(s.pop_due(VirtualTime::from_secs(4)).is_none());
+        assert!(s.pop_due(VirtualTime::from_secs(5)).is_some());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn run_until_executes_cascading_actions() {
+        let mut clock = VirtualClock::new();
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        sched.schedule(VirtualTime::from_secs(1), 3);
+        let mut fired = Vec::new();
+        let n = run_until(
+            &mut clock,
+            &mut sched,
+            VirtualTime::from_secs(10),
+            |clock, sched, at, remaining| {
+                fired.push((at, remaining));
+                if remaining > 0 {
+                    sched.schedule(clock.now() + VirtualDuration::from_secs(1), remaining - 1);
+                }
+            },
+        );
+        assert_eq!(n, 4);
+        assert_eq!(
+            fired,
+            vec![
+                (VirtualTime::from_secs(1), 3),
+                (VirtualTime::from_secs(2), 2),
+                (VirtualTime::from_secs(3), 1),
+                (VirtualTime::from_secs(4), 0),
+            ]
+        );
+        assert_eq!(
+            clock.now(),
+            VirtualTime::from_secs(10),
+            "clock reaches deadline"
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut clock = VirtualClock::new();
+        let mut sched: Scheduler<&str> = Scheduler::new();
+        sched.schedule(VirtualTime::from_secs(1), "in");
+        sched.schedule(VirtualTime::from_secs(100), "out");
+        let mut seen = Vec::new();
+        run_until(
+            &mut clock,
+            &mut sched,
+            VirtualTime::from_secs(10),
+            |_, _, _, item| {
+                seen.push(item);
+            },
+        );
+        assert_eq!(seen, ["in"]);
+        assert_eq!(sched.len(), 1, "future action stays queued");
+    }
+}

@@ -1,0 +1,97 @@
+//! Delivery statistics.
+//!
+//! Counters maintained by the Event Mediator and by benchmark harnesses;
+//! the overlay keeps its own per-node forwarding stats in `sci-overlay`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sci_types::ContextType;
+
+/// Aggregate counters for event traffic through a mediator.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeliveryStats {
+    /// Events published.
+    pub published: u64,
+    /// Deliveries fanned out (one event to N subscribers counts N).
+    pub delivered: u64,
+    /// Events that matched no subscription.
+    pub unmatched: u64,
+    /// One-time subscriptions consumed.
+    pub one_time_completed: u64,
+    per_type: HashMap<ContextType, u64>,
+}
+
+impl DeliveryStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        DeliveryStats::default()
+    }
+
+    /// Records a publish that produced `fanout` deliveries, of which
+    /// `completed_one_time` consumed one-time subscriptions.
+    pub fn record_publish(&mut self, ty: &ContextType, fanout: usize, completed_one_time: usize) {
+        self.published += 1;
+        self.delivered += fanout as u64;
+        if fanout == 0 {
+            self.unmatched += 1;
+        }
+        self.one_time_completed += completed_one_time as u64;
+        *self.per_type.entry(ty.clone()).or_insert(0) += 1;
+    }
+
+    /// Publishes seen for one context type.
+    pub fn published_of_type(&self, ty: &ContextType) -> u64 {
+        self.per_type.get(ty).copied().unwrap_or(0)
+    }
+
+    /// Mean fanout per published event (0 when nothing was published).
+    pub fn mean_fanout(&self) -> f64 {
+        if self.published == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.published as f64
+        }
+    }
+}
+
+impl fmt::Display for DeliveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "published={} delivered={} unmatched={} mean_fanout={:.2}",
+            self.published,
+            self.delivered,
+            self.unmatched,
+            self.mean_fanout()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = DeliveryStats::new();
+        s.record_publish(&ContextType::Presence, 3, 1);
+        s.record_publish(&ContextType::Presence, 0, 0);
+        s.record_publish(&ContextType::Temperature, 1, 0);
+        assert_eq!(s.published, 3);
+        assert_eq!(s.delivered, 4);
+        assert_eq!(s.unmatched, 1);
+        assert_eq!(s.one_time_completed, 1);
+        assert_eq!(s.published_of_type(&ContextType::Presence), 2);
+        assert_eq!(s.published_of_type(&ContextType::Path), 0);
+    }
+
+    #[test]
+    fn mean_fanout() {
+        let mut s = DeliveryStats::new();
+        assert_eq!(s.mean_fanout(), 0.0);
+        s.record_publish(&ContextType::Presence, 4, 0);
+        s.record_publish(&ContextType::Presence, 2, 0);
+        assert_eq!(s.mean_fanout(), 3.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the event bus: delivery completeness, one-time
+//! semantics and subscriber-purge invariants under random operation
+//! sequences.
+
+use proptest::prelude::*;
+use sci_event::{EventBus, Topic};
+use sci_types::{ContextEvent, ContextType, ContextValue, Guid, VirtualTime};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Subscribe {
+        subscriber: u8,
+        ty: Option<u8>,
+        one_time: bool,
+    },
+    Publish {
+        source: u8,
+        ty: u8,
+    },
+    UnsubscribeAll {
+        subscriber: u8,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::option::of(0u8..4), any::<bool>()).prop_map(
+            |(subscriber, ty, one_time)| Op::Subscribe {
+                subscriber,
+                ty,
+                one_time
+            }
+        ),
+        (any::<u8>(), 0u8..4).prop_map(|(source, ty)| Op::Publish { source, ty }),
+        any::<u8>().prop_map(|subscriber| Op::UnsubscribeAll { subscriber }),
+    ]
+}
+
+fn ty_of(i: u8) -> ContextType {
+    match i % 4 {
+        0 => ContextType::Presence,
+        1 => ContextType::Temperature,
+        2 => ContextType::Location,
+        _ => ContextType::Path,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A reference model (a plain list of subscription records) and the
+    /// bus agree on every delivery, for any operation sequence.
+    #[test]
+    fn bus_matches_reference_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut bus = EventBus::new();
+        #[derive(Clone)]
+        struct ModelSub { subscriber: Guid, ty: Option<ContextType>, one_time: bool }
+        let mut model: Vec<ModelSub> = Vec::new();
+        let mut t = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Subscribe { subscriber, ty, one_time } => {
+                    let subscriber = Guid::from_u128(subscriber as u128 + 1);
+                    let topic = match ty {
+                        Some(i) => Topic::of_type(ty_of(i)),
+                        None => Topic::any(),
+                    };
+                    bus.subscribe(subscriber, topic, one_time);
+                    model.push(ModelSub { subscriber, ty: ty.map(ty_of), one_time });
+                }
+                Op::Publish { source, ty } => {
+                    t += 1;
+                    let event = ContextEvent::new(
+                        Guid::from_u128(source as u128 + 1000),
+                        ty_of(ty),
+                        ContextValue::Int(t as i64),
+                        VirtualTime::from_micros(t),
+                    );
+                    let deliveries = bus.publish(&event);
+                    // Model: matching subs in order; one-time removed.
+                    let mut expected = Vec::new();
+                    model.retain(|s| {
+                        let hit = s.ty.as_ref().map(|x| *x == event.topic).unwrap_or(true);
+                        if hit {
+                            expected.push(s.subscriber);
+                            !s.one_time
+                        } else {
+                            true
+                        }
+                    });
+                    let got: Vec<Guid> = deliveries.iter().map(|d| d.subscriber).collect();
+                    prop_assert_eq!(got, expected);
+                }
+                Op::UnsubscribeAll { subscriber } => {
+                    let subscriber = Guid::from_u128(subscriber as u128 + 1);
+                    let removed = bus.unsubscribe_all(subscriber);
+                    let before = model.len();
+                    model.retain(|s| s.subscriber != subscriber);
+                    prop_assert_eq!(removed, before - model.len());
+                }
+            }
+            prop_assert_eq!(bus.len(), model.len(), "live-subscription count agrees");
+        }
+    }
+
+    /// One-time subscriptions deliver exactly once ever.
+    #[test]
+    fn one_time_delivers_exactly_once(publishes in 1usize..20) {
+        let mut bus = EventBus::new();
+        let app = Guid::from_u128(1);
+        bus.subscribe(app, Topic::any(), true);
+        let mut total = 0;
+        for i in 0..publishes {
+            let ev = ContextEvent::new(
+                Guid::from_u128(2),
+                ContextType::Presence,
+                ContextValue::Int(i as i64),
+                VirtualTime::from_micros(i as u64),
+            );
+            total += bus.publish(&ev).len();
+        }
+        prop_assert_eq!(total, 1);
+        prop_assert!(bus.is_empty());
+    }
+}

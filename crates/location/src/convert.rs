@@ -1,0 +1,212 @@
+//! Cross-model conversions.
+//!
+//! The paper's Section 3.3 names one conversion explicitly — "convert
+//! network signal strength to a geometric position" — which this module
+//! implements with a standard log-distance path-loss model and
+//! least-squares trilateration. The geometric ↔ logical conversions the
+//! paper also mentions are provided by [`crate::language`].
+
+use sci_types::{Coord, SciError, SciResult};
+
+/// Radio propagation parameters for the log-distance path-loss model.
+///
+/// `rssi(d) = tx_power_dbm - 10 * exponent * log10(d / 1m)`
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PathLossModel {
+    /// Received power at 1 m, in dBm.
+    pub tx_power_dbm: f64,
+    /// Path-loss exponent (2.0 free space, ~3.0 indoors).
+    pub exponent: f64,
+}
+
+impl PathLossModel {
+    /// A typical indoor profile: -40 dBm at 1 m, exponent 3.0.
+    pub const INDOOR: PathLossModel = PathLossModel {
+        tx_power_dbm: -40.0,
+        exponent: 3.0,
+    };
+
+    /// Predicted RSSI at `distance_m` metres (clamped to ≥ 0.1 m).
+    pub fn rssi_at(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(0.1);
+        self.tx_power_dbm - 10.0 * self.exponent * d.log10()
+    }
+
+    /// Inverts the model: distance (metres) implied by an RSSI reading.
+    pub fn distance_for(&self, rssi_dbm: f64) -> f64 {
+        10f64.powf((self.tx_power_dbm - rssi_dbm) / (10.0 * self.exponent))
+    }
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        PathLossModel::INDOOR
+    }
+}
+
+/// One signal-strength observation: a base station at a known position
+/// heard the device at the given RSSI.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SignalReading {
+    /// Where the base station is.
+    pub station: Coord,
+    /// Received signal strength, dBm.
+    pub rssi_dbm: f64,
+}
+
+impl SignalReading {
+    /// Creates a reading.
+    pub fn new(station: Coord, rssi_dbm: f64) -> Self {
+        SignalReading { station, rssi_dbm }
+    }
+}
+
+/// Estimates a device position from ≥ 3 signal readings by linearised
+/// least-squares trilateration.
+///
+/// Each reading is converted to a range via `model`, then the standard
+/// "subtract the last circle equation" linearisation reduces the problem
+/// to a 2×2 normal-equation solve.
+///
+/// # Errors
+///
+/// * [`SciError::Unresolvable`] with fewer than 3 readings, or when the
+///   stations are collinear/degenerate (singular system).
+pub fn trilaterate(model: &PathLossModel, readings: &[SignalReading]) -> SciResult<Coord> {
+    if readings.len() < 3 {
+        return Err(SciError::Unresolvable(format!(
+            "trilateration needs 3 readings, got {}",
+            readings.len()
+        )));
+    }
+    let ranges: Vec<f64> = readings
+        .iter()
+        .map(|r| model.distance_for(r.rssi_dbm))
+        .collect();
+
+    // Linearise against the last reading:
+    //   2(xi - xn) x + 2(yi - yn) y = ri'² - rn'²  with ri'² = ri² - xi² - yi²
+    let last = readings.len() - 1;
+    let (xn, yn, rn) = (
+        readings[last].station.x,
+        readings[last].station.y,
+        ranges[last],
+    );
+    let mut ata = [[0.0f64; 2]; 2];
+    let mut atb = [0.0f64; 2];
+    for i in 0..last {
+        let (xi, yi, ri) = (readings[i].station.x, readings[i].station.y, ranges[i]);
+        let a0 = 2.0 * (xn - xi);
+        let a1 = 2.0 * (yn - yi);
+        let b = (ri * ri - rn * rn) - (xi * xi - xn * xn) - (yi * yi - yn * yn);
+        ata[0][0] += a0 * a0;
+        ata[0][1] += a0 * a1;
+        ata[1][0] += a1 * a0;
+        ata[1][1] += a1 * a1;
+        atb[0] += a0 * b;
+        atb[1] += a1 * b;
+    }
+    let det = ata[0][0] * ata[1][1] - ata[0][1] * ata[1][0];
+    if det.abs() < 1e-9 {
+        return Err(SciError::Unresolvable(
+            "base stations are collinear; position is ambiguous".into(),
+        ));
+    }
+    let x = (atb[0] * ata[1][1] - atb[1] * ata[0][1]) / det;
+    let y = (ata[0][0] * atb[1] - ata[1][0] * atb[0]) / det;
+    if !x.is_finite() || !y.is_finite() {
+        return Err(SciError::Unresolvable("trilateration diverged".into()));
+    }
+    Ok(Coord::new(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_loss_roundtrip() {
+        let m = PathLossModel::INDOOR;
+        for d in [0.5, 1.0, 3.0, 10.0, 30.0] {
+            let rssi = m.rssi_at(d);
+            let back = m.distance_for(rssi);
+            assert!(
+                (back - d.max(0.1)).abs() < 1e-9,
+                "distance {d} -> rssi {rssi} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let m = PathLossModel::default();
+        assert!(m.rssi_at(1.0) > m.rssi_at(5.0));
+        assert!(m.rssi_at(5.0) > m.rssi_at(50.0));
+    }
+
+    fn readings_for(device: Coord, stations: &[Coord], m: &PathLossModel) -> Vec<SignalReading> {
+        stations
+            .iter()
+            .map(|&s| SignalReading::new(s, m.rssi_at(s.distance(device))))
+            .collect()
+    }
+
+    #[test]
+    fn trilateration_recovers_exact_position() {
+        let m = PathLossModel::INDOOR;
+        let device = Coord::new(3.5, 2.25);
+        let stations = [
+            Coord::new(0.0, 0.0),
+            Coord::new(10.0, 0.0),
+            Coord::new(0.0, 10.0),
+            Coord::new(10.0, 10.0),
+        ];
+        let estimate = trilaterate(&m, &readings_for(device, &stations, &m)).unwrap();
+        assert!(estimate.distance(device) < 1e-6, "estimate {estimate}");
+    }
+
+    #[test]
+    fn trilateration_tolerates_noise() {
+        let m = PathLossModel::INDOOR;
+        let device = Coord::new(6.0, 4.0);
+        let stations = [
+            Coord::new(0.0, 0.0),
+            Coord::new(12.0, 0.0),
+            Coord::new(0.0, 9.0),
+            Coord::new(12.0, 9.0),
+        ];
+        let mut rs = readings_for(device, &stations, &m);
+        // ±0.5 dB of deterministic "noise".
+        for (i, r) in rs.iter_mut().enumerate() {
+            r.rssi_dbm += if i % 2 == 0 { 0.5 } else { -0.5 };
+        }
+        let estimate = trilaterate(&m, &rs).unwrap();
+        assert!(
+            estimate.distance(device) < 2.0,
+            "estimate {estimate} too far from {device}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        let m = PathLossModel::INDOOR;
+        let device = Coord::new(1.0, 1.0);
+        assert!(trilaterate(&m, &[]).is_err());
+        let two = readings_for(device, &[Coord::new(0.0, 0.0), Coord::new(5.0, 0.0)], &m);
+        assert!(trilaterate(&m, &two).is_err());
+        // Collinear stations cannot disambiguate the mirror position.
+        let collinear = readings_for(
+            device,
+            &[
+                Coord::new(0.0, 0.0),
+                Coord::new(5.0, 0.0),
+                Coord::new(10.0, 0.0),
+            ],
+            &m,
+        );
+        assert!(matches!(
+            trilaterate(&m, &collinear),
+            Err(SciError::Unresolvable(_))
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! # sci-location
+//!
+//! SCI location models.
+//!
+//! "We propose that it is preferable to support many types of location
+//! model and interoperate between them if necessary. For example it may
+//! be necessary to convert geometric information to a hierarchical model
+//! or similarly convert network signal strength to a geometric position.
+//! To facilitate this it will be necessary to develop an intermediate
+//! location language." (paper, Section 3.3)
+//!
+//! This crate implements all three models the paper names plus the
+//! intermediate language tying them together:
+//!
+//! * [`geometric::GeometricModel`] — 2-D regions and entity coordinates.
+//! * [`topological::TopoGraph`] — places as nodes, doors/adjacency as
+//!   weighted edges, with shortest-path routing.
+//! * [`logical::LogicalModel`] — a hierarchy of named zones
+//!   (campus/building/floor/room).
+//! * [`language::LocationExpr`] — the intermediate language: any
+//!   expression can be resolved against a [`FloorPlan`] to any of the
+//!   model-specific forms.
+//! * [`convert`] — cross-model conversions, including the paper's
+//!   signal-strength → geometric example (log-distance path loss +
+//!   trilateration).
+//! * [`FloorPlan`] — a builder producing mutually consistent instances of
+//!   all three models, used by the sensor simulator and the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod floorplan;
+pub mod geometric;
+pub mod geometry;
+pub mod language;
+pub mod logical;
+pub mod pathfind;
+pub mod topological;
+
+pub use floorplan::{FloorPlan, FloorPlanBuilder, Room};
+pub use geometry::{Circle, Rect};
+pub use language::{LocationExpr, ResolvedLocation};
+pub use pathfind::Route;

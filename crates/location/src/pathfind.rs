@@ -1,0 +1,164 @@
+//! Route planning between locations, the capability behind the `pathCE`
+//! of the paper's Figure 3 ("display the path between himself and his
+//! colleague John").
+
+use std::fmt;
+
+use sci_types::{ContextValue, Coord, SciResult};
+
+use crate::floorplan::FloorPlan;
+use crate::language::LocationExpr;
+
+/// A planned route: the room sequence, waypoint coordinates and cost.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Route {
+    /// Rooms traversed, endpoints inclusive.
+    pub rooms: Vec<String>,
+    /// Waypoints (room centroids, with exact endpoints when the query
+    /// was geometric).
+    pub waypoints: Vec<Coord>,
+    /// Total cost in metres.
+    pub cost: f64,
+}
+
+impl Route {
+    /// Plans the route between two locations over the plan's topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution errors from the endpoints and
+    /// [`sci_types::SciError::Unresolvable`] when the rooms are not
+    /// connected.
+    pub fn plan(plan: &FloorPlan, from: &LocationExpr, to: &LocationExpr) -> SciResult<Route> {
+        let start = from.resolve(plan)?;
+        let goal = to.resolve(plan)?;
+        let (rooms, cost) = plan.topology().shortest_path(&start.place, &goal.place)?;
+        let mut waypoints = Vec::with_capacity(rooms.len());
+        for (i, room) in rooms.iter().enumerate() {
+            let wp = if i == 0 {
+                start.coord
+            } else if i == rooms.len() - 1 {
+                goal.coord
+            } else {
+                plan.centroid(room)?
+            };
+            waypoints.push(wp);
+        }
+        Ok(Route {
+            rooms,
+            waypoints,
+            cost,
+        })
+    }
+
+    /// Number of hops (rooms minus one).
+    pub fn hops(&self) -> usize {
+        self.rooms.len().saturating_sub(1)
+    }
+
+    /// Encodes the route as the [`ContextValue`] payload carried by
+    /// [`sci_types::ContextType::Path`] events.
+    pub fn to_value(&self) -> ContextValue {
+        ContextValue::record([
+            (
+                "rooms",
+                ContextValue::List(self.rooms.iter().map(ContextValue::place).collect()),
+            ),
+            (
+                "waypoints",
+                ContextValue::List(
+                    self.waypoints
+                        .iter()
+                        .copied()
+                        .map(ContextValue::Coord)
+                        .collect(),
+                ),
+            ),
+            ("cost", ContextValue::Float(self.cost)),
+        ])
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "route [{}] {:.1}m", self.rooms.join(" -> "), self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::capa_level10;
+
+    #[test]
+    fn plans_between_offices() {
+        let plan = capa_level10();
+        let route = Route::plan(
+            &plan,
+            &LocationExpr::Place("L10.01".into()),
+            &LocationExpr::Place("L10.02".into()),
+        )
+        .unwrap();
+        assert_eq!(route.rooms, ["L10.01", "corridor", "L10.02"]);
+        assert_eq!(route.hops(), 2);
+        assert_eq!(route.waypoints.len(), 3);
+        assert!(route.cost > 0.0);
+    }
+
+    #[test]
+    fn geometric_endpoints_are_exact() {
+        let plan = capa_level10();
+        let from = Coord::new(1.0, 5.0); // inside L10.01
+        let to = Coord::new(30.0, 6.0); // inside bay
+        let route = Route::plan(&plan, &from.into(), &to.into()).unwrap();
+        assert_eq!(route.waypoints.first().copied(), Some(from));
+        assert_eq!(route.waypoints.last().copied(), Some(to));
+        assert_eq!(route.rooms.first().map(String::as_str), Some("L10.01"));
+        assert_eq!(route.rooms.last().map(String::as_str), Some("bay"));
+    }
+
+    #[test]
+    fn same_room_route_is_degenerate() {
+        let plan = capa_level10();
+        let route = Route::plan(
+            &plan,
+            &LocationExpr::Place("lobby".into()),
+            &LocationExpr::Place("lobby".into()),
+        )
+        .unwrap();
+        assert_eq!(route.hops(), 0);
+        assert_eq!(route.cost, 0.0);
+    }
+
+    #[test]
+    fn value_encoding_carries_rooms_and_cost() {
+        let plan = capa_level10();
+        let route = Route::plan(
+            &plan,
+            &LocationExpr::Place("lobby".into()),
+            &LocationExpr::Place("L10.01".into()),
+        )
+        .unwrap();
+        let v = route.to_value();
+        let rooms = v.field("rooms").and_then(ContextValue::as_list).unwrap();
+        assert_eq!(rooms.len(), route.rooms.len());
+        assert_eq!(
+            v.field("cost").and_then(ContextValue::as_float),
+            Some(route.cost)
+        );
+    }
+
+    #[test]
+    fn display_mentions_endpoints() {
+        let plan = capa_level10();
+        let route = Route::plan(
+            &plan,
+            &LocationExpr::Place("lobby".into()),
+            &LocationExpr::Place("bay".into()),
+        )
+        .unwrap();
+        let s = route.to_string();
+        assert!(s.contains("lobby"));
+        assert!(s.contains("bay"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the location models: cross-model conversion
+//! consistency, routing invariants and trilateration accuracy.
+
+use proptest::prelude::*;
+use sci_location::convert::{trilaterate, PathLossModel, SignalReading};
+use sci_location::floorplan::FloorPlan;
+use sci_location::{LocationExpr, Rect, Route};
+use sci_types::Coord;
+
+/// A random corridor floor plan with `rooms` offices.
+fn plan_with(rooms: usize) -> FloorPlan {
+    let mut b = FloorPlan::builder("campus").zone("wing").room(
+        "corridor",
+        Rect::with_size(Coord::new(0.0, 0.0), 6.0 * rooms as f64, 3.0),
+    );
+    for i in 0..rooms {
+        let name = format!("R{i}");
+        b = b
+            .room(
+                name.clone(),
+                Rect::with_size(Coord::new(6.0 * i as f64, 3.0), 6.0, 5.0),
+            )
+            .door("corridor", name, format!("door-{i}"));
+    }
+    b.build().expect("valid synthetic plan")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Geometric → topological → logical conversions agree: a point in
+    /// a room resolves to that room in every model.
+    #[test]
+    fn cross_model_consistency(rooms in 1usize..12, pick in any::<prop::sample::Index>(),
+                               fx in 0.05f64..0.95, fy in 0.05f64..0.95) {
+        let plan = plan_with(rooms);
+        let room = &plan.rooms()[pick.index(plan.rooms().len())];
+        let p = Coord::new(
+            room.rect.min().x + fx * room.rect.width(),
+            room.rect.min().y + fy * room.rect.height(),
+        );
+        let resolved = LocationExpr::Point(p).resolve(&plan).unwrap();
+        prop_assert_eq!(&resolved.place, &room.name);
+        prop_assert_eq!(resolved.zone.leaf(), room.name.as_str());
+        prop_assert!(plan.logical().zone_contains("wing", &room.name).unwrap());
+        // Round-trip: resolving the place again lands inside the room.
+        let back = LocationExpr::Place(room.name.clone()).resolve(&plan).unwrap();
+        prop_assert!(room.rect.contains(back.coord));
+    }
+
+    /// Route planning is symmetric in cost and endpoints, and every
+    /// consecutive pair of rooms on the route is adjacent.
+    #[test]
+    fn route_invariants(rooms in 2usize..12,
+                        a in any::<prop::sample::Index>(),
+                        b in any::<prop::sample::Index>()) {
+        let plan = plan_with(rooms);
+        let names: Vec<String> = plan.rooms().iter().map(|r| r.name.clone()).collect();
+        let from = &names[a.index(names.len())];
+        let to = &names[b.index(names.len())];
+        let fwd = Route::plan(
+            &plan,
+            &LocationExpr::Place(from.clone()),
+            &LocationExpr::Place(to.clone()),
+        ).unwrap();
+        let rev = Route::plan(
+            &plan,
+            &LocationExpr::Place(to.clone()),
+            &LocationExpr::Place(from.clone()),
+        ).unwrap();
+        prop_assert!((fwd.cost - rev.cost).abs() < 1e-9, "cost symmetry");
+        prop_assert_eq!(fwd.rooms.first(), Some(from));
+        prop_assert_eq!(fwd.rooms.last(), Some(to));
+        for w in fwd.rooms.windows(2) {
+            prop_assert!(
+                plan.topology().neighbors(&w[0]).unwrap().contains(&w[1].as_str()),
+                "{} and {} must be adjacent", w[0], w[1]
+            );
+        }
+        prop_assert_eq!(fwd.waypoints.len(), fwd.rooms.len());
+    }
+
+    /// Trilateration from noiseless readings recovers the position to
+    /// sub-centimetre accuracy whenever the stations are not collinear.
+    #[test]
+    fn trilateration_exact(x in 1.0f64..29.0, y in 1.0f64..19.0) {
+        let device = Coord::new(x, y);
+        let stations = [
+            Coord::new(0.0, 0.0),
+            Coord::new(30.0, 0.0),
+            Coord::new(0.0, 20.0),
+            Coord::new(30.0, 20.0),
+        ];
+        let model = PathLossModel::INDOOR;
+        let readings: Vec<SignalReading> = stations
+            .iter()
+            .map(|&s| SignalReading::new(s, model.rssi_at(s.distance(device))))
+            .collect();
+        let estimate = trilaterate(&model, &readings).unwrap();
+        prop_assert!(estimate.distance(device) < 0.01, "estimate {estimate} vs {device}");
+    }
+
+    /// The path-loss model is monotone and invertible over its domain.
+    #[test]
+    fn path_loss_monotone_invertible(d1 in 0.1f64..100.0, d2 in 0.1f64..100.0) {
+        let m = PathLossModel::INDOOR;
+        if d1 < d2 {
+            prop_assert!(m.rssi_at(d1) > m.rssi_at(d2));
+        }
+        let rt = m.distance_for(m.rssi_at(d1));
+        prop_assert!((rt - d1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,240 @@
+//! Range discovery: joining the SCINET.
+//!
+//! "The SCINET can be created via Range discovery, requiring little
+//! initialisation" (paper, Section 3). A joining node knows one
+//! bootstrap node; it performs an iterative `find_node` lookup toward
+//! its own GUID to find its overlay neighbourhood, then refreshes one
+//! random target per bucket distance band to spread its knowledge across
+//! the id space. All lookups run over the simulated tables — the same
+//! data a real deployment would exchange in
+//! [`crate::message::MessageKind::FindNode`] messages.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sci_types::{Guid, SciError, SciResult};
+
+use crate::net::SimNetwork;
+
+/// How many candidates a `find_node` reply carries.
+pub const FIND_NODE_FANOUT: usize = 8;
+
+/// How many leading bucket indices a join refreshes (one lookup per
+/// bucket, Kademlia-style). 24 buckets cover networks of ~16M nodes;
+/// deeper buckets are populated by the self-lookup.
+pub const REFRESH_BUCKETS: u32 = 24;
+
+/// Joins `joiner` to the network through `bootstrap`.
+///
+/// The joiner must already have been added with
+/// [`SimNetwork::add_node`]; this wires its routing table and announces
+/// it to the nodes it contacts (bidirectional insertion, as contact
+/// implies in Kademlia-style networks).
+///
+/// # Errors
+///
+/// Returns [`SciError::UnknownRange`] if either node does not exist, and
+/// [`SciError::Internal`] if `joiner == bootstrap`.
+pub fn join(net: &mut SimNetwork, joiner: Guid, bootstrap: Guid, seed: u64) -> SciResult<()> {
+    if joiner == bootstrap {
+        return Err(SciError::Internal(
+            "node cannot bootstrap from itself".into(),
+        ));
+    }
+    for g in [joiner, bootstrap] {
+        if net.node(g).is_none() {
+            return Err(SciError::UnknownRange(g));
+        }
+    }
+
+    net.link(joiner, bootstrap)?;
+    net.link(bootstrap, joiner)?;
+
+    // Iterative lookup toward our own id populates the neighbourhood,
+    // then a per-bucket refresh fills the distant regions.
+    lookup(net, joiner, joiner)?;
+    refresh(net, joiner, seed)?;
+    Ok(())
+}
+
+/// Per-bucket refresh for one node: for each leading bucket index, look
+/// up a random id that differs from the node's id first at that bit.
+/// This is what keeps greedy forwarding from hitting an empty bucket
+/// whose region is populated.
+///
+/// # Errors
+///
+/// Returns [`SciError::UnknownRange`] if the node does not exist.
+pub fn refresh(net: &mut SimNetwork, node: Guid, seed: u64) -> SciResult<()> {
+    let mut rng = StdRng::seed_from_u64(seed ^ node.as_u128() as u64);
+    for bucket in 0..REFRESH_BUCKETS.min(Guid::BITS) {
+        let keep_high: u128 = if bucket == 0 {
+            0
+        } else {
+            !0u128 << (Guid::BITS - bucket)
+        };
+        let flip: u128 = 1u128 << (Guid::BITS - 1 - bucket);
+        let low_mask: u128 = flip - 1;
+        let random_low: u128 = rng.gen::<u128>() & low_mask;
+        let target = Guid::from_u128(((node.as_u128() & keep_high) ^ flip) | random_low);
+        lookup(net, node, target)?;
+    }
+    Ok(())
+}
+
+/// One round of network-wide bucket maintenance: every alive node
+/// refreshes its buckets (the periodic refresh of Kademlia-style
+/// networks, which heals the stale knowledge of early joiners as the
+/// network grows).
+///
+/// # Errors
+///
+/// Propagates refresh failures.
+pub fn maintain(net: &mut SimNetwork, seed: u64) -> SciResult<()> {
+    let nodes: Vec<Guid> = net.guids().collect();
+    for node in nodes {
+        if net.node(node).map(|n| n.is_alive()).unwrap_or(false) {
+            refresh(net, node, seed)?;
+        }
+    }
+    Ok(())
+}
+
+/// Iterative `find_node`: repeatedly asks the closest known nodes for
+/// their closest entries to `target`, inserting every node learned (and
+/// announcing `asker` back), until no closer node is learned.
+///
+/// Returns the closest node to `target` the asker ends up knowing.
+///
+/// # Errors
+///
+/// Returns [`SciError::UnknownRange`] if `asker` does not exist.
+pub fn lookup(net: &mut SimNetwork, asker: Guid, target: Guid) -> SciResult<Option<Guid>> {
+    if net.node(asker).is_none() {
+        return Err(SciError::UnknownRange(asker));
+    }
+    let mut asked: Vec<Guid> = Vec::new();
+    loop {
+        let frontier = net
+            .node(asker)
+            .expect("checked")
+            .table()
+            .closest_n(target, FIND_NODE_FANOUT);
+        let next = frontier.into_iter().find(|g| !asked.contains(g));
+        let Some(peer) = next else {
+            break;
+        };
+        asked.push(peer);
+        // Skip dead peers — a real lookup would time out on them.
+        if !net.node(peer).map(|n| n.is_alive()).unwrap_or(false) {
+            continue;
+        }
+        let learned = net
+            .node(peer)
+            .expect("checked")
+            .table()
+            .closest_n(target, FIND_NODE_FANOUT);
+        for g in learned {
+            if g != asker {
+                net.link(asker, g)?;
+            }
+        }
+        // Contact announces the asker to the peer.
+        net.link(peer, asker)?;
+    }
+    Ok(net.node(asker).expect("checked").table().closest_to(target))
+}
+
+/// Builds a network of `n` nodes by sequential discovery joins (the
+/// first node is the bootstrap), followed by one maintenance round so
+/// early joiners learn about late arrivals. Returns the node GUIDs in
+/// join order.
+///
+/// # Errors
+///
+/// Propagates join failures (which indicate a bug, given fresh GUIDs).
+pub fn grow_network(
+    net: &mut SimNetwork,
+    ids: &mut sci_types::guid::GuidGenerator,
+    n: usize,
+    seed: u64,
+) -> SciResult<Vec<Guid>> {
+    let mut guids = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = ids.next_guid();
+        net.add_node(g, format!("range-{i}-{g}"))?;
+        if let Some(&bootstrap) = guids.first() {
+            join(net, g, bootstrap, seed)?;
+        }
+        guids.push(g);
+    }
+    maintain(net, seed)?;
+    Ok(guids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_types::guid::GuidGenerator;
+
+    #[test]
+    fn join_links_both_sides() {
+        let mut net = SimNetwork::new();
+        let a = Guid::from_u128(0x10);
+        let b = Guid::from_u128(0x20);
+        net.add_node(a, "a").unwrap();
+        net.add_node(b, "b").unwrap();
+        join(&mut net, b, a, 7).unwrap();
+        assert!(net.node(a).unwrap().table().contains(b));
+        assert!(net.node(b).unwrap().table().contains(a));
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let mut net = SimNetwork::new();
+        let a = Guid::from_u128(1);
+        net.add_node(a, "a").unwrap();
+        assert!(join(&mut net, a, a, 0).is_err());
+    }
+
+    #[test]
+    fn discovery_grown_network_routes_all_pairs() {
+        let mut net = SimNetwork::new();
+        let mut ids = GuidGenerator::seeded(11);
+        let guids = grow_network(&mut net, &mut ids, 48, 11).unwrap();
+        let mut failures = 0;
+        for (i, &a) in guids.iter().enumerate() {
+            for &b in guids.iter().skip(i + 1) {
+                if net.route(a, b).is_err() {
+                    failures += 1;
+                }
+            }
+        }
+        assert_eq!(failures, 0, "discovery left unroutable pairs");
+    }
+
+    #[test]
+    fn lookup_finds_closest_existing_node() {
+        let mut net = SimNetwork::new();
+        let mut ids = GuidGenerator::seeded(5);
+        let guids = grow_network(&mut net, &mut ids, 24, 5).unwrap();
+        let asker = guids[0];
+        // Look up an arbitrary target; the result must be a real node at
+        // minimum distance among the asker's final knowledge.
+        let target = Guid::from_u128(0x1234_5678_9abc_def0);
+        let found = lookup(&mut net, asker, target).unwrap().unwrap();
+        assert!(guids.contains(&found));
+        let best = guids
+            .iter()
+            .filter(|&&g| g != asker)
+            .map(|&g| g.xor_distance(target))
+            .min()
+            .unwrap();
+        // The lookup's answer is (close to) the global best; allow the
+        // asker itself to be discounted.
+        assert!(
+            found.xor_distance(target) <= best,
+            "lookup converged far from the global optimum"
+        );
+    }
+}

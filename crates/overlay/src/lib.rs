@@ -1,0 +1,43 @@
+//! # sci-overlay
+//!
+//! The SCINET: SCI's upper layer, "a network overlay of partially
+//! connected nodes" (paper, Section 3) in which each node is the Context
+//! Server of one Range and addressing is by GUID, "rather than
+//! traditional addressing schemes".
+//!
+//! The paper motivates the overlay with a claim borrowed from Dearle et
+//! al. \[9\]: "routing through an overlay network avoids any bottlenecks
+//! created when using hierarchical infrastructures whilst achieving
+//! comparable performance". This crate makes that claim measurable:
+//!
+//! * [`routing::RoutingTable`] — Kademlia-style per-prefix buckets over
+//!   128-bit GUIDs with greedy XOR-distance forwarding.
+//! * [`net::SimNetwork`] — a simulated overlay: join/leave, hop-by-hop
+//!   routing with per-node load accounting, link latency and failure
+//!   injection.
+//! * [`hierarchy::HierarchicalNetwork`] — the baseline: the same ranges
+//!   arranged as a b-ary tree routed through lowest common ancestors,
+//!   whose root is the bottleneck the overlay is supposed to avoid.
+//! * [`message`] — the binary wire codec (built on `bytes`) for
+//!   inter-range messages: query forwarding, responses, range adverts,
+//!   liveness pings.
+//!
+//! Experiment E1 (`sci-bench`, `e1_overlay`) sweeps network size and
+//! compares hop counts and maximum per-node forwarding load across the
+//! two arrangements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discovery;
+pub mod hierarchy;
+pub mod message;
+pub mod net;
+pub mod routing;
+pub mod stats;
+
+pub use hierarchy::HierarchicalNetwork;
+pub use message::{Message, MessageKind};
+pub use net::{RouteOutcome, SimNetwork};
+pub use routing::RoutingTable;
+pub use stats::LoadStats;

@@ -1,0 +1,97 @@
+//! Churn tests: the SCINET stays routable through node failures,
+//! recoveries and ongoing maintenance — the robustness property the
+//! paper claims for the overlay arrangement.
+
+use sci_overlay::discovery::{grow_network, join, maintain};
+use sci_overlay::net::SimNetwork;
+use sci_types::guid::GuidGenerator;
+use sci_types::Guid;
+
+fn all_alive_pairs_route(net: &mut SimNetwork, guids: &[Guid]) -> (usize, usize) {
+    let alive: Vec<Guid> = guids
+        .iter()
+        .copied()
+        .filter(|&g| net.node(g).map(|n| n.is_alive()).unwrap_or(false))
+        .collect();
+    let mut ok = 0;
+    let mut failed = 0;
+    for &a in &alive {
+        for &b in &alive {
+            if a == b {
+                continue;
+            }
+            if net.route(a, b).is_ok() {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+        }
+    }
+    (ok, failed)
+}
+
+#[test]
+fn routability_survives_node_failures() {
+    let mut net = SimNetwork::new();
+    let mut ids = GuidGenerator::seeded(33);
+    let guids = grow_network(&mut net, &mut ids, 64, 33).unwrap();
+
+    // Kill a quarter of the network.
+    for &g in guids.iter().skip(1).step_by(4) {
+        net.kill(g).unwrap();
+    }
+    let (ok, failed) = all_alive_pairs_route(&mut net, &guids);
+    assert_eq!(failed, 0, "{ok} pairs routed, {failed} failed after churn");
+}
+
+#[test]
+fn recovery_and_maintenance_restore_full_routability() {
+    let mut net = SimNetwork::new();
+    let mut ids = GuidGenerator::seeded(34);
+    let guids = grow_network(&mut net, &mut ids, 48, 34).unwrap();
+
+    // Failure wave: routing around it evicts dead entries from tables.
+    for &g in guids.iter().skip(2).step_by(3) {
+        net.kill(g).unwrap();
+    }
+    let (_, failed) = all_alive_pairs_route(&mut net, &guids);
+    assert_eq!(failed, 0);
+
+    // The dead nodes come back and a maintenance round runs (periodic
+    // bucket refresh). The entire network is routable again.
+    for &g in guids.iter().skip(2).step_by(3) {
+        net.revive(g).unwrap();
+    }
+    maintain(&mut net, 34).unwrap();
+    let (ok, failed) = all_alive_pairs_route(&mut net, &guids);
+    assert_eq!(failed, 0);
+    assert_eq!(ok, 48 * 47, "every pair routes after recovery");
+}
+
+#[test]
+fn late_joiners_reach_everyone_after_heavy_growth() {
+    // Join in bursts interleaved with traffic; the per-bucket refresh at
+    // join plus lookup-based recovery keeps the network converged.
+    let mut net = SimNetwork::new();
+    let mut ids = GuidGenerator::seeded(35);
+    let bootstrap = ids.next_guid();
+    net.add_node(bootstrap, "bootstrap").unwrap();
+    let mut guids = vec![bootstrap];
+    for wave in 0..4 {
+        for i in 0..16 {
+            let g = ids.next_guid();
+            net.add_node(g, format!("w{wave}-n{i}")).unwrap();
+            join(&mut net, g, bootstrap, 35).unwrap();
+            guids.push(g);
+        }
+        // Traffic between random-ish pairs after each wave.
+        for (k, &src) in guids.iter().enumerate() {
+            let dst = guids[(k * 13 + wave) % guids.len()];
+            if src != dst {
+                net.route(src, dst).unwrap();
+            }
+        }
+    }
+    assert_eq!(net.stats().failed(), 0);
+    assert_eq!(net.len(), 65);
+}

@@ -1,0 +1,811 @@
+//! Serialisation of queries to and from the Figure 6 XML document form.
+//!
+//! ```xml
+//! <query>
+//!   <query_id>…</query_id>
+//!   <owner_id>…</owner_id>
+//!   <what>…</what>
+//!   <where>…</where>
+//!   <when>…</when>
+//!   <which>…</which>
+//!   <mode>…</mode>
+//! </query>
+//! ```
+//!
+//! The section bodies are structured sub-elements (the paper leaves them
+//! unspecified); the encoding here is total and bijective over the AST:
+//! [`to_xml`] ∘ [`from_xml`] is the identity, which the property tests in
+//! `tests/prop_codec.rs` check.
+
+use sci_types::{
+    ContextType, ContextValue, Coord, EntityKind, Guid, SciError, SciResult, VirtualDuration,
+    VirtualTime,
+};
+
+use crate::ast::{Mode, Query, Subject, What, When, Where, Which};
+use crate::predicate::{CmpOp, Predicate};
+use crate::xml::{parse, Element};
+
+/// Serialises a query to its XML document form.
+pub fn to_xml(query: &Query) -> String {
+    query_to_element(query).to_xml()
+}
+
+/// Parses a query from its XML document form.
+///
+/// # Errors
+///
+/// Returns [`SciError::Parse`] if the document is not well-formed XML or
+/// does not encode a valid query.
+pub fn from_xml(xml: &str) -> SciResult<Query> {
+    let root = parse(xml)?;
+    query_from_element(&root)
+}
+
+/// Builds the root `<query>` element for a query.
+pub fn query_to_element(query: &Query) -> Element {
+    Element::new("query")
+        .with_child(Element::text_node("query_id", query.id.to_string()))
+        .with_child(Element::text_node("owner_id", query.owner.to_string()))
+        .with_child(what_to_element(&query.what))
+        .with_child(where_to_element(&query.where_))
+        .with_child(when_to_element(&query.when))
+        .with_child(which_to_element(&query.which))
+        .with_child(Element::text_node("mode", query.mode.name()))
+}
+
+/// Reconstructs a query from a `<query>` element.
+pub fn query_from_element(root: &Element) -> SciResult<Query> {
+    if root.name != "query" {
+        return Err(SciError::Parse(format!(
+            "expected <query> root, found <{}>",
+            root.name
+        )));
+    }
+    let id: Guid = root.require_child("query_id")?.trimmed_text().parse()?;
+    let owner: Guid = root.require_child("owner_id")?.trimmed_text().parse()?;
+    let what = what_from_element(root.require_child("what")?)?;
+    let where_ = where_from_element(root.require_child("where")?)?;
+    let when = when_from_element(root.require_child("when")?)?;
+    let which = which_from_element(root.require_child("which")?)?;
+    let mode_name = root.require_child("mode")?.trimmed_text().to_owned();
+    let mode = Mode::from_name(&mode_name)
+        .ok_or_else(|| SciError::Parse(format!("unknown mode `{mode_name}`")))?;
+    Ok(Query {
+        id,
+        owner,
+        what,
+        where_,
+        when,
+        which,
+        mode,
+    })
+}
+
+fn single_child(parent: &Element) -> SciResult<&Element> {
+    match parent.children.as_slice() {
+        [only] => Ok(only),
+        _ => Err(SciError::Parse(format!(
+            "<{}> must contain exactly one variant element",
+            parent.name
+        ))),
+    }
+}
+
+fn what_to_element(what: &What) -> Element {
+    let inner = match what {
+        What::Kind(kind) => Element::text_node("kind", kind.name()),
+        What::Named(id) => Element::text_node("named", id.to_string()),
+        What::Information { ty, constraints } => {
+            let mut e = Element::new("info").with_attr("type", ty.name());
+            for p in constraints {
+                e = e.with_child(predicate_to_element(p));
+            }
+            e
+        }
+    };
+    Element::new("what").with_child(inner)
+}
+
+fn what_from_element(e: &Element) -> SciResult<What> {
+    let inner = single_child(e)?;
+    match inner.name.as_str() {
+        "kind" => Ok(What::Kind(inner.trimmed_text().parse::<EntityKind>()?)),
+        "named" => Ok(What::Named(inner.trimmed_text().parse()?)),
+        "info" => {
+            let ty = inner
+                .attr("type")
+                .ok_or_else(|| SciError::Parse("<info> missing type attribute".into()))?;
+            let constraints = inner
+                .children_named("pred")
+                .map(predicate_from_element)
+                .collect::<SciResult<Vec<_>>>()?;
+            Ok(What::Information {
+                ty: ContextType::from_name(ty),
+                constraints,
+            })
+        }
+        other => Err(SciError::Parse(format!("unknown what variant <{other}>"))),
+    }
+}
+
+fn subject_to_string(s: Subject) -> String {
+    match s {
+        Subject::Owner => "me".to_owned(),
+        Subject::Entity(id) => id.to_string(),
+    }
+}
+
+fn subject_from_str(s: &str) -> SciResult<Subject> {
+    if s == "me" {
+        Ok(Subject::Owner)
+    } else {
+        Ok(Subject::Entity(s.parse()?))
+    }
+}
+
+fn where_to_element(where_: &Where) -> Element {
+    let inner = match where_ {
+        Where::Anywhere => Element::new("anywhere"),
+        Where::Place(p) => Element::text_node("place", p.clone()),
+        Where::Range(r) => Element::text_node("range", r.clone()),
+        Where::ClosestTo(s) => Element::text_node("closest-to", subject_to_string(*s)),
+        Where::Within { center, radius_m } => {
+            Element::text_node("within", subject_to_string(*center))
+                .with_attr("radius", format_f64(*radius_m))
+        }
+    };
+    Element::new("where").with_child(inner)
+}
+
+fn where_from_element(e: &Element) -> SciResult<Where> {
+    let inner = single_child(e)?;
+    match inner.name.as_str() {
+        "anywhere" => Ok(Where::Anywhere),
+        "place" => Ok(Where::Place(inner.trimmed_text().to_owned())),
+        "range" => Ok(Where::Range(inner.trimmed_text().to_owned())),
+        "closest-to" => Ok(Where::ClosestTo(subject_from_str(inner.trimmed_text())?)),
+        "within" => {
+            let radius = inner
+                .attr("radius")
+                .ok_or_else(|| SciError::Parse("<within> missing radius".into()))?;
+            Ok(Where::Within {
+                center: subject_from_str(inner.trimmed_text())?,
+                radius_m: parse_f64(radius)?,
+            })
+        }
+        other => Err(SciError::Parse(format!("unknown where variant <{other}>"))),
+    }
+}
+
+fn when_to_element(when: &When) -> Element {
+    let inner = match when {
+        When::Immediate => Element::new("immediate"),
+        When::At(t) => Element::new("at").with_attr("us", t.as_micros().to_string()),
+        When::After(d) => Element::new("after").with_attr("us", d.as_micros().to_string()),
+        When::OnEnter { entity, place } => Element::new("on-enter")
+            .with_attr("entity", subject_to_string(*entity))
+            .with_child(Element::text_node("place", place.clone())),
+        When::OnLeave { entity, place } => Element::new("on-leave")
+            .with_attr("entity", subject_to_string(*entity))
+            .with_child(Element::text_node("place", place.clone())),
+    };
+    Element::new("when").with_child(inner)
+}
+
+fn when_from_element(e: &Element) -> SciResult<When> {
+    let inner = single_child(e)?;
+    let us = |elem: &Element| -> SciResult<u64> {
+        elem.attr("us")
+            .ok_or_else(|| SciError::Parse(format!("<{}> missing us attribute", elem.name)))?
+            .parse()
+            .map_err(|_| SciError::Parse("invalid microsecond count".into()))
+    };
+    match inner.name.as_str() {
+        "immediate" => Ok(When::Immediate),
+        "at" => Ok(When::At(VirtualTime::from_micros(us(inner)?))),
+        "after" => Ok(When::After(VirtualDuration::from_micros(us(inner)?))),
+        "on-enter" | "on-leave" => {
+            let entity = subject_from_str(
+                inner
+                    .attr("entity")
+                    .ok_or_else(|| SciError::Parse("missing entity attribute".into()))?,
+            )?;
+            let place = inner.require_child("place")?.trimmed_text().to_owned();
+            if inner.name == "on-enter" {
+                Ok(When::OnEnter { entity, place })
+            } else {
+                Ok(When::OnLeave { entity, place })
+            }
+        }
+        other => Err(SciError::Parse(format!("unknown when variant <{other}>"))),
+    }
+}
+
+fn which_to_element(which: &Which) -> Element {
+    Element::new("which").with_child(which_variant(which))
+}
+
+fn which_variant(which: &Which) -> Element {
+    match which {
+        Which::Any => Element::new("any"),
+        Which::All => Element::new("all"),
+        Which::Closest => Element::new("closest"),
+        Which::MinAttr(a) => Element::new("min").with_attr("attr", a.clone()),
+        Which::MaxAttr(a) => Element::new("max").with_attr("attr", a.clone()),
+        Which::Filtered { predicates, then } => {
+            let mut e = Element::new("filter");
+            for p in predicates {
+                e = e.with_child(predicate_to_element(p));
+            }
+            e.with_child(Element::new("then").with_child(which_variant(then)))
+        }
+    }
+}
+
+fn which_from_element(e: &Element) -> SciResult<Which> {
+    which_from_variant(single_child(e)?)
+}
+
+fn which_from_variant(inner: &Element) -> SciResult<Which> {
+    let attr_of = |elem: &Element| -> SciResult<String> {
+        elem.attr("attr")
+            .map(str::to_owned)
+            .ok_or_else(|| SciError::Parse(format!("<{}> missing attr attribute", elem.name)))
+    };
+    match inner.name.as_str() {
+        "any" => Ok(Which::Any),
+        "all" => Ok(Which::All),
+        "closest" => Ok(Which::Closest),
+        "min" => Ok(Which::MinAttr(attr_of(inner)?)),
+        "max" => Ok(Which::MaxAttr(attr_of(inner)?)),
+        "filter" => {
+            let predicates = inner
+                .children_named("pred")
+                .map(predicate_from_element)
+                .collect::<SciResult<Vec<_>>>()?;
+            let then_elem = inner.require_child("then")?;
+            let then = which_from_variant(single_child(then_elem)?)?;
+            Ok(Which::Filtered {
+                predicates,
+                then: Box::new(then),
+            })
+        }
+        other => Err(SciError::Parse(format!("unknown which variant <{other}>"))),
+    }
+}
+
+/// Encodes a predicate as `<pred attr="…" op="…">value?</pred>`.
+pub fn predicate_to_element(p: &Predicate) -> Element {
+    let mut e = Element::new("pred")
+        .with_attr("attr", p.attr.clone())
+        .with_attr("op", p.op.name());
+    if p.op != CmpOp::Exists {
+        e = e.with_child(value_to_element(&p.value));
+    }
+    e
+}
+
+/// Decodes a `<pred>` element.
+pub fn predicate_from_element(e: &Element) -> SciResult<Predicate> {
+    let attr = e
+        .attr("attr")
+        .ok_or_else(|| SciError::Parse("<pred> missing attr".into()))?
+        .to_owned();
+    let op_name = e
+        .attr("op")
+        .ok_or_else(|| SciError::Parse("<pred> missing op".into()))?;
+    let op = CmpOp::from_name(op_name)
+        .ok_or_else(|| SciError::Parse(format!("unknown operator `{op_name}`")))?;
+    let value = if op == CmpOp::Exists {
+        ContextValue::Empty
+    } else {
+        value_from_element(single_child(e)?)?
+    };
+    Ok(Predicate { attr, op, value })
+}
+
+/// Encodes a context value as a `<value kind="…">` element.
+///
+/// All [`ContextValue`] variants are supported, recursively.
+pub fn value_to_element(v: &ContextValue) -> Element {
+    match v {
+        ContextValue::Empty => Element::new("value").with_attr("kind", "empty"),
+        ContextValue::Bool(b) => {
+            Element::text_node("value", b.to_string()).with_attr("kind", "bool")
+        }
+        ContextValue::Int(i) => Element::text_node("value", i.to_string()).with_attr("kind", "int"),
+        ContextValue::Float(x) => {
+            Element::text_node("value", format_f64(*x)).with_attr("kind", "float")
+        }
+        ContextValue::Text(s) => Element::text_node("value", s.clone()).with_attr("kind", "text"),
+        ContextValue::Id(g) => Element::text_node("value", g.to_string()).with_attr("kind", "id"),
+        ContextValue::Coord(c) => Element::new("value")
+            .with_attr("kind", "coord")
+            .with_attr("x", format_f64(c.x))
+            .with_attr("y", format_f64(c.y)),
+        ContextValue::Place(p) => Element::text_node("value", p.clone()).with_attr("kind", "place"),
+        ContextValue::Time(t) => {
+            Element::text_node("value", t.as_micros().to_string()).with_attr("kind", "time")
+        }
+        ContextValue::List(items) => {
+            let mut e = Element::new("value").with_attr("kind", "list");
+            for item in items {
+                e = e.with_child(value_to_element(item));
+            }
+            e
+        }
+        ContextValue::Record(fields) => {
+            let mut e = Element::new("value").with_attr("kind", "record");
+            for (k, fv) in fields {
+                e = e.with_child(
+                    Element::new("field")
+                        .with_attr("name", k.clone())
+                        .with_child(value_to_element(fv)),
+                );
+            }
+            e
+        }
+    }
+}
+
+/// Decodes a `<value>` element.
+pub fn value_from_element(e: &Element) -> SciResult<ContextValue> {
+    if e.name != "value" {
+        return Err(SciError::Parse(format!(
+            "expected <value>, found <{}>",
+            e.name
+        )));
+    }
+    let kind = e
+        .attr("kind")
+        .ok_or_else(|| SciError::Parse("<value> missing kind".into()))?;
+    let text = e.trimmed_text();
+    match kind {
+        "empty" => Ok(ContextValue::Empty),
+        "bool" => match text {
+            "true" => Ok(ContextValue::Bool(true)),
+            "false" => Ok(ContextValue::Bool(false)),
+            other => Err(SciError::Parse(format!("invalid bool `{other}`"))),
+        },
+        "int" => text
+            .parse()
+            .map(ContextValue::Int)
+            .map_err(|_| SciError::Parse(format!("invalid int `{text}`"))),
+        "float" => parse_f64(text).map(ContextValue::Float),
+        "text" => Ok(ContextValue::Text(e.text.clone())),
+        "id" => Ok(ContextValue::Id(text.parse()?)),
+        "coord" => {
+            let x = parse_f64(
+                e.attr("x")
+                    .ok_or_else(|| SciError::Parse("coord missing x".into()))?,
+            )?;
+            let y = parse_f64(
+                e.attr("y")
+                    .ok_or_else(|| SciError::Parse("coord missing y".into()))?,
+            )?;
+            Ok(ContextValue::Coord(Coord::new(x, y)))
+        }
+        "place" => Ok(ContextValue::Place(e.text.clone())),
+        "time" => text
+            .parse()
+            .map(|us| ContextValue::Time(VirtualTime::from_micros(us)))
+            .map_err(|_| SciError::Parse(format!("invalid time `{text}`"))),
+        "list" => e
+            .children
+            .iter()
+            .map(value_from_element)
+            .collect::<SciResult<Vec<_>>>()
+            .map(ContextValue::List),
+        "record" => {
+            let mut fields = Vec::with_capacity(e.children.len());
+            for field in e.children_named("field") {
+                let name = field
+                    .attr("name")
+                    .ok_or_else(|| SciError::Parse("<field> missing name".into()))?
+                    .to_owned();
+                let value = value_from_element(single_child(field)?)?;
+                fields.push((name, value));
+            }
+            Ok(ContextValue::Record(fields))
+        }
+        other => Err(SciError::Parse(format!("unknown value kind `{other}`"))),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Profile / advertisement / event documents (inter-range payloads)
+// ----------------------------------------------------------------------
+
+use sci_types::{Advertisement, ContextEvent, EventSeq, Metadata, Operation, PortSpec, Profile};
+
+fn metadata_to_elements(meta: &Metadata) -> Vec<Element> {
+    meta.iter()
+        .map(|(k, v)| {
+            Element::new("attr")
+                .with_attr("name", k)
+                .with_child(value_to_element(v))
+        })
+        .collect()
+}
+
+fn metadata_from_children(e: &Element) -> SciResult<Vec<(String, ContextValue)>> {
+    e.children_named("attr")
+        .map(|attr| {
+            let name = attr
+                .attr("name")
+                .ok_or_else(|| SciError::Parse("<attr> missing name".into()))?
+                .to_owned();
+            let value = value_from_element(single_child(attr)?)?;
+            Ok((name, value))
+        })
+        .collect()
+}
+
+/// Encodes a profile as a `<profile>` document (used when profiles cross
+/// ranges in query responses).
+pub fn profile_to_element(p: &Profile) -> Element {
+    let mut e = Element::new("profile")
+        .with_attr("id", p.id().to_string())
+        .with_attr("kind", p.kind().name())
+        .with_attr("name", p.name());
+    for port in p.inputs() {
+        e = e.with_child(
+            Element::new("input")
+                .with_attr("name", port.name.clone())
+                .with_attr("type", port.ty.name()),
+        );
+    }
+    for port in p.outputs() {
+        e = e.with_child(
+            Element::new("output")
+                .with_attr("name", port.name.clone())
+                .with_attr("type", port.ty.name()),
+        );
+    }
+    for attr in metadata_to_elements(p.attributes()) {
+        e = e.with_child(attr);
+    }
+    e
+}
+
+/// Decodes a `<profile>` document.
+pub fn profile_from_element(e: &Element) -> SciResult<Profile> {
+    if e.name != "profile" {
+        return Err(SciError::Parse(format!(
+            "expected <profile>, found <{}>",
+            e.name
+        )));
+    }
+    let id: Guid = e
+        .attr("id")
+        .ok_or_else(|| SciError::Parse("<profile> missing id".into()))?
+        .parse()?;
+    let kind: EntityKind = e
+        .attr("kind")
+        .ok_or_else(|| SciError::Parse("<profile> missing kind".into()))?
+        .parse()?;
+    let name = e
+        .attr("name")
+        .ok_or_else(|| SciError::Parse("<profile> missing name".into()))?;
+    let mut builder = Profile::builder(id, kind, name);
+    let port_of = |el: &Element| -> SciResult<PortSpec> {
+        let name = el
+            .attr("name")
+            .ok_or_else(|| SciError::Parse("port missing name".into()))?;
+        let ty = el
+            .attr("type")
+            .ok_or_else(|| SciError::Parse("port missing type".into()))?;
+        Ok(PortSpec::new(name, ContextType::from_name(ty)))
+    };
+    for input in e.children_named("input") {
+        builder = builder.input(port_of(input)?);
+    }
+    for output in e.children_named("output") {
+        builder = builder.output(port_of(output)?);
+    }
+    for (k, v) in metadata_from_children(e)? {
+        builder = builder.attribute(k, v);
+    }
+    Ok(builder.build())
+}
+
+/// Encodes an advertisement as an `<advertisement>` document.
+pub fn advertisement_to_element(ad: &Advertisement) -> Element {
+    let mut e = Element::new("advertisement")
+        .with_attr("provider", ad.provider().to_string())
+        .with_attr("interface", ad.interface());
+    for op in ad.operations() {
+        let mut oe = Element::new("operation").with_attr("name", op.name.clone());
+        for param in &op.params {
+            oe = oe.with_child(Element::new("param").with_attr("type", param.name()));
+        }
+        if let Some(ret) = &op.returns {
+            oe = oe.with_child(Element::new("returns").with_attr("type", ret.name()));
+        }
+        e = e.with_child(oe);
+    }
+    for attr in metadata_to_elements(ad.attributes()) {
+        e = e.with_child(attr);
+    }
+    e
+}
+
+/// Decodes an `<advertisement>` document.
+pub fn advertisement_from_element(e: &Element) -> SciResult<Advertisement> {
+    if e.name != "advertisement" {
+        return Err(SciError::Parse(format!(
+            "expected <advertisement>, found <{}>",
+            e.name
+        )));
+    }
+    let provider: Guid = e
+        .attr("provider")
+        .ok_or_else(|| SciError::Parse("<advertisement> missing provider".into()))?
+        .parse()?;
+    let interface = e
+        .attr("interface")
+        .ok_or_else(|| SciError::Parse("<advertisement> missing interface".into()))?;
+    let mut ad = Advertisement::new(provider, interface);
+    for op in e.children_named("operation") {
+        let name = op
+            .attr("name")
+            .ok_or_else(|| SciError::Parse("<operation> missing name".into()))?;
+        let params: Vec<ContextType> = op
+            .children_named("param")
+            .filter_map(|p| p.attr("type"))
+            .map(ContextType::from_name)
+            .collect();
+        let returns = op
+            .child("returns")
+            .and_then(|r| r.attr("type"))
+            .map(ContextType::from_name);
+        ad = ad.with_operation(Operation::new(name, params, returns));
+    }
+    for (k, v) in metadata_from_children(e)? {
+        ad = ad.with_attribute(k, v);
+    }
+    Ok(ad)
+}
+
+/// Encodes a context event as an `<event>` document (used when events
+/// are relayed between ranges).
+pub fn event_to_element(ev: &ContextEvent) -> Element {
+    Element::new("event")
+        .with_attr("source", ev.source.to_string())
+        .with_attr("type", ev.topic.name())
+        .with_attr("us", ev.timestamp.as_micros().to_string())
+        .with_attr("seq", ev.seq.0.to_string())
+        .with_child(value_to_element(&ev.payload))
+}
+
+/// Decodes an `<event>` document.
+pub fn event_from_element(e: &Element) -> SciResult<ContextEvent> {
+    if e.name != "event" {
+        return Err(SciError::Parse(format!(
+            "expected <event>, found <{}>",
+            e.name
+        )));
+    }
+    let source: Guid = e
+        .attr("source")
+        .ok_or_else(|| SciError::Parse("<event> missing source".into()))?
+        .parse()?;
+    let ty = e
+        .attr("type")
+        .ok_or_else(|| SciError::Parse("<event> missing type".into()))?;
+    let us: u64 = e
+        .attr("us")
+        .ok_or_else(|| SciError::Parse("<event> missing us".into()))?
+        .parse()
+        .map_err(|_| SciError::Parse("invalid event timestamp".into()))?;
+    let seq: u64 = e
+        .attr("seq")
+        .ok_or_else(|| SciError::Parse("<event> missing seq".into()))?
+        .parse()
+        .map_err(|_| SciError::Parse("invalid event seq".into()))?;
+    let payload = value_from_element(single_child(e)?)?;
+    Ok(ContextEvent::new(
+        source,
+        ContextType::from_name(ty),
+        payload,
+        VirtualTime::from_micros(us),
+    )
+    .with_seq(EventSeq(seq)))
+}
+
+/// Formats an `f64` so that parsing it back yields the identical bits
+/// (uses enough precision; `format!("{}")` on f64 is round-trip exact in
+/// Rust).
+fn format_f64(x: f64) -> String {
+    format!("{x}")
+}
+
+fn parse_f64(s: &str) -> SciResult<f64> {
+    s.parse()
+        .map_err(|_| SciError::Parse(format!("invalid float `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use sci_types::EntityKind;
+
+    fn capa_query() -> Query {
+        QueryBuilder::new(Guid::from_u128(0xc0ffee), Guid::from_u128(0xb0b))
+            .kind(EntityKind::Device)
+            .attr_eq("service", "printing")
+            .in_place("L10.01")
+            .when(When::OnEnter {
+                entity: Subject::Owner,
+                place: "L10.01".into(),
+            })
+            .closest()
+            .mode(Mode::Advertisement)
+            .build()
+    }
+
+    #[test]
+    fn capa_roundtrip() {
+        let q = capa_query();
+        let xml = to_xml(&q);
+        assert!(xml.starts_with("<query>"));
+        assert!(xml.contains("<query_id>"));
+        assert!(xml.contains("<owner_id>"));
+        assert!(xml.contains("<mode>advertisement</mode>"));
+        assert_eq!(from_xml(&xml).unwrap(), q);
+    }
+
+    #[test]
+    fn every_when_variant_roundtrips() {
+        let whens = [
+            When::Immediate,
+            When::At(VirtualTime::from_secs(5)),
+            When::After(VirtualDuration::from_millis(250)),
+            When::OnEnter {
+                entity: Subject::Entity(Guid::from_u128(7)),
+                place: "lobby".into(),
+            },
+            When::OnLeave {
+                entity: Subject::Owner,
+                place: "L10.01".into(),
+            },
+        ];
+        for when in whens {
+            let q = QueryBuilder::new(Guid::from_u128(1), Guid::from_u128(2))
+                .info(ContextType::Location)
+                .when(when)
+                .build();
+            assert_eq!(from_xml(&to_xml(&q)).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn every_where_variant_roundtrips() {
+        let wheres = [
+            Where::Anywhere,
+            Where::Place("Room 10.01".into()),
+            Where::Range("level-ten".into()),
+            Where::ClosestTo(Subject::Owner),
+            Where::Within {
+                center: Subject::Entity(Guid::from_u128(9)),
+                radius_m: 12.5,
+            },
+        ];
+        for w in wheres {
+            let q = QueryBuilder::new(Guid::from_u128(1), Guid::from_u128(2))
+                .info(ContextType::Temperature)
+                .where_(w)
+                .build();
+            assert_eq!(from_xml(&to_xml(&q)).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn nested_filter_roundtrips() {
+        let which = Which::Filtered {
+            predicates: vec![
+                Predicate::new("queue", CmpOp::Le, ContextValue::Int(0)),
+                Predicate::exists("paper"),
+            ],
+            then: Box::new(Which::Filtered {
+                predicates: vec![Predicate::eq("colour", ContextValue::Bool(true))],
+                then: Box::new(Which::MinAttr("queue".into())),
+            }),
+        };
+        let q = QueryBuilder::new(Guid::from_u128(1), Guid::from_u128(2))
+            .kind(EntityKind::Device)
+            .which(which)
+            .build();
+        assert_eq!(from_xml(&to_xml(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn value_recursion_roundtrips() {
+        let value = ContextValue::record([
+            (
+                "ids",
+                ContextValue::List(vec![
+                    ContextValue::Id(Guid::from_u128(1)),
+                    ContextValue::Coord(Coord::new(-1.5, 2.25)),
+                ]),
+            ),
+            ("label", ContextValue::text("a <tricky> & \"quoted\" label")),
+            ("empty", ContextValue::Empty),
+        ]);
+        let q = QueryBuilder::new(Guid::from_u128(1), Guid::from_u128(2))
+            .info_matching(
+                ContextType::custom("blob"),
+                vec![Predicate::eq("payload", value)],
+            )
+            .build();
+        assert_eq!(from_xml(&to_xml(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_xml("<query></query>").is_err(), "missing sections");
+        assert!(from_xml("<notquery/>").is_err(), "wrong root");
+        let q = capa_query();
+        let bad_mode = to_xml(&q).replace("advertisement", "teleport");
+        assert!(from_xml(&bad_mode).is_err());
+    }
+
+    #[test]
+    fn profile_document_roundtrip() {
+        let p = Profile::builder(Guid::from_u128(0x123), EntityKind::Software, "pathCE")
+            .input(PortSpec::new("from", ContextType::Location))
+            .input(PortSpec::new("to", ContextType::Location))
+            .output(PortSpec::new("path", ContextType::Path))
+            .attribute("version", ContextValue::Int(2))
+            .attribute("room", ContextValue::place("L10.01"))
+            .build();
+        let e = profile_to_element(&p);
+        let back = profile_from_element(&e).unwrap();
+        assert_eq!(back, p);
+        assert!(profile_from_element(&Element::new("nope")).is_err());
+    }
+
+    #[test]
+    fn advertisement_document_roundtrip() {
+        let ad = Advertisement::new(Guid::from_u128(7), "printing")
+            .with_operation(Operation::new(
+                "submit-job",
+                [ContextType::custom("document"), ContextType::Identity],
+                Some(ContextType::custom("job-ticket")),
+            ))
+            .with_operation(Operation::new("cancel-job", [ContextType::Identity], None))
+            .with_attribute("ppm", ContextValue::Int(24));
+        let back = advertisement_from_element(&advertisement_to_element(&ad)).unwrap();
+        assert_eq!(back, ad);
+    }
+
+    #[test]
+    fn event_document_roundtrip() {
+        let ev = ContextEvent::new(
+            Guid::from_u128(5),
+            ContextType::Presence,
+            ContextValue::record([
+                ("subject", ContextValue::Id(Guid::from_u128(9))),
+                ("to", ContextValue::place("lobby")),
+            ]),
+            VirtualTime::from_millis(1234),
+        )
+        .with_seq(EventSeq(42));
+        let back = event_from_element(&event_to_element(&ev)).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn custom_context_type_survives() {
+        let q = QueryBuilder::new(Guid::from_u128(1), Guid::from_u128(2))
+            .info(ContextType::custom("co2-level"))
+            .build();
+        let back = from_xml(&to_xml(&q)).unwrap();
+        assert_eq!(
+            back.requested_type(),
+            Some(&ContextType::custom("co2-level"))
+        );
+    }
+}

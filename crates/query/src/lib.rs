@@ -1,0 +1,50 @@
+//! # sci-query
+//!
+//! The SCI context query language.
+//!
+//! "Currently we use a simple query model to support requests for
+//! information from CAAs" (paper, Section 4.3). A query has five sections
+//! — **What**, **Where**, **When**, **Which** — plus a **mode** that
+//! "indicates the intent of the query". This crate provides:
+//!
+//! * [`Query`] and its clause types — the abstract syntax.
+//! * [`QueryBuilder`] — ergonomic construction.
+//! * [`codec`] — a hand-rolled serialiser/parser for the paper's Figure 6
+//!   XML document form (`<query><query_id/>…<mode/></query>`).
+//! * [`Predicate`] — attribute constraints used in What patterns and
+//!   Which filters.
+//! * [`matcher`] — does a CE profile satisfy a What clause?
+//!
+//! # Example
+//!
+//! ```
+//! use sci_query::{Query, Mode};
+//! use sci_types::{EntityKind, Guid};
+//!
+//! // John: "print to the closest printer with no queue".
+//! let q = Query::builder(Guid::from_u128(1), Guid::from_u128(2))
+//!     .kind(EntityKind::Device)
+//!     .attr_eq("service", "printing")
+//!     .closest()
+//!     .attr_int_at_most("queue", 0)
+//!     .mode(Mode::Advertisement)
+//!     .build();
+//! let xml = sci_query::codec::to_xml(&q);
+//! let back = sci_query::codec::from_xml(&xml)?;
+//! assert_eq!(q, back);
+//! # Ok::<(), sci_types::SciError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod codec;
+pub mod matcher;
+pub mod predicate;
+pub mod xml;
+
+pub use ast::{Mode, Query, Subject, What, When, Where, Which};
+pub use builder::QueryBuilder;
+pub use predicate::{CmpOp, Predicate};

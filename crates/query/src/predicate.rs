@@ -1,0 +1,259 @@
+//! Attribute predicates.
+//!
+//! Predicates constrain candidate Context Entities by their profile
+//! attributes. They appear in two places in the query model: inside a
+//! What pattern ("temperature *in degrees Celsius*") and inside a Which
+//! filter ("closest printer *with no queue*").
+
+use std::fmt;
+
+use sci_types::{ContextValue, Metadata};
+
+/// Comparison operators usable in predicates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Strictly less than (numeric).
+    Lt,
+    /// Less than or equal (numeric).
+    Le,
+    /// Strictly greater than (numeric).
+    Gt,
+    /// Greater than or equal (numeric).
+    Ge,
+    /// Textual containment (haystack attribute contains needle value).
+    Contains,
+    /// The attribute merely exists, regardless of value.
+    Exists,
+}
+
+impl CmpOp {
+    /// All operators.
+    pub const ALL: [CmpOp; 8] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Contains,
+        CmpOp::Exists,
+    ];
+
+    /// Stable name used by the codec.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Contains => "contains",
+            CmpOp::Exists => "exists",
+        }
+    }
+
+    /// Parses an operator name.
+    pub fn from_name(name: &str) -> Option<CmpOp> {
+        CmpOp::ALL.into_iter().find(|op| op.name() == name)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single attribute constraint: `attr op value`.
+///
+/// # Example
+///
+/// ```
+/// use sci_query::{CmpOp, Predicate};
+/// use sci_types::{ContextValue, Metadata};
+///
+/// let free = Predicate::new("queue", CmpOp::Le, ContextValue::Int(0));
+/// let mut printer = Metadata::new();
+/// printer.set("queue", ContextValue::Int(0));
+/// assert!(free.eval(&printer));
+/// printer.set("queue", ContextValue::Int(3));
+/// assert!(!free.eval(&printer));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Predicate {
+    /// Attribute name to inspect.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand value ([`ContextValue::Empty`] for [`CmpOp::Exists`]).
+    pub value: ContextValue,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(attr: impl Into<String>, op: CmpOp, value: ContextValue) -> Self {
+        Predicate {
+            attr: attr.into(),
+            op,
+            value,
+        }
+    }
+
+    /// Shorthand for an equality predicate.
+    pub fn eq(attr: impl Into<String>, value: ContextValue) -> Self {
+        Predicate::new(attr, CmpOp::Eq, value)
+    }
+
+    /// Shorthand for an existence predicate.
+    pub fn exists(attr: impl Into<String>) -> Self {
+        Predicate::new(attr, CmpOp::Exists, ContextValue::Empty)
+    }
+
+    /// Evaluates the predicate against an attribute set.
+    ///
+    /// Missing attributes fail every operator except [`CmpOp::Ne`]
+    /// (absence is "not equal") — this makes filters conservative: a
+    /// printer that does not advertise a `queue` attribute is never
+    /// selected by `queue le 0`.
+    pub fn eval(&self, attrs: &Metadata) -> bool {
+        let actual = attrs.get(&self.attr);
+        match (self.op, actual) {
+            (CmpOp::Exists, found) => found.is_some(),
+            (CmpOp::Ne, None) => true,
+            (_, None) => false,
+            (CmpOp::Eq, Some(v)) => values_equal(v, &self.value),
+            (CmpOp::Ne, Some(v)) => !values_equal(v, &self.value),
+            (CmpOp::Contains, Some(v)) => match (v.as_text(), self.value.as_text()) {
+                (Some(hay), Some(needle)) => hay.contains(needle),
+                _ => false,
+            },
+            (op, Some(v)) => match (v.as_float(), self.value.as_float()) {
+                (Some(a), Some(b)) => match op {
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                    _ => unreachable!("non-ordering ops handled above"),
+                },
+                _ => false,
+            },
+        }
+    }
+}
+
+/// Structural equality with numeric widening (Int 3 == Float 3.0) and
+/// Text/Place interchange, mirroring [`ContextValue::as_text`].
+fn values_equal(a: &ContextValue, b: &ContextValue) -> bool {
+    if a == b {
+        return true;
+    }
+    if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+        return x == y;
+    }
+    if let (Some(x), Some(y)) = (a.as_text(), b.as_text()) {
+        return x == y;
+    }
+    false
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.op == CmpOp::Exists {
+            write!(f, "{} exists", self.attr)
+        } else {
+            write!(f, "{} {} {}", self.attr, self.op, self.value)
+        }
+    }
+}
+
+/// Evaluates a conjunction of predicates.
+pub fn eval_all(predicates: &[Predicate], attrs: &Metadata) -> bool {
+    predicates.iter().all(|p| p.eval(attrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn printer_attrs(queue: i64, paper: bool) -> Metadata {
+        let mut m = Metadata::new();
+        m.set("queue", ContextValue::Int(queue));
+        m.set("paper", ContextValue::Bool(paper));
+        m.set("room", ContextValue::place("L10.02"));
+        m
+    }
+
+    #[test]
+    fn ordering_ops() {
+        let attrs = printer_attrs(3, true);
+        assert!(Predicate::new("queue", CmpOp::Gt, ContextValue::Int(2)).eval(&attrs));
+        assert!(Predicate::new("queue", CmpOp::Ge, ContextValue::Int(3)).eval(&attrs));
+        assert!(!Predicate::new("queue", CmpOp::Lt, ContextValue::Int(3)).eval(&attrs));
+        assert!(Predicate::new("queue", CmpOp::Le, ContextValue::Float(3.0)).eval(&attrs));
+    }
+
+    #[test]
+    fn equality_with_widening() {
+        let attrs = printer_attrs(0, true);
+        assert!(Predicate::eq("queue", ContextValue::Float(0.0)).eval(&attrs));
+        assert!(Predicate::eq("paper", ContextValue::Bool(true)).eval(&attrs));
+        assert!(Predicate::eq("room", ContextValue::text("L10.02")).eval(&attrs));
+    }
+
+    #[test]
+    fn missing_attribute_semantics() {
+        let attrs = printer_attrs(0, true);
+        assert!(!Predicate::eq("toner", ContextValue::Int(1)).eval(&attrs));
+        assert!(Predicate::new("toner", CmpOp::Ne, ContextValue::Int(1)).eval(&attrs));
+        assert!(!Predicate::exists("toner").eval(&attrs));
+        assert!(Predicate::exists("queue").eval(&attrs));
+        assert!(
+            !Predicate::new("toner", CmpOp::Lt, ContextValue::Int(9)).eval(&attrs),
+            "ordering against a missing attribute must fail"
+        );
+    }
+
+    #[test]
+    fn contains_on_text() {
+        let attrs = printer_attrs(0, true);
+        assert!(Predicate::new("room", CmpOp::Contains, ContextValue::text("10")).eval(&attrs));
+        assert!(!Predicate::new("room", CmpOp::Contains, ContextValue::text("11")).eval(&attrs));
+        assert!(
+            !Predicate::new("queue", CmpOp::Contains, ContextValue::text("0")).eval(&attrs),
+            "contains over a non-text attribute fails"
+        );
+    }
+
+    #[test]
+    fn conjunction() {
+        let attrs = printer_attrs(0, true);
+        let ps = vec![
+            Predicate::new("queue", CmpOp::Le, ContextValue::Int(0)),
+            Predicate::eq("paper", ContextValue::Bool(true)),
+        ];
+        assert!(eval_all(&ps, &attrs));
+        let broken = printer_attrs(0, false);
+        assert!(!eval_all(&ps, &broken));
+        assert!(eval_all(&[], &attrs), "empty conjunction is true");
+    }
+
+    #[test]
+    fn op_name_roundtrip() {
+        for op in CmpOp::ALL {
+            assert_eq!(CmpOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(CmpOp::from_name("like"), None);
+    }
+
+    #[test]
+    fn type_mismatch_ordering_fails() {
+        let attrs = printer_attrs(0, true);
+        assert!(!Predicate::new("room", CmpOp::Lt, ContextValue::Int(5)).eval(&attrs));
+        assert!(!Predicate::new("queue", CmpOp::Lt, ContextValue::text("x")).eval(&attrs));
+    }
+}

@@ -1,0 +1,184 @@
+//! Door-mounted ID-badge sensors.
+//!
+//! "The doorSensor CEs produce events indicating when an object (equipped
+//! with ID tag) passes through them" (paper, Section 3.2). A
+//! [`DoorSensor`] watches one named door of the floor plan and turns a
+//! badge-carrying person's room transition through that door into a
+//! [`ContextType::Presence`] event whose payload records the subject and
+//! both sides of the crossing.
+
+use sci_types::{ContextEvent, ContextType, ContextValue, EventSeq, Guid, VirtualTime};
+
+use crate::mobility::RoomTransition;
+
+/// A simulated badge reader on one door.
+#[derive(Clone, Debug)]
+pub struct DoorSensor {
+    id: Guid,
+    door: String,
+    /// The two rooms the door joins.
+    sides: (String, String),
+    /// Fraction of crossings the sensor misses (0.0 = perfect). Checked
+    /// against a deterministic per-event hash so runs are reproducible.
+    miss_rate: f64,
+    seq: EventSeq,
+}
+
+impl DoorSensor {
+    /// Creates a perfect sensor on the door joining `a` and `b`.
+    pub fn new(
+        id: Guid,
+        door: impl Into<String>,
+        a: impl Into<String>,
+        b: impl Into<String>,
+    ) -> Self {
+        DoorSensor {
+            id,
+            door: door.into(),
+            sides: (a.into(), b.into()),
+            miss_rate: 0.0,
+            seq: EventSeq::FIRST,
+        }
+    }
+
+    /// Sets a miss rate in `[0, 1)` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is out of range.
+    pub fn with_miss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "miss rate must be in [0, 1)");
+        self.miss_rate = rate;
+        self
+    }
+
+    /// The sensor's entity GUID.
+    pub fn id(&self) -> Guid {
+        self.id
+    }
+
+    /// The door this sensor watches.
+    pub fn door(&self) -> &str {
+        &self.door
+    }
+
+    /// The rooms the door joins.
+    pub fn sides(&self) -> (&str, &str) {
+        (&self.sides.0, &self.sides.1)
+    }
+
+    /// Returns `true` if this sensor's door is the passage used by the
+    /// transition.
+    pub fn covers(&self, t: &RoomTransition) -> bool {
+        (t.from == self.sides.0 && t.to == self.sides.1)
+            || (t.from == self.sides.1 && t.to == self.sides.0)
+    }
+
+    /// Observes a transition, producing a presence event unless the
+    /// sensor's miss model drops it. `badged` reflects whether the person
+    /// wears an ID tag — unbadged people are invisible to door sensors.
+    pub fn observe(
+        &mut self,
+        t: &RoomTransition,
+        badged: bool,
+        now: VirtualTime,
+    ) -> Option<ContextEvent> {
+        if !badged || !self.covers(t) {
+            return None;
+        }
+        if self.miss_rate > 0.0 {
+            // Deterministic pseudo-randomness from the event identity.
+            let h = t.person.as_u128() as u64 ^ now.as_micros() ^ self.id.as_u128() as u64;
+            let unit = (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < self.miss_rate {
+                return None;
+            }
+        }
+        let seq = self.seq;
+        self.seq = seq.next();
+        Some(
+            ContextEvent::new(
+                self.id,
+                ContextType::Presence,
+                ContextValue::record([
+                    ("subject", ContextValue::Id(t.person)),
+                    ("from", ContextValue::place(t.from.clone())),
+                    ("to", ContextValue::place(t.to.clone())),
+                    ("door", ContextValue::text(self.door.clone())),
+                ]),
+                now,
+            )
+            .with_seq(seq),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(person: u128, from: &str, to: &str) -> RoomTransition {
+        RoomTransition {
+            person: Guid::from_u128(person),
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+
+    fn sensor() -> DoorSensor {
+        DoorSensor::new(Guid::from_u128(0xd00d), "door-L10.01", "corridor", "L10.01")
+    }
+
+    #[test]
+    fn observes_crossings_in_both_directions() {
+        let mut s = sensor();
+        let enter = transition(1, "corridor", "L10.01");
+        let leave = transition(1, "L10.01", "corridor");
+        let e1 = s.observe(&enter, true, VirtualTime::ZERO).unwrap();
+        let e2 = s.observe(&leave, true, VirtualTime::from_secs(5)).unwrap();
+        assert_eq!(e1.topic, ContextType::Presence);
+        assert_eq!(e1.subject(), Some(Guid::from_u128(1)));
+        assert_eq!(
+            e1.payload
+                .field("to")
+                .and_then(|v| v.as_text().map(str::to_owned)),
+            Some("L10.01".to_owned())
+        );
+        assert_eq!(e2.seq, e1.seq.next(), "sequence numbers advance");
+    }
+
+    #[test]
+    fn ignores_other_doors_and_unbadged_people() {
+        let mut s = sensor();
+        let other = transition(1, "corridor", "L10.02");
+        assert!(s.observe(&other, true, VirtualTime::ZERO).is_none());
+        let mine = transition(1, "corridor", "L10.01");
+        assert!(s.observe(&mine, false, VirtualTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn miss_rate_drops_deterministically() {
+        let mut a = sensor().with_miss_rate(0.5);
+        let mut b = sensor().with_miss_rate(0.5);
+        let mut seen_a = 0;
+        let mut seen_b = 0;
+        for i in 0..200 {
+            let t = transition(i, "corridor", "L10.01");
+            let now = VirtualTime::from_secs(i as u64);
+            if a.observe(&t, true, now).is_some() {
+                seen_a += 1;
+            }
+            if b.observe(&t, true, now).is_some() {
+                seen_b += 1;
+            }
+        }
+        assert_eq!(seen_a, seen_b, "identical sensors see identical drops");
+        assert!(seen_a > 50 && seen_a < 150, "roughly half: {seen_a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "miss rate")]
+    fn invalid_miss_rate_panics() {
+        let _ = sensor().with_miss_rate(1.5);
+    }
+}

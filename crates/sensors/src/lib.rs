@@ -1,0 +1,43 @@
+//! # sci-sensors
+//!
+//! The simulated sensing substrate.
+//!
+//! The paper's deployment senses the world through door-mounted ID-badge
+//! readers, W-LAN base stations and device state (printers). No such
+//! hardware is available to a reproduction, so this crate simulates it —
+//! and, crucially, the simulation sits *below* the middleware interface:
+//! the Context Entities built in `sci-core` consume exactly the typed
+//! [`sci_types::ContextEvent`]s these simulated devices emit, so every
+//! middleware code path runs unmodified.
+//!
+//! * [`world::World`] — the top-level simulator: a floor plan, people
+//!   walking through it, and devices observing them; `tick` advances
+//!   virtual time and returns the events the hardware "saw".
+//! * [`door::DoorSensor`] — badge readers on doors (Figure 3's
+//!   `doorSensorCEs`).
+//! * [`wlan::BaseStation`] — radio cells emitting association and
+//!   signal-strength events (the paper's W-LAN detection example).
+//! * [`printer::Printer`] — printers with queue/paper/access state
+//!   (CAPA's P1–P4).
+//! * [`temperature::TemperatureSensor`] — periodic ambient readings.
+//! * [`mobility`] — scripted routes and seeded random-waypoint movement.
+//! * [`workload`] — deterministic generators for benchmark populations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod door;
+pub mod mobility;
+pub mod person;
+pub mod printer;
+pub mod temperature;
+pub mod wlan;
+pub mod workload;
+pub mod world;
+
+pub use door::DoorSensor;
+pub use person::SimPerson;
+pub use printer::{Access, PrintJob, Printer};
+pub use temperature::TemperatureSensor;
+pub use wlan::BaseStation;
+pub use world::World;

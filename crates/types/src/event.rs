@@ -1,0 +1,154 @@
+//! Typed context events.
+//!
+//! "A CE allows its entity to communicate by means of producing and
+//! consuming typed events" (paper, Section 3.1). A [`ContextEvent`] pairs
+//! a [`ContextType`] topic with a [`ContextValue`] payload, stamped with
+//! its source entity, virtual-time instant and a per-source sequence
+//! number so consumers can detect loss and staleness.
+
+use std::fmt;
+
+use crate::guid::Guid;
+use crate::time::VirtualTime;
+use crate::value::{ContextType, ContextValue};
+
+/// Monotonic per-source sequence number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EventSeq(pub u64);
+
+impl EventSeq {
+    /// The first sequence number.
+    pub const FIRST: EventSeq = EventSeq(0);
+
+    /// The sequence number following this one.
+    pub const fn next(self) -> EventSeq {
+        EventSeq(self.0 + 1)
+    }
+}
+
+impl fmt::Display for EventSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A typed event produced by a Context Entity.
+///
+/// # Example
+///
+/// ```
+/// use sci_types::{ContextEvent, ContextType, ContextValue, Guid, VirtualTime};
+///
+/// // Bob's badge passes a door sensor.
+/// let ev = ContextEvent::new(
+///     Guid::from_u128(0xd00d),
+///     ContextType::Presence,
+///     ContextValue::record([
+///         ("subject", ContextValue::Id(Guid::from_u128(0xb0b))),
+///         ("room", ContextValue::place("L10.01")),
+///     ]),
+///     VirtualTime::from_secs(12),
+/// );
+/// assert_eq!(ev.topic, ContextType::Presence);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct ContextEvent {
+    /// GUID of the producing entity.
+    pub source: Guid,
+    /// Semantic type of the payload — what subscriptions match on.
+    pub topic: ContextType,
+    /// The context data itself.
+    pub payload: ContextValue,
+    /// Virtual-time instant of production.
+    pub timestamp: VirtualTime,
+    /// Per-source monotonic sequence number.
+    pub seq: EventSeq,
+}
+
+impl ContextEvent {
+    /// Creates an event with sequence number [`EventSeq::FIRST`]; use
+    /// [`ContextEvent::with_seq`] to thread sequence numbers.
+    pub fn new(
+        source: Guid,
+        topic: ContextType,
+        payload: ContextValue,
+        timestamp: VirtualTime,
+    ) -> Self {
+        ContextEvent {
+            source,
+            topic,
+            payload,
+            timestamp,
+            seq: EventSeq::FIRST,
+        }
+    }
+
+    /// Sets the sequence number (builder style).
+    pub fn with_seq(mut self, seq: EventSeq) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Returns the subject entity of the event, when the payload is a
+    /// record carrying a `"subject"` id — the convention used by
+    /// presence and location events.
+    pub fn subject(&self) -> Option<Guid> {
+        self.payload.field("subject").and_then(ContextValue::as_id)
+    }
+}
+
+impl fmt::Display for ContextEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {} from {}] {}",
+            self.timestamp, self.topic, self.seq, self.source, self.payload
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_advances() {
+        let s = EventSeq::FIRST;
+        assert_eq!(s.next(), EventSeq(1));
+        assert_eq!(s.next().next(), EventSeq(2));
+        assert!(s < s.next());
+    }
+
+    #[test]
+    fn subject_extraction() {
+        let bob = Guid::from_u128(0xb0b);
+        let ev = ContextEvent::new(
+            Guid::from_u128(1),
+            ContextType::Presence,
+            ContextValue::record([("subject", ContextValue::Id(bob))]),
+            VirtualTime::ZERO,
+        );
+        assert_eq!(ev.subject(), Some(bob));
+
+        let plain = ContextEvent::new(
+            Guid::from_u128(1),
+            ContextType::Temperature,
+            ContextValue::Float(21.5),
+            VirtualTime::ZERO,
+        );
+        assert_eq!(plain.subject(), None);
+    }
+
+    #[test]
+    fn with_seq_preserves_rest() {
+        let ev = ContextEvent::new(
+            Guid::from_u128(1),
+            ContextType::Occupancy,
+            ContextValue::Int(4),
+            VirtualTime::from_secs(9),
+        )
+        .with_seq(EventSeq(17));
+        assert_eq!(ev.seq, EventSeq(17));
+        assert_eq!(ev.timestamp, VirtualTime::from_secs(9));
+    }
+}

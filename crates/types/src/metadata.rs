@@ -1,0 +1,153 @@
+//! Entity metadata.
+//!
+//! "A CE maintains a Profile for its entity that contains meta-data
+//! describing the entity" (paper, Section 3.1). [`Metadata`] is the
+//! ordered key→[`ContextValue`] map used inside profiles and
+//! advertisements; ordering is preserved so serialised forms are stable.
+
+use std::fmt;
+
+use crate::value::ContextValue;
+
+/// An ordered collection of named attributes.
+///
+/// Insertion order is preserved; updating an existing key keeps its
+/// position. Lookups are linear, which is appropriate for the small
+/// attribute sets profiles carry.
+///
+/// # Example
+///
+/// ```
+/// use sci_types::{ContextValue, Metadata};
+///
+/// let mut meta = Metadata::new();
+/// meta.set("room", ContextValue::place("L10.01"));
+/// meta.set("queue", ContextValue::Int(0));
+/// assert_eq!(meta.get("queue").and_then(ContextValue::as_int), Some(0));
+/// assert_eq!(meta.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Metadata {
+    entries: Vec<(String, ContextValue)>,
+}
+
+impl Metadata {
+    /// Creates an empty attribute set.
+    pub fn new() -> Self {
+        Metadata::default()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sets `key` to `value`, returning the previous value if any.
+    pub fn set(&mut self, key: impl Into<String>, value: ContextValue) -> Option<ContextValue> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up an attribute by name.
+    pub fn get(&self, key: &str) -> Option<&ContextValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Removes an attribute, returning its value if it was present.
+    pub fn remove(&mut self, key: &str) -> Option<ContextValue> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ContextValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl FromIterator<(String, ContextValue)> for Metadata {
+    fn from_iter<I: IntoIterator<Item = (String, ContextValue)>>(iter: I) -> Self {
+        let mut meta = Metadata::new();
+        for (k, v) in iter {
+            meta.set(k, v);
+        }
+        meta
+    }
+}
+
+impl Extend<(String, ContextValue)> for Metadata {
+    fn extend<I: IntoIterator<Item = (String, ContextValue)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.set(k, v);
+        }
+    }
+}
+
+impl fmt::Display for Metadata {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut m = Metadata::new();
+        m.set("a", ContextValue::Int(1));
+        m.set("b", ContextValue::Int(2));
+        let old = m.set("a", ContextValue::Int(3));
+        assert_eq!(old, Some(ContextValue::Int(1)));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"], "update must not reorder");
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut m: Metadata = [("x".to_owned(), ContextValue::Bool(true))]
+            .into_iter()
+            .collect();
+        assert!(m.contains("x"));
+        assert_eq!(m.remove("x"), Some(ContextValue::Bool(true)));
+        assert!(!m.contains("x"));
+        assert_eq!(m.remove("x"), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut m = Metadata::new();
+        m.set("a", ContextValue::Int(1));
+        m.extend([
+            ("a".to_owned(), ContextValue::Int(9)),
+            ("b".to_owned(), ContextValue::Int(2)),
+        ]);
+        assert_eq!(m.get("a").and_then(ContextValue::as_int), Some(9));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Virtual time.
+//!
+//! All deterministic SCI components are driven by a logical clock rather
+//! than the wall clock, so that discovery, composition, failure-recovery
+//! and federation experiments are exactly reproducible. A [`VirtualTime`]
+//! is a microsecond count since the start of the simulation; a
+//! [`VirtualDuration`] is a microsecond span.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation's logical clock, in microseconds.
+///
+/// # Example
+///
+/// ```
+/// use sci_types::{VirtualTime, VirtualDuration};
+///
+/// let t = VirtualTime::ZERO + VirtualDuration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// assert_eq!(t - VirtualTime::ZERO, VirtualDuration::from_micros(5_000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The origin of virtual time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// The greatest representable instant; used as an "infinitely far"
+    /// deadline.
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Creates an instant `micros` microseconds after the origin.
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualTime(micros)
+    }
+
+    /// Creates an instant `millis` milliseconds after the origin.
+    pub const fn from_millis(millis: u64) -> Self {
+        VirtualTime(millis * 1_000)
+    }
+
+    /// Creates an instant `secs` seconds after the origin.
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since the origin.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Saturating addition of a duration.
+    pub const fn saturating_add(self, d: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(d.0))
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero if `earlier`
+    /// is in the future.
+    pub const fn saturating_since(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{}us", self.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0 % 1_000_000;
+        let s = self.0 / 1_000_000;
+        write!(f, "{s}.{us:06}s")
+    }
+}
+
+impl Add<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+
+    fn add(self, rhs: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = VirtualDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0 - rhs.0)
+    }
+}
+
+/// A span of virtual time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualDuration(u64);
+
+impl VirtualDuration {
+    /// The zero-length duration.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// Creates a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualDuration(micros)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        VirtualDuration(millis * 1_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualDuration(secs * 1_000_000)
+    }
+
+    /// Length in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns `true` for the zero-length duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn mul(self, factor: u64) -> VirtualDuration {
+        VirtualDuration(self.0 * factor)
+    }
+}
+
+impl fmt::Debug for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::from_millis(3);
+        let d = VirtualDuration::from_micros(500);
+        assert_eq!((t + d).as_micros(), 3_500);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d + d, VirtualDuration::from_millis(1));
+    }
+
+    #[test]
+    fn ordering_follows_micros() {
+        assert!(VirtualTime::from_secs(1) > VirtualTime::from_millis(999));
+        assert!(VirtualTime::ZERO < VirtualTime::MAX);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            VirtualTime::MAX.saturating_add(VirtualDuration::from_secs(1)),
+            VirtualTime::MAX
+        );
+        assert_eq!(
+            VirtualTime::ZERO.saturating_since(VirtualTime::from_secs(1)),
+            VirtualDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtualTime::from_micros(1_234_567).to_string(), "1.234567s");
+        assert_eq!(VirtualDuration::from_micros(42).to_string(), "42us");
+        assert_eq!(VirtualDuration::from_micros(4_200).to_string(), "4.200ms");
+        assert_eq!(VirtualDuration::from_secs(2).to_string(), "2.000s");
+    }
+}

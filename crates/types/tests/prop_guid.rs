@@ -1,0 +1,67 @@
+//! Property tests for the sci-types foundations.
+
+use proptest::prelude::*;
+use sci_types::guid::GuidGenerator;
+use sci_types::{ContextType, Guid, VirtualDuration, VirtualTime};
+
+proptest! {
+    /// Display → parse is the identity for every GUID.
+    #[test]
+    fn guid_display_parse_roundtrip(raw in any::<u128>()) {
+        let g = Guid::from_u128(raw);
+        let parsed: Guid = g.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// Byte serialisation round-trips.
+    #[test]
+    fn guid_byte_roundtrip(raw in any::<u128>()) {
+        let g = Guid::from_u128(raw);
+        prop_assert_eq!(Guid::from_bytes(g.to_bytes()), g);
+    }
+
+    /// Flipping the first differing bit strictly increases the shared
+    /// prefix — the invariant SCINET prefix routing relies on for
+    /// termination.
+    #[test]
+    fn bit_flip_makes_progress(a in any::<u128>(), b in any::<u128>()) {
+        prop_assume!(a != b);
+        let (ga, gb) = (Guid::from_u128(a), Guid::from_u128(b));
+        let shared = ga.leading_equal_bits(gb);
+        let corrected = ga.with_bit_flipped(shared);
+        prop_assert!(corrected.leading_equal_bits(gb) > shared);
+    }
+
+    /// XOR distance is a metric-compatible: symmetric, zero iff equal,
+    /// and unidirectional (d(a,b) ^ d(b,c) == d(a,c)).
+    #[test]
+    fn xor_distance_algebra(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        let (ga, gb, gc) = (Guid::from_u128(a), Guid::from_u128(b), Guid::from_u128(c));
+        prop_assert_eq!(ga.xor_distance(gb), gb.xor_distance(ga));
+        prop_assert_eq!(ga.xor_distance(ga), 0);
+        prop_assert_eq!(ga.xor_distance(gb) ^ gb.xor_distance(gc), ga.xor_distance(gc));
+    }
+
+    /// Virtual time arithmetic is consistent: (t + d) - t == d.
+    #[test]
+    fn time_add_sub(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let t = VirtualTime::from_micros(t);
+        let d = VirtualDuration::from_micros(d);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert!(t + d >= t);
+    }
+
+    /// Context type names round-trip through the stable-name codec.
+    #[test]
+    fn context_type_name_roundtrip(name in "[a-z][a-z0-9-]{0,20}") {
+        let ty = ContextType::from_name(&name);
+        prop_assert_eq!(ContextType::from_name(ty.name()), ty);
+    }
+}
+
+#[test]
+fn same_seed_same_stream() {
+    let a: Vec<Guid> = GuidGenerator::seeded(99).take(1000).collect();
+    let b: Vec<Guid> = GuidGenerator::seeded(99).take(1000).collect();
+    assert_eq!(a, b);
+}

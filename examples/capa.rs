@@ -1,0 +1,246 @@
+//! CAPA — the Context Aware Printing Application (paper, Section 5).
+//!
+//! The full story, end to end:
+//!
+//! 1. Bob rides the train (offline) and queues print jobs, asking for
+//!    "the closest printer when I reach Room L10.01".
+//! 2. The lobby base station detects his PDA; CAPA submits the stored
+//!    query; the lobby Context Server cannot answer it and the SCINET
+//!    forwards it to the Level Ten Context Server, which stores it and
+//!    listens for Bob entering L10.01.
+//! 3. Bob walks through the door of L10.01; configuration X executes:
+//!    P1 is the closest usable printer, and the documents print.
+//! 4. John asks for "the closest printer with no queue": P1 is busy with
+//!    Bob's job, P2 is out of paper, P3 is behind a locked door — P4 it
+//!    is, and John makes his lecture.
+//!
+//! Run with: `cargo run --example capa`
+
+use std::collections::HashMap;
+
+use sci::prelude::*;
+use sci::sensors::mobility::{Leg, MovementPlan};
+use sci::sensors::printer::PrintJob;
+use sci::sensors::workload::capa_world;
+
+fn lobby_plan() -> FloorPlan {
+    FloorPlan::builder("campus")
+        .zone("livingstone-tower")
+        .zone("lift-lobby")
+        .room("lobby", Rect::with_size(Coord::new(0.0, 0.0), 8.0, 2.0))
+        .build()
+        .expect("static plan")
+}
+
+fn level10_plan() -> FloorPlan {
+    FloorPlan::builder("campus")
+        .zone("livingstone-tower")
+        .zone("level-ten")
+        .room("corridor", Rect::with_size(Coord::new(0.0, 2.0), 32.0, 2.0))
+        .room("L10.01", Rect::with_size(Coord::new(0.0, 4.0), 8.0, 4.0))
+        .room("L10.02", Rect::with_size(Coord::new(8.0, 4.0), 8.0, 4.0))
+        .room("L10.03", Rect::with_size(Coord::new(16.0, 4.0), 8.0, 4.0))
+        .room("bay", Rect::with_size(Coord::new(24.0, 4.0), 8.0, 4.0))
+        .door("corridor", "L10.01", "door-L10.01")
+        .door("corridor", "L10.02", "door-L10.02")
+        .door("corridor", "L10.03", "door-L10.03")
+        .open("corridor", "bay")
+        .build()
+        .expect("static plan")
+}
+
+fn main() -> SciResult<()> {
+    let mut ids = GuidGenerator::seeded(10);
+    let bob = ids.next_guid();
+    let john = ids.next_guid();
+
+    // --- The physical world: Level 10 with printers P1-P4. -------------
+    // P3 sits behind a locked door; only Bob holds a key.
+    let (mut world, printer_guids) = capa_world(&mut ids, &[bob]);
+    let sensors = world.auto_door_sensors(&mut ids);
+    let bs_lobby = BaseStation::new(
+        ids.next_guid(),
+        "bs-lobby",
+        sci::location::Circle::new(Coord::new(4.0, 1.0), 6.0),
+    );
+    let bs_id = bs_lobby.id();
+    world.add_base_station(bs_lobby);
+    let printer_names: HashMap<Guid, &str> = printer_guids
+        .iter()
+        .copied()
+        .zip(["P1", "P2", "P3", "P4"])
+        .collect();
+
+    // --- Two ranges federated over the SCINET. --------------------------
+    let mut fed = Federation::new(99);
+    let lobby_cs = ContextServer::new(ids.next_guid(), "lobby", lobby_plan());
+    let mut l10_cs = ContextServer::new(ids.next_guid(), "level-ten", level10_plan());
+    for (guid, door) in &sensors {
+        l10_cs.register(
+            Profile::builder(*guid, EntityKind::Device, format!("doorSensor-{door}"))
+                .output(PortSpec::new("presence", ContextType::Presence))
+                .build(),
+            VirtualTime::ZERO,
+        )?;
+    }
+    for (&guid, &name) in &printer_names {
+        let p = world.printer(name).expect("printer exists");
+        l10_cs.register(
+            Profile::builder(guid, EntityKind::Device, name)
+                .output(PortSpec::new("status", ContextType::PrinterStatus))
+                .attribute("service", ContextValue::text("printing"))
+                .attribute("room", ContextValue::place(p.room()))
+                .attribute("queue", ContextValue::Int(p.queue_len() as i64))
+                .attribute("paper", ContextValue::Bool(p.has_paper()))
+                .attribute(
+                    "restricted",
+                    ContextValue::Bool(matches!(p.access(), sci::sensors::Access::Restricted(_))),
+                )
+                .build(),
+            VirtualTime::ZERO,
+        )?;
+        l10_cs.advertise(
+            Advertisement::new(guid, "printing")
+                .with_attribute("printer-name", ContextValue::text(name)),
+        )?;
+    }
+    fed.add_range(lobby_cs)?;
+    fed.add_range(l10_cs)?;
+    fed.connect_full();
+
+    // --- 1. Bob, offline on the train. ----------------------------------
+    let bob_app = ids.next_guid();
+    let mut capa_bob = CapaApp::new(bob, bob_app);
+    capa_bob.queue_document("middleware-2003.pdf", 8);
+    capa_bob.queue_document("travel-claim.pdf", 2);
+    capa_bob.print_when_at("L10.01");
+    println!(
+        "[offline] Bob queued {} documents",
+        capa_bob.documents().len()
+    );
+
+    // --- 2. Bob arrives; walking begins. ---------------------------------
+    world.spawn_person(SimPerson::new(bob, "Bob", Coord::new(4.0, 1.0)).with_plan(
+        MovementPlan::scripted([Leg::new("L10.01", VirtualDuration::from_secs(600))]),
+    ))?;
+    // John has been in his office all morning.
+    world.spawn_person(SimPerson::new(john, "John", Coord::new(12.0, 6.0)))?;
+    let john_arrival = ContextEvent::new(
+        sensors
+            .iter()
+            .find(|(_, d)| d == "door-L10.02")
+            .map(|(g, _)| *g)
+            .expect("door exists"),
+        ContextType::Presence,
+        ContextValue::record([
+            ("subject", ContextValue::Id(john)),
+            ("from", ContextValue::place("corridor")),
+            ("to", ContextValue::place("L10.02")),
+        ]),
+        VirtualTime::ZERO,
+    );
+    fed.ingest_at("level-ten", &john_arrival, VirtualTime::ZERO)?;
+
+    let dt = VirtualDuration::from_secs(2);
+    let mut now = VirtualTime::ZERO;
+    let mut connected = false;
+    let mut bob_query = None;
+
+    for _ in 0..90 {
+        now += dt;
+        for event in world.tick(now, dt)? {
+            // Route sensor events to the range covering them.
+            let range = if event.source == bs_id {
+                "lobby"
+            } else {
+                "level-ten"
+            };
+            fed.ingest_at(range, &event, now)?;
+
+            // The lobby base station detecting the PDA is CAPA's
+            // connection signal.
+            if !connected
+                && event.source == bs_id
+                && event.subject() == Some(bob)
+                && event.topic == ContextType::Presence
+            {
+                connected = true;
+                println!("[{now}] lobby base station detected Bob's PDA; submitting stored query");
+                let qid = ids.next_guid();
+                bob_query = Some(qid);
+                let answer = {
+                    let mut submitted = None;
+                    capa_bob.on_connected(qid, |q| {
+                        let fa = fed.submit_from("lobby", q, now)?;
+                        submitted = Some(fa.hops);
+                        Ok(fa.answer)
+                    })?;
+                    submitted
+                };
+                if let Some(hops) = answer {
+                    println!(
+                        "[{now}] query forwarded lobby -> level-ten over the SCINET ({hops} hops)"
+                    );
+                }
+            }
+        }
+        // Deferred answers flowing back (configuration X executed).
+        fed.poll_timers(now)?;
+        for (qid, answer) in fed.answers_for(bob_app) {
+            assert_eq!(Some(qid), bob_query);
+            capa_bob.absorb_answer(answer)?;
+            let (printer, docs) = capa_bob.release_jobs()?;
+            let name = printer_names[&printer];
+            println!("[{now}] trigger fired: Bob entered L10.01; closest usable printer is {name}");
+            assert_eq!(name, "P1", "the paper selects P1 for Bob");
+            for doc in docs {
+                let job = PrintJob::new(ids.next_guid(), bob, doc.name.clone(), doc.pages);
+                let status = world
+                    .printer_mut(name)
+                    .expect("printer exists")
+                    .submit(job, now);
+                fed.ingest_at("level-ten", &status, now)?;
+                println!("[{now}]   sent {} to {name}", doc.name);
+            }
+        }
+        if connected && matches!(capa_bob.state(), sci::core::capa::CapaState::Ready { .. }) {
+            break;
+        }
+    }
+
+    // --- 4. John wants to print *now*, with no queue. --------------------
+    let john_app = ids.next_guid();
+    let mut capa_john = CapaApp::new(john, john_app);
+    capa_john.queue_document("lecture-notes.pdf", 20);
+    capa_john.print_now();
+    now += dt;
+    let qid = ids.next_guid();
+    capa_john.on_connected(qid, |q| Ok(fed.submit_from("level-ten", q, now)?.answer))?;
+    let (printer, docs) = capa_john.release_jobs()?;
+    let name = printer_names[&printer];
+    println!("[{now}] John's query: P1 busy, P2 out of paper, P3 locked -> {name}");
+    assert_eq!(name, "P4", "the paper selects P4 for John");
+    for doc in docs {
+        let job = PrintJob::new(ids.next_guid(), john, doc.name.clone(), doc.pages);
+        world
+            .printer_mut(name)
+            .expect("printer exists")
+            .submit(job, now);
+    }
+
+    // Let the printers work.
+    for _ in 0..40 {
+        now += dt;
+        for event in world.tick(now, dt)? {
+            fed.ingest_at("level-ten", &event, now)?;
+        }
+    }
+    println!(
+        "done: P1 printed {} jobs, P4 printed {} jobs; John made his lecture",
+        world.printer("P1").expect("p1").completed().len(),
+        world.printer("P4").expect("p4").completed().len(),
+    );
+    assert_eq!(world.printer("P1").expect("p1").completed().len(), 2);
+    assert_eq!(world.printer("P4").expect("p4").completed().len(), 1);
+    Ok(())
+}

@@ -1,0 +1,234 @@
+//! Integration test: the Figure 3 composition model driven by the world
+//! simulator — query resolution into a configuration, live event
+//! propagation, subgraph reuse and teardown.
+
+use sci::prelude::*;
+use sci::sensors::mobility::{Leg, MovementPlan};
+
+struct Rig {
+    world: World,
+    cs: ContextServer,
+    ids: GuidGenerator,
+}
+
+fn rig() -> Rig {
+    let plan = capa_level10();
+    let mut ids = GuidGenerator::seeded(31);
+    let mut world = World::new(plan.clone());
+    let sensors = world.auto_door_sensors(&mut ids);
+
+    let mut cs = ContextServer::new(ids.next_guid(), "level-ten", plan.clone());
+    for (guid, door) in &sensors {
+        cs.register(
+            Profile::builder(*guid, EntityKind::Device, format!("doorSensor-{door}"))
+                .output(PortSpec::new("presence", ContextType::Presence))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+    }
+    let obj_loc = ids.next_guid();
+    cs.register(
+        Profile::builder(obj_loc, EntityKind::Software, "objLocationCE")
+            .input(PortSpec::new("presence", ContextType::Presence))
+            .output(PortSpec::new("location", ContextType::Location))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    let p = plan.clone();
+    cs.register_logic(obj_loc, factory(move || ObjLocationLogic::new(p.clone())));
+    let path_ce = ids.next_guid();
+    cs.register(
+        Profile::builder(path_ce, EntityKind::Software, "pathCE")
+            .input(PortSpec::new("from", ContextType::Location))
+            .input(PortSpec::new("to", ContextType::Location))
+            .output(PortSpec::new("path", ContextType::Path))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    let p = plan;
+    cs.register_logic(path_ce, factory(move || PathLogic::new(p.clone())));
+    Rig { world, cs, ids }
+}
+
+fn path_query(ids: &mut GuidGenerator, app: Guid, from: Guid, to: Guid) -> Query {
+    Query::builder(ids.next_guid(), app)
+        .info_matching(
+            ContextType::Path,
+            vec![
+                Predicate::eq("from", ContextValue::Id(from)),
+                Predicate::eq("to", ContextValue::Id(to)),
+            ],
+        )
+        .mode(Mode::Subscribe)
+        .build()
+}
+
+fn run_world(rig: &mut Rig, seconds: u64) -> Vec<AppDelivery> {
+    let dt = VirtualDuration::from_secs(2);
+    let mut now = VirtualTime::ZERO;
+    let mut out = Vec::new();
+    for _ in 0..(seconds / 2) {
+        now += dt;
+        for event in rig.world.tick(now, dt).unwrap() {
+            rig.cs.ingest(&event, now).unwrap();
+        }
+        out.extend(rig.cs.drain_outbox());
+    }
+    out
+}
+
+#[test]
+fn world_driven_path_configuration() {
+    let mut r = rig();
+    let bob = r.ids.next_guid();
+    let john = r.ids.next_guid();
+    r.world
+        .spawn_person(SimPerson::new(bob, "Bob", Coord::new(4.0, 1.0)).with_plan(
+            MovementPlan::scripted([Leg::new("L10.01", VirtualDuration::from_secs(600))]),
+        ))
+        .unwrap();
+    r.world
+        .spawn_person(
+            SimPerson::new(john, "John", Coord::new(4.0, 1.0)).with_plan(MovementPlan::scripted(
+                // L10.03 is behind a sensed door; `bay` would be reached
+                // through an open passage and thus stay invisible to the
+                // door-sensor-based location pipeline.
+                [Leg::new("L10.03", VirtualDuration::from_secs(600))],
+            )),
+        )
+        .unwrap();
+
+    let app = r.ids.next_guid();
+    let q = path_query(&mut r.ids, app, bob, john);
+    match r.cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+        QueryAnswer::Subscribed { producers, .. } => assert_eq!(producers.len(), 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    // 1 pathCE + 2 objLocation instances.
+    assert_eq!(r.cs.instance_count(), 3);
+
+    let deliveries = run_world(&mut r, 120);
+    let paths: Vec<&AppDelivery> = deliveries
+        .iter()
+        .filter(|d| d.app == app && d.event.topic == ContextType::Path)
+        .collect();
+    assert!(
+        paths.len() >= 2,
+        "every movement after both are located produces a fresh path; got {}",
+        paths.len()
+    );
+    // The final path connects their final rooms.
+    let last = paths.last().unwrap();
+    let rooms: Vec<String> = last
+        .event
+        .payload
+        .field("rooms")
+        .and_then(ContextValue::as_list)
+        .unwrap()
+        .iter()
+        .filter_map(|r| r.as_text().map(str::to_owned))
+        .collect();
+    assert_eq!(rooms.first().map(String::as_str), Some("L10.01"));
+    assert_eq!(rooms.last().map(String::as_str), Some("L10.03"));
+}
+
+#[test]
+fn identical_queries_share_instances_and_teardown_is_clean() {
+    let mut r = rig();
+    let bob = r.ids.next_guid();
+    let john = r.ids.next_guid();
+    let app1 = r.ids.next_guid();
+    let app2 = r.ids.next_guid();
+
+    let q1 = path_query(&mut r.ids, app1, bob, john);
+    let q2 = path_query(&mut r.ids, app2, bob, john);
+    r.cs.submit_query(&q1, VirtualTime::ZERO).unwrap();
+    let three = r.cs.instance_count();
+    r.cs.submit_query(&q2, VirtualTime::ZERO).unwrap();
+    assert_eq!(r.cs.instance_count(), three, "reuse: no new instances");
+
+    // Both apps receive the same updates.
+    let door = r.cs.profiles().providers_of(&ContextType::Presence)[0].id();
+    for (subject, room) in [(bob, "L10.01"), (john, "L10.02")] {
+        let ev = ContextEvent::new(
+            door,
+            ContextType::Presence,
+            ContextValue::record([
+                ("subject", ContextValue::Id(subject)),
+                ("to", ContextValue::place(room)),
+            ]),
+            VirtualTime::from_secs(1),
+        );
+        r.cs.ingest(&ev, VirtualTime::from_secs(1)).unwrap();
+    }
+    let deliveries = r.cs.drain_outbox();
+    assert_eq!(deliveries.iter().filter(|d| d.app == app1).count(), 1);
+    assert_eq!(deliveries.iter().filter(|d| d.app == app2).count(), 1);
+
+    // Cancelling one keeps the other alive; cancelling both reclaims
+    // every instance and subscription.
+    r.cs.cancel_query(q1.id).unwrap();
+    assert_eq!(r.cs.instance_count(), three);
+    r.cs.cancel_query(q2.id).unwrap();
+    assert_eq!(r.cs.instance_count(), 0);
+    assert!(r.cs.mediator().bus().is_empty());
+}
+
+#[test]
+fn different_subjects_build_disjoint_branches() {
+    let mut r = rig();
+    let (a, b, c) = (r.ids.next_guid(), r.ids.next_guid(), r.ids.next_guid());
+    let app = r.ids.next_guid();
+    let q1 = path_query(&mut r.ids, app, a, b);
+    r.cs.submit_query(&q1, VirtualTime::ZERO).unwrap();
+    assert_eq!(r.cs.instance_count(), 3);
+    let q2 = path_query(&mut r.ids, app, a, c);
+    r.cs.submit_query(&q2, VirtualTime::ZERO).unwrap();
+    // Shares objLocation(a); adds objLocation(c) and pathCE(a,c).
+    assert_eq!(r.cs.instance_count(), 5);
+}
+
+#[test]
+fn reuse_ablation_changes_instance_growth() {
+    // With reuse disabled (E8's OFF arm), instances grow linearly.
+    let plan = capa_level10();
+    let mut ids = GuidGenerator::seeded(77);
+    let mut cs = ContextServer::new(ids.next_guid(), "level-ten", plan.clone());
+    cs.set_reuse(false);
+    let door = ids.next_guid();
+    cs.register(
+        Profile::builder(door, EntityKind::Device, "door")
+            .output(PortSpec::new("presence", ContextType::Presence))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    let obj_loc = ids.next_guid();
+    cs.register(
+        Profile::builder(obj_loc, EntityKind::Software, "objLocationCE")
+            .input(PortSpec::new("presence", ContextType::Presence))
+            .output(PortSpec::new("location", ContextType::Location))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    let p = plan;
+    cs.register_logic(obj_loc, factory(move || ObjLocationLogic::new(p.clone())));
+
+    let bob = ids.next_guid();
+    for i in 0..8u128 {
+        let app = ids.next_guid();
+        let q = Query::builder(ids.next_guid(), app)
+            .info_matching(
+                ContextType::Location,
+                vec![Predicate::eq("subject", ContextValue::Id(bob))],
+            )
+            .mode(Mode::Subscribe)
+            .build();
+        cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+        assert_eq!(cs.instance_count(), (i + 1) as usize, "linear growth");
+    }
+}

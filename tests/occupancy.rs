@@ -1,0 +1,149 @@
+//! Integration test: a second derived-context pipeline — room occupancy
+//! from door-sensor presence — exercising the aggregator role of the
+//! composition model alongside the Figure 3 location/path pipeline.
+
+use sci::prelude::*;
+
+fn rig() -> (ContextServer, GuidGenerator, Vec<Guid>) {
+    let plan = capa_level10();
+    let mut ids = GuidGenerator::seeded(121);
+    let mut cs = ContextServer::new(ids.next_guid(), "level-ten", plan);
+
+    let doors: Vec<Guid> = (0..3)
+        .map(|i| {
+            let id = ids.next_guid();
+            cs.register(
+                Profile::builder(id, EntityKind::Device, format!("door-{i}"))
+                    .output(PortSpec::new("presence", ContextType::Presence))
+                    .build(),
+                VirtualTime::ZERO,
+            )
+            .unwrap();
+            id
+        })
+        .collect();
+
+    let occupancy_ce = ids.next_guid();
+    cs.register(
+        Profile::builder(occupancy_ce, EntityKind::Software, "occupancyCE")
+            .input(PortSpec::new("presence", ContextType::Presence))
+            .output(PortSpec::new("occupancy", ContextType::Occupancy))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    cs.register_logic(occupancy_ce, factory(OccupancyLogic::new));
+    (cs, ids, doors)
+}
+
+fn crossing(door: Guid, subject: Guid, from: &str, to: &str, t: VirtualTime) -> ContextEvent {
+    ContextEvent::new(
+        door,
+        ContextType::Presence,
+        ContextValue::record([
+            ("subject", ContextValue::Id(subject)),
+            ("from", ContextValue::place(from)),
+            ("to", ContextValue::place(to)),
+        ]),
+        t,
+    )
+}
+
+#[test]
+fn occupancy_subscription_counts_people() {
+    let (mut cs, mut ids, doors) = rig();
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Occupancy)
+        .mode(Mode::Subscribe)
+        .build();
+    match cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+        QueryAnswer::Subscribed { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(cs.instance_count(), 1, "one occupancy aggregator");
+
+    let (bob, eve) = (ids.next_guid(), ids.next_guid());
+    let mut counts_for_l1001 = Vec::new();
+    let script = [
+        (doors[0], bob, "corridor", "L10.01"),
+        (doors[1], eve, "corridor", "L10.01"),
+        (doors[0], bob, "L10.01", "corridor"),
+    ];
+    for (i, (door, who, from, to)) in script.into_iter().enumerate() {
+        let t = VirtualTime::from_secs(i as u64 + 1);
+        cs.ingest(&crossing(door, who, from, to, t), t).unwrap();
+        for d in cs.drain_outbox() {
+            assert_eq!(d.event.topic, ContextType::Occupancy);
+            let room = d
+                .event
+                .payload
+                .field("room")
+                .and_then(|v| v.as_text().map(str::to_owned))
+                .unwrap();
+            let count = d
+                .event
+                .payload
+                .field("count")
+                .and_then(ContextValue::as_int)
+                .unwrap();
+            if room == "L10.01" {
+                counts_for_l1001.push(count);
+            }
+        }
+    }
+    assert_eq!(counts_for_l1001, [1, 2, 1], "enter, enter, leave");
+}
+
+#[test]
+fn occupancy_and_location_pipelines_coexist() {
+    let (mut cs, mut ids, doors) = rig();
+    // Also register the location pipeline.
+    let obj_loc = ids.next_guid();
+    cs.register(
+        Profile::builder(obj_loc, EntityKind::Software, "objLocationCE")
+            .input(PortSpec::new("presence", ContextType::Presence))
+            .output(PortSpec::new("location", ContextType::Location))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    let plan = capa_level10();
+    cs.register_logic(
+        obj_loc,
+        factory(move || ObjLocationLogic::new(plan.clone())),
+    );
+
+    let bob = ids.next_guid();
+    let occupancy_app = ids.next_guid();
+    let location_app = ids.next_guid();
+    cs.submit_query(
+        &Query::builder(ids.next_guid(), occupancy_app)
+            .info(ContextType::Occupancy)
+            .mode(Mode::Subscribe)
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    cs.submit_query(
+        &Query::builder(ids.next_guid(), location_app)
+            .info_matching(
+                ContextType::Location,
+                vec![Predicate::eq("subject", ContextValue::Id(bob))],
+            )
+            .mode(Mode::Subscribe)
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    assert_eq!(cs.instance_count(), 2, "independent pipelines");
+
+    // One door event feeds both.
+    let t = VirtualTime::from_secs(1);
+    cs.ingest(&crossing(doors[0], bob, "corridor", "L10.01", t), t)
+        .unwrap();
+    let deliveries = cs.drain_outbox();
+    let topics: Vec<&ContextType> = deliveries.iter().map(|d| &d.event.topic).collect();
+    assert!(topics.contains(&&ContextType::Occupancy));
+    assert!(topics.contains(&&ContextType::Location));
+}

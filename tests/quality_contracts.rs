@@ -1,0 +1,112 @@
+//! Integration test: quality-of-context contracts (paper §6, open issue
+//! 2: "contracts on quality of the context information") — a freshness
+//! bound on subscribed context, enforced per delivery.
+
+use sci::prelude::*;
+
+fn rig() -> (ContextServer, GuidGenerator, Guid) {
+    let mut ids = GuidGenerator::seeded(91);
+    let mut cs = ContextServer::new(ids.next_guid(), "lab", capa_level10());
+    let sensor = ids.next_guid();
+    cs.register(
+        Profile::builder(sensor, EntityKind::Device, "thermo")
+            .output(PortSpec::new("t", ContextType::Temperature))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    (cs, ids, sensor)
+}
+
+fn reading(sensor: Guid, produced_at: VirtualTime) -> ContextEvent {
+    ContextEvent::new(
+        sensor,
+        ContextType::Temperature,
+        ContextValue::record([("celsius", ContextValue::Float(21.0))]),
+        produced_at,
+    )
+}
+
+#[test]
+fn stale_deliveries_are_dropped() {
+    let (mut cs, mut ids, sensor) = rig();
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Temperature)
+        .fresh_within(VirtualDuration::from_secs(5))
+        .mode(Mode::Subscribe)
+        .build();
+    cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+
+    // A fresh reading (produced now) is delivered.
+    let t = VirtualTime::from_secs(10);
+    cs.ingest(&reading(sensor, t), t).unwrap();
+    assert_eq!(cs.drain_outbox().len(), 1);
+
+    // A reading produced 60 s ago (delayed in some buffer) violates the
+    // 5 s contract and is dropped.
+    let now = VirtualTime::from_secs(70);
+    cs.ingest(&reading(sensor, VirtualTime::from_secs(10)), now)
+        .unwrap();
+    assert!(cs.drain_outbox().is_empty());
+    assert_eq!(cs.stale_drops(), 1);
+
+    // A borderline reading (exactly at the bound) is delivered.
+    let now = VirtualTime::from_secs(80);
+    cs.ingest(&reading(sensor, VirtualTime::from_secs(75)), now)
+        .unwrap();
+    assert_eq!(cs.drain_outbox().len(), 1);
+}
+
+#[test]
+fn uncontracted_subscriptions_receive_everything() {
+    let (mut cs, mut ids, sensor) = rig();
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Temperature)
+        .mode(Mode::Subscribe)
+        .build();
+    cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+    let now = VirtualTime::from_secs(1_000);
+    cs.ingest(&reading(sensor, VirtualTime::ZERO), now).unwrap();
+    assert_eq!(cs.drain_outbox().len(), 1, "no contract, no drop");
+    assert_eq!(cs.stale_drops(), 0);
+}
+
+#[test]
+fn contract_does_not_leak_into_provider_matching() {
+    // The reserved qoc- constraint must not be treated as a provider
+    // attribute (the thermometer has no `qoc-max-age-us` attribute).
+    let (mut cs, mut ids, _sensor) = rig();
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Temperature)
+        .fresh_within(VirtualDuration::from_secs(1))
+        .mode(Mode::Profile)
+        .build();
+    match cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+        QueryAnswer::Profiles(ps) => assert_eq!(ps.len(), 1),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn contracts_compose_with_one_time_mode() {
+    let (mut cs, mut ids, sensor) = rig();
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Temperature)
+        .fresh_within(VirtualDuration::from_secs(5))
+        .mode(Mode::SubscribeOnce)
+        .build();
+    cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+    assert_eq!(cs.configuration_count(), 1);
+
+    // The only event that arrives is stale: dropped, and the one-time
+    // configuration is reclaimed (the subscription was consumed).
+    let now = VirtualTime::from_secs(100);
+    cs.ingest(&reading(sensor, VirtualTime::ZERO), now).unwrap();
+    assert!(cs.drain_outbox().is_empty());
+    assert_eq!(cs.stale_drops(), 1);
+    assert_eq!(cs.configuration_count(), 0);
+}

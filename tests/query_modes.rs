@@ -1,0 +1,269 @@
+//! Integration test: systematic coverage of the query model — all four
+//! modes (§4.3) crossed with the Where variants (explicit place, logical
+//! zone, closest-to, within-radius).
+
+use sci::prelude::*;
+
+struct Rig {
+    cs: ContextServer,
+    ids: GuidGenerator,
+    printers: Vec<Guid>,
+    bob: Guid,
+}
+
+fn rig() -> Rig {
+    let mut ids = GuidGenerator::seeded(201);
+    let mut cs = ContextServer::new(ids.next_guid(), "level-ten", capa_level10());
+
+    // Three printers at increasing distance from Bob's office L10.01.
+    let mut printers = Vec::new();
+    for (name, room) in [("PA", "L10.01"), ("PB", "L10.02"), ("PC", "bay")] {
+        let id = ids.next_guid();
+        cs.register(
+            Profile::builder(id, EntityKind::Device, name)
+                .output(PortSpec::new("status", ContextType::PrinterStatus))
+                .attribute("service", ContextValue::text("printing"))
+                .attribute("room", ContextValue::place(room))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+        cs.advertise(Advertisement::new(id, "printing").with_operation(
+            sci::types::Operation::new(
+                "submit-job",
+                [ContextType::custom("document")],
+                Some(ContextType::custom("ticket")),
+            ),
+        ))
+        .unwrap();
+        printers.push(id);
+    }
+
+    // Bob is in his office (placed via a door event).
+    let bob = ids.next_guid();
+    let door = ids.next_guid();
+    cs.register(
+        Profile::builder(door, EntityKind::Device, "door")
+            .output(PortSpec::new("presence", ContextType::Presence))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    let ev = ContextEvent::new(
+        door,
+        ContextType::Presence,
+        ContextValue::record([
+            ("subject", ContextValue::Id(bob)),
+            ("to", ContextValue::place("L10.01")),
+        ]),
+        VirtualTime::ZERO,
+    );
+    cs.ingest(&ev, VirtualTime::ZERO).unwrap();
+
+    Rig {
+        cs,
+        ids,
+        printers,
+        bob,
+    }
+}
+
+fn names(answer: &QueryAnswer) -> Vec<String> {
+    match answer {
+        QueryAnswer::Profiles(ps) => ps.iter().map(|p| p.name().to_owned()).collect(),
+        other => panic!("expected profiles, got {other:?}"),
+    }
+}
+
+#[test]
+fn profile_mode_with_every_where_variant() {
+    let mut r = rig();
+    let app = r.ids.next_guid();
+
+    // Explicit place.
+    let q = Query::builder(r.ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .attr_eq("service", "printing")
+        .in_place("L10.02")
+        .all()
+        .mode(Mode::Profile)
+        .build();
+    assert_eq!(
+        names(&r.cs.submit_query(&q, VirtualTime::ZERO).unwrap()),
+        ["PB"]
+    );
+
+    // Logical zone: every printer is inside level-ten.
+    let q = Query::builder(r.ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .attr_eq("service", "printing")
+        .in_place("level-ten")
+        .all()
+        .mode(Mode::Profile)
+        .build();
+    assert_eq!(
+        names(&r.cs.submit_query(&q, VirtualTime::ZERO).unwrap()).len(),
+        3
+    );
+
+    // Closest to Bob.
+    let q = Query::builder(r.ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .attr_eq("service", "printing")
+        .where_(Where::ClosestTo(Subject::Entity(r.bob)))
+        .closest()
+        .mode(Mode::Profile)
+        .build();
+    assert_eq!(
+        names(&r.cs.submit_query(&q, VirtualTime::ZERO).unwrap()),
+        ["PA"]
+    );
+
+    // Within 10 metres of Bob: PA (same room) and PB (next door)
+    // qualify; PC in the bay does not.
+    let q = Query::builder(r.ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .attr_eq("service", "printing")
+        .where_(Where::Within {
+            center: Subject::Entity(r.bob),
+            radius_m: 10.0,
+        })
+        .all()
+        .mode(Mode::Profile)
+        .build();
+    let mut got = names(&r.cs.submit_query(&q, VirtualTime::ZERO).unwrap());
+    got.sort();
+    assert_eq!(got, ["PA", "PB"]);
+}
+
+#[test]
+fn which_max_attr_selects_the_largest() {
+    let mut r = rig();
+    // Give the printers a speed attribute to maximise over.
+    let ids: Vec<Guid> = r.printers.clone();
+    for (i, id) in ids.iter().enumerate() {
+        let ev = ContextEvent::new(
+            *id,
+            ContextType::PrinterStatus,
+            ContextValue::record([("queue", ContextValue::Int(i as i64))]),
+            VirtualTime::from_secs(1),
+        );
+        r.cs.ingest(&ev, VirtualTime::from_secs(1)).unwrap();
+    }
+    let app = r.ids.next_guid();
+    let q = Query::builder(r.ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .attr_eq("service", "printing")
+        .which(Which::MaxAttr("queue".into()))
+        .mode(Mode::Profile)
+        .build();
+    match r.cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+        QueryAnswer::Profiles(ps) => {
+            assert_eq!(ps.len(), 1);
+            assert_eq!(ps[0].name(), "PC", "largest queue wins under MaxAttr");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn advertisement_mode_returns_invocable_interface() {
+    let mut r = rig();
+    let app = r.ids.next_guid();
+    let q = Query::builder(r.ids.next_guid(), app)
+        .named(r.printers[2])
+        .mode(Mode::Advertisement)
+        .build();
+    match r.cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+        QueryAnswer::Advertisements(ads) => {
+            assert_eq!(ads.len(), 1);
+            assert_eq!(ads[0].interface(), "printing");
+            let op = ads[0].operation("submit-job").unwrap();
+            assert_eq!(op.returns, Some(ContextType::custom("ticket")));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn subscribe_mode_on_named_entity_streams_raw_events() {
+    let mut r = rig();
+    let app = r.ids.next_guid();
+    let target = r.printers[0];
+    let q = Query::builder(r.ids.next_guid(), app)
+        .named(target)
+        .mode(Mode::Subscribe)
+        .build();
+    match r.cs.submit_query(&q, VirtualTime::ZERO).unwrap() {
+        QueryAnswer::Subscribed { producers, .. } => assert_eq!(producers, [target]),
+        other => panic!("unexpected {other:?}"),
+    }
+    // A status event from that printer reaches the app; another
+    // printer's does not.
+    for (i, &printer) in r.printers.iter().enumerate() {
+        let ev = ContextEvent::new(
+            printer,
+            ContextType::PrinterStatus,
+            ContextValue::record([("queue", ContextValue::Int(i as i64))]),
+            VirtualTime::from_secs(1),
+        );
+        r.cs.ingest(&ev, VirtualTime::from_secs(1)).unwrap();
+    }
+    let deliveries = r.cs.drain_outbox();
+    assert_eq!(deliveries.len(), 1);
+    assert_eq!(deliveries[0].event.source, target);
+}
+
+#[test]
+fn subscribe_once_on_kind_consumes_after_first_event() {
+    let mut r = rig();
+    let app = r.ids.next_guid();
+    let q = Query::builder(r.ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .attr_eq("service", "printing")
+        .all()
+        .mode(Mode::SubscribeOnce)
+        .build();
+    r.cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+    // First event delivers and consumes that producer's subscription.
+    let ev = ContextEvent::new(
+        r.printers[0],
+        ContextType::PrinterStatus,
+        ContextValue::record([("queue", ContextValue::Int(0))]),
+        VirtualTime::from_secs(1),
+    );
+    r.cs.ingest(&ev, VirtualTime::from_secs(1)).unwrap();
+    assert_eq!(r.cs.drain_outbox().len(), 1);
+    assert_eq!(r.cs.configuration_count(), 0, "one-time config consumed");
+    r.cs.ingest(&ev, VirtualTime::from_secs(2)).unwrap();
+    assert!(r.cs.drain_outbox().is_empty());
+}
+
+#[test]
+fn unresolvable_wheres_error_cleanly() {
+    let mut r = rig();
+    let app = r.ids.next_guid();
+    // Unknown place.
+    let q = Query::builder(r.ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .in_place("R99.99")
+        .mode(Mode::Profile)
+        .build();
+    assert!(matches!(
+        r.cs.submit_query(&q, VirtualTime::ZERO),
+        Err(SciError::UnknownLocation(_))
+    ));
+    // Closest to an entity with no known position.
+    let stranger = r.ids.next_guid();
+    let q = Query::builder(r.ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .attr_eq("service", "printing")
+        .where_(Where::ClosestTo(Subject::Entity(stranger)))
+        .closest()
+        .mode(Mode::Profile)
+        .build();
+    assert!(matches!(
+        r.cs.submit_query(&q, VirtualTime::ZERO),
+        Err(SciError::Unresolvable(_))
+    ));
+}

@@ -1,0 +1,93 @@
+//! Scale test: a large range under sustained load — the paper's
+//! "scalable infrastructure" requirement exercised end to end.
+
+use sci::prelude::*;
+
+#[test]
+fn large_range_sustains_load() {
+    let plan = capa_level10();
+    let mut ids = GuidGenerator::seeded(500);
+    let mut cs = ContextServer::new(ids.next_guid(), "hall", plan.clone());
+
+    // 1 000 door sensors and 200 unrelated devices.
+    let doors: Vec<Guid> = (0..1_000)
+        .map(|i| {
+            let id = ids.next_guid();
+            cs.register(
+                Profile::builder(id, EntityKind::Device, format!("door-{i}"))
+                    .output(PortSpec::new("presence", ContextType::Presence))
+                    .build(),
+                VirtualTime::ZERO,
+            )
+            .unwrap();
+            id
+        })
+        .collect();
+    for i in 0..200 {
+        let id = ids.next_guid();
+        cs.register(
+            Profile::builder(id, EntityKind::Device, format!("noise-{i}"))
+                .output(PortSpec::new("t", ContextType::Temperature))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+    }
+    let obj_loc = ids.next_guid();
+    cs.register(
+        Profile::builder(obj_loc, EntityKind::Software, "objLocationCE")
+            .input(PortSpec::new("presence", ContextType::Presence))
+            .output(PortSpec::new("location", ContextType::Location))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    let p = plan;
+    cs.register_logic(obj_loc, factory(move || ObjLocationLogic::new(p.clone())));
+
+    // 100 applications track 25 distinct subjects (4 apps share each
+    // subject's pipeline through reuse).
+    let subjects: Vec<Guid> = (0..25).map(|_| ids.next_guid()).collect();
+    for k in 0..100 {
+        let app = ids.next_guid();
+        let q = Query::builder(ids.next_guid(), app)
+            .info_matching(
+                ContextType::Location,
+                vec![Predicate::eq(
+                    "subject",
+                    ContextValue::Id(subjects[k % subjects.len()]),
+                )],
+            )
+            .mode(Mode::Subscribe)
+            .build();
+        cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+    }
+    assert_eq!(
+        cs.instance_count(),
+        subjects.len(),
+        "reuse keeps one instance per subject"
+    );
+
+    // 5 000 presence events round-robin across doors and subjects.
+    let rooms = ["lobby", "corridor", "L10.01", "L10.02", "L10.03", "bay"];
+    let mut delivered = 0usize;
+    for k in 0..5_000usize {
+        let t = VirtualTime::from_millis(k as u64 * 100);
+        let ev = ContextEvent::new(
+            doors[k % doors.len()],
+            ContextType::Presence,
+            ContextValue::record([
+                ("subject", ContextValue::Id(subjects[k % subjects.len()])),
+                ("to", ContextValue::place(rooms[k % rooms.len()])),
+            ]),
+            t,
+        );
+        cs.ingest(&ev, t).unwrap();
+        delivered += cs.drain_outbox().len();
+    }
+    // Every event concerns a tracked subject and fans out to its 4 apps.
+    assert_eq!(delivered, 5_000 * 4);
+
+    // History is bounded, not runaway.
+    assert!(cs.history().len() <= (subjects.len() * 2 + 1) * 32 + 32);
+}

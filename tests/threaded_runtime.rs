@@ -1,0 +1,138 @@
+//! Integration test: the hybrid communication model (paper §4) under
+//! real concurrency — "a combination of distributed events and point to
+//! point communication". World-simulator events fan out through the
+//! threaded bus to consumer threads, while a service invocation runs
+//! over a point-to-point channel pair.
+
+use std::thread;
+
+use sci::event::rt::{point_to_point, ThreadedBus};
+use sci::prelude::*;
+use sci::sensors::mobility::{Leg, MovementPlan};
+
+#[test]
+fn world_events_fan_out_across_threads() {
+    let mut ids = GuidGenerator::seeded(101);
+    let plan = capa_level10();
+    let mut world = World::new(plan);
+    world.auto_door_sensors(&mut ids);
+    let bob = ids.next_guid();
+    world
+        .spawn_person(SimPerson::new(bob, "Bob", Coord::new(4.0, 1.0)).with_plan(
+            MovementPlan::scripted([
+                Leg::new("L10.01", VirtualDuration::from_secs(10)),
+                Leg::new("L10.02", VirtualDuration::from_secs(10)),
+                Leg::new("bay", VirtualDuration::from_secs(10)),
+            ]),
+        ))
+        .unwrap();
+
+    let bus = ThreadedBus::new();
+    // Consumer 1: all presence events.
+    let (_, presence_rx) = bus.subscribe(
+        ids.next_guid(),
+        Topic::of_type(ContextType::Presence),
+        false,
+    );
+    // Consumer 2: only events about Bob.
+    let (_, bob_rx) = bus.subscribe(ids.next_guid(), Topic::any().about(bob), false);
+
+    let presence_counter = thread::spawn(move || presence_rx.iter().count());
+    let bob_counter = thread::spawn(move || bob_rx.iter().count());
+
+    // Drive the world on this thread, publishing into the bus.
+    let dt = VirtualDuration::from_secs(2);
+    let mut now = VirtualTime::ZERO;
+    let mut produced = 0usize;
+    for _ in 0..120 {
+        now += dt;
+        for event in world.tick(now, dt).unwrap() {
+            bus.publish(&event);
+            produced += 1;
+        }
+    }
+    assert!(produced >= 4, "bob crossed several sensed doors");
+    drop(bus); // disconnect: consumer threads drain and exit
+
+    let presence_seen = presence_counter.join().unwrap();
+    let bob_seen = bob_counter.join().unwrap();
+    assert_eq!(presence_seen, produced, "all events were presence events");
+    assert_eq!(bob_seen, produced, "every event was about Bob");
+}
+
+#[test]
+fn point_to_point_service_invocation_across_threads() {
+    // A printer "service" thread answers submit-job requests — the
+    // point-to-point half of the hybrid model used by Advertisement
+    // interactions.
+    let (client, server) = point_to_point::<(String, u32), Guid>();
+    let service = thread::spawn(move || {
+        let mut ids = GuidGenerator::seeded(7);
+        let mut jobs = Vec::new();
+        while let Ok((document, pages)) = server.next_request() {
+            let ticket = ids.next_guid();
+            jobs.push((document, pages, ticket));
+            if server.respond(ticket).is_err() {
+                break;
+            }
+        }
+        jobs
+    });
+
+    let t1 = client.call(("paper.pdf".to_owned(), 12)).unwrap();
+    let t2 = client.call(("slides.pdf".to_owned(), 30)).unwrap();
+    assert_ne!(t1, t2, "each job gets its own ticket");
+    drop(client);
+    let jobs = service.join().unwrap();
+    assert_eq!(jobs.len(), 2);
+    assert_eq!(jobs[0].0, "paper.pdf");
+}
+
+#[test]
+fn threaded_and_deterministic_buses_agree_on_filtering() {
+    // The same subscription set over the same event sequence produces
+    // identical fanout counts on both runtimes.
+    let mut ids = GuidGenerator::seeded(5);
+    let source = ids.next_guid();
+    let subject = ids.next_guid();
+    let events: Vec<ContextEvent> = (0..50)
+        .map(|i| {
+            let ty = if i % 3 == 0 {
+                ContextType::Presence
+            } else {
+                ContextType::Temperature
+            };
+            let payload = if i % 2 == 0 {
+                ContextValue::record([("subject", ContextValue::Id(subject))])
+            } else {
+                ContextValue::Int(i)
+            };
+            ContextEvent::new(source, ty, payload, VirtualTime::from_micros(i as u64))
+        })
+        .collect();
+
+    let topics = [
+        Topic::any(),
+        Topic::of_type(ContextType::Presence),
+        Topic::any().about(subject),
+        Topic::of_type(ContextType::Temperature).from(source),
+    ];
+
+    let mut sync_bus = sci::event::EventBus::new();
+    let threaded = ThreadedBus::new();
+    let mut receivers = Vec::new();
+    for topic in &topics {
+        sync_bus.subscribe(ids.next_guid(), topic.clone(), false);
+        receivers.push(threaded.subscribe(ids.next_guid(), topic.clone(), false).1);
+    }
+
+    let mut sync_total = 0usize;
+    let mut threaded_total = 0usize;
+    for ev in &events {
+        sync_total += sync_bus.publish(ev).len();
+        threaded_total += threaded.publish(ev);
+    }
+    assert_eq!(sync_total, threaded_total);
+    let received: usize = receivers.iter().map(|r| r.try_iter().count()).sum();
+    assert_eq!(received, threaded_total);
+}
