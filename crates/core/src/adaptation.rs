@@ -470,6 +470,7 @@ pub fn detect_and_repair_governed(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::context_server::QueryAnswer;

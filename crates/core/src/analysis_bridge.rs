@@ -1,0 +1,134 @@
+//! Bridges the resolver's plan model to the `sci-analysis` verifier.
+//!
+//! `sci-analysis` deliberately depends only on `sci-types`, so this
+//! module owns the three conversions that connect it to the live
+//! middleware:
+//!
+//! * [`plan_graph`] — a [`ConfigurationPlan`] as the analyzer's
+//!   [`PlanGraph`];
+//! * [`ProfileSource`] for [`ProfileManager`] — profile lookup plus the
+//!   range's semantic-equivalence classes as type compatibility;
+//! * [`expected_subscriptions`] — the subscription records a live
+//!   [`Configuration`] implies, for fleet drift detection against the
+//!   Event Mediator's actual table ([`record_of`] reduces a live
+//!   [`Topic`] to the same shape).
+
+use sci_analysis::fleet::SubscriptionRecord;
+use sci_analysis::{GraphEdge, GraphNode, NodeRole, PlanGraph, ProfileSource};
+use sci_event::bus::SubscriptionView;
+use sci_types::{ContextType, Guid, Profile};
+
+use crate::configuration::Configuration;
+use crate::profile_manager::ProfileManager;
+use crate::resolver::{ConfigurationPlan, NodeKind};
+
+impl ProfileSource for ProfileManager {
+    fn profile(&self, ce: Guid) -> Option<&Profile> {
+        self.get(ce)
+    }
+
+    fn type_compatible(&self, produced: &ContextType, consumed: &ContextType) -> bool {
+        self.compatible(produced, consumed)
+    }
+}
+
+/// Converts a resolved plan into the analyzer's graph model.
+pub fn plan_graph(plan: &ConfigurationPlan) -> PlanGraph {
+    PlanGraph {
+        nodes: plan
+            .nodes
+            .iter()
+            .map(|node| GraphNode {
+                ce: node.ce,
+                role: match node.kind {
+                    NodeKind::Source => NodeRole::Source,
+                    NodeKind::Derived => NodeRole::Derived,
+                },
+                output: node.output.clone(),
+                inputs: node
+                    .inputs
+                    .iter()
+                    .map(|edge| GraphEdge {
+                        port: edge.port.clone(),
+                        ty: edge.ty.clone(),
+                        subject: edge.subject,
+                        producers: edge.producers.clone(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+        roots: plan.roots.clone(),
+        output: plan.output.clone(),
+    }
+}
+
+/// The subscriptions a live configuration requires, reconstructed from
+/// its retained plan.
+///
+/// Instantiation assigns each plan node the GUID its events carry:
+/// source nodes publish as the registered CE itself, derived nodes as
+/// the (possibly shared) instance created for them — recorded in
+/// [`Configuration::instances`] in plan-node order. Walking the plan
+/// with that mapping reproduces exactly the topics `instantiate` wired:
+/// one subscription per producer of each derived edge, plus the owning
+/// application's subscription to each root.
+///
+/// Returns `None` when the mapping is inconsistent (fewer recorded
+/// instances than derived nodes, or a root index outside the plan) —
+/// states the single-plan analyzer would itself reject.
+pub fn expected_subscriptions(config: &Configuration) -> Option<Vec<SubscriptionRecord>> {
+    let plan = &config.plan;
+    let mut producer_guid: Vec<Guid> = Vec::with_capacity(plan.nodes.len());
+    let mut instances = config.instances.iter();
+    for node in &plan.nodes {
+        match node.kind {
+            NodeKind::Source => producer_guid.push(node.ce),
+            NodeKind::Derived => producer_guid.push(*instances.next()?),
+        }
+    }
+
+    let mut records = Vec::new();
+    for (idx, node) in plan.nodes.iter().enumerate() {
+        for edge in &node.inputs {
+            for &p in &edge.producers {
+                if p >= plan.nodes.len() {
+                    return None;
+                }
+                records.push(SubscriptionRecord::new(
+                    producer_guid[idx],
+                    Some(plan.nodes[p].output.clone()),
+                    Some(producer_guid[p]),
+                    edge.subject,
+                ));
+            }
+        }
+    }
+
+    // The owning application's root subscriptions. Raw (Kind/Named)
+    // configurations have no plan: the CAA subscribes to each selected
+    // producer with a source-only topic.
+    for (i, &producer) in config.root_producers.iter().enumerate() {
+        let ty = match plan.roots.get(i) {
+            Some(&root) => Some(plan.nodes.get(root)?.output.clone()),
+            None => None,
+        };
+        records.push(SubscriptionRecord::new(
+            config.owner,
+            ty,
+            Some(producer),
+            config.root_subject,
+        ));
+    }
+    Some(records)
+}
+
+/// Reduces a live subscription to the record shape fleet analysis
+/// compares.
+pub fn record_of(view: &SubscriptionView<'_>) -> SubscriptionRecord {
+    SubscriptionRecord::new(
+        view.subscriber,
+        view.topic.ty().cloned(),
+        view.topic.source(),
+        view.topic.subject(),
+    )
+}

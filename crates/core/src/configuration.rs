@@ -188,10 +188,9 @@ impl InstanceStore {
                     let key = (node.ce, binding_key(&node.binding));
                     if self.reuse {
                         if let Some(&existing) = self.cache.get(&key) {
-                            let state = self
-                                .instances
-                                .get_mut(&existing)
-                                .expect("cache points at live instances");
+                            let state = self.instances.get_mut(&existing).ok_or_else(|| {
+                                SciError::Internal("reuse cache points at a dead instance".into())
+                            })?;
                             state.refcount += 1;
                             producer_guid[idx] = existing;
                             used_instances.push(existing);
@@ -278,10 +277,11 @@ impl InstanceStore {
             };
             state.refcount -= 1;
             if state.refcount == 0 {
-                let state = self.instances.remove(&instance).expect("present");
-                mediator.purge_entity(instance);
-                self.cache.remove(&(state.ce, binding_key(&state.binding)));
-                destroyed += 1;
+                if let Some(state) = self.instances.remove(&instance) {
+                    mediator.purge_entity(instance);
+                    self.cache.remove(&(state.ce, binding_key(&state.binding)));
+                    destroyed += 1;
+                }
             }
         }
         destroyed
@@ -289,6 +289,7 @@ impl InstanceStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::logic::{factory, ObjLocationLogic, PathLogic};

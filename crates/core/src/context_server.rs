@@ -23,9 +23,11 @@ use sci_location::floorplan::FloorPlan;
 use sci_query::{Mode, Query, What, When, Where, Which};
 use sci_types::guid::GuidGenerator;
 use sci_types::{
-    Advertisement, ContextEvent, ContextType, ContextValue, EntityDescriptor, EntityKind, Guid,
-    Profile, SciError, SciResult, VirtualDuration, VirtualTime,
+    Advertisement, AnalysisReport, ContextEvent, ContextType, ContextValue, DiagCode, Diagnostic,
+    EntityDescriptor, EntityKind, Guid, Profile, SciError, SciResult, VirtualDuration, VirtualTime,
 };
+
+use sci_analysis::fleet::{diff_subscriptions, SubscriptionRecord};
 
 use crate::configuration::{Configuration, InstanceStore};
 use crate::history::ContextStore;
@@ -102,6 +104,8 @@ pub struct ContextServer {
     auto_register_people: bool,
     stale_drops: u64,
     history: ContextStore,
+    verify_plans: bool,
+    rejected_plans: u64,
 }
 
 impl std::fmt::Debug for ContextServer {
@@ -139,6 +143,8 @@ impl ContextServer {
             auto_register_people: true,
             stale_drops: 0,
             history: ContextStore::default(),
+            verify_plans: true,
+            rejected_plans: 0,
         }
     }
 
@@ -461,6 +467,16 @@ impl ContextServer {
                 };
                 let plan =
                     plan_configuration(&self.profiles, &demand, constraints, &self.excluded)?;
+                // Mandatory pre-instantiation gate: no subscription is
+                // wired for a plan static analysis rejects (bypassable
+                // via `set_plan_verification(false)`).
+                if self.verify_plans {
+                    let report = self.analyze_plan(&plan);
+                    if report.has_errors() {
+                        self.rejected_plans += 1;
+                        return Err(SciError::PlanRejected(report.summary()));
+                    }
+                }
                 self.instances.instantiate(
                     &plan,
                     query.id,
@@ -620,7 +636,7 @@ impl ContextServer {
                         self.candidate_position(p)
                             .map(|c| (p.id(), c.distance(reference)))
                     })
-                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite distances"))
+                    .min_by(|(_, a), (_, b)| a.total_cmp(b))
                     .ok_or_else(|| {
                         SciError::Unresolvable(
                             "no candidate has a known position for closest-selection".into(),
@@ -639,7 +655,7 @@ impl ContextServer {
                             .map(|v| (p.id(), v))
                     })
                     .min_by(|(_, a), (_, b)| {
-                        let ord = a.partial_cmp(b).expect("finite attributes");
+                        let ord = a.total_cmp(b);
                         if maximize {
                             ord.reverse()
                         } else {
@@ -947,9 +963,79 @@ impl ContextServer {
     pub fn configuration(&self, query_id: Guid) -> Option<&Configuration> {
         self.configurations.get(&query_id)
     }
+
+    // ------------------------------------------------------------------
+    // Static plan verification (sci-analysis)
+    // ------------------------------------------------------------------
+
+    /// Enables or disables the pre-instantiation verification gate.
+    /// Verification is on by default; disabling it restores the
+    /// pre-analysis behaviour where defective plans are wired as-is.
+    pub fn set_plan_verification(&mut self, enabled: bool) {
+        self.verify_plans = enabled;
+    }
+
+    /// Whether the pre-instantiation verification gate is active.
+    pub fn plan_verification(&self) -> bool {
+        self.verify_plans
+    }
+
+    /// Number of subscription queries refused by the verification gate.
+    pub fn rejected_plans(&self) -> u64 {
+        self.rejected_plans
+    }
+
+    /// Statically verifies a plan against this range's registered
+    /// profiles and equivalence classes, without instantiating anything.
+    pub fn analyze_plan(&self, plan: &crate::resolver::ConfigurationPlan) -> AnalysisReport {
+        sci_analysis::analyze(&crate::analysis_bridge::plan_graph(plan), &self.profiles)
+    }
+
+    /// Fleet-mode drift audit: compares the subscriptions every live
+    /// configuration's analyzed plan requires against the Event
+    /// Mediator's actual table.
+    ///
+    /// * `SCI-A101` (error) — a required subscription is missing, so an
+    ///   analyzed edge no longer delivers;
+    /// * `SCI-A102` (warning) — configuration wiring no retained plan
+    ///   accounts for. Adaptive repairs that wired a newly arrived
+    ///   source into a running configuration legitimately show up here.
+    ///
+    /// Subscriptions unrelated to configurations (nothing in this
+    /// server creates them today) are ignored.
+    pub fn audit_configurations(&self) -> AnalysisReport {
+        let mut report = AnalysisReport::new();
+        let mut expected: Vec<SubscriptionRecord> = Vec::new();
+        for config in self.configurations.values() {
+            match crate::analysis_bridge::expected_subscriptions(config) {
+                Some(records) => expected.extend(records),
+                None => report.push(Diagnostic::new(
+                    DiagCode::DanglingEdge,
+                    format!(
+                        "configuration {} retains a plan inconsistent with its instances",
+                        config.query_id
+                    ),
+                )),
+            }
+        }
+        let actual: Vec<SubscriptionRecord> = self
+            .mediator
+            .bus()
+            .iter()
+            .filter(|v| {
+                self.instances.contains(v.subscriber) || self.caa_sub_index.contains_key(&v.id)
+            })
+            .map(|v| crate::analysis_bridge::record_of(&v))
+            .collect();
+        for finding in diff_subscriptions(&expected, &actual) {
+            report.push(finding);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::logic::{factory, ObjLocationLogic, PathLogic};
@@ -1379,6 +1465,128 @@ mod tests {
         let evicted = r.cs.expire_history(VirtualTime::MAX);
         assert!(evicted >= 6);
         assert!(r.cs.history().is_empty());
+    }
+
+    #[test]
+    fn verification_gate_refuses_fan_in_plan() {
+        // Re-create the rig with a single-input objLocation: the
+        // resolver happily fans all 3 doors into its presence port, and
+        // the analyzer must refuse the plan before any wiring happens.
+        let plan = capa_level10();
+        let mut ids = GuidGenerator::seeded(5);
+        let mut cs = ContextServer::new(ids.next_guid(), "level-ten", plan.clone());
+        for i in 0..3 {
+            cs.register(
+                Profile::builder(ids.next_guid(), EntityKind::Device, format!("door-{i}"))
+                    .output(PortSpec::new("presence", ContextType::Presence))
+                    .build(),
+                VirtualTime::ZERO,
+            )
+            .unwrap();
+        }
+        let obj_loc = ids.next_guid();
+        cs.register(
+            Profile::builder(obj_loc, EntityKind::Software, "objLocationCE")
+                .input(PortSpec::new("presence", ContextType::Presence))
+                .output(PortSpec::new("location", ContextType::Location))
+                .attribute(sci_analysis::SINGLE_INPUT_ATTR, ContextValue::Bool(true))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+        let p = plan.clone();
+        cs.register_logic(
+            obj_loc,
+            crate::logic::factory(move || crate::logic::ObjLocationLogic::new(p.clone())),
+        );
+
+        let bob = ids.next_guid();
+        let app = ids.next_guid();
+        let q = Query::builder(ids.next_guid(), app)
+            .info_matching(
+                ContextType::Location,
+                vec![Predicate::eq("subject", ContextValue::Id(bob))],
+            )
+            .mode(Mode::Subscribe)
+            .build();
+
+        let err = cs.submit_query(&q, VirtualTime::ZERO).unwrap_err();
+        match &err {
+            SciError::PlanRejected(msg) => {
+                assert!(msg.contains("SCI-A006"), "summary names the code: {msg}");
+            }
+            other => panic!("expected PlanRejected, got {other:?}"),
+        }
+        assert_eq!(cs.rejected_plans(), 1);
+        assert_eq!(cs.instance_count(), 0, "gate fired before wiring");
+        assert!(cs.mediator().bus().is_empty());
+
+        // Explicit bypass restores the pre-analysis behaviour.
+        cs.set_plan_verification(false);
+        assert!(!cs.plan_verification());
+        assert!(cs.submit_query(&q, VirtualTime::ZERO).is_ok());
+        assert!(cs.instance_count() > 0);
+    }
+
+    #[test]
+    fn analyze_plan_passes_valid_figure3_plan() {
+        let mut r = rig();
+        let bob = r.ids.next_guid();
+        let john = r.ids.next_guid();
+        let plan = crate::resolver::plan_configuration(
+            r.cs.profiles(),
+            &crate::resolver::Demand::of(ContextType::Path),
+            &[
+                Predicate::eq("from", ContextValue::Id(bob)),
+                Predicate::eq("to", ContextValue::Id(john)),
+            ],
+            &HashSet::new(),
+        )
+        .unwrap();
+        let report = r.cs.analyze_plan(&plan);
+        assert!(report.is_clean(), "unexpected findings: {report}");
+    }
+
+    #[test]
+    fn audit_detects_missing_and_orphan_subscriptions() {
+        let mut r = rig();
+        let bob = r.ids.next_guid();
+        let app = r.ids.next_guid();
+        let q = Query::builder(r.ids.next_guid(), app)
+            .info_matching(
+                ContextType::Path,
+                vec![
+                    Predicate::eq("from", ContextValue::Id(bob)),
+                    Predicate::eq("to", ContextValue::Id(r.ids.next_guid())),
+                ],
+            )
+            .mode(Mode::Subscribe)
+            .build();
+        r.cs.submit_query(&q, VirtualTime::ZERO).unwrap();
+        assert!(
+            r.cs.audit_configurations().is_clean(),
+            "freshly wired fleet is drift-free: {}",
+            r.cs.audit_configurations()
+        );
+
+        // Sabotage 1: silently drop one instance input subscription.
+        let victim = r.cs.instances.iter().find(|i| !i.subs.is_empty()).unwrap();
+        let dropped = victim.subs[0];
+        r.cs.mediator.unsubscribe(dropped).unwrap();
+        let report = r.cs.audit_configurations();
+        assert!(report.has_code(DiagCode::MissingSubscription));
+        assert!(report.has_errors());
+
+        // Sabotage 2: a leaked subscription held by a live instance.
+        let holder = r.cs.instances.iter().next().unwrap().instance;
+        r.cs.mediator.subscribe(
+            holder,
+            Topic::of_type(ContextType::Temperature).from(r.doors[0]),
+            false,
+        );
+        let report = r.cs.audit_configurations();
+        assert!(report.has_code(DiagCode::OrphanSubscription));
+        let _ = r.path_ce;
     }
 
     #[test]

@@ -258,6 +258,7 @@ impl Deployment {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_location::floorplan::capa_level10;

@@ -196,6 +196,7 @@ pub fn start_caa<A: ConsumeInterface>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_location::floorplan::capa_level10;

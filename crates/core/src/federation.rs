@@ -155,7 +155,11 @@ impl Federation {
                     Bytes::from(payload.clone().into_bytes()),
                 );
                 self.net.send(msg)?;
-                let messages = self.net.node_mut(dst).expect("exists").drain_inbox();
+                let messages = self
+                    .net
+                    .node_mut(dst)
+                    .ok_or_else(|| SciError::Internal(format!("overlay lost node {dst}")))?
+                    .drain_inbox();
                 for m in messages {
                     if m.kind != MessageKind::RangeAdvert {
                         continue;
@@ -224,6 +228,21 @@ impl Federation {
         self.servers.get_mut(&id)
     }
 
+    /// Fleet-mode drift audit across every federated range: each
+    /// server's live configurations are checked against its Event
+    /// Mediator's subscription table (see
+    /// [`ContextServer::audit_configurations`]). Returns one report per
+    /// range, keyed by server GUID, in server-id order.
+    pub fn audit(&self) -> Vec<(Guid, sci_types::AnalysisReport)> {
+        let mut reports: Vec<(Guid, sci_types::AnalysisReport)> = self
+            .servers
+            .iter()
+            .map(|(&id, cs)| (id, cs.audit_configurations()))
+            .collect();
+        reports.sort_by_key(|(id, _)| *id);
+        reports
+    }
+
     /// Feeds a sensor event into the named range.
     ///
     /// # Errors
@@ -243,7 +262,7 @@ impl Federation {
             .ok_or_else(|| SciError::UnknownLocation(range.to_owned()))?;
         self.servers
             .get_mut(&id)
-            .expect("every node has a server")
+            .ok_or_else(|| SciError::Internal(format!("node {id} has no Context Server")))?
             .ingest(event, now)?;
         self.pump(now)
     }
@@ -271,7 +290,7 @@ impl Federation {
         let local = self
             .servers
             .get_mut(&home)
-            .expect("every node has a server")
+            .ok_or_else(|| SciError::Internal(format!("node {home} has no Context Server")))?
             .submit_query(query, now);
 
         // Decide where the query must go: an explicit Forward answer, or
@@ -316,16 +335,10 @@ impl Federation {
         let arrival = now.saturating_add(out_fwd.latency);
 
         // The destination CS processes its inbox.
-        let delivered = self
-            .servers
-            .get_mut(&dst)
-            .expect("routed to existing node")
-            .id(); // keep borrowck simple; drain below
-        let _ = delivered;
         let messages = self
             .net
             .node_mut(dst)
-            .expect("routed to existing node")
+            .ok_or_else(|| SciError::Internal(format!("routed to missing node {dst}")))?
             .drain_inbox();
         let mut answer = None;
         for msg in messages {
@@ -338,7 +351,7 @@ impl Federation {
             let remote_answer = self
                 .servers
                 .get_mut(&dst)
-                .expect("exists")
+                .ok_or_else(|| SciError::Internal(format!("node {dst} has no Context Server")))?
                 .submit_query(&remote_query, arrival)?;
             answer = Some(remote_answer);
         }
@@ -354,7 +367,11 @@ impl Federation {
         );
         let out_resp = self.net.send(resp)?;
         let decoded = {
-            let messages = self.net.node_mut(home).expect("home exists").drain_inbox();
+            let messages = self
+                .net
+                .node_mut(home)
+                .ok_or_else(|| SciError::Internal(format!("overlay lost home node {home}")))?
+                .drain_inbox();
             let mut found = None;
             for msg in messages {
                 if msg.kind == MessageKind::QueryResponse {
@@ -385,7 +402,9 @@ impl Federation {
         let node_ids: Vec<Guid> = self.servers.keys().copied().collect();
         for node in node_ids {
             let (deliveries, answers) = {
-                let cs = self.servers.get_mut(&node).expect("listed");
+                let Some(cs) = self.servers.get_mut(&node) else {
+                    continue;
+                };
                 (cs.drain_outbox(), cs.drain_answers())
             };
             for d in deliveries {
@@ -405,7 +424,13 @@ impl Federation {
                         Bytes::from(payload.into_bytes()),
                     );
                     self.net.send(msg)?;
-                    let messages = self.net.node_mut(home).expect("home exists").drain_inbox();
+                    let messages = self
+                        .net
+                        .node_mut(home)
+                        .ok_or_else(|| {
+                            SciError::Internal(format!("overlay lost home node {home}"))
+                        })?
+                        .drain_inbox();
                     for m in messages {
                         if m.kind != MessageKind::EventRelay {
                             continue;
@@ -452,7 +477,13 @@ impl Federation {
                         Bytes::from(payload.into_bytes()),
                     );
                     self.net.send(msg)?;
-                    let messages = self.net.node_mut(home).expect("home exists").drain_inbox();
+                    let messages = self
+                        .net
+                        .node_mut(home)
+                        .ok_or_else(|| {
+                            SciError::Internal(format!("overlay lost home node {home}"))
+                        })?
+                        .drain_inbox();
                     for m in messages {
                         if m.kind != MessageKind::QueryResponse {
                             continue;
@@ -501,11 +532,9 @@ impl Federation {
     pub fn poll_timers(&mut self, now: VirtualTime) -> SciResult<()> {
         let node_ids: Vec<Guid> = self.servers.keys().copied().collect();
         for node in node_ids {
-            let _ = self
-                .servers
-                .get_mut(&node)
-                .expect("listed")
-                .poll_timers(now);
+            if let Some(cs) = self.servers.get_mut(&node) {
+                let _ = cs.poll_timers(now);
+            }
         }
         self.pump(now)
     }
@@ -595,6 +624,7 @@ pub fn answer_from_xml(xml: &str) -> SciResult<QueryAnswer> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_location::floorplan::capa_level10;

@@ -132,6 +132,7 @@ impl Default for ContextStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::ContextValue;

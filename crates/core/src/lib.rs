@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptation;
+pub mod analysis_bridge;
 pub mod capa;
 pub mod configuration;
 pub mod context_server;

@@ -166,6 +166,7 @@ impl LocationService {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_location::floorplan::capa_level10;

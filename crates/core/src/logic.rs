@@ -368,6 +368,7 @@ impl EntityLogic for AggregateLogic {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_location::floorplan::capa_level10;

@@ -166,6 +166,7 @@ impl ProfileManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::{EntityKind, PortSpec};

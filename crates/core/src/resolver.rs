@@ -193,13 +193,11 @@ pub fn plan_configuration(
 ) -> SciResult<ConfigurationPlan> {
     // `subject` with an Id value is the reserved scoping constraint —
     // it is already captured in `demand.subject`, not an attribute of
-    // the provider. Constraints prefixed `qoc-` are delivery-time
-    // quality contracts, also not provider attributes.
-    let constraints: Vec<Predicate> = constraints
-        .iter()
+    // the provider. Delivery-time quality contracts (the `qoc-` prefix)
+    // are filtered out by the shared matcher helper.
+    let constraints: Vec<Predicate> = sci_query::matcher::attribute_constraints(constraints)
+        .into_iter()
         .filter(|c| !(c.attr == "subject" && matches!(c.value, ContextValue::Id(_))))
-        .filter(|c| !c.attr.starts_with("qoc-"))
-        .cloned()
         .collect();
     let mut nodes = Vec::new();
     let mut path = Vec::new();
@@ -233,12 +231,14 @@ fn resolve_demand(
         .filter(|p| !excluded.contains(&p.id()) && !path.contains(&p.id()))
         .collect();
     // The concrete output type a provider contributes for this demand.
+    // Candidates come from `providers_of_compatible`, so a compatible
+    // output exists; the fallback keeps the closure total regardless.
     let output_of = |p: &Profile| -> ContextType {
         p.outputs()
             .iter()
             .map(|port| port.ty.clone())
             .find(|t| pm.compatible(t, &demand.ty))
-            .expect("compatible providers have a compatible output")
+            .unwrap_or_else(|| demand.ty.clone())
     };
 
     // Source CEs first: the search terminates at the sensor/data level.
@@ -357,6 +357,7 @@ fn resolve_demand(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::{EntityKind, PortSpec};

@@ -164,9 +164,35 @@ impl EventBus {
     pub fn topic_of(&self, id: SubId) -> Option<&Topic> {
         self.subs.iter().find(|s| s.id == id).map(|s| &s.topic)
     }
+
+    /// Iterates over every live subscription, in subscription order.
+    /// Static fleet analysis walks this to compare the actual wiring
+    /// against what analyzed plans require.
+    pub fn iter(&self) -> impl Iterator<Item = SubscriptionView<'_>> {
+        self.subs.iter().map(|s| SubscriptionView {
+            id: s.id,
+            subscriber: s.subscriber,
+            topic: &s.topic,
+            one_time: s.one_time,
+        })
+    }
+}
+
+/// A read-only view of one live subscription (see [`EventBus::iter`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SubscriptionView<'a> {
+    /// The subscription's id.
+    pub id: SubId,
+    /// The subscribing entity.
+    pub subscriber: Guid,
+    /// The event filter.
+    pub topic: &'a Topic,
+    /// Whether the subscription cancels after its first delivery.
+    pub one_time: bool,
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::{ContextType, ContextValue, VirtualTime};

@@ -146,6 +146,7 @@ impl EventMediator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::{ContextType, ContextValue};

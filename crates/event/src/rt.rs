@@ -256,6 +256,7 @@ impl<Q, R> P2pServer<Q, R> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::{ContextType, ContextValue, VirtualTime};

@@ -171,11 +171,14 @@ pub fn run_until<T>(
     mut handle: impl FnMut(&mut VirtualClock, &mut Scheduler<T>, VirtualTime, T),
 ) -> usize {
     let mut executed = 0;
-    while let Some(at) = scheduler.peek_time() {
-        if at > deadline {
-            break;
+    loop {
+        match scheduler.peek_time() {
+            Some(at) if at <= deadline => {}
+            _ => break,
         }
-        let (at, item) = scheduler.pop().expect("peeked");
+        let Some((at, item)) = scheduler.pop() else {
+            break;
+        };
         clock.advance_to(at.max(clock.now()));
         handle(clock, scheduler, at, item);
         executed += 1;
@@ -187,6 +190,7 @@ pub fn run_until<T>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -69,6 +69,7 @@ impl fmt::Display for DeliveryStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -140,6 +140,7 @@ impl fmt::Display for Topic {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::{ContextValue, VirtualTime};

@@ -2,6 +2,8 @@
 //! semantics and subscriber-purge invariants under random operation
 //! sequences.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use sci_event::{EventBus, Topic};
 use sci_types::{ContextEvent, ContextType, ContextValue, Guid, VirtualTime};

@@ -7,7 +7,26 @@
 use sci_types::Profile;
 
 use crate::ast::What;
-use crate::predicate::eval_all;
+use crate::predicate::{eval_all, Predicate};
+
+/// Returns `true` if the attribute names a delivery-time
+/// quality-of-context contract (the reserved `qoc-` prefix, e.g.
+/// `qoc-max-age-us`). Such constraints are enforced when events are
+/// delivered, never matched against provider attributes.
+pub fn is_qoc_constraint(attr: &str) -> bool {
+    attr.starts_with("qoc-")
+}
+
+/// Filters a constraint list down to the provider-attribute predicates:
+/// everything except delivery-time quality-of-context contracts. Both
+/// profile matching and the query resolver select providers with this.
+pub fn attribute_constraints(constraints: &[Predicate]) -> Vec<Predicate> {
+    constraints
+        .iter()
+        .filter(|c| !is_qoc_constraint(&c.attr))
+        .cloned()
+        .collect()
+}
 
 /// Returns `true` if the profile can satisfy the What clause directly.
 ///
@@ -35,14 +54,7 @@ pub fn matches(what: &What, profile: &Profile) -> bool {
         What::Kind(kind) => profile.kind() == *kind,
         What::Named(id) => profile.id() == *id,
         What::Information { ty, constraints } => {
-            // Constraints prefixed `qoc-` are quality-of-context
-            // contracts evaluated at delivery time (e.g. freshness),
-            // not provider attributes.
-            let attribute_constraints: Vec<_> = constraints
-                .iter()
-                .filter(|c| !c.attr.starts_with("qoc-"))
-                .cloned()
-                .collect();
+            let attribute_constraints = attribute_constraints(constraints);
             profile.provides(ty) && eval_all(&attribute_constraints, profile.attributes())
         }
     }

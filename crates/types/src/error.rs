@@ -23,6 +23,9 @@ pub enum SciError {
     /// The query resolver could not build a configuration satisfying the
     /// query's type requirements.
     Unresolvable(String),
+    /// Static analysis found error-level defects in a configuration
+    /// plan; the payload is the report summary (codes + first detail).
+    PlanRejected(String),
     /// The query was well-formed but its Where clause names a location no
     /// range covers.
     UnknownLocation(String),
@@ -53,6 +56,9 @@ impl fmt::Display for SciError {
             SciError::UnknownEntity(id) => write!(f, "entity {id} is not registered"),
             SciError::UnknownRange(id) => write!(f, "range {id} does not exist"),
             SciError::Unresolvable(msg) => write!(f, "query cannot be resolved: {msg}"),
+            SciError::PlanRejected(msg) => {
+                write!(f, "configuration plan rejected by static analysis: {msg}")
+            }
             SciError::UnknownLocation(name) => write!(f, "no range covers location `{name}`"),
             SciError::UnknownSubscription(id) => write!(f, "subscription {id} is unknown"),
             SciError::Stopped(what) => write!(f, "{what} has been stopped"),

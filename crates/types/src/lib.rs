@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod advertisement;
+pub mod diagnostic;
 pub mod entity;
 pub mod error;
 pub mod event;
@@ -51,6 +52,7 @@ pub mod time;
 pub mod value;
 
 pub use advertisement::{Advertisement, Operation};
+pub use diagnostic::{AnalysisReport, DiagCode, Diagnostic, Severity};
 pub use entity::{EntityDescriptor, EntityKind};
 pub use error::{SciError, SciResult};
 pub use event::{ContextEvent, EventSeq};

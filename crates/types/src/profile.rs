@@ -31,6 +31,13 @@ impl PortSpec {
             ty,
         }
     }
+
+    /// Returns `true` if a flow of `ty` satisfies this port directly
+    /// (exact type match; semantic equivalence is the Profile Manager's
+    /// concern and layered on top by callers that have one).
+    pub fn accepts(&self, ty: &ContextType) -> bool {
+        self.ty == *ty
+    }
 }
 
 impl fmt::Display for PortSpec {
@@ -134,6 +141,22 @@ impl Profile {
     /// Finds an input port by name.
     pub fn input_named(&self, name: &str) -> Option<&PortSpec> {
         self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Returns `true` if some output of this profile can feed some
+    /// input of `consumer` under `compatible` (pass type equality when
+    /// no equivalence knowledge is available). This is the edge
+    /// predicate static plan analysis checks composition graphs with.
+    pub fn can_feed<F>(&self, consumer: &Profile, compatible: F) -> bool
+    where
+        F: Fn(&ContextType, &ContextType) -> bool,
+    {
+        self.outputs.iter().any(|out| {
+            consumer
+                .inputs
+                .iter()
+                .any(|inp| compatible(&out.ty, &inp.ty))
+        })
     }
 }
 

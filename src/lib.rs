@@ -17,6 +17,7 @@
 //! | [`overlay`] | `sci-overlay` | the SCINET overlay and the hierarchical baseline (§3) |
 //! | [`sensors`] | `sci-sensors` | simulated doors, badges, W-LAN cells, printers, mobility (§3.4, §5) |
 //! | [`core`] | `sci-core` | Context Server, Registrar, Query Resolver, configurations, adaptation, federation, CAPA (§3–§5) |
+//! | [`analysis`] | `sci-analysis` | static verification of composition plans, fleet drift audits |
 //! | [`baselines`] | `sci-baselines` | Context-Toolkit and Solar comparison systems (§2) |
 //!
 //! # Quickstart
@@ -64,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sci_analysis as analysis;
 pub use sci_baselines as baselines;
 pub use sci_core as core;
 pub use sci_event as event;
@@ -75,6 +77,7 @@ pub use sci_types as types;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use sci_analysis::{analyze, PlanGraph, ProfileSource, ProfileTable};
     pub use sci_core::capa::CapaApp;
     pub use sci_core::context_server::{AppDelivery, ContextServer, QueryAnswer};
     pub use sci_core::driver::{Deployment, StandardCes};
@@ -95,8 +98,8 @@ pub mod prelude {
     pub use sci_sensors::{BaseStation, DoorSensor, Printer, SimPerson, TemperatureSensor, World};
     pub use sci_types::guid::GuidGenerator;
     pub use sci_types::{
-        Advertisement, ContextEvent, ContextType, ContextValue, Coord, EntityDescriptor,
-        EntityKind, Guid, Metadata, PortSpec, Profile, SciError, SciResult, VirtualDuration,
-        VirtualTime,
+        Advertisement, AnalysisReport, ContextEvent, ContextType, ContextValue, Coord, DiagCode,
+        Diagnostic, EntityDescriptor, EntityKind, Guid, Metadata, PortSpec, Profile, SciError,
+        SciResult, Severity, VirtualDuration, VirtualTime,
     };
 }

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the subset of criterion SCI's benches use — `Criterion`
+//! with `bench_function` / `benchmark_group` / `bench_with_input`,
+//! `Bencher::iter` / `iter_with_setup`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring mean
+//! wall-clock time per iteration and printing one line per benchmark.
+//! There is no statistical analysis, warm-up tuning, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimiser from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// A bare parameter used as the whole id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times the closure under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iterations` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` outside the clock
+    /// before each iteration.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // One calibration pass at low iteration count, then the timed pass.
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim near 100ms of total measurement, capped by sample_size.
+    let target = (Duration::from_millis(100).as_nanos() / per_iter.as_nanos().max(1)) as u64;
+    let iterations = target.clamp(1, sample_size.max(1));
+    let mut b = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / iterations as f64;
+    println!(
+        "bench: {label:<48} {:>14.3} us/iter ({iterations} iters)",
+        mean * 1e6
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as the benchmark `id` with `input` passed through.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs `f` as the benchmark `id` (no input parameter).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.criterion.sample_size, &mut |b| f(b));
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Caps the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs `f` as the benchmark `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, &mut |b| f(b));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Declares a benchmark group function, optionally with a configured
+/// `Criterion` (`name = ...; config = ...; targets = ...` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        let mut g = c.benchmark_group("group");
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        g.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter_with_setup(|| vec![1u8; 8], |v| v.len())
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = quick
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

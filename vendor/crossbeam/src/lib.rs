@@ -1,0 +1,29 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! SCI's threaded runtime only uses `crossbeam::channel::{unbounded,
+//! Sender, Receiver}` with `send`/`recv`/`try_recv`/`try_iter`, all of
+//! which `std::sync::mpsc` provides with identical semantics for the
+//! single-consumer topology SCI builds, so this shim re-exports std.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (std-backed subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.try_recv().is_err());
+    }
+}

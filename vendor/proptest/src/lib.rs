@@ -1,0 +1,1067 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! reimplements the subset of proptest the SCI workspace uses: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_filter` / `prop_union` / `prop_recursive` / `boxed`,
+//! [`any`](arbitrary::any) over primitives and
+//! [`sample::Index`], regex-subset string strategies, tuple and
+//! collection strategies, and the `proptest!` / `prop_compose!` /
+//! `prop_oneof!` / `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs and the seed,
+//!   it is not minimised.
+//! * Generation is driven by a xoshiro256**-style PRNG; set
+//!   `PROPTEST_SEED` to reproduce a failing run.
+//! * The regex strategy supports the subset SCI uses: literals, `.`,
+//!   `[...]` classes with ranges, `(...)` groups and `?`/`*`/`+`/
+//!   `{m}`/`{m,n}` quantifiers.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case execution: configuration, error type and the runner loop.
+
+    /// How a generated test case failed to complete.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected (filter miss or `prop_assume!`); it is
+        /// retried without being counted.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with a reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The result of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (subset of upstream's).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum rejects (filter misses / assumes) tolerated overall.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config that runs `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// The generation source handed to strategies, plus the input log
+    /// used for failure reporting.
+    #[derive(Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+        inputs: Vec<String>,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn seeded(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+                inputs: Vec::new(),
+            }
+        }
+
+        /// Produces the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below(0)");
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Records a named input for failure reporting.
+        pub fn record_input(&mut self, line: String) {
+            self.inputs.push(line);
+        }
+
+        fn take_inputs(&mut self) -> Vec<String> {
+            std::mem::take(&mut self.inputs)
+        }
+    }
+
+    fn seed_from_env_or_entropy() -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.trim().parse::<u64>() {
+                return v;
+            }
+        }
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        t ^ u64::from(std::process::id()).rotate_left(32)
+    }
+
+    /// Runs `case` until `config.cases` successes, panicking on the
+    /// first failure with the generated inputs and the seed.
+    pub fn run<F>(config: ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let seed = seed_from_env_or_entropy();
+        let mut rng = TestRng::seeded(seed);
+        let mut successes = 0u32;
+        let mut rejects = 0u32;
+        while successes < config.cases {
+            rng.inputs.clear();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            match outcome {
+                Ok(Ok(())) => successes += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest: too many rejected cases ({rejects}); seed {seed}"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "proptest case failed: {msg}\ninputs:\n  {}\nreproduce with PROPTEST_SEED={seed}",
+                        rng.take_inputs().join("\n  ")
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest case panicked\ninputs:\n  {}\nreproduce with PROPTEST_SEED={seed}",
+                        rng.take_inputs().join("\n  ")
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use std::fmt;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// Why a strategy could not produce a value for this case.
+    #[derive(Debug, Clone)]
+    pub struct Rejection(pub String);
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of value generated.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`Rejection`] when a filter or size constraint could
+        /// not be satisfied; the runner retries the whole case.
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `f`; `whence` names the filter in
+        /// reject diagnostics.
+        fn prop_filter<R: Into<String>, F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: R,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Chooses uniformly between `self` and `other`.
+        fn prop_union(self, other: Self) -> Union<Self>
+        where
+            Self: Sized,
+        {
+            Union::new(vec![self, other])
+        }
+
+        /// Builds a recursive strategy: `recurse` receives the strategy
+        /// for sub-values and returns the branch strategy. `depth`
+        /// bounds nesting; the size hints are accepted for upstream
+        /// signature compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf: BoxedStrategy<Self::Value> = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // Each level flips between terminating at a leaf and
+                // recursing one deeper, so every nesting depth up to
+                // `depth` is reachable.
+                strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erases the strategy (cheaply cloneable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> Result<V, Rejection> {
+            self.0.new_value(rng)
+        }
+    }
+
+    impl<V> fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+            self.inner.new_value(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+            // A few local retries before rejecting the whole case keeps
+            // reject rates low for light filters.
+            for _ in 0..8 {
+                let v = self.inner.new_value(rng)?;
+                if (self.f)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejection(self.whence.clone()))
+        }
+    }
+
+    /// Uniform choice between same-typed alternatives.
+    #[derive(Debug)]
+    pub struct Union<S> {
+        alternatives: Vec<S>,
+    }
+
+    impl<S> Union<S> {
+        /// Builds a union; panics if `alternatives` is empty.
+        pub fn new(alternatives: Vec<S>) -> Self {
+            assert!(!alternatives.is_empty(), "empty union");
+            Union { alternatives }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+            let pick = rng.below(self.alternatives.len());
+            self.alternatives[pick].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hi = u128::from(rng.next_u64()) << 64;
+                    let draw = (hi | u128::from(rng.next_u64())) % span;
+                    Ok((self.start as i128 + draw as i128) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let hi = u128::from(rng.next_u64()) << 64;
+                    let draw = (hi | u128::from(rng.next_u64())) % span;
+                    Ok((start as i128 + draw as i128) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+            assert!(self.start < self.end, "empty range strategy");
+            Ok(self.start + rng.unit_f64() * (self.end - self.start))
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+            Ok(crate::string::generate(self, rng))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                    let ($($name,)+) = self;
+                    Ok(($($name.new_value(rng)?,)+))
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` over primitives and [`crate::sample::Index`].
+
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical uniform strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// Draws one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps generated text valid everywhere.
+            char::from(b' ' + (rng.next_u64() % 95) as u8)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct AnyStrategy<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+        fn new_value(&self, rng: &mut TestRng) -> Result<A, Rejection> {
+            Ok(A::arbitrary(rng))
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod sample {
+    //! Index-based selection from runtime-sized collections.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// A deferred collection index: generated independent of any length,
+    /// resolved against one with [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves against a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::collections::HashSet;
+    use std::fmt;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Sizes accepted by collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below(self.max - self.min)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Builds a `Vec` strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    #[derive(Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq + fmt::Debug,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+            let n = self.size.sample(rng);
+            let mut set = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while set.len() < n {
+                set.insert(self.element.new_value(rng)?);
+                attempts += 1;
+                if attempts > n * 16 + 64 {
+                    return Err(Rejection("hash_set: not enough distinct values".into()));
+                }
+            }
+            Ok(set)
+        }
+    }
+
+    /// Builds a `HashSet` strategy with `size` distinct elements.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (3:1 biased toward `Some`, as
+    /// upstream's default weight).
+    #[derive(Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+            if rng.below(4) == 0 {
+                Ok(None)
+            } else {
+                self.0.new_value(rng).map(Some)
+            }
+        }
+    }
+
+    /// Wraps `inner`'s values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod string {
+    //! Generation from the regex subset SCI's tests use.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Piece {
+        Literal(char),
+        Any,
+        Class(Vec<char>),
+        Group(Vec<Atom>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        piece: Piece,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let atoms = parse_seq(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex `{pattern}` (stopped at {pos})"
+        );
+        atoms
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ')' {
+            let piece = match chars[*pos] {
+                '[' => {
+                    *pos += 1;
+                    Piece::Class(parse_class(chars, pos, pattern))
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, pattern);
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unclosed group in regex `{pattern}`"
+                    );
+                    *pos += 1;
+                    Piece::Group(inner)
+                }
+                '.' => {
+                    *pos += 1;
+                    Piece::Any
+                }
+                '\\' => {
+                    *pos += 1;
+                    assert!(*pos < chars.len(), "trailing backslash in `{pattern}`");
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Piece::Literal(c)
+                }
+                c => {
+                    *pos += 1;
+                    Piece::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pos, pattern);
+            atoms.push(Atom { piece, min, max });
+        }
+        atoms
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let c = chars[*pos];
+            // A range like `a-z` needs a char on both sides; `-` first,
+            // last or lone is a literal.
+            if *pos + 2 < chars.len() && chars[*pos + 1] == '-' && chars[*pos + 2] != ']' {
+                let (lo, hi) = (c, chars[*pos + 2]);
+                assert!(lo <= hi, "inverted class range in `{pattern}`");
+                for v in lo..=hi {
+                    set.push(v);
+                }
+                *pos += 3;
+            } else {
+                set.push(c);
+                *pos += 1;
+            }
+        }
+        assert!(
+            *pos < chars.len(),
+            "unclosed character class in `{pattern}`"
+        );
+        *pos += 1; // consume ']'
+        assert!(!set.is_empty(), "empty character class in `{pattern}`");
+        set
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (usize, usize) {
+        if *pos >= chars.len() {
+            return (1, 1);
+        }
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                (0, 1)
+            }
+            '*' => {
+                *pos += 1;
+                (0, 8)
+            }
+            '+' => {
+                *pos += 1;
+                (1, 8)
+            }
+            '{' => {
+                *pos += 1;
+                let mut first = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    first.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: usize = first.parse().expect("digits");
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut second = String::new();
+                    while chars[*pos].is_ascii_digit() {
+                        second.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    second.parse().expect("digits")
+                } else {
+                    min
+                };
+                assert!(
+                    chars[*pos] == '}',
+                    "unclosed quantifier in regex `{pattern}`"
+                );
+                *pos += 1;
+                assert!(min <= max, "inverted quantifier in `{pattern}`");
+                (min, max)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn emit(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+        for atom in atoms {
+            let reps = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..reps {
+                match &atom.piece {
+                    Piece::Literal(c) => out.push(*c),
+                    // `.`: printable ASCII, including XML-hostile chars
+                    // like `<`, `&` and `"`.
+                    Piece::Any => out.push(char::from(b' ' + (rng.next_u64() % 95) as u8)),
+                    Piece::Class(set) => out.push(set[rng.below(set.len())]),
+                    Piece::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at parse time for syntax outside the supported subset.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        emit(&atoms, rng, &mut out);
+        out
+    }
+}
+
+/// Module-path alias so `prop::collection::vec(..)` etc. resolve after a
+/// prelude glob import, as with upstream.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::sample;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_compose, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Mirrors upstream's `proptest!` forms SCI uses.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(__config, |__rng| {
+                    $(
+                        let __value = match $crate::strategy::Strategy::new_value(&($strat), __rng) {
+                            Ok(v) => v,
+                            Err(r) => return Err($crate::test_runner::TestCaseError::Reject(r.0)),
+                        };
+                        __rng.record_input(format!("{} = {:?}", stringify!($pat), &__value));
+                        let $pat = __value;
+                    )*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Composes named sub-strategies into a strategy for a derived type.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)($($pat:pat in $strat:expr),* $(,)?) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)*),
+                move |($($pat,)*)| $body,
+            )
+        }
+    };
+}
+
+/// Uniform choice between same-valued strategies of different types.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Rejects (retries) the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(format!(
+                "assume failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::test_runner::TestRng::seeded(1);
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z][a-z0-9-]{0,20}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 21);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+
+            let o =
+                crate::string::generate("[A-Za-z0-9.]([A-Za-z0-9 .]{0,14}[A-Za-z0-9.])?", &mut rng);
+            assert_eq!(o.trim(), o, "trim-stable pattern");
+
+            let dot = crate::string::generate(".{0,24}", &mut rng);
+            assert!(dot.len() <= 24);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn range_in_bounds(v in 10usize..20) {
+            prop_assert!((10..20).contains(&v));
+        }
+
+        /// Tuples, maps and filters compose.
+        #[test]
+        fn combinators(pair in (0u8..10, 0u8..10).prop_map(|(a, b)| (a, b)).prop_filter("distinct", |(a, b)| a != b)) {
+            prop_assert_ne!(pair.0, pair.1);
+        }
+
+        /// Oneof unions pick every arm eventually (smoke: value valid).
+        #[test]
+        fn oneof_arms(v in prop_oneof![Just(1u8), Just(2u8), (5u8..7)]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+
+        /// Collections respect their size ranges.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        /// Hash sets hold distinct values.
+        #[test]
+        fn set_distinct(s in prop::collection::hash_set(0u32..1000, 2..10)) {
+            prop_assert!((2..10).contains(&s.len()));
+        }
+
+        /// Index resolves in bounds.
+        #[test]
+        fn index_in_bounds(i in any::<sample::Index>(), len in 1usize..50) {
+            prop_assert!(i.index(len) < len);
+        }
+
+        /// Assume rejects without failing.
+        #[test]
+        fn assume_retries(v in 0u8..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u8..4, b in 10u8..14) -> (u8, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        /// prop_compose builds working strategies.
+        #[test]
+        fn composed(p in arb_pair()) {
+            prop_assert!(p.0 < 4 && (10..14).contains(&p.1));
+        }
+
+        /// Recursive strategies terminate and produce leaves and branches.
+        #[test]
+        fn recursion_terminates(v in Just(0u32).prop_map(|_| 1u32).boxed().prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        })) {
+            prop_assert!(v >= 1);
+        }
+    }
+}

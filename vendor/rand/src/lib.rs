@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so this vendored
+//! micro-crate provides exactly the API surface the SCI workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] /
+//! [`SeedableRng::from_entropy`], [`Rng::gen`] and [`Rng::gen_range`].
+//! The generator is xoshiro256** seeded via SplitMix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), but SCI only relies on
+//! determinism-per-seed, never on a specific stream.
+
+#![forbid(unsafe_code)]
+
+/// Types that can be sampled uniformly from raw generator output.
+pub trait Fill: Sized {
+    /// Draws one value from `next_u64` calls.
+    fn fill_from(rng: &mut dyn RngCore) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_fill_int {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn fill_from(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_fill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for u128 {
+    fn fill_from(rng: &mut dyn RngCore) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Fill for i128 {
+    fn fill_from(rng: &mut dyn RngCore) -> Self {
+        u128::fill_from(rng) as i128
+    }
+}
+
+impl Fill for bool {
+    fn fill_from(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn fill_from(rng: &mut dyn RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Fill for f32 {
+    fn fill_from(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = u128::fill_from(rng) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = u128::fill_from(rng) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        self.start + f64::fill_from(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        self.start + f32::fill_from(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator interface (subset of upstream `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a uniformly random value of `T`.
+    fn gen<T: Fill>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::fill_from(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Draws a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::fill_from(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction (subset of upstream `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from ambient entropy (the system clock —
+    /// adequate for the simulation workloads SCI runs offline).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let pid = u64::from(std::process::id());
+        Self::seed_from_u64(t ^ pid.rotate_left(32))
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for upstream's
+    /// ChaCha12-based `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: SCI never relies on `SmallRng` being distinct.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u128>(), b.gen::<u128>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let f = r.gen_range(-0.2..0.2);
+            assert!((-0.2..0.2).contains(&f));
+            let i = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn float_unit_interval() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
