@@ -552,9 +552,20 @@ impl ContextServer {
     /// Applies What, Where and Which to the registered profiles,
     /// returning the selected entity GUIDs.
     fn select_entities(&self, query: &Query) -> SciResult<Vec<Guid>> {
-        let candidates: Vec<&Profile> = self
-            .profiles
-            .iter()
+        // Narrow the candidate pool through the profile indexes where the
+        // What clause allows it: a Named query is one hash lookup, an
+        // Information query starts from the providers of its type. Only
+        // Kind queries still enumerate every profile. The full matcher
+        // predicate runs on the narrowed pool either way, and the
+        // name-sort below keeps selection deterministic regardless of
+        // enumeration order.
+        let pool: Vec<&Profile> = match &query.what {
+            What::Named(id) => self.profiles.get(*id).into_iter().collect(),
+            What::Information { ty, .. } => self.profiles.providers_of(ty),
+            What::Kind(_) => self.profiles.iter().collect(),
+        };
+        let candidates: Vec<&Profile> = pool
+            .into_iter()
             .filter(|p| sci_query::matcher::matches(&query.what, p))
             .filter(|p| !self.excluded.contains(&p.id()))
             .filter(|p| self.where_allows(&query.where_, query.owner, p))

@@ -88,7 +88,7 @@ impl CeHandle {
         &mut self,
         cs: &mut ContextServer,
         ty: ContextType,
-        payload: ContextValue,
+        payload: impl Into<std::sync::Arc<ContextValue>>,
         now: VirtualTime,
     ) -> SciResult<()> {
         let seq = self.seq;

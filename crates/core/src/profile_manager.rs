@@ -7,7 +7,7 @@
 //! queue length changes with every status event) so Which-clause
 //! selection sees current state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sci_types::{ContextType, ContextValue, Guid, Profile, SciError, SciResult};
 
@@ -22,6 +22,10 @@ pub struct ProfileManager {
     /// iQueue critique that a door-sensor location network cannot stand
     /// in for a wireless detection scheme.
     equivalence_classes: Vec<Vec<ContextType>>,
+    /// Type → index into `equivalence_classes`, so `compatible` and
+    /// `equivalents` are hash lookups instead of scans over every class
+    /// (the analysis bridge calls `compatible` once per plan edge).
+    class_of: HashMap<ContextType, usize>,
 }
 
 impl ProfileManager {
@@ -103,45 +107,67 @@ impl ProfileManager {
     /// Declares two context types semantically equivalent (symmetric
     /// and transitive: classes merge).
     pub fn declare_equivalence(&mut self, a: ContextType, b: ContextType) {
-        let ia = self.equivalence_classes.iter().position(|c| c.contains(&a));
-        let ib = self.equivalence_classes.iter().position(|c| c.contains(&b));
+        let ia = self.class_of.get(&a).copied();
+        let ib = self.class_of.get(&b).copied();
         match (ia, ib) {
             (Some(i), Some(j)) if i == j => {}
             (Some(i), Some(j)) => {
                 let (keep, merge) = if i < j { (i, j) } else { (j, i) };
                 let merged = self.equivalence_classes.remove(merge);
                 self.equivalence_classes[keep].extend(merged);
+                // `remove` shifted every class after `merge` down one;
+                // rebuild the type → class index. Merges are rare
+                // configuration events, lookups are the hot path.
+                self.class_of.clear();
+                for (idx, class) in self.equivalence_classes.iter().enumerate() {
+                    for t in class {
+                        self.class_of.insert(t.clone(), idx);
+                    }
+                }
             }
-            (Some(i), None) => self.equivalence_classes[i].push(b),
-            (None, Some(j)) => self.equivalence_classes[j].push(a),
-            (None, None) => self.equivalence_classes.push(vec![a, b]),
+            (Some(i), None) => {
+                self.equivalence_classes[i].push(b.clone());
+                self.class_of.insert(b, i);
+            }
+            (None, Some(j)) => {
+                self.equivalence_classes[j].push(a.clone());
+                self.class_of.insert(a, j);
+            }
+            (None, None) => {
+                let idx = self.equivalence_classes.len();
+                self.equivalence_classes.push(vec![a.clone(), b.clone()]);
+                self.class_of.insert(a, idx);
+                self.class_of.insert(b, idx);
+            }
         }
     }
 
     /// The types semantically equivalent to `ty`, including `ty` itself.
     pub fn equivalents(&self, ty: &ContextType) -> Vec<ContextType> {
-        self.equivalence_classes
-            .iter()
-            .find(|c| c.contains(ty))
-            .cloned()
+        self.class_of
+            .get(ty)
+            .map(|&i| self.equivalence_classes[i].clone())
             .unwrap_or_else(|| vec![ty.clone()])
     }
 
     /// Returns `true` if the two types are the same or declared
-    /// equivalent.
+    /// equivalent. Constant-time: two hash lookups, no allocation.
     pub fn compatible(&self, a: &ContextType, b: &ContextType) -> bool {
-        a == b || self.equivalents(a).contains(b)
+        a == b
+            || matches!(
+                (self.class_of.get(a), self.class_of.get(b)),
+                (Some(i), Some(j)) if i == j
+            )
     }
 
     /// Providers of `ty` or of any type declared equivalent to it, in
     /// registration order per class member.
     pub fn providers_of_compatible(&self, ty: &ContextType) -> Vec<&Profile> {
-        let mut seen = Vec::new();
+        let mut seen = HashSet::new();
         let mut out = Vec::new();
         for t in self.equivalents(ty) {
             for p in self.providers_of(&t) {
-                if !seen.contains(&p.id()) {
-                    seen.push(p.id());
+                if seen.insert(p.id()) {
                     out.push(p);
                 }
             }

@@ -2,13 +2,18 @@
 //!
 //! [`EventBus`] is pure: `publish` computes and returns the deliveries an
 //! event implies instead of performing I/O, so the middleware built on
-//! top of it is exactly replayable. The threaded runtime in [`crate::rt`]
-//! wraps the same table with channels.
+//! top of it is exactly replayable. Dispatch runs through
+//! [`crate::index::TopicIndex`], so publish cost scales with the number
+//! of *matching* subscriptions rather than the number of live ones; the
+//! original linear table survives as [`crate::linear::LinearBus`], the
+//! oracle the index is property-tested against. The threaded runtime in
+//! [`crate::rt`] wraps the same index with channels.
 
 use std::fmt;
 
-use sci_types::{ContextEvent, Guid, SciError, SciResult};
+use sci_types::{ContextEvent, Guid, SciResult};
 
+use crate::index::TopicIndex;
 use crate::topic::Topic;
 
 /// Identifier of a subscription issued by a bus.
@@ -30,18 +35,11 @@ pub struct Delivery {
     pub sub: SubId,
     /// The subscribing entity.
     pub subscriber: Guid,
-    /// The event being delivered.
+    /// The event being delivered (the payload is `Arc`-shared, so this
+    /// clone is cheap regardless of record size).
     pub event: ContextEvent,
     /// `true` if the subscription was one-time and is now cancelled.
     pub last: bool,
-}
-
-#[derive(Clone, Debug)]
-struct SubEntry {
-    id: SubId,
-    subscriber: Guid,
-    topic: Topic,
-    one_time: bool,
 }
 
 /// A deterministic pub/sub subscription table.
@@ -66,8 +64,7 @@ struct SubEntry {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct EventBus {
-    subs: Vec<SubEntry>,
-    next_id: u64,
+    index: TopicIndex<()>,
 }
 
 impl EventBus {
@@ -81,99 +78,76 @@ impl EventBus {
     /// `one_time` subscriptions are cancelled automatically after their
     /// first delivery — the paper's "one-time subscription" query mode.
     pub fn subscribe(&mut self, subscriber: Guid, topic: Topic, one_time: bool) -> SubId {
-        let id = SubId(self.next_id);
-        self.next_id += 1;
-        self.subs.push(SubEntry {
-            id,
-            subscriber,
-            topic,
-            one_time,
-        });
-        id
+        self.index.subscribe(subscriber, topic, one_time, ())
     }
 
     /// Cancels a subscription.
     ///
     /// # Errors
     ///
-    /// Returns [`SciError::UnknownSubscription`] if the id is not live.
+    /// Returns [`sci_types::SciError::UnknownSubscription`] if the id is
+    /// not live.
     pub fn unsubscribe(&mut self, id: SubId) -> SciResult<()> {
-        let pos = self
-            .subs
-            .iter()
-            .position(|s| s.id == id)
-            .ok_or(SciError::UnknownSubscription(id.0))?;
-        self.subs.remove(pos);
-        Ok(())
+        self.index.unsubscribe(id)
     }
 
     /// Cancels all subscriptions held by a subscriber (used when an
     /// entity deregisters from the range). Returns how many were removed.
     pub fn unsubscribe_all(&mut self, subscriber: Guid) -> usize {
-        let before = self.subs.len();
-        self.subs.retain(|s| s.subscriber != subscriber);
-        before - self.subs.len()
+        self.index.unsubscribe_all(subscriber)
     }
 
-    /// Matches an event against every live subscription, removing
-    /// one-time subscriptions that fire. Deliveries are returned in
-    /// subscription order.
+    /// Matches an event against the live subscriptions it can reach,
+    /// removing one-time subscriptions that fire. Deliveries are returned
+    /// in subscription order.
     pub fn publish(&mut self, event: &ContextEvent) -> Vec<Delivery> {
         let mut deliveries = Vec::new();
-        self.subs.retain(|entry| {
-            if entry.topic.matches(event) {
-                deliveries.push(Delivery {
-                    sub: entry.id,
-                    subscriber: entry.subscriber,
-                    event: event.clone(),
-                    last: entry.one_time,
-                });
-                !entry.one_time
-            } else {
-                true
-            }
+        self.index.publish_with(event, |view| {
+            deliveries.push(Delivery {
+                sub: view.id,
+                subscriber: view.subscriber,
+                event: event.clone(),
+                last: view.last,
+            });
+            true
         });
         deliveries
     }
 
     /// Number of live subscriptions.
     pub fn len(&self) -> usize {
-        self.subs.len()
+        self.index.len()
     }
 
     /// Returns `true` if there are no live subscriptions.
     pub fn is_empty(&self) -> bool {
-        self.subs.is_empty()
+        self.index.is_empty()
     }
 
     /// Returns `true` if the subscription id is live.
     pub fn is_live(&self, id: SubId) -> bool {
-        self.subs.iter().any(|s| s.id == id)
+        self.index.is_live(id)
     }
 
     /// Live subscriptions held by a subscriber.
     pub fn subscriptions_of(&self, subscriber: Guid) -> Vec<SubId> {
-        self.subs
-            .iter()
-            .filter(|s| s.subscriber == subscriber)
-            .map(|s| s.id)
-            .collect()
+        self.index.subscriptions_of(subscriber)
     }
 
     /// The topic of a live subscription.
     pub fn topic_of(&self, id: SubId) -> Option<&Topic> {
-        self.subs.iter().find(|s| s.id == id).map(|s| &s.topic)
+        self.index.topic_of(id)
     }
 
     /// Iterates over every live subscription, in subscription order.
     /// Static fleet analysis walks this to compare the actual wiring
     /// against what analyzed plans require.
     pub fn iter(&self) -> impl Iterator<Item = SubscriptionView<'_>> {
-        self.subs.iter().map(|s| SubscriptionView {
-            id: s.id,
-            subscriber: s.subscriber,
-            topic: &s.topic,
-            one_time: s.one_time,
+        self.index.iter().map(|v| SubscriptionView {
+            id: v.id,
+            subscriber: v.subscriber,
+            topic: v.topic,
+            one_time: v.last,
         })
     }
 }
@@ -195,7 +169,7 @@ pub struct SubscriptionView<'a> {
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use sci_types::{ContextType, ContextValue, VirtualTime};
+    use sci_types::{ContextType, ContextValue, SciError, VirtualTime};
 
     fn temp_event(value: f64) -> ContextEvent {
         ContextEvent::new(
@@ -275,5 +249,40 @@ mod tests {
         bus.unsubscribe(a).unwrap();
         let b = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn interleaved_topic_shapes_deliver_in_subscription_order() {
+        // A mixed table — source-keyed, subject-keyed, type-keyed and
+        // wildcard subscriptions interleaved — must still fan out in
+        // subscription order, exactly like the linear oracle.
+        let mut bus = EventBus::new();
+        let mut oracle = crate::linear::LinearBus::new();
+        let source = Guid::from_u128(50);
+        let bob = Guid::from_u128(0xb0b);
+        let topics = [
+            Topic::any(),
+            Topic::of_type(ContextType::Presence),
+            Topic::from_source(source),
+            Topic::any().about(bob),
+            Topic::of_type(ContextType::Presence)
+                .from(source)
+                .about(bob),
+            Topic::of_type(ContextType::Temperature),
+        ];
+        for (i, t) in topics.iter().enumerate() {
+            bus.subscribe(Guid::from_u128(i as u128), t.clone(), i % 2 == 0);
+            oracle.subscribe(Guid::from_u128(i as u128), t.clone(), i % 2 == 0);
+        }
+        let ev = ContextEvent::new(
+            source,
+            ContextType::Presence,
+            ContextValue::record([("subject", ContextValue::Id(bob))]),
+            VirtualTime::from_secs(3),
+        );
+        for _ in 0..3 {
+            assert_eq!(bus.publish(&ev), oracle.publish(&ev));
+            assert_eq!(bus.len(), oracle.len());
+        }
     }
 }

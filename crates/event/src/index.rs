@@ -1,0 +1,440 @@
+//! The topic index behind the dispatch hot path.
+//!
+//! [`TopicIndex`] replaces a linear scan over every subscription with
+//! candidate sets keyed by the three things a [`Topic`] can constrain:
+//! context type, source GUID and subject GUID, plus a wildcard list for
+//! unconstrained subscriptions. Each subscription is indexed under
+//! **exactly one** key — the most selective constraint it carries
+//! (source, then subject, then type, then wildcard) — so a publish
+//! gathers the union of at most four disjoint candidate lists, sorts the
+//! candidates by [`SubId`] and verifies the full topic filter on each.
+//!
+//! # Invariants
+//!
+//! * **Order preservation.** `SubId`s are allocated monotonically and the
+//!   per-key candidate lists are append-only (removals keep relative
+//!   order), so sorting candidates by id reproduces exactly the delivery
+//!   order of the append-only linear table ([`crate::linear::LinearBus`]):
+//!   subscription order. The determinism suite depends on this.
+//! * **Single-key membership.** A live subscription appears in exactly one
+//!   candidate list; the union needs no deduplication.
+//! * **One-time cancellation.** A one-time subscription is removed
+//!   immediately after its first successful delivery, before `publish`
+//!   returns — identical to the linear bus.
+//!
+//! The index is generic over a per-entry payload `T` so the deterministic
+//! [`crate::bus::EventBus`] (`T = ()`) and the threaded runtime
+//! (`T = Sender<ContextEvent>`) share one implementation.
+
+use std::collections::{BTreeMap, HashMap};
+
+use sci_types::{ContextEvent, ContextType, Guid, SciError, SciResult};
+
+use crate::bus::SubId;
+use crate::topic::Topic;
+
+/// The single key a subscription is filed under, chosen by selectivity:
+/// source beats subject beats type beats wildcard.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum IndexKey {
+    Source(Guid),
+    Subject(Guid),
+    Type(ContextType),
+    Wildcard,
+}
+
+impl IndexKey {
+    fn for_topic(topic: &Topic) -> IndexKey {
+        if let Some(source) = topic.source() {
+            IndexKey::Source(source)
+        } else if let Some(subject) = topic.subject() {
+            IndexKey::Subject(subject)
+        } else if let Some(ty) = topic.ty() {
+            IndexKey::Type(ty.clone())
+        } else {
+            IndexKey::Wildcard
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct IndexedEntry<T> {
+    subscriber: Guid,
+    topic: Topic,
+    one_time: bool,
+    key: IndexKey,
+    extra: T,
+}
+
+/// A read-only view of one candidate entry handed to the publish
+/// callback (see [`TopicIndex::publish_with`]).
+#[derive(Debug)]
+pub struct IndexEntryView<'a, T> {
+    /// The subscription's id.
+    pub id: SubId,
+    /// The subscribing entity.
+    pub subscriber: Guid,
+    /// The event filter.
+    pub topic: &'a Topic,
+    /// Whether this delivery is the subscription's last (one-time mode).
+    pub last: bool,
+    /// The per-entry payload (e.g. a delivery channel).
+    pub extra: &'a T,
+}
+
+/// Aggregate result of one publish (see [`TopicIndex::publish_with`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PublishOutcome {
+    /// Number of successful deliveries.
+    pub fanout: usize,
+    /// How many one-time subscriptions completed (and were removed).
+    pub completed_one_time: usize,
+}
+
+/// An indexed subscription table: publish cost scales with the number of
+/// *matching* subscriptions, not the number of live ones.
+#[derive(Clone, Debug)]
+pub struct TopicIndex<T> {
+    /// All live entries, ordered by id — doubles as the `SubId → slot`
+    /// map that makes `unsubscribe`/`is_live`/`topic_of` O(log n).
+    entries: BTreeMap<SubId, IndexedEntry<T>>,
+    by_type: HashMap<ContextType, Vec<SubId>>,
+    by_source: HashMap<Guid, Vec<SubId>>,
+    by_subject: HashMap<Guid, Vec<SubId>>,
+    wildcard: Vec<SubId>,
+    by_subscriber: HashMap<Guid, Vec<SubId>>,
+    next_id: u64,
+}
+
+impl<T> Default for TopicIndex<T> {
+    fn default() -> Self {
+        TopicIndex {
+            entries: BTreeMap::new(),
+            by_type: HashMap::new(),
+            by_source: HashMap::new(),
+            by_subject: HashMap::new(),
+            wildcard: Vec::new(),
+            by_subscriber: HashMap::new(),
+            next_id: 0,
+        }
+    }
+}
+
+impl<T> TopicIndex<T> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        TopicIndex::default()
+    }
+
+    /// Registers a subscription carrying `extra` and returns its id.
+    pub fn subscribe(&mut self, subscriber: Guid, topic: Topic, one_time: bool, extra: T) -> SubId {
+        let id = SubId(self.next_id);
+        self.next_id += 1;
+        let key = IndexKey::for_topic(&topic);
+        match &key {
+            IndexKey::Source(source) => self.by_source.entry(*source).or_default().push(id),
+            IndexKey::Subject(subject) => self.by_subject.entry(*subject).or_default().push(id),
+            IndexKey::Type(ty) => self.by_type.entry(ty.clone()).or_default().push(id),
+            IndexKey::Wildcard => self.wildcard.push(id),
+        }
+        self.by_subscriber.entry(subscriber).or_default().push(id);
+        self.entries.insert(
+            id,
+            IndexedEntry {
+                subscriber,
+                topic,
+                one_time,
+                key,
+                extra,
+            },
+        );
+        id
+    }
+
+    /// Cancels a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownSubscription`] if the id is not live.
+    pub fn unsubscribe(&mut self, id: SubId) -> SciResult<()> {
+        if self.remove(id).is_some() {
+            Ok(())
+        } else {
+            Err(SciError::UnknownSubscription(id.0))
+        }
+    }
+
+    /// Cancels all subscriptions held by a subscriber, returning how many
+    /// were removed.
+    pub fn unsubscribe_all(&mut self, subscriber: Guid) -> usize {
+        let ids = self.by_subscriber.remove(&subscriber).unwrap_or_default();
+        for id in &ids {
+            if let Some(entry) = self.entries.remove(id) {
+                self.unlink_key(*id, &entry.key);
+            }
+        }
+        ids.len()
+    }
+
+    /// Collects the candidate ids for an event — the union of the
+    /// wildcard list and the lists keyed by the event's type, source and
+    /// (when present) subject — sorted into subscription order.
+    fn candidates(&self, event: &ContextEvent) -> Vec<SubId> {
+        let mut out = Vec::with_capacity(
+            self.wildcard.len()
+                + self.by_type.get(&event.topic).map_or(0, Vec::len)
+                + self.by_source.get(&event.source).map_or(0, Vec::len),
+        );
+        out.extend_from_slice(&self.wildcard);
+        if let Some(ids) = self.by_type.get(&event.topic) {
+            out.extend_from_slice(ids);
+        }
+        if let Some(ids) = self.by_source.get(&event.source) {
+            out.extend_from_slice(ids);
+        }
+        if let Some(subject) = event.subject() {
+            if let Some(ids) = self.by_subject.get(&subject) {
+                out.extend_from_slice(ids);
+            }
+        }
+        // Single-key membership makes the lists disjoint; sorting by id
+        // restores subscription order without deduplication.
+        out.sort_unstable();
+        out
+    }
+
+    /// Matches an event against the candidate subscriptions in
+    /// subscription order, invoking `deliver` for each match. The
+    /// callback returns `true` if delivery succeeded; returning `false`
+    /// (e.g. a disconnected channel) reaps the subscription without
+    /// counting it. One-time subscriptions that fire are removed before
+    /// this method returns.
+    pub fn publish_with(
+        &mut self,
+        event: &ContextEvent,
+        mut deliver: impl FnMut(IndexEntryView<'_, T>) -> bool,
+    ) -> PublishOutcome {
+        let mut outcome = PublishOutcome::default();
+        let mut remove: Vec<SubId> = Vec::new();
+        for id in self.candidates(event) {
+            let Some(entry) = self.entries.get(&id) else {
+                continue;
+            };
+            if !entry.topic.matches(event) {
+                continue;
+            }
+            let delivered = deliver(IndexEntryView {
+                id,
+                subscriber: entry.subscriber,
+                topic: &entry.topic,
+                last: entry.one_time,
+                extra: &entry.extra,
+            });
+            if delivered {
+                outcome.fanout += 1;
+                if entry.one_time {
+                    outcome.completed_one_time += 1;
+                    remove.push(id);
+                }
+            } else {
+                remove.push(id);
+            }
+        }
+        for id in remove {
+            self.remove(id);
+        }
+        outcome
+    }
+
+    /// Number of live subscriptions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if there are no live subscriptions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if the subscription id is live.
+    pub fn is_live(&self, id: SubId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Live subscriptions held by a subscriber, in subscription order.
+    pub fn subscriptions_of(&self, subscriber: Guid) -> Vec<SubId> {
+        self.by_subscriber
+            .get(&subscriber)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The topic of a live subscription.
+    pub fn topic_of(&self, id: SubId) -> Option<&Topic> {
+        self.entries.get(&id).map(|e| &e.topic)
+    }
+
+    /// Iterates over every live subscription in subscription order.
+    pub fn iter(&self) -> impl Iterator<Item = IndexEntryView<'_, T>> {
+        self.entries.iter().map(|(id, e)| IndexEntryView {
+            id: *id,
+            subscriber: e.subscriber,
+            topic: &e.topic,
+            last: e.one_time,
+            extra: &e.extra,
+        })
+    }
+
+    fn remove(&mut self, id: SubId) -> Option<IndexedEntry<T>> {
+        let entry = self.entries.remove(&id)?;
+        self.unlink_key(id, &entry.key);
+        if let Some(ids) = self.by_subscriber.get_mut(&entry.subscriber) {
+            if let Ok(pos) = ids.binary_search(&id) {
+                ids.remove(pos);
+            }
+            if ids.is_empty() {
+                self.by_subscriber.remove(&entry.subscriber);
+            }
+        }
+        Some(entry)
+    }
+
+    /// Removes `id` from the one candidate list its key names. The lists
+    /// are append-only in id order, so a binary search finds the slot.
+    fn unlink_key(&mut self, id: SubId, key: &IndexKey) {
+        fn drop_id(ids: &mut Vec<SubId>, id: SubId) -> bool {
+            if let Ok(pos) = ids.binary_search(&id) {
+                ids.remove(pos);
+            }
+            ids.is_empty()
+        }
+        match key {
+            IndexKey::Source(source) => {
+                if let Some(ids) = self.by_source.get_mut(source) {
+                    if drop_id(ids, id) {
+                        self.by_source.remove(source);
+                    }
+                }
+            }
+            IndexKey::Subject(subject) => {
+                if let Some(ids) = self.by_subject.get_mut(subject) {
+                    if drop_id(ids, id) {
+                        self.by_subject.remove(subject);
+                    }
+                }
+            }
+            IndexKey::Type(ty) => {
+                if let Some(ids) = self.by_type.get_mut(ty) {
+                    if drop_id(ids, id) {
+                        self.by_type.remove(ty);
+                    }
+                }
+            }
+            IndexKey::Wildcard => {
+                if let Ok(pos) = self.wildcard.binary_search(&id) {
+                    self.wildcard.remove(pos);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use sci_types::{ContextValue, VirtualTime};
+
+    fn presence(source: u128, subject: u128) -> ContextEvent {
+        ContextEvent::new(
+            Guid::from_u128(source),
+            ContextType::Presence,
+            ContextValue::record([("subject", ContextValue::Id(Guid::from_u128(subject)))]),
+            VirtualTime::ZERO,
+        )
+    }
+
+    fn collect(ix: &mut TopicIndex<()>, ev: &ContextEvent) -> Vec<SubId> {
+        let mut out = Vec::new();
+        ix.publish_with(ev, |v| {
+            out.push(v.id);
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn single_key_selection_prefers_source() {
+        let g = Guid::from_u128(7);
+        assert_eq!(
+            IndexKey::for_topic(&Topic::of_type(ContextType::Presence).from(g).about(g)),
+            IndexKey::Source(g)
+        );
+        assert_eq!(
+            IndexKey::for_topic(&Topic::of_type(ContextType::Presence).about(g)),
+            IndexKey::Subject(g)
+        );
+        assert_eq!(
+            IndexKey::for_topic(&Topic::of_type(ContextType::Presence)),
+            IndexKey::Type(ContextType::Presence)
+        );
+        assert_eq!(IndexKey::for_topic(&Topic::any()), IndexKey::Wildcard);
+    }
+
+    #[test]
+    fn candidates_cover_every_key_family_in_subscription_order() {
+        let mut ix: TopicIndex<()> = TopicIndex::new();
+        let app = Guid::from_u128(1);
+        let s_wild = ix.subscribe(app, Topic::any(), false, ());
+        let s_type = ix.subscribe(app, Topic::of_type(ContextType::Presence), false, ());
+        let s_src = ix.subscribe(app, Topic::from_source(Guid::from_u128(10)), false, ());
+        let s_subj = ix.subscribe(app, Topic::any().about(Guid::from_u128(20)), false, ());
+        let _miss = ix.subscribe(app, Topic::of_type(ContextType::Temperature), false, ());
+        let order = collect(&mut ix, &presence(10, 20));
+        assert_eq!(order, [s_wild, s_type, s_src, s_subj]);
+    }
+
+    #[test]
+    fn full_filter_still_verified_on_candidates() {
+        let mut ix: TopicIndex<()> = TopicIndex::new();
+        // Indexed by source, but also constrains the subject.
+        let picky = ix.subscribe(
+            Guid::from_u128(1),
+            Topic::from_source(Guid::from_u128(10)).about(Guid::from_u128(99)),
+            false,
+            (),
+        );
+        assert!(collect(&mut ix, &presence(10, 20)).is_empty());
+        assert_eq!(collect(&mut ix, &presence(10, 99)), [picky]);
+    }
+
+    #[test]
+    fn one_time_and_failed_deliveries_are_removed() {
+        let mut ix: TopicIndex<()> = TopicIndex::new();
+        let once = ix.subscribe(Guid::from_u128(1), Topic::any(), true, ());
+        let dead = ix.subscribe(Guid::from_u128(2), Topic::any(), false, ());
+        let keeps = ix.subscribe(Guid::from_u128(3), Topic::any(), false, ());
+        let outcome = ix.publish_with(&presence(10, 20), |v| v.id != dead);
+        assert_eq!(outcome.fanout, 2);
+        assert_eq!(outcome.completed_one_time, 1);
+        assert!(!ix.is_live(once));
+        assert!(!ix.is_live(dead));
+        assert!(ix.is_live(keeps));
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_cleans_candidate_lists() {
+        let mut ix: TopicIndex<()> = TopicIndex::new();
+        let app = Guid::from_u128(1);
+        let a = ix.subscribe(app, Topic::of_type(ContextType::Presence), false, ());
+        let b = ix.subscribe(app, Topic::of_type(ContextType::Presence), false, ());
+        ix.unsubscribe(a).unwrap();
+        assert!(ix.unsubscribe(a).is_err());
+        assert_eq!(collect(&mut ix, &presence(10, 20)), [b]);
+        assert_eq!(ix.subscriptions_of(app), [b]);
+        assert_eq!(ix.unsubscribe_all(app), 1);
+        assert!(ix.is_empty());
+        assert!(ix.by_type.is_empty(), "emptied key lists are dropped");
+    }
+}

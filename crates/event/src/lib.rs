@@ -15,6 +15,13 @@
 //!   OS threads, demonstrating the "distributed events" half of the
 //!   paper's hybrid communication model in real concurrency.
 //!
+//! Both buses dispatch through [`index::TopicIndex`], which keys
+//! candidate subscriptions by context type, source and subject so publish
+//! cost scales with matching subscriptions rather than total
+//! subscriptions. The pre-index linear table is preserved as
+//! [`linear::LinearBus`] — a test oracle the index is property-tested
+//! against (see `docs/performance.md`).
+//!
 //! Supporting pieces: [`topic::Topic`] filters, [`mediator::EventMediator`]
 //! (lifecycle + liveness monitoring used for failure detection), the
 //! [`sim`] virtual-time scheduler that drives deterministic runs, and
@@ -24,6 +31,8 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod index;
+pub mod linear;
 pub mod mediator;
 pub mod rt;
 pub mod sim;
@@ -31,6 +40,8 @@ pub mod stats;
 pub mod topic;
 
 pub use bus::{Delivery, EventBus, SubId};
+pub use index::TopicIndex;
+pub use linear::LinearBus;
 pub use mediator::EventMediator;
 pub use sim::{Scheduler, VirtualClock};
 pub use stats::DeliveryStats;

@@ -3,12 +3,12 @@
 //! The paper's prototype used "a hybrid communication model (a
 //! combination of distributed events and point to point communication)".
 //! [`ThreadedBus`] is the distributed-events half under real concurrency:
-//! the same topic/subscription semantics as [`crate::bus::EventBus`], but
-//! deliveries flow through crossbeam channels to subscriber threads.
+//! the same topic/subscription semantics as [`crate::bus::EventBus`]
+//! (both dispatch through [`crate::index::TopicIndex`]), but deliveries
+//! flow through crossbeam channels to subscriber threads.
 //! Point-to-point communication is plain request/response over a
 //! dedicated channel pair ([`point_to_point`]).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -17,21 +17,13 @@ use parking_lot::Mutex;
 use sci_types::{ContextEvent, Guid, SciError, SciResult};
 
 use crate::bus::SubId;
+use crate::index::TopicIndex;
 use crate::stats::DeliveryStats;
 use crate::topic::Topic;
 
-struct Entry {
-    id: SubId,
-    subscriber: Guid,
-    topic: Topic,
-    one_time: bool,
-    tx: Sender<ContextEvent>,
-}
-
 struct Inner {
-    subs: Mutex<Vec<Entry>>,
+    subs: Mutex<TopicIndex<Sender<ContextEvent>>>,
     stats: Mutex<DeliveryStats>,
-    next_id: AtomicU64,
 }
 
 /// A thread-safe pub/sub bus delivering over channels.
@@ -71,9 +63,8 @@ impl ThreadedBus {
     pub fn new() -> Self {
         ThreadedBus {
             inner: Arc::new(Inner {
-                subs: Mutex::new(Vec::new()),
+                subs: Mutex::new(TopicIndex::new()),
                 stats: Mutex::new(DeliveryStats::new()),
-                next_id: AtomicU64::new(0),
             }),
         }
     }
@@ -87,14 +78,11 @@ impl ThreadedBus {
         one_time: bool,
     ) -> (SubId, Receiver<ContextEvent>) {
         let (tx, rx) = unbounded();
-        let id = SubId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
-        self.inner.subs.lock().push(Entry {
-            id,
-            subscriber,
-            topic,
-            one_time,
-            tx,
-        });
+        let id = self
+            .inner
+            .subs
+            .lock()
+            .subscribe(subscriber, topic, one_time, tx);
         (id, rx)
     }
 
@@ -104,56 +92,33 @@ impl ThreadedBus {
     ///
     /// Returns [`SciError::UnknownSubscription`] for stale ids.
     pub fn unsubscribe(&self, id: SubId) -> SciResult<()> {
-        let mut subs = self.inner.subs.lock();
-        let pos = subs
-            .iter()
-            .position(|e| e.id == id)
-            .ok_or(SciError::UnknownSubscription(id.0))?;
-        subs.remove(pos);
-        Ok(())
+        self.inner.subs.lock().unsubscribe(id)
     }
 
     /// Cancels every subscription held by `subscriber`, returning how
     /// many were removed.
     pub fn unsubscribe_all(&self, subscriber: Guid) -> usize {
-        let mut subs = self.inner.subs.lock();
-        let before = subs.len();
-        subs.retain(|e| e.subscriber != subscriber);
-        before - subs.len()
+        self.inner.subs.lock().unsubscribe_all(subscriber)
     }
 
     /// Publishes an event to every matching live subscription. Returns
     /// the fanout. Subscriptions whose receiver has been dropped are
-    /// garbage-collected; one-time subscriptions are consumed.
+    /// garbage-collected when the index next visits them as candidates;
+    /// one-time subscriptions are consumed.
     pub fn publish(&self, event: &ContextEvent) -> usize {
-        let mut fanout = 0;
-        let mut one_time = 0;
-        {
-            let mut subs = self.inner.subs.lock();
-            subs.retain(|entry| {
-                if !entry.topic.matches(event) {
-                    return true;
-                }
-                match entry.tx.send(event.clone()) {
-                    Ok(()) => {
-                        fanout += 1;
-                        if entry.one_time {
-                            one_time += 1;
-                            false
-                        } else {
-                            true
-                        }
-                    }
-                    // Receiver dropped: reap the subscription.
-                    Err(_) => false,
-                }
-            });
-        }
-        self.inner
-            .stats
+        let outcome = self
+            .inner
+            .subs
             .lock()
-            .record_publish(&event.topic, fanout, one_time);
-        fanout
+            // A failed send means the receiver is gone; returning `false`
+            // reaps the subscription.
+            .publish_with(event, |view| view.extra.send(event.clone()).is_ok());
+        self.inner.stats.lock().record_publish(
+            &event.topic,
+            outcome.fanout,
+            outcome.completed_one_time,
+        );
+        outcome.fanout
     }
 
     /// Number of live subscriptions.

@@ -1,0 +1,164 @@
+//! Equivalence property: the indexed [`EventBus`] and the linear-scan
+//! oracle [`LinearBus`] produce identical [`Delivery`] sequences — same
+//! subscription ids, same subscribers, same events, same `last` flags,
+//! in the same order — for arbitrary interleavings of subscribe,
+//! targeted unsubscribe, subscriber purge and publish, over topics that
+//! exercise every index key family (wildcard, type, source, subject and
+//! conjunctions).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use sci_event::{EventBus, LinearBus, SubId, Topic};
+use sci_types::{ContextEvent, ContextType, ContextValue, Guid, VirtualTime};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Subscribe {
+        subscriber: u8,
+        ty: Option<u8>,
+        source: Option<u8>,
+        subject: Option<u8>,
+        one_time: bool,
+    },
+    /// Unsubscribes the nth id ever issued (mod the number issued so
+    /// far); exercises both live and already-removed ids.
+    Unsubscribe {
+        nth: u8,
+    },
+    UnsubscribeAll {
+        subscriber: u8,
+    },
+    Publish {
+        source: u8,
+        ty: u8,
+        subject: Option<u8>,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            any::<u8>(),
+            prop::option::of(0u8..4),
+            prop::option::of(0u8..4),
+            prop::option::of(0u8..4),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(subscriber, ty, source, subject, one_time)| Op::Subscribe {
+                    subscriber,
+                    ty,
+                    source,
+                    subject,
+                    one_time,
+                }
+            ),
+        any::<u8>().prop_map(|nth| Op::Unsubscribe { nth }),
+        any::<u8>().prop_map(|subscriber| Op::UnsubscribeAll { subscriber }),
+        (0u8..4, 0u8..4, prop::option::of(0u8..4)).prop_map(|(source, ty, subject)| Op::Publish {
+            source,
+            ty,
+            subject
+        }),
+    ]
+}
+
+fn ty_of(i: u8) -> ContextType {
+    match i % 4 {
+        0 => ContextType::Presence,
+        1 => ContextType::Temperature,
+        2 => ContextType::Location,
+        _ => ContextType::Path,
+    }
+}
+
+fn source_of(i: u8) -> Guid {
+    Guid::from_u128(1000 + (i % 4) as u128)
+}
+
+fn subject_of(i: u8) -> Guid {
+    Guid::from_u128(2000 + (i % 4) as u128)
+}
+
+fn topic_of(ty: Option<u8>, source: Option<u8>, subject: Option<u8>) -> Topic {
+    let mut t = match ty {
+        Some(i) => Topic::of_type(ty_of(i)),
+        None => Topic::any(),
+    };
+    if let Some(s) = source {
+        t = t.from(source_of(s));
+    }
+    if let Some(s) = subject {
+        t = t.about(subject_of(s));
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Index and oracle stay observably identical across any schedule.
+    #[test]
+    fn indexed_bus_equals_linear_oracle(ops in prop::collection::vec(arb_op(), 0..80)) {
+        let mut indexed = EventBus::new();
+        let mut oracle = LinearBus::new();
+        let mut issued: Vec<SubId> = Vec::new();
+        let mut t = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Subscribe { subscriber, ty, source, subject, one_time } => {
+                    let subscriber = Guid::from_u128(subscriber as u128 + 1);
+                    let topic = topic_of(ty, source, subject);
+                    let a = indexed.subscribe(subscriber, topic.clone(), one_time);
+                    let b = oracle.subscribe(subscriber, topic, one_time);
+                    prop_assert_eq!(a, b, "id allocation agrees");
+                    issued.push(a);
+                }
+                Op::Unsubscribe { nth } => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let id = issued[nth as usize % issued.len()];
+                    let a = indexed.unsubscribe(id);
+                    let b = oracle.unsubscribe(id);
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "unsubscribe outcome agrees");
+                }
+                Op::UnsubscribeAll { subscriber } => {
+                    let subscriber = Guid::from_u128(subscriber as u128 + 1);
+                    prop_assert_eq!(
+                        indexed.unsubscribe_all(subscriber),
+                        oracle.unsubscribe_all(subscriber)
+                    );
+                }
+                Op::Publish { source, ty, subject } => {
+                    t += 1;
+                    let payload = match subject {
+                        Some(s) => ContextValue::record([
+                            ("subject", ContextValue::Id(subject_of(s))),
+                            ("n", ContextValue::Int(t as i64)),
+                        ]),
+                        None => ContextValue::Int(t as i64),
+                    };
+                    let event = ContextEvent::new(
+                        source_of(source),
+                        ty_of(ty),
+                        payload,
+                        VirtualTime::from_micros(t),
+                    );
+                    prop_assert_eq!(
+                        indexed.publish(&event),
+                        oracle.publish(&event),
+                        "delivery sequences agree"
+                    );
+                }
+            }
+            prop_assert_eq!(indexed.len(), oracle.len(), "live counts agree");
+            for &id in &issued {
+                prop_assert_eq!(indexed.is_live(id), oracle.is_live(id));
+                prop_assert_eq!(indexed.topic_of(id), oracle.topic_of(id));
+            }
+        }
+    }
+}

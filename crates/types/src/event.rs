@@ -7,6 +7,7 @@
 //! number so consumers can detect loss and staleness.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::guid::Guid;
 use crate::time::VirtualTime;
@@ -57,8 +58,9 @@ pub struct ContextEvent {
     pub source: Guid,
     /// Semantic type of the payload — what subscriptions match on.
     pub topic: ContextType,
-    /// The context data itself.
-    pub payload: ContextValue,
+    /// The context data itself. Shared behind an [`Arc`] so fanning an
+    /// event out to many subscribers clones a pointer, not the record.
+    pub payload: Arc<ContextValue>,
     /// Virtual-time instant of production.
     pub timestamp: VirtualTime,
     /// Per-source monotonic sequence number.
@@ -68,16 +70,19 @@ pub struct ContextEvent {
 impl ContextEvent {
     /// Creates an event with sequence number [`EventSeq::FIRST`]; use
     /// [`ContextEvent::with_seq`] to thread sequence numbers.
+    ///
+    /// The payload is accepted either owned (a plain [`ContextValue`]) or
+    /// already shared (an `Arc<ContextValue>`); both convert via `Into`.
     pub fn new(
         source: Guid,
         topic: ContextType,
-        payload: ContextValue,
+        payload: impl Into<Arc<ContextValue>>,
         timestamp: VirtualTime,
     ) -> Self {
         ContextEvent {
             source,
             topic,
-            payload,
+            payload: payload.into(),
             timestamp,
             seq: EventSeq::FIRST,
         }
