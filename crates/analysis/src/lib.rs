@@ -16,7 +16,7 @@
 //!
 //! * [`analyze`] — single-plan verification of a [`PlanGraph`] against
 //!   the registered [`Profile`]s, producing an
-//!   [`AnalysisReport`](sci_types::AnalysisReport) of typed
+//!   [`AnalysisReport`] of typed
 //!   diagnostics with stable `SCI-Axxx` codes;
 //! * [`fleet::diff_subscriptions`] — fleet-mode drift detection
 //!   between the subscriptions analyzed plans require and the live

@@ -1,0 +1,325 @@
+//! E10 — parallel multi-range execution. The serial [`Federation`]
+//! processes every range's ingest inline on the coordinator thread; the
+//! [`ParallelFederation`] runs one runtime thread per range and
+//! pipelines ingest commands into per-range mailboxes, paying one
+//! barrier (`sync`) per batch. This harness drives the E7 relay
+//! workload — per-range subscribers, round-robin ingest across ranges —
+//! through both drivers for ranges ∈ {1, 2, 4, 8, 16} and reports
+//! end-to-end event throughput.
+//!
+//! Besides the Criterion timings, the harness writes the shape rows to
+//! `BENCH_federation.json` at the repo root — the machine-readable perf
+//! trajectory documented in `EXPERIMENTS.md` (§E10). The file records
+//! `available_cores`: the speedup ceiling is `min(ranges, cores)`, so
+//! on a single-core container the parallel driver can only show its
+//! pipelining win, not true multi-core scaling.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sci_core::context_server::ContextServer;
+use sci_core::federation::Federation;
+use sci_core::runtime::ParallelFederation;
+use sci_location::{FloorPlan, Rect};
+use sci_query::{Mode, Query};
+use sci_types::guid::GuidGenerator;
+use sci_types::{
+    ContextEvent, ContextType, ContextValue, Coord, EntityKind, Guid, PortSpec, Profile,
+    VirtualTime,
+};
+
+const RANGE_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+/// Events ingested into every range per measured batch.
+const EVENTS_PER_RANGE: u64 = 500;
+
+fn range_plan(i: usize) -> FloorPlan {
+    FloorPlan::builder("campus")
+        .zone(format!("wing-{i}"))
+        .room(
+            format!("hall-{i}"),
+            Rect::with_size(Coord::new(0.0, 0.0), 20.0, 10.0),
+        )
+        .build()
+        .expect("static plan")
+}
+
+fn server(i: usize, ids: &mut GuidGenerator) -> (ContextServer, Guid) {
+    let mut cs = ContextServer::new(ids.next_guid(), format!("range-{i}"), range_plan(i));
+    let sensor = ids.next_guid();
+    cs.register(
+        Profile::builder(sensor, EntityKind::Device, format!("sensor-{i}"))
+            .output(PortSpec::new("p", ContextType::Presence))
+            .attribute("service", ContextValue::text("sensing"))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .expect("fresh");
+    (cs, sensor)
+}
+
+fn subscription(i: usize, ids: &mut GuidGenerator) -> (Guid, Query) {
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Presence)
+        .in_range(format!("range-{i}"))
+        .mode(Mode::Subscribe)
+        .build();
+    (app, q)
+}
+
+fn event(sensor: Guid, k: u64, t: VirtualTime) -> ContextEvent {
+    ContextEvent::new(
+        sensor,
+        ContextType::Presence,
+        ContextValue::record([("subject", ContextValue::Id(Guid::from_u128(u128::from(k))))]),
+        t,
+    )
+}
+
+struct SerialRig {
+    fed: Federation,
+    sensors: Vec<Guid>,
+    apps: Vec<Guid>,
+    clock: u64,
+}
+
+fn build_serial(ranges: usize, seed: u64) -> SerialRig {
+    let mut ids = GuidGenerator::seeded(seed);
+    let mut fed = Federation::new(seed);
+    let mut sensors = Vec::new();
+    for i in 0..ranges {
+        let (cs, sensor) = server(i, &mut ids);
+        sensors.push(sensor);
+        fed.add_range(cs).expect("unique");
+    }
+    fed.connect_full();
+    let mut apps = Vec::new();
+    for i in 0..ranges {
+        let (app, q) = subscription(i, &mut ids);
+        fed.submit_from(&format!("range-{i}"), &q, VirtualTime::ZERO)
+            .expect("subscribes");
+        apps.push(app);
+    }
+    SerialRig {
+        fed,
+        sensors,
+        apps,
+        clock: 0,
+    }
+}
+
+struct ParallelRig {
+    fed: ParallelFederation,
+    sensors: Vec<Guid>,
+    apps: Vec<Guid>,
+    clock: u64,
+}
+
+fn build_parallel(ranges: usize, seed: u64) -> ParallelRig {
+    let mut ids = GuidGenerator::seeded(seed);
+    let mut fed = ParallelFederation::new(seed);
+    let mut sensors = Vec::new();
+    for i in 0..ranges {
+        let (cs, sensor) = server(i, &mut ids);
+        sensors.push(sensor);
+        fed.add_range(cs).expect("unique");
+    }
+    fed.connect_full();
+    let mut apps = Vec::new();
+    for i in 0..ranges {
+        let (app, q) = subscription(i, &mut ids);
+        fed.submit_from(&format!("range-{i}"), &q, VirtualTime::ZERO)
+            .expect("subscribes");
+        apps.push(app);
+    }
+    ParallelRig {
+        fed,
+        sensors,
+        apps,
+        clock: 0,
+    }
+}
+
+/// One batch through the serial driver: every ingest is processed
+/// inline. Returns elapsed time and total deliveries drained.
+fn serial_batch(rig: &mut SerialRig, per_range: u64) -> (Duration, usize) {
+    let start = Instant::now();
+    for k in 0..per_range {
+        for (j, &sensor) in rig.sensors.iter().enumerate() {
+            rig.clock += 1;
+            let t = VirtualTime::from_micros(rig.clock);
+            rig.fed
+                .ingest_at(&format!("range-{j}"), &event(sensor, rig.clock + k, t), t)
+                .expect("ingests");
+        }
+    }
+    let delivered: usize = rig
+        .apps
+        .clone()
+        .into_iter()
+        .map(|app| rig.fed.deliveries_for(app).len())
+        .sum();
+    (start.elapsed(), delivered)
+}
+
+/// One batch through the parallel driver: ingests pipeline into the
+/// per-range mailboxes, then one `sync` barrier flushes outboxes.
+fn parallel_batch(rig: &mut ParallelRig, per_range: u64) -> (Duration, usize) {
+    let start = Instant::now();
+    for k in 0..per_range {
+        for (j, &sensor) in rig.sensors.iter().enumerate() {
+            rig.clock += 1;
+            let t = VirtualTime::from_micros(rig.clock);
+            rig.fed
+                .ingest_at(&format!("range-{j}"), &event(sensor, rig.clock + k, t), t)
+                .expect("ingests");
+        }
+    }
+    rig.fed
+        .sync(VirtualTime::from_micros(rig.clock))
+        .expect("syncs");
+    let delivered: usize = rig
+        .apps
+        .clone()
+        .into_iter()
+        .map(|app| rig.fed.deliveries_for(app).len())
+        .sum();
+    (start.elapsed(), delivered)
+}
+
+struct Row {
+    ranges: usize,
+    events: u64,
+    serial_us: f64,
+    parallel_us: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_us / self.parallel_us
+    }
+
+    fn serial_keps(&self) -> f64 {
+        self.events as f64 / self.serial_us * 1e3
+    }
+
+    fn parallel_keps(&self) -> f64 {
+        self.events as f64 / self.parallel_us * 1e3
+    }
+}
+
+fn measure_rows() -> Vec<Row> {
+    RANGE_SWEEP
+        .iter()
+        .map(|&ranges| {
+            let events = EVENTS_PER_RANGE * ranges as u64;
+
+            let mut serial = build_serial(ranges, 17);
+            // Warm-up batch, then the measured one.
+            serial_batch(&mut serial, 50);
+            let (serial_t, serial_n) = serial_batch(&mut serial, EVENTS_PER_RANGE);
+            assert_eq!(serial_n as u64, events, "serial loses deliveries");
+
+            let mut parallel = build_parallel(ranges, 17);
+            parallel_batch(&mut parallel, 50);
+            let (parallel_t, parallel_n) = parallel_batch(&mut parallel, EVENTS_PER_RANGE);
+            assert_eq!(parallel_n as u64, events, "parallel loses deliveries");
+            parallel.fed.shutdown();
+
+            Row {
+                ranges,
+                events,
+                serial_us: serial_t.as_secs_f64() * 1e6,
+                parallel_us: parallel_t.as_secs_f64() * 1e6,
+            }
+        })
+        .collect()
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn write_json(rows: &[Row]) {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"group\": \"relay\", \"ranges\": {}, \"events\": {}, \
+                 \"serial_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.2}, \
+                 \"serial_kevents_s\": {:.1}, \"parallel_kevents_s\": {:.1}}}",
+                r.ranges,
+                r.events,
+                r.serial_us,
+                r.parallel_us,
+                r.speedup(),
+                r.serial_keps(),
+                r.parallel_keps()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e10_federation_parallel\",\n  \"unit\": \"us\",\n  \
+         \"available_cores\": {},\n  \"events_per_range\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        available_cores(),
+        EVENTS_PER_RANGE,
+        body.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_federation.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn print_shape_table(rows: &[Row]) {
+    println!(
+        "\nE10: serial vs parallel federation, {} events/range ({} cores available)",
+        EVENTS_PER_RANGE,
+        available_cores()
+    );
+    println!(
+        "{:>7} | {:>12} {:>14} {:>12} {:>14} {:>8}",
+        "ranges", "serial (us)", "(kevents/s)", "parallel (us)", "(kevents/s)", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:>7} | {:>12.0} {:>14.1} {:>12.0} {:>14.1} {:>7.2}x",
+            r.ranges,
+            r.serial_us,
+            r.serial_keps(),
+            r.parallel_us,
+            r.parallel_keps(),
+            r.speedup()
+        );
+    }
+    println!();
+}
+
+fn bench_parallel_federation(c: &mut Criterion) {
+    let rows = measure_rows();
+    print_shape_table(&rows);
+    write_json(&rows);
+
+    let mut group = c.benchmark_group("e10_relay_batch");
+    for ranges in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("serial", ranges), &ranges, |b, &n| {
+            let mut rig = build_serial(n, 17);
+            b.iter(|| serial_batch(&mut rig, 20));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", ranges), &ranges, |b, &n| {
+            let mut rig = build_parallel(n, 17);
+            b.iter(|| parallel_batch(&mut rig, 20));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parallel_federation
+}
+criterion_main!(benches);

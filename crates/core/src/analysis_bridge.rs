@@ -11,7 +11,7 @@
 //! * [`expected_subscriptions`] — the subscription records a live
 //!   [`Configuration`] implies, for fleet drift detection against the
 //!   Event Mediator's actual table ([`record_of`] reduces a live
-//!   [`Topic`] to the same shape).
+//!   [`sci_event::Topic`] to the same shape).
 
 use sci_analysis::fleet::SubscriptionRecord;
 use sci_analysis::{GraphEdge, GraphNode, NodeRole, PlanGraph, ProfileSource};

@@ -13,6 +13,15 @@
 //! the four query modes of Section 4.3, stores deferred queries until
 //! their When-clause triggers (the CAPA pattern), and dispatches sensor
 //! events through live configurations.
+//!
+//! Every mutating entry point is a thin wrapper over the command
+//! dispatcher [`ContextServer::handle`] (see [`crate::runtime`]): the
+//! method builds a [`crate::runtime::RangeCommand`], `handle` routes it
+//! to the private implementation, and the wrapper unwraps the
+//! [`RangeReply`]. Drivers that own a server directly keep the familiar
+//! method surface; actor drivers ([`crate::runtime::RangeRuntime`],
+//! [`crate::runtime::ParallelFederation`]) ship the same commands over a
+//! mailbox instead.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -36,46 +45,13 @@ use crate::logic::LogicFactory;
 use crate::profile_manager::ProfileManager;
 use crate::registrar::Registrar;
 use crate::resolver::{plan_configuration, Demand};
+use crate::runtime::RangeCommand;
+
+pub use sci_types::{AppDelivery, DeferredAnswer, QueryAnswer, RangeReply};
 
 /// Default liveness window for source CEs that declare a
 /// `max-silence-us` attribute without a value the mediator can read.
 const DEFAULT_MAX_SILENCE: VirtualDuration = VirtualDuration::from_secs(60);
-
-/// The answer to a submitted query.
-#[derive(Clone, Debug)]
-pub enum QueryAnswer {
-    /// Mode `profile`: the matching profiles.
-    Profiles(Vec<Profile>),
-    /// Mode `advertisement`: the selected services' interfaces.
-    Advertisements(Vec<Advertisement>),
-    /// Modes `subscribe`/`subscribe-once`: a configuration is live;
-    /// events will arrive in the application outbox.
-    Subscribed {
-        /// The query (= configuration) id.
-        configuration: Guid,
-        /// The producers the application is now subscribed to.
-        producers: Vec<Guid>,
-    },
-    /// The query waits for its When clause; the answer will appear in
-    /// [`ContextServer::drain_answers`] once triggered.
-    Deferred,
-    /// The Where clause names another range; federation must forward.
-    Forward {
-        /// Target range name.
-        range: String,
-    },
-}
-
-/// An event delivered to a Context Aware Application.
-#[derive(Clone, Debug)]
-pub struct AppDelivery {
-    /// The receiving application.
-    pub app: Guid,
-    /// The query whose configuration produced the event.
-    pub query: Guid,
-    /// The event itself.
-    pub event: ContextEvent,
-}
 
 struct DeferredQuery {
     query: Query,
@@ -161,14 +137,25 @@ impl ContextServer {
     /// Enables or disables configuration-subgraph reuse (E8 ablation).
     /// Only affects configurations created afterwards.
     pub fn set_reuse(&mut self, reuse: bool) {
-        if self.instances.is_empty() {
-            self.instances = InstanceStore::new(reuse);
-        }
+        let _ = self.handle(RangeCommand::SetReuse(reuse), VirtualTime::ZERO);
     }
 
     /// Disables the Range Service's automatic registration of sensed,
     /// unknown people.
     pub fn set_auto_register_people(&mut self, enabled: bool) {
+        let _ = self.handle(
+            RangeCommand::SetAutoRegisterPeople(enabled),
+            VirtualTime::ZERO,
+        );
+    }
+
+    pub(crate) fn set_reuse_impl(&mut self, reuse: bool) {
+        if self.instances.is_empty() {
+            self.instances = InstanceStore::new(reuse);
+        }
+    }
+
+    pub(crate) fn set_auto_register_people_impl(&mut self, enabled: bool) {
         self.auto_register_people = enabled;
     }
 
@@ -233,6 +220,13 @@ impl ContextServer {
 
     /// Expires history entries past their retention window.
     pub fn expire_history(&mut self, now: VirtualTime) -> usize {
+        match self.handle(RangeCommand::ExpireHistory, now) {
+            Ok(RangeReply::Expired(n)) => n,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn expire_history_impl(&mut self, now: VirtualTime) -> usize {
         self.history.expire(now)
     }
 
@@ -250,6 +244,11 @@ impl ContextServer {
     ///
     /// Rejects double registrations.
     pub fn register(&mut self, profile: Profile, now: VirtualTime) -> SciResult<()> {
+        self.handle(RangeCommand::Register(Box::new(profile)), now)
+            .map(drop)
+    }
+
+    pub(crate) fn register_impl(&mut self, profile: Profile, now: VirtualTime) -> SciResult<()> {
         self.registrar.register(profile.descriptor().clone(), now)?;
         if profile.is_source() {
             if let Some(us) = profile
@@ -282,6 +281,10 @@ impl ContextServer {
     /// Registers the behaviour of a derived CE class, enabling the
     /// resolver to instantiate it.
     pub fn register_logic(&mut self, ce: Guid, factory: LogicFactory) {
+        let _ = self.handle(RangeCommand::RegisterLogic(ce, factory), VirtualTime::ZERO);
+    }
+
+    pub(crate) fn register_logic_impl(&mut self, ce: Guid, factory: LogicFactory) {
         self.factories.insert(ce, factory);
     }
 
@@ -290,6 +293,10 @@ impl ContextServer {
     /// §6, open issue 2 — and the fix for the iQueue limitation
     /// discussed in §2).
     pub fn declare_equivalence(&mut self, a: ContextType, b: ContextType) {
+        let _ = self.handle(RangeCommand::DeclareEquivalence(a, b), VirtualTime::ZERO);
+    }
+
+    pub(crate) fn declare_equivalence_impl(&mut self, a: ContextType, b: ContextType) {
         self.profiles.declare_equivalence(a, b);
     }
 
@@ -301,6 +308,10 @@ impl ContextServer {
     /// Returns [`SciError::UnknownEntity`] if the CE is not
     /// liveness-tracked.
     pub fn heartbeat(&mut self, ce: Guid, now: VirtualTime) -> SciResult<()> {
+        self.handle(RangeCommand::Heartbeat(ce), now).map(drop)
+    }
+
+    pub(crate) fn heartbeat_impl(&mut self, ce: Guid, now: VirtualTime) -> SciResult<()> {
         self.mediator.heartbeat(ce, now)
     }
 
@@ -311,6 +322,11 @@ impl ContextServer {
     /// Returns [`SciError::UnknownEntity`] if the provider is not
     /// registered.
     pub fn advertise(&mut self, ad: Advertisement) -> SciResult<()> {
+        self.handle(RangeCommand::Advertise(Box::new(ad)), VirtualTime::ZERO)
+            .map(drop)
+    }
+
+    pub(crate) fn advertise_impl(&mut self, ad: Advertisement) -> SciResult<()> {
         if !self.registrar.is_registered(ad.provider()) {
             return Err(SciError::UnknownEntity(ad.provider()));
         }
@@ -328,6 +344,20 @@ impl ContextServer {
     ///
     /// Returns [`SciError::UnknownEntity`] if absent.
     pub fn deregister(&mut self, id: Guid, now: VirtualTime) -> SciResult<EntityDescriptor> {
+        match self.handle(RangeCommand::Deregister(id), now)? {
+            RangeReply::Deregistered(descriptor) => Ok(descriptor),
+            other => Err(SciError::Internal(format!(
+                "deregister expected `deregistered` reply, got `{}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub(crate) fn deregister_impl(
+        &mut self,
+        id: Guid,
+        now: VirtualTime,
+    ) -> SciResult<EntityDescriptor> {
         let descriptor = self.registrar.deregister(id, now)?;
         let _ = self.profiles.remove(id);
         self.mediator.purge_entity(id);
@@ -350,6 +380,20 @@ impl ContextServer {
     /// * [`SciError::Unresolvable`] when no configuration satisfies it.
     /// * [`SciError::UnknownLocation`] for Where clauses naming nothing.
     pub fn submit_query(&mut self, query: &Query, now: VirtualTime) -> SciResult<QueryAnswer> {
+        match self.handle(RangeCommand::Submit(Box::new(query.clone())), now)? {
+            RangeReply::Answer(answer) => Ok(answer),
+            other => Err(SciError::Internal(format!(
+                "submit expected `answer` reply, got `{}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub(crate) fn submit_query_impl(
+        &mut self,
+        query: &Query,
+        now: VirtualTime,
+    ) -> SciResult<QueryAnswer> {
         // Federation: a Where targeting a different range is forwarded.
         if let Where::Range(range) = &query.where_ {
             if range != &self.name {
@@ -402,6 +446,11 @@ impl ContextServer {
     /// Returns [`SciError::UnknownSubscription`] when nothing with that
     /// id is live.
     pub fn cancel_query(&mut self, query_id: Guid) -> SciResult<()> {
+        self.handle(RangeCommand::Cancel(query_id), VirtualTime::ZERO)
+            .map(drop)
+    }
+
+    pub(crate) fn cancel_query_impl(&mut self, query_id: Guid) -> SciResult<()> {
         if let Some(config) = self.configurations.remove(&query_id) {
             for sub in &config.caa_subs {
                 self.caa_sub_index.remove(sub);
@@ -706,6 +755,11 @@ impl ContextServer {
     /// Propagates trigger-execution failures (the event itself is always
     /// absorbed).
     pub fn ingest(&mut self, event: &ContextEvent, now: VirtualTime) -> SciResult<()> {
+        self.handle(RangeCommand::Ingest(event.clone()), now)
+            .map(drop)
+    }
+
+    pub(crate) fn ingest_impl(&mut self, event: &ContextEvent, now: VirtualTime) -> SciResult<()> {
         self.history.record(event);
         self.location.ingest(event);
         self.range_service_observe(event, now)?;
@@ -734,7 +788,7 @@ impl ContextServer {
             "disassociate" => {
                 if self.registrar.is_registered(subject) {
                     // Graceful departure of a sensed person.
-                    let _ = self.deregister(subject, now);
+                    let _ = self.deregister_impl(subject, now);
                     // Departure is not failure: do not exclude them.
                     self.excluded.remove(&subject);
                 }
@@ -744,7 +798,7 @@ impl ContextServer {
                     let profile =
                         Profile::builder(subject, EntityKind::Person, format!("person-{subject}"))
                             .build();
-                    self.register(profile, now)?;
+                    self.register_impl(profile, now)?;
                 }
             }
         }
@@ -826,6 +880,16 @@ impl ContextServer {
     ///
     /// Never currently errs; kept fallible for future trigger kinds.
     pub fn poll_timers(&mut self, now: VirtualTime) -> SciResult<usize> {
+        match self.handle(RangeCommand::PollTimers, now)? {
+            RangeReply::Fired(n) => Ok(n),
+            other => Err(SciError::Internal(format!(
+                "poll_timers expected `fired` reply, got `{}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub(crate) fn poll_timers_impl(&mut self, now: VirtualTime) -> SciResult<usize> {
         // Periodic housekeeping: drop history past its retention window.
         self.history.expire(now);
         let mut fired = 0;
@@ -896,18 +960,32 @@ impl ContextServer {
         }
 
         for query in consumed_configs {
-            let _ = self.cancel_query(query);
+            let _ = self.cancel_query_impl(query);
         }
     }
 
     /// Removes and returns pending application deliveries.
     pub fn drain_outbox(&mut self) -> Vec<AppDelivery> {
+        match self.handle(RangeCommand::DrainOutbox, VirtualTime::ZERO) {
+            Ok(RangeReply::Deliveries(d)) => d,
+            _ => Vec::new(),
+        }
+    }
+
+    pub(crate) fn drain_outbox_impl(&mut self) -> Vec<AppDelivery> {
         std::mem::take(&mut self.outbox)
     }
 
     /// Removes and returns pending deliveries for one application,
     /// leaving other applications' deliveries queued.
     pub fn drain_outbox_for(&mut self, app: Guid) -> Vec<AppDelivery> {
+        match self.handle(RangeCommand::DrainOutboxFor(app), VirtualTime::ZERO) {
+            Ok(RangeReply::Deliveries(d)) => d,
+            _ => Vec::new(),
+        }
+    }
+
+    pub(crate) fn drain_outbox_for_impl(&mut self, app: Guid) -> Vec<AppDelivery> {
         let mut mine = Vec::new();
         let mut rest = Vec::new();
         for d in self.outbox.drain(..) {
@@ -924,6 +1002,13 @@ impl ContextServer {
     /// Removes and returns answers produced by deferred queries since
     /// the last drain: `(query, owner, answer)` triples.
     pub fn drain_answers(&mut self) -> Vec<(Guid, Guid, QueryAnswer)> {
+        match self.handle(RangeCommand::DrainAnswers, VirtualTime::ZERO) {
+            Ok(RangeReply::Answers(a)) => a,
+            _ => Vec::new(),
+        }
+    }
+
+    pub(crate) fn drain_answers_impl(&mut self) -> Vec<DeferredAnswer> {
         std::mem::take(&mut self.answers)
     }
 
@@ -983,6 +1068,13 @@ impl ContextServer {
     /// Verification is on by default; disabling it restores the
     /// pre-analysis behaviour where defective plans are wired as-is.
     pub fn set_plan_verification(&mut self, enabled: bool) {
+        let _ = self.handle(
+            RangeCommand::SetPlanVerification(enabled),
+            VirtualTime::ZERO,
+        );
+    }
+
+    pub(crate) fn set_plan_verification_impl(&mut self, enabled: bool) {
         self.verify_plans = enabled;
     }
 

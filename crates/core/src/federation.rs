@@ -6,7 +6,7 @@
 //! Context Server "looks at the query and identifies that the query
 //! should be forwarded to the Context Server for Level Ten".
 //!
-//! [`Federation`] owns one [`SimNetwork`] node per range plus its
+//! [`Federation`] owns one overlay node per range plus its
 //! [`ContextServer`], and implements:
 //!
 //! * **query forwarding** — a Where clause naming another range turns
@@ -21,6 +21,13 @@
 //! All messages genuinely cross the binary wire codec and the overlay's
 //! hop-by-hop routing, so experiment E7's latency and load numbers
 //! reflect the real protocol cost.
+//!
+//! The wire itself is pluggable: `Federation` is generic over
+//! [`Transport`], defaulting to the deterministic [`SimNetwork`]. The
+//! channel-backed [`sci_overlay::transport::ThreadedTransport`] drops in
+//! when node mailboxes must be drained from other threads; the
+//! fully-threaded driver (one worker per range) is
+//! [`crate::runtime::ParallelFederation`].
 
 use std::collections::HashMap;
 
@@ -29,6 +36,7 @@ use bytes::Bytes;
 use sci_overlay::message::{Message, MessageKind};
 use sci_overlay::net::SimNetwork;
 use sci_overlay::stats::LoadStats;
+use sci_overlay::transport::Transport;
 use sci_query::codec as qcodec;
 use sci_query::xml::{parse, Element};
 use sci_query::Query;
@@ -49,8 +57,11 @@ pub struct FederatedAnswer {
 }
 
 /// A set of ranges joined through a simulated SCINET.
-pub struct Federation {
-    net: SimNetwork,
+///
+/// Generic over the overlay [`Transport`]; defaults to the
+/// deterministic [`SimNetwork`].
+pub struct Federation<T: Transport = SimNetwork> {
+    net: T,
     servers: HashMap<Guid, ContextServer>,
     app_home: HashMap<Guid, Guid>,
     inbox: HashMap<Guid, Vec<AppDelivery>>,
@@ -63,10 +74,13 @@ pub struct Federation {
     /// exchanged over the overlay (see
     /// [`Federation::broadcast_adverts`]).
     directories: HashMap<Guid, HashMap<String, Guid>>,
+    /// Relayed deliveries dropped for violating their configuration's
+    /// freshness bound (`qoc-max-age-us`) after crossing the overlay.
+    relay_stale_drops: u64,
     ids: GuidGenerator,
 }
 
-impl std::fmt::Debug for Federation {
+impl<T: Transport> std::fmt::Debug for Federation<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Federation")
             .field("ranges", &self.servers.len())
@@ -75,18 +89,44 @@ impl std::fmt::Debug for Federation {
 }
 
 impl Federation {
-    /// Creates an empty federation; `seed` drives message-id minting.
+    /// Creates an empty federation over the deterministic simulated
+    /// overlay; `seed` drives message-id minting.
     pub fn new(seed: u64) -> Self {
+        Federation::with_transport(SimNetwork::new(), seed)
+    }
+
+    /// The overlay (read access, for stats).
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Mutable access to the overlay, for failure injection (node kills,
+    /// partitions) in experiments.
+    pub fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+}
+
+impl<T: Transport> Federation<T> {
+    /// Creates an empty federation over an arbitrary transport; `seed`
+    /// drives message-id minting.
+    pub fn with_transport(net: T, seed: u64) -> Self {
         Federation {
-            net: SimNetwork::new(),
+            net,
             servers: HashMap::new(),
             app_home: HashMap::new(),
             inbox: HashMap::new(),
             answers: HashMap::new(),
             places: HashMap::new(),
             directories: HashMap::new(),
+            relay_stale_drops: 0,
             ids: GuidGenerator::seeded(seed),
         }
+    }
+
+    /// Consumes the federation, returning its transport.
+    pub fn into_transport(self) -> T {
+        self.net
     }
 
     /// Adds a range (its Context Server becomes an overlay node). The
@@ -98,7 +138,8 @@ impl Federation {
     /// Rejects duplicate node GUIDs or range names.
     pub fn add_range(&mut self, cs: ContextServer) -> SciResult<Guid> {
         let id = cs.id();
-        self.net.add_node(id, cs.name())?;
+        let name = cs.name().to_owned();
+        self.net.add_node(id, &name)?;
         for room in cs.location().plan().rooms() {
             self.places.entry(room.name.clone()).or_insert(id);
         }
@@ -155,11 +196,7 @@ impl Federation {
                     Bytes::from(payload.clone().into_bytes()),
                 );
                 self.net.send(msg)?;
-                let messages = self
-                    .net
-                    .node_mut(dst)
-                    .ok_or_else(|| SciError::Internal(format!("overlay lost node {dst}")))?
-                    .drain_inbox();
+                let messages = self.net.drain(dst);
                 for m in messages {
                     if m.kind != MessageKind::RangeAdvert {
                         continue;
@@ -188,7 +225,7 @@ impl Federation {
     /// Gives every node full overlay knowledge (use
     /// [`Federation::join_discovery`] for the incremental protocol).
     pub fn connect_full(&mut self) {
-        self.net.populate_full();
+        self.net.connect_full();
     }
 
     /// Joins `node` through `bootstrap` using the discovery protocol.
@@ -197,18 +234,7 @@ impl Federation {
     ///
     /// As for [`sci_overlay::discovery::join`].
     pub fn join_discovery(&mut self, node: Guid, bootstrap: Guid, seed: u64) -> SciResult<()> {
-        sci_overlay::discovery::join(&mut self.net, node, bootstrap, seed)
-    }
-
-    /// The overlay (read access, for stats).
-    pub fn network(&self) -> &SimNetwork {
-        &self.net
-    }
-
-    /// Mutable access to the overlay, for failure injection (node kills,
-    /// partitions) in experiments.
-    pub fn network_mut(&mut self) -> &mut SimNetwork {
-        &mut self.net
+        self.net.join(node, bootstrap, seed)
     }
 
     /// Cumulative overlay routing statistics.
@@ -335,11 +361,7 @@ impl Federation {
         let arrival = now.saturating_add(out_fwd.latency);
 
         // The destination CS processes its inbox.
-        let messages = self
-            .net
-            .node_mut(dst)
-            .ok_or_else(|| SciError::Internal(format!("routed to missing node {dst}")))?
-            .drain_inbox();
+        let messages = self.net.drain(dst);
         let mut answer = None;
         for msg in messages {
             if msg.kind != MessageKind::QueryForward {
@@ -367,11 +389,7 @@ impl Federation {
         );
         let out_resp = self.net.send(resp)?;
         let decoded = {
-            let messages = self
-                .net
-                .node_mut(home)
-                .ok_or_else(|| SciError::Internal(format!("overlay lost home node {home}")))?
-                .drain_inbox();
+            let messages = self.net.drain(home);
             let mut found = None;
             for msg in messages {
                 if msg.kind == MessageKind::QueryResponse {
@@ -395,10 +413,17 @@ impl Federation {
     /// their owners' home ranges, relaying across the overlay where
     /// needed.
     ///
+    /// `now` is the logical time of the pump: a relayed delivery
+    /// arrives at `now` + route latency, and if that arrival violates
+    /// the producing configuration's freshness bound
+    /// (`qoc-max-age-us`), the relay is dropped and counted in
+    /// [`Federation::relay_stale_drops`] — the cross-range counterpart
+    /// of the Context Server's local stale-drop accounting.
+    ///
     /// # Errors
     ///
     /// Propagates routing failures for cross-range relays.
-    pub fn pump(&mut self, _now: VirtualTime) -> SciResult<()> {
+    pub fn pump(&mut self, now: VirtualTime) -> SciResult<()> {
         let node_ids: Vec<Guid> = self.servers.keys().copied().collect();
         for node in node_ids {
             let (deliveries, answers) = {
@@ -410,6 +435,14 @@ impl Federation {
             for d in deliveries {
                 let home = self.app_home.get(&d.app).copied().unwrap_or(node);
                 if home != node {
+                    // The producing range owns the configuration and
+                    // with it the freshness contract the relay must
+                    // honour on arrival.
+                    let max_age = self
+                        .servers
+                        .get(&node)
+                        .and_then(|cs| cs.configuration(d.query))
+                        .and_then(|c| c.max_age);
                     // Relay across the overlay, exercising the codec.
                     let payload = Element::new("relay")
                         .with_attr("app", d.app.to_string())
@@ -423,14 +456,9 @@ impl Federation {
                         MessageKind::EventRelay,
                         Bytes::from(payload.into_bytes()),
                     );
-                    self.net.send(msg)?;
-                    let messages = self
-                        .net
-                        .node_mut(home)
-                        .ok_or_else(|| {
-                            SciError::Internal(format!("overlay lost home node {home}"))
-                        })?
-                        .drain_inbox();
+                    let outcome = self.net.send(msg)?;
+                    let arrival = now.saturating_add(outcome.latency);
+                    let messages = self.net.drain(home);
                     for m in messages {
                         if m.kind != MessageKind::EventRelay {
                             continue;
@@ -448,6 +476,13 @@ impl Federation {
                             .ok_or_else(|| SciError::Codec("relay missing query".into()))?
                             .parse()?;
                         let event = qcodec::event_from_element(doc.require_child("event")?)?;
+                        let stale = max_age
+                            .map(|max| arrival.saturating_since(event.timestamp) > max)
+                            .unwrap_or(false);
+                        if stale {
+                            self.relay_stale_drops += 1;
+                            continue;
+                        }
                         self.inbox
                             .entry(app)
                             .or_default()
@@ -477,13 +512,7 @@ impl Federation {
                         Bytes::from(payload.into_bytes()),
                     );
                     self.net.send(msg)?;
-                    let messages = self
-                        .net
-                        .node_mut(home)
-                        .ok_or_else(|| {
-                            SciError::Internal(format!("overlay lost home node {home}"))
-                        })?
-                        .drain_inbox();
+                    let messages = self.net.drain(home);
                     for m in messages {
                         if m.kind != MessageKind::QueryResponse {
                             continue;
@@ -512,6 +541,12 @@ impl Federation {
             }
         }
         Ok(())
+    }
+
+    /// Relayed deliveries dropped for violating their configuration's
+    /// freshness bound after crossing the overlay.
+    pub fn relay_stale_drops(&self) -> u64 {
+        self.relay_stale_drops
     }
 
     /// Removes and returns the deliveries waiting for an application.

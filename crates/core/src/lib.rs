@@ -79,12 +79,14 @@ pub mod profile_manager;
 pub mod range_service;
 pub mod registrar;
 pub mod resolver;
+pub mod runtime;
 
 pub use configuration::Configuration;
-pub use context_server::{ContextServer, QueryAnswer};
+pub use context_server::{ContextServer, QueryAnswer, RangeReply};
 pub use driver::Deployment;
 pub use federation::Federation;
 pub use location_service::LocationService;
 pub use profile_manager::ProfileManager;
 pub use registrar::Registrar;
 pub use resolver::ConfigurationPlan;
+pub use runtime::{ParallelFederation, RangeCommand, RangeRuntime};

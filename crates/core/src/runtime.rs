@@ -1,0 +1,1056 @@
+//! The Range actor runtime: command-driven Context Servers, one
+//! single-writer worker thread per range.
+//!
+//! The paper's distribution model is "centralised per range,
+//! decentralised across ranges" (Section 3). This module realises both
+//! halves:
+//!
+//! * **Centralised per range** — every mutating [`ContextServer`] entry
+//!   point is a [`RangeCommand`]; [`ContextServer::handle`] is the one
+//!   dispatcher that executes them, so a range behaves like an actor: a
+//!   serial command stream against private state, whether the commands
+//!   arrive by direct method call (the deterministic sim drivers) or
+//!   over a mailbox.
+//! * **Decentralised across ranges** — [`RangeRuntime`] moves a server
+//!   onto its own worker thread behind a command mailbox
+//!   ([`sci_event::rt::mailbox`]), and [`ParallelFederation`] drives one
+//!   runtime per range so N busy ranges occupy N cores instead of
+//!   stalling each other in a single loop.
+//!
+//! Worker failure is isolated: a panic inside one range's command
+//! handler kills only that worker. The coordinator observes the dead
+//! mailbox and reports [`SciError::RangeDown`] for that range while
+//! every other range keeps serving — the liveness shape Solar's
+//! per-planet operator placement and the Context Toolkit's distributed
+//! widgets both argue for.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+
+use sci_event::rt::{mailbox, Receiver, Sender};
+use sci_overlay::message::{Message, MessageKind};
+use sci_overlay::net::SimNetwork;
+use sci_overlay::stats::LoadStats;
+use sci_query::codec as qcodec;
+use sci_query::xml::{parse, Element};
+use sci_query::{Query, What};
+use sci_types::guid::GuidGenerator;
+use sci_types::{
+    Advertisement, ContextEvent, ContextType, Guid, Profile, SciError, SciResult, VirtualDuration,
+    VirtualTime,
+};
+
+use crate::context_server::{AppDelivery, ContextServer, DeferredAnswer, QueryAnswer, RangeReply};
+use crate::federation::{answer_from_xml, answer_to_xml, FederatedAnswer};
+use crate::logic::LogicFactory;
+
+/// One mutating operation on a range.
+///
+/// Every public `&mut self` entry point of [`ContextServer`] has a
+/// command variant; [`ContextServer::handle`] is the single dispatcher
+/// that executes them. Read-only accessors (`profiles()`, `history()`,
+/// …) stay plain methods — an actor answers queries about itself
+/// through commands only when state changes.
+pub enum RangeCommand {
+    /// Register an entity with its profile.
+    Register(Box<Profile>),
+    /// Register the behaviour of a derived CE class.
+    RegisterLogic(Guid, LogicFactory),
+    /// Declare two context types semantically equivalent.
+    DeclareEquivalence(ContextType, ContextType),
+    /// Record a liveness heartbeat for a tracked source CE.
+    Heartbeat(Guid),
+    /// Store a service advertisement.
+    Advertise(Box<Advertisement>),
+    /// Deregister a departing entity.
+    Deregister(Guid),
+    /// Submit a query (any of the four Section 4.3 modes).
+    Submit(Box<Query>),
+    /// Cancel a live configuration or pending deferred query.
+    Cancel(Guid),
+    /// Ingest a sensor event.
+    Ingest(ContextEvent),
+    /// Fire deferred queries whose timers are due.
+    PollTimers,
+    /// Evict history entries past their retention window.
+    ExpireHistory,
+    /// Drain pending application deliveries.
+    DrainOutbox,
+    /// Drain pending deliveries for one application.
+    DrainOutboxFor(Guid),
+    /// Drain answers produced by deferred queries.
+    DrainAnswers,
+    /// Enable or disable configuration subgraph reuse.
+    SetReuse(bool),
+    /// Enable or disable the Range Service's person auto-registration.
+    SetAutoRegisterPeople(bool),
+    /// Enable or disable the pre-instantiation plan verification gate.
+    SetPlanVerification(bool),
+    /// Run the fleet drift audit.
+    Audit,
+}
+
+impl RangeCommand {
+    /// A short name for the variant (logging, protocol errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RangeCommand::Register(_) => "register",
+            RangeCommand::RegisterLogic(..) => "register-logic",
+            RangeCommand::DeclareEquivalence(..) => "declare-equivalence",
+            RangeCommand::Heartbeat(_) => "heartbeat",
+            RangeCommand::Advertise(_) => "advertise",
+            RangeCommand::Deregister(_) => "deregister",
+            RangeCommand::Submit(_) => "submit",
+            RangeCommand::Cancel(_) => "cancel",
+            RangeCommand::Ingest(_) => "ingest",
+            RangeCommand::PollTimers => "poll-timers",
+            RangeCommand::ExpireHistory => "expire-history",
+            RangeCommand::DrainOutbox => "drain-outbox",
+            RangeCommand::DrainOutboxFor(_) => "drain-outbox-for",
+            RangeCommand::DrainAnswers => "drain-answers",
+            RangeCommand::SetReuse(_) => "set-reuse",
+            RangeCommand::SetAutoRegisterPeople(_) => "set-auto-register-people",
+            RangeCommand::SetPlanVerification(_) => "set-plan-verification",
+            RangeCommand::Audit => "audit",
+        }
+    }
+}
+
+impl std::fmt::Debug for RangeCommand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("RangeCommand").field(&self.kind()).finish()
+    }
+}
+
+impl ContextServer {
+    /// The range's command dispatcher: executes one [`RangeCommand`]
+    /// against this server at logical time `now`.
+    ///
+    /// This is the single mutation point of a range. The public
+    /// methods (`register`, `submit_query`, `ingest`, …) are thin
+    /// wrappers that build the command and unwrap the reply; actor
+    /// drivers ship the same commands over a mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying operation returns.
+    pub fn handle(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<RangeReply> {
+        match cmd {
+            RangeCommand::Register(profile) => {
+                self.register_impl(*profile, now).map(|()| RangeReply::Ack)
+            }
+            RangeCommand::RegisterLogic(ce, factory) => {
+                self.register_logic_impl(ce, factory);
+                Ok(RangeReply::Ack)
+            }
+            RangeCommand::DeclareEquivalence(a, b) => {
+                self.declare_equivalence_impl(a, b);
+                Ok(RangeReply::Ack)
+            }
+            RangeCommand::Heartbeat(ce) => self.heartbeat_impl(ce, now).map(|()| RangeReply::Ack),
+            RangeCommand::Advertise(ad) => self.advertise_impl(*ad).map(|()| RangeReply::Ack),
+            RangeCommand::Deregister(id) => {
+                self.deregister_impl(id, now).map(RangeReply::Deregistered)
+            }
+            RangeCommand::Submit(query) => {
+                self.submit_query_impl(&query, now).map(RangeReply::Answer)
+            }
+            RangeCommand::Cancel(query_id) => {
+                self.cancel_query_impl(query_id).map(|()| RangeReply::Ack)
+            }
+            RangeCommand::Ingest(event) => self.ingest_impl(&event, now).map(|()| RangeReply::Ack),
+            RangeCommand::PollTimers => self.poll_timers_impl(now).map(RangeReply::Fired),
+            RangeCommand::ExpireHistory => Ok(RangeReply::Expired(self.expire_history_impl(now))),
+            RangeCommand::DrainOutbox => Ok(RangeReply::Deliveries(self.drain_outbox_impl())),
+            RangeCommand::DrainOutboxFor(app) => {
+                Ok(RangeReply::Deliveries(self.drain_outbox_for_impl(app)))
+            }
+            RangeCommand::DrainAnswers => Ok(RangeReply::Answers(self.drain_answers_impl())),
+            RangeCommand::SetReuse(reuse) => {
+                self.set_reuse_impl(reuse);
+                Ok(RangeReply::Ack)
+            }
+            RangeCommand::SetAutoRegisterPeople(enabled) => {
+                self.set_auto_register_people_impl(enabled);
+                Ok(RangeReply::Ack)
+            }
+            RangeCommand::SetPlanVerification(enabled) => {
+                self.set_plan_verification_impl(enabled);
+                Ok(RangeReply::Ack)
+            }
+            RangeCommand::Audit => Ok(RangeReply::Report(self.audit_configurations())),
+        }
+    }
+}
+
+enum ToWorker {
+    Cmd { cmd: RangeCommand, now: VirtualTime },
+    Stop,
+}
+
+/// One worker thread's life: drain the mailbox, execute commands,
+/// return the server on graceful stop, `None` if a command panicked.
+fn worker_loop(
+    mut cs: ContextServer,
+    rx: Receiver<ToWorker>,
+    tx: Sender<SciResult<RangeReply>>,
+) -> Option<ContextServer> {
+    loop {
+        match rx.recv() {
+            Ok(ToWorker::Cmd { cmd, now }) => {
+                // Panic isolation: a poisoned command must not take the
+                // whole federation down. The server's state after a
+                // panic is suspect, so the worker retires instead of
+                // limping on; dropping `tx` is what the coordinator
+                // observes as RangeDown.
+                match catch_unwind(AssertUnwindSafe(|| cs.handle(cmd, now))) {
+                    Ok(reply) => {
+                        if tx.send(reply).is_err() {
+                            // Coordinator went away; stop serving.
+                            return Some(cs);
+                        }
+                    }
+                    Err(_) => return None,
+                }
+            }
+            Ok(ToWorker::Stop) | Err(_) => return Some(cs),
+        }
+    }
+}
+
+/// A [`ContextServer`] running as an actor on its own thread.
+///
+/// Commands go in through a mailbox; replies come back on a response
+/// channel in command order. Two submission disciplines are offered:
+///
+/// * [`RangeRuntime::call`] — request/response: send one command, block
+///   for its reply (any earlier pipelined errors are retained, see
+///   [`RangeRuntime::take_errors`]);
+/// * [`RangeRuntime::cast`] — pipelined: send and return immediately.
+///   Because the mailbox is FIFO and the worker is a single writer, a
+///   later `call` acts as a barrier for everything cast before it.
+pub struct RangeRuntime {
+    id: Guid,
+    name: String,
+    tx: Sender<ToWorker>,
+    rx: Receiver<SciResult<RangeReply>>,
+    /// Replies not yet collected (casts since the last call).
+    pending: usize,
+    /// Errors from pipelined commands, in arrival order.
+    errors: Vec<SciError>,
+    worker: Option<JoinHandle<Option<ContextServer>>>,
+    down: bool,
+}
+
+impl std::fmt::Debug for RangeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RangeRuntime")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("pending", &self.pending)
+            .field("down", &self.down)
+            .finish()
+    }
+}
+
+impl RangeRuntime {
+    /// Moves `cs` onto a dedicated worker thread and returns the handle
+    /// that drives it.
+    pub fn spawn(cs: ContextServer) -> Self {
+        let id = cs.id();
+        let name = cs.name().to_owned();
+        let (cmd_tx, cmd_rx) = mailbox::<ToWorker>();
+        let (reply_tx, reply_rx) = mailbox::<SciResult<RangeReply>>();
+        let worker = std::thread::Builder::new()
+            .name(format!("range-{name}"))
+            .spawn(move || worker_loop(cs, cmd_rx, reply_tx))
+            .ok();
+        RangeRuntime {
+            id,
+            name,
+            tx: cmd_tx,
+            rx: reply_rx,
+            pending: 0,
+            errors: Vec::new(),
+            worker,
+            down: false,
+        }
+    }
+
+    /// The range's GUID.
+    pub fn id(&self) -> Guid {
+        self.id
+    }
+
+    /// The range's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Has the worker died (panic or lost mailbox)?
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    fn down_error(&mut self) -> SciError {
+        self.down = true;
+        SciError::RangeDown(self.name.clone())
+    }
+
+    /// Pipelined submission: enqueue `cmd` and return without waiting.
+    /// The reply (and any error) is collected by the next [`call`] or
+    /// [`drain_pending`].
+    ///
+    /// [`call`]: RangeRuntime::call
+    /// [`drain_pending`]: RangeRuntime::drain_pending
+    ///
+    /// # Errors
+    ///
+    /// [`SciError::RangeDown`] if the worker is gone.
+    pub fn cast(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<()> {
+        if self.down {
+            return Err(SciError::RangeDown(self.name.clone()));
+        }
+        if self.tx.send(ToWorker::Cmd { cmd, now }).is_err() {
+            return Err(self.down_error());
+        }
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Collects the replies of every pipelined command submitted so
+    /// far, retaining their errors (see [`RangeRuntime::take_errors`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SciError::RangeDown`] if the worker died mid-stream.
+    pub fn drain_pending(&mut self) -> SciResult<()> {
+        while self.pending > 0 {
+            match self.rx.recv() {
+                Ok(reply) => {
+                    self.pending -= 1;
+                    if let Err(e) = reply {
+                        self.errors.push(e);
+                    }
+                }
+                Err(_) => return Err(self.down_error()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Request/response submission: enqueue `cmd`, wait for its reply.
+    /// Acts as a barrier for every earlier [`RangeRuntime::cast`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::RangeDown`] if the worker is gone (now or while
+    ///   waiting);
+    /// * whatever the command itself returned.
+    pub fn call(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<RangeReply> {
+        self.cast(cmd, now)?;
+        // FIFO: everything before the reply we want is a pipelined
+        // predecessor.
+        while self.pending > 1 {
+            match self.rx.recv() {
+                Ok(reply) => {
+                    self.pending -= 1;
+                    if let Err(e) = reply {
+                        self.errors.push(e);
+                    }
+                }
+                Err(_) => return Err(self.down_error()),
+            }
+        }
+        match self.rx.recv() {
+            Ok(reply) => {
+                self.pending -= 1;
+                reply
+            }
+            Err(_) => Err(self.down_error()),
+        }
+    }
+
+    /// Removes and returns errors produced by pipelined commands.
+    pub fn take_errors(&mut self) -> Vec<SciError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// Stops the worker and returns the server it owned; `None` if the
+    /// worker panicked (its state is gone with it).
+    pub fn shutdown(mut self) -> Option<ContextServer> {
+        let _ = self.tx.send(ToWorker::Stop);
+        self.worker
+            .take()
+            .and_then(|h| h.join().unwrap_or_default())
+    }
+}
+
+/// A federation whose ranges each run on their own [`RangeRuntime`]
+/// worker thread.
+///
+/// The coordinator keeps what must be globally consistent — the SCINET
+/// routing fabric, the place directory, application home ranges and
+/// their inboxes — and everything per-range lives behind a mailbox.
+/// Sensor ingest is pipelined ([`RangeRuntime::cast`]):
+/// [`ParallelFederation::ingest_at`] returns as soon as the event is
+/// enqueued, so N ranges chew their streams concurrently, and
+/// [`ParallelFederation::sync`] is the barrier that collects outboxes
+/// and relays cross-range traffic, exactly like the serial
+/// [`crate::federation::Federation::pump`].
+///
+/// Determinism: each range still processes its own command stream in
+/// submission order against a virtual clock, so per-range outcomes are
+/// reproducible; only the interleaving *between* ranges is concurrent,
+/// and [`sync`] imposes the same happens-before edges the serial pump
+/// does. The serial/parallel delivery-equivalence test in
+/// `tests/parallel_federation.rs` holds the two drivers to that.
+///
+/// [`sync`]: ParallelFederation::sync
+pub struct ParallelFederation {
+    fabric: SimNetwork,
+    workers: HashMap<Guid, RangeRuntime>,
+    app_home: HashMap<Guid, Guid>,
+    inbox: HashMap<Guid, Vec<AppDelivery>>,
+    answers: HashMap<Guid, Vec<(Guid, QueryAnswer)>>,
+    places: HashMap<String, Guid>,
+    /// Freshness bounds (`qoc-max-age-us`) per query, recorded at
+    /// submission so relay staleness can be judged without asking the
+    /// producing range.
+    relay_max_age: HashMap<Guid, VirtualDuration>,
+    relay_stale_drops: u64,
+    ids: GuidGenerator,
+}
+
+impl std::fmt::Debug for ParallelFederation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelFederation")
+            .field("ranges", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ParallelFederation {
+    /// Creates an empty parallel federation; `seed` drives message-id
+    /// minting.
+    pub fn new(seed: u64) -> Self {
+        ParallelFederation {
+            fabric: SimNetwork::new(),
+            workers: HashMap::new(),
+            app_home: HashMap::new(),
+            inbox: HashMap::new(),
+            answers: HashMap::new(),
+            places: HashMap::new(),
+            relay_max_age: HashMap::new(),
+            relay_stale_drops: 0,
+            ids: GuidGenerator::seeded(seed),
+        }
+    }
+
+    /// Adds a range: its rooms join the place directory, its Context
+    /// Server moves onto a fresh worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate node GUIDs or range names.
+    pub fn add_range(&mut self, cs: ContextServer) -> SciResult<Guid> {
+        let id = cs.id();
+        self.fabric.add_node(id, cs.name())?;
+        for room in cs.location().plan().rooms() {
+            self.places.entry(room.name.clone()).or_insert(id);
+        }
+        self.workers.insert(id, RangeRuntime::spawn(cs));
+        Ok(id)
+    }
+
+    /// Gives every node full overlay knowledge.
+    pub fn connect_full(&mut self) {
+        self.fabric.populate_full();
+    }
+
+    /// Number of ranges (including downed ones).
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Returns `true` when no ranges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Cumulative overlay routing statistics.
+    pub fn network_stats(&self) -> &LoadStats {
+        self.fabric.stats()
+    }
+
+    /// Relayed deliveries dropped for violating their query's
+    /// freshness bound.
+    pub fn relay_stale_drops(&self) -> u64 {
+        self.relay_stale_drops
+    }
+
+    fn worker_by_name(&mut self, range: &str) -> SciResult<&mut RangeRuntime> {
+        let id = self
+            .fabric
+            .find_by_name(range)
+            .ok_or_else(|| SciError::UnknownLocation(range.to_owned()))?;
+        self.workers
+            .get_mut(&id)
+            .ok_or_else(|| SciError::Internal(format!("node {id} has no runtime")))
+    }
+
+    /// Sends an arbitrary command to the named range and waits for the
+    /// reply — the generic actor entry point.
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::UnknownLocation`] for unknown ranges;
+    /// * [`SciError::RangeDown`] if that range's worker died;
+    /// * whatever the command returns.
+    pub fn command(
+        &mut self,
+        range: &str,
+        cmd: RangeCommand,
+        now: VirtualTime,
+    ) -> SciResult<RangeReply> {
+        self.worker_by_name(range)?.call(cmd, now)
+    }
+
+    /// Feeds a sensor event into the named range — pipelined: the event
+    /// is enqueued on the range's mailbox and this returns immediately.
+    /// Ingest failures surface at the next [`ParallelFederation::sync`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::UnknownLocation`] for unknown ranges;
+    /// * [`SciError::RangeDown`] if that range's worker died.
+    pub fn ingest_at(
+        &mut self,
+        range: &str,
+        event: &ContextEvent,
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        self.worker_by_name(range)?
+            .cast(RangeCommand::Ingest(event.clone()), now)
+    }
+
+    /// Submits a query at the application's current range, forwarding
+    /// over the SCINET if needed. Blocks for the answer (and thereby
+    /// for every event previously pipelined into that range).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::federation::Federation::submit_from`], plus
+    /// [`SciError::RangeDown`] for downed workers.
+    pub fn submit_from(
+        &mut self,
+        range: &str,
+        query: &Query,
+        now: VirtualTime,
+    ) -> SciResult<FederatedAnswer> {
+        let home = self
+            .fabric
+            .find_by_name(range)
+            .ok_or_else(|| SciError::UnknownLocation(range.to_owned()))?;
+        self.app_home.insert(query.owner, home);
+        if let Some(max_age) = query_max_age(query) {
+            self.relay_max_age.insert(query.id, max_age);
+        }
+
+        let local = self
+            .workers
+            .get_mut(&home)
+            .ok_or_else(|| SciError::Internal(format!("node {home} has no runtime")))?
+            .call(RangeCommand::Submit(Box::new(query.clone())), now);
+
+        let dst = match local.and_then(expect_answer) {
+            Ok(QueryAnswer::Forward { range: target }) => self
+                .fabric
+                .find_by_name(&target)
+                .ok_or(SciError::UnknownLocation(target))?,
+            Ok(answer) => {
+                return Ok(FederatedAnswer {
+                    answer,
+                    hops: 0,
+                    latency: VirtualDuration::ZERO,
+                });
+            }
+            Err(SciError::UnknownLocation(place)) => {
+                let covering = self
+                    .places
+                    .get(place.as_str())
+                    .copied()
+                    .ok_or(SciError::UnknownLocation(place))?;
+                if covering == home {
+                    return Err(SciError::Internal(format!(
+                        "range {home} rejected a place it advertises"
+                    )));
+                }
+                covering
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Forward over the fabric (real codec, real routing), then hand
+        // the decoded query to the target's worker.
+        let fwd = Message::new(
+            self.ids.next_guid(),
+            home,
+            dst,
+            MessageKind::QueryForward,
+            Bytes::from(qcodec::to_xml(query).into_bytes()),
+        );
+        let out_fwd = self.fabric.send(fwd)?;
+        let arrival = now.saturating_add(out_fwd.latency);
+
+        let messages = self
+            .fabric
+            .node_mut(dst)
+            .ok_or_else(|| SciError::Internal(format!("routed to missing node {dst}")))?
+            .drain_inbox();
+        let mut answer = None;
+        for msg in messages {
+            if msg.kind != MessageKind::QueryForward {
+                continue;
+            }
+            let xml = String::from_utf8(msg.payload.to_vec())
+                .map_err(|_| SciError::Codec("query payload is not UTF-8".into()))?;
+            let remote_query = qcodec::from_xml(&xml)?;
+            let remote_answer = self
+                .workers
+                .get_mut(&dst)
+                .ok_or_else(|| SciError::Internal(format!("node {dst} has no runtime")))?
+                .call(RangeCommand::Submit(Box::new(remote_query)), arrival)
+                .and_then(expect_answer)?;
+            answer = Some(remote_answer);
+        }
+        let answer = answer.ok_or_else(|| SciError::Internal("forwarded query vanished".into()))?;
+
+        // Route the response back through the fabric.
+        let resp = Message::new(
+            self.ids.next_guid(),
+            dst,
+            home,
+            MessageKind::QueryResponse,
+            Bytes::from(answer_to_xml(&answer).into_bytes()),
+        );
+        let out_resp = self.fabric.send(resp)?;
+        let mut decoded = None;
+        let messages = self
+            .fabric
+            .node_mut(home)
+            .ok_or_else(|| SciError::Internal(format!("overlay lost home node {home}")))?
+            .drain_inbox();
+        for msg in messages {
+            if msg.kind == MessageKind::QueryResponse {
+                decoded = Some(answer_from_xml(
+                    std::str::from_utf8(&msg.payload)
+                        .map_err(|_| SciError::Codec("answer payload is not UTF-8".into()))?,
+                )?);
+            }
+        }
+        let decoded = decoded.ok_or_else(|| SciError::Internal("response vanished".into()))?;
+
+        Ok(FederatedAnswer {
+            answer: decoded,
+            hops: out_fwd.hops + out_resp.hops,
+            latency: out_fwd.latency + out_resp.latency,
+        })
+    }
+
+    /// The barrier: waits for every pipelined command, drains every
+    /// range's outbox and deferred answers, and relays cross-range
+    /// traffic over the fabric — the parallel counterpart of the serial
+    /// `pump`.
+    ///
+    /// Relayed deliveries whose arrival time (`now` + route latency)
+    /// exceeds their query's `qoc-max-age-us` bound are dropped and
+    /// counted in [`ParallelFederation::relay_stale_drops`].
+    ///
+    /// # Errors
+    ///
+    /// * the first error any pipelined command produced since the last
+    ///   sync;
+    /// * [`SciError::RangeDown`] for workers that died (remaining
+    ///   ranges are still synced first);
+    /// * routing failures for cross-range relays.
+    pub fn sync(&mut self, now: VirtualTime) -> SciResult<()> {
+        let mut node_ids: Vec<Guid> = self.workers.keys().copied().collect();
+        node_ids.sort_unstable();
+        let mut first_error: Option<SciError> = None;
+
+        for node in node_ids {
+            let Some(worker) = self.workers.get_mut(&node) else {
+                continue;
+            };
+            let drained: SciResult<(Vec<AppDelivery>, Vec<DeferredAnswer>)> = (|| {
+                let deliveries = match worker.call(RangeCommand::DrainOutbox, now)? {
+                    RangeReply::Deliveries(d) => d,
+                    other => {
+                        return Err(SciError::Internal(format!(
+                            "drain-outbox expected `deliveries`, got `{}`",
+                            other.kind()
+                        )))
+                    }
+                };
+                let answers = match worker.call(RangeCommand::DrainAnswers, now)? {
+                    RangeReply::Answers(a) => a,
+                    other => {
+                        return Err(SciError::Internal(format!(
+                            "drain-answers expected `answers`, got `{}`",
+                            other.kind()
+                        )))
+                    }
+                };
+                Ok((deliveries, answers))
+            })();
+            for e in worker.take_errors() {
+                first_error.get_or_insert(e);
+            }
+            let (deliveries, answers) = match drained {
+                Ok(pair) => pair,
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+            };
+            for d in deliveries {
+                let home = self.app_home.get(&d.app).copied().unwrap_or(node);
+                if home == node {
+                    self.inbox.entry(d.app).or_default().push(d);
+                    continue;
+                }
+                let payload = Element::new("relay")
+                    .with_attr("app", d.app.to_string())
+                    .with_attr("query", d.query.to_string())
+                    .with_child(qcodec::event_to_element(&d.event))
+                    .to_xml();
+                let msg = Message::new(
+                    self.ids.next_guid(),
+                    node,
+                    home,
+                    MessageKind::EventRelay,
+                    Bytes::from(payload.into_bytes()),
+                );
+                let outcome = self.fabric.send(msg)?;
+                let arrival = now.saturating_add(outcome.latency);
+                let messages = self
+                    .fabric
+                    .node_mut(home)
+                    .ok_or_else(|| SciError::Internal(format!("overlay lost home node {home}")))?
+                    .drain_inbox();
+                for m in messages {
+                    if m.kind != MessageKind::EventRelay {
+                        continue;
+                    }
+                    let doc = parse(
+                        std::str::from_utf8(&m.payload)
+                            .map_err(|_| SciError::Codec("relay not UTF-8".into()))?,
+                    )?;
+                    let app: Guid = doc
+                        .attr("app")
+                        .ok_or_else(|| SciError::Codec("relay missing app".into()))?
+                        .parse()?;
+                    let query: Guid = doc
+                        .attr("query")
+                        .ok_or_else(|| SciError::Codec("relay missing query".into()))?
+                        .parse()?;
+                    let event = qcodec::event_from_element(doc.require_child("event")?)?;
+                    let stale = self
+                        .relay_max_age
+                        .get(&query)
+                        .map(|&max| arrival.saturating_since(event.timestamp) > max)
+                        .unwrap_or(false);
+                    if stale {
+                        self.relay_stale_drops += 1;
+                        continue;
+                    }
+                    self.inbox
+                        .entry(app)
+                        .or_default()
+                        .push(AppDelivery { app, query, event });
+                }
+            }
+            for (query, owner, answer) in answers {
+                let home = self.app_home.get(&owner).copied().unwrap_or(node);
+                if home == node {
+                    self.answers.entry(owner).or_default().push((query, answer));
+                    continue;
+                }
+                let payload = Element::new("answer-relay")
+                    .with_attr("app", owner.to_string())
+                    .with_attr("query", query.to_string())
+                    .with_child(parse(&answer_to_xml(&answer))?)
+                    .to_xml();
+                let msg = Message::new(
+                    self.ids.next_guid(),
+                    node,
+                    home,
+                    MessageKind::QueryResponse,
+                    Bytes::from(payload.into_bytes()),
+                );
+                self.fabric.send(msg)?;
+                let messages = self
+                    .fabric
+                    .node_mut(home)
+                    .ok_or_else(|| SciError::Internal(format!("overlay lost home node {home}")))?
+                    .drain_inbox();
+                for m in messages {
+                    if m.kind != MessageKind::QueryResponse {
+                        continue;
+                    }
+                    let doc = parse(
+                        std::str::from_utf8(&m.payload)
+                            .map_err(|_| SciError::Codec("answer relay not UTF-8".into()))?,
+                    )?;
+                    if doc.name != "answer-relay" {
+                        continue;
+                    }
+                    let app: Guid = doc
+                        .attr("app")
+                        .ok_or_else(|| SciError::Codec("relay missing app".into()))?
+                        .parse()?;
+                    let q: Guid = doc
+                        .attr("query")
+                        .ok_or_else(|| SciError::Codec("relay missing query".into()))?
+                        .parse()?;
+                    let decoded = answer_from_xml(&doc.require_child("answer")?.to_xml())?;
+                    self.answers.entry(app).or_default().push((q, decoded));
+                }
+            }
+        }
+
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Fires due timers in every range, then syncs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ParallelFederation::sync`].
+    pub fn poll_timers(&mut self, now: VirtualTime) -> SciResult<()> {
+        let mut node_ids: Vec<Guid> = self.workers.keys().copied().collect();
+        node_ids.sort_unstable();
+        for node in node_ids {
+            if let Some(worker) = self.workers.get_mut(&node) {
+                let _ = worker.cast(RangeCommand::PollTimers, now);
+            }
+        }
+        self.sync(now)
+    }
+
+    /// Removes and returns the deliveries waiting for an application.
+    pub fn deliveries_for(&mut self, app: Guid) -> Vec<AppDelivery> {
+        self.inbox.remove(&app).unwrap_or_default()
+    }
+
+    /// Removes and returns deferred answers waiting for an application.
+    pub fn answers_for(&mut self, app: Guid) -> Vec<(Guid, QueryAnswer)> {
+        self.answers.remove(&app).unwrap_or_default()
+    }
+
+    /// Stops every worker and returns the surviving Context Servers in
+    /// range-id order (panicked workers' servers are lost with them).
+    pub fn shutdown(self) -> Vec<ContextServer> {
+        let mut workers: Vec<(Guid, RangeRuntime)> = self.workers.into_iter().collect();
+        workers.sort_unstable_by_key(|(id, _)| *id);
+        workers
+            .into_iter()
+            .filter_map(|(_, w)| w.shutdown())
+            .collect()
+    }
+}
+
+fn expect_answer(reply: RangeReply) -> SciResult<QueryAnswer> {
+    match reply {
+        RangeReply::Answer(answer) => Ok(answer),
+        other => Err(SciError::Internal(format!(
+            "submit expected `answer` reply, got `{}`",
+            other.kind()
+        ))),
+    }
+}
+
+/// The `qoc-max-age-us` freshness bound a query demands, if any.
+fn query_max_age(query: &Query) -> Option<VirtualDuration> {
+    if let What::Information { constraints, .. } = &query.what {
+        constraints
+            .iter()
+            .find(|c| c.attr == "qoc-max-age-us")
+            .and_then(|c| c.value.as_int())
+            .filter(|&us| us >= 0)
+            .map(|us| VirtualDuration::from_micros(us as u64))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use sci_location::floorplan::capa_level10;
+    use sci_types::{ContextValue, EntityKind, PortSpec};
+
+    fn server(seed: u64, name: &str) -> (ContextServer, GuidGenerator) {
+        let mut ids = GuidGenerator::seeded(seed);
+        let cs = ContextServer::new(ids.next_guid(), name, capa_level10());
+        (cs, ids)
+    }
+
+    #[test]
+    fn handle_register_then_submit_roundtrip() {
+        let (mut cs, mut ids) = server(1, "r");
+        let dev = ids.next_guid();
+        let profile = Profile::builder(dev, EntityKind::Device, "thermo")
+            .output(PortSpec::new("t", ContextType::Temperature))
+            .build();
+        let reply = cs
+            .handle(RangeCommand::Register(Box::new(profile)), VirtualTime::ZERO)
+            .unwrap();
+        assert!(matches!(reply, RangeReply::Ack));
+        let app = ids.next_guid();
+        let q = Query::builder(ids.next_guid(), app)
+            .info(ContextType::Temperature)
+            .mode(sci_query::Mode::Profile)
+            .build();
+        let reply = cs
+            .handle(RangeCommand::Submit(Box::new(q)), VirtualTime::ZERO)
+            .unwrap();
+        match reply {
+            RangeReply::Answer(QueryAnswer::Profiles(ps)) => assert_eq!(ps.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_serves_commands_over_mailbox() {
+        let (cs, mut ids) = server(2, "actor");
+        let mut rt = RangeRuntime::spawn(cs);
+        let dev = ids.next_guid();
+        let profile = Profile::builder(dev, EntityKind::Device, "sensor")
+            .output(PortSpec::new("p", ContextType::Presence))
+            .build();
+        let reply = rt
+            .call(RangeCommand::Register(Box::new(profile)), VirtualTime::ZERO)
+            .unwrap();
+        assert!(matches!(reply, RangeReply::Ack));
+        let cs = rt.shutdown().expect("graceful shutdown returns server");
+        assert_eq!(cs.registrar().len(), 1);
+    }
+
+    #[test]
+    fn pipelined_casts_flush_at_call_barrier() {
+        let (mut cs, mut ids) = server(3, "pipeline");
+        let dev = ids.next_guid();
+        cs.register(
+            Profile::builder(dev, EntityKind::Device, "door")
+                .output(PortSpec::new("p", ContextType::Presence))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+        let mut rt = RangeRuntime::spawn(cs);
+        for k in 0..50u64 {
+            // Distinct subjects: the history store is depth-bounded per
+            // (type, subject), so each event must survive to be counted.
+            let ev = ContextEvent::new(
+                dev,
+                ContextType::Presence,
+                ContextValue::record([(
+                    "subject",
+                    ContextValue::Id(Guid::from_u128(1000 + u128::from(k))),
+                )]),
+                VirtualTime::from_micros(k),
+            );
+            rt.cast(RangeCommand::Ingest(ev), VirtualTime::from_micros(k))
+                .unwrap();
+        }
+        // The call barrier guarantees all 50 ingests ran first.
+        match rt.call(RangeCommand::ExpireHistory, VirtualTime::ZERO) {
+            Ok(RangeReply::Expired(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(rt.take_errors().is_empty());
+        let cs = rt.shutdown().unwrap();
+        assert!(cs.history().len() >= 50);
+    }
+
+    #[test]
+    fn pipelined_errors_are_retained_not_lost() {
+        let (cs, mut ids) = server(4, "errors");
+        let mut rt = RangeRuntime::spawn(cs);
+        // Deregistering an unknown entity errors; pipelined, so the
+        // error surfaces at the barrier.
+        rt.cast(RangeCommand::Deregister(ids.next_guid()), VirtualTime::ZERO)
+            .unwrap();
+        rt.drain_pending().unwrap();
+        let errors = rt.take_errors();
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], SciError::UnknownEntity(_)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panicking_worker_reports_range_down() {
+        let (mut cs, mut ids) = server(5, "doomed");
+        let src = ids.next_guid();
+        cs.register(
+            Profile::builder(src, EntityKind::Device, "src")
+                .output(PortSpec::new("p", ContextType::Presence))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+        let ce = ids.next_guid();
+        cs.register(
+            Profile::builder(ce, EntityKind::Software, "bomb")
+                .input(PortSpec::new("in", ContextType::Presence))
+                .output(PortSpec::new("out", ContextType::Temperature))
+                .build(),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+        struct PanicLogic;
+        impl crate::logic::EntityLogic for PanicLogic {
+            fn on_event(
+                &mut self,
+                _event: &ContextEvent,
+                _binding: &sci_types::Metadata,
+                _now: VirtualTime,
+            ) -> Vec<(ContextType, ContextValue)> {
+                panic!("logic bomb")
+            }
+        }
+        cs.register_logic(ce, crate::logic::factory(|| PanicLogic));
+        let app = ids.next_guid();
+        let q = Query::builder(ids.next_guid(), app)
+            .info(ContextType::Temperature)
+            .mode(sci_query::Mode::Subscribe)
+            .build();
+        let mut rt = RangeRuntime::spawn(cs);
+        rt.call(RangeCommand::Submit(Box::new(q)), VirtualTime::ZERO)
+            .unwrap();
+        // The subscription instantiates the bomb: constructing the
+        // logic panics inside the worker.
+        let ev = ContextEvent::new(
+            src,
+            ContextType::Presence,
+            ContextValue::record([("subject", ContextValue::Id(Guid::from_u128(9)))]),
+            VirtualTime::ZERO,
+        );
+        let res = rt.call(RangeCommand::Ingest(ev), VirtualTime::ZERO);
+        assert!(
+            matches!(res, Err(SciError::RangeDown(ref name)) if name == "doomed"),
+            "got {res:?}"
+        );
+        assert!(rt.is_down());
+        assert!(rt.shutdown().is_none(), "panicked worker loses its state");
+    }
+}

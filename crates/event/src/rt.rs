@@ -11,7 +11,8 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::unbounded;
+pub use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
 use sci_types::{ContextEvent, Guid, SciError, SciResult};
@@ -149,6 +150,15 @@ impl std::fmt::Debug for ThreadedBus {
             .field("subscriptions", &self.len())
             .finish()
     }
+}
+
+/// Creates an unbounded actor mailbox: a multi-producer channel feeding
+/// a single consumer loop. This is the building block shared by every
+/// threaded driver in the workspace — [`ThreadedBus`] delivery channels,
+/// [`point_to_point`] links and the per-range command mailboxes of
+/// `sci-core`'s actor runtime all ride the same primitive.
+pub fn mailbox<T>() -> (Sender<T>, Receiver<T>) {
+    unbounded()
 }
 
 /// A point-to-point duplex channel pair: the second half of the paper's

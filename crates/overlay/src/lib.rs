@@ -35,9 +35,11 @@ pub mod message;
 pub mod net;
 pub mod routing;
 pub mod stats;
+pub mod transport;
 
 pub use hierarchy::HierarchicalNetwork;
 pub use message::{Message, MessageKind};
 pub use net::{RouteOutcome, SimNetwork};
 pub use routing::RoutingTable;
 pub use stats::LoadStats;
+pub use transport::{ThreadedTransport, Transport};

@@ -11,7 +11,10 @@
 //! Payloads are opaque to the overlay; `sci-core` puts query XML and
 //! response values inside them.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
+// Re-exported so facade users can build payloads without naming the
+// vendored crate directly.
+pub use bytes::Bytes;
 
 use sci_types::{Guid, SciError, SciResult};
 

@@ -1,0 +1,291 @@
+//! Transport abstraction over the SCINET.
+//!
+//! The federation layer needs exactly three capabilities from the
+//! overlay: *route* a message to a destination range (accounting hops
+//! and latency), let the destination *deliver* (drain) what arrived,
+//! and expose routing *stats*. [`Transport`] captures that surface so
+//! drivers can swap the wire:
+//!
+//! * [`crate::net::SimNetwork`] — the deterministic single-threaded
+//!   simulation every experiment runs on;
+//! * [`ThreadedTransport`] — the same Kademlia routing fabric, but with
+//!   channel-backed mailboxes whose sending halves are `Clone + Send`,
+//!   so concurrent producers (one runtime thread per range) can deliver
+//!   into a node's inbox without sharing the router.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use sci_types::{Guid, SciResult};
+
+use crate::message::Message;
+use crate::net::{RouteOutcome, SimNetwork};
+use crate::stats::LoadStats;
+
+/// The overlay surface the federation layer depends on: route +
+/// deliver + stats, plus the topology bootstrap calls.
+pub trait Transport {
+    /// Adds a node (one per range).
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate GUIDs or range names.
+    fn add_node(&mut self, guid: Guid, name: &str) -> SciResult<()>;
+
+    /// Resolves a range name to its node GUID.
+    fn find_by_name(&self, name: &str) -> Option<Guid>;
+
+    /// Gives every node full overlay knowledge.
+    fn connect_full(&mut self);
+
+    /// Joins `node` through `bootstrap` using the discovery protocol.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::discovery::join`].
+    fn join(&mut self, node: Guid, bootstrap: Guid, seed: u64) -> SciResult<()>;
+
+    /// Routes a message hop-by-hop and delivers it to the destination
+    /// mailbox, returning the route taken.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SimNetwork::route`]: unknown endpoints, partitions,
+    /// routing failure.
+    fn send(&mut self, message: Message) -> SciResult<RouteOutcome>;
+
+    /// Removes and returns everything delivered to `node`'s mailbox.
+    fn drain(&mut self, node: Guid) -> Vec<Message>;
+
+    /// Cumulative routing statistics.
+    fn stats(&self) -> &LoadStats;
+}
+
+impl Transport for SimNetwork {
+    fn add_node(&mut self, guid: Guid, name: &str) -> SciResult<()> {
+        SimNetwork::add_node(self, guid, name)
+    }
+
+    fn find_by_name(&self, name: &str) -> Option<Guid> {
+        SimNetwork::find_by_name(self, name)
+    }
+
+    fn connect_full(&mut self) {
+        self.populate_full();
+    }
+
+    fn join(&mut self, node: Guid, bootstrap: Guid, seed: u64) -> SciResult<()> {
+        crate::discovery::join(self, node, bootstrap, seed)
+    }
+
+    fn send(&mut self, message: Message) -> SciResult<RouteOutcome> {
+        SimNetwork::send(self, message)
+    }
+
+    fn drain(&mut self, node: Guid) -> Vec<Message> {
+        self.node_mut(node)
+            .map(|n| n.drain_inbox())
+            .unwrap_or_default()
+    }
+
+    fn stats(&self) -> &LoadStats {
+        SimNetwork::stats(self)
+    }
+}
+
+/// A transport whose mailboxes are channels instead of in-router
+/// inboxes.
+///
+/// Routing (path computation, hop/latency accounting, failure
+/// injection) still runs through an owned [`SimNetwork`] — the fabric —
+/// but a delivered message lands in a per-node channel. The sending
+/// half of each mailbox can be cloned out with
+/// [`ThreadedTransport::sender_for`] and shipped to another thread, and
+/// the receiving half handed off wholesale with
+/// [`ThreadedTransport::take_receiver`] so a range's runtime thread can
+/// block on its own inbox.
+pub struct ThreadedTransport {
+    router: SimNetwork,
+    senders: HashMap<Guid, Sender<Message>>,
+    receivers: HashMap<Guid, Receiver<Message>>,
+}
+
+impl ThreadedTransport {
+    /// Creates an empty transport.
+    pub fn new() -> Self {
+        ThreadedTransport {
+            router: SimNetwork::new(),
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+        }
+    }
+
+    /// Read access to the routing fabric.
+    pub fn router(&self) -> &SimNetwork {
+        &self.router
+    }
+
+    /// Mutable access to the routing fabric, for failure injection.
+    pub fn router_mut(&mut self) -> &mut SimNetwork {
+        &mut self.router
+    }
+
+    /// A clonable producer handle for `node`'s mailbox; any thread
+    /// holding one can deliver into the node without the router.
+    pub fn sender_for(&self, node: Guid) -> Option<Sender<Message>> {
+        self.senders.get(&node).cloned()
+    }
+
+    /// Hands the consuming half of `node`'s mailbox to the caller
+    /// (typically a per-range worker thread). After this,
+    /// [`Transport::drain`] on that node returns nothing — the new
+    /// owner drains instead.
+    pub fn take_receiver(&mut self, node: Guid) -> Option<Receiver<Message>> {
+        self.receivers.remove(&node)
+    }
+}
+
+impl Default for ThreadedTransport {
+    fn default() -> Self {
+        ThreadedTransport::new()
+    }
+}
+
+impl std::fmt::Debug for ThreadedTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedTransport")
+            .field("nodes", &self.senders.len())
+            .finish()
+    }
+}
+
+impl Transport for ThreadedTransport {
+    fn add_node(&mut self, guid: Guid, name: &str) -> SciResult<()> {
+        self.router.add_node(guid, name)?;
+        let (tx, rx) = unbounded();
+        self.senders.insert(guid, tx);
+        self.receivers.insert(guid, rx);
+        Ok(())
+    }
+
+    fn find_by_name(&self, name: &str) -> Option<Guid> {
+        self.router.find_by_name(name)
+    }
+
+    fn connect_full(&mut self) {
+        self.router.populate_full();
+    }
+
+    fn join(&mut self, node: Guid, bootstrap: Guid, seed: u64) -> SciResult<()> {
+        crate::discovery::join(&mut self.router, node, bootstrap, seed)
+    }
+
+    fn send(&mut self, message: Message) -> SciResult<RouteOutcome> {
+        // The fabric computes the path and accounts load; delivery goes
+        // through the destination's channel so the inbox is shareable
+        // across threads.
+        let dst = message.dst;
+        let outcome = self.router.route(message.src, dst)?;
+        if let Some(tx) = self.senders.get(&dst) {
+            // A send can only fail if the receiving half was taken and
+            // dropped — the node is gone; routing already vouched for
+            // its liveness, so treat it as delivered to a dead letter.
+            let _ = tx.send(message);
+        }
+        Ok(outcome)
+    }
+
+    fn drain(&mut self, node: Guid) -> Vec<Message> {
+        self.receivers
+            .get(&node)
+            .map(|rx| rx.try_iter().collect())
+            .unwrap_or_default()
+    }
+
+    fn stats(&self) -> &LoadStats {
+        self.router.stats()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use bytes::Bytes;
+
+    fn msg(id: u128, src: Guid, dst: Guid) -> Message {
+        Message::new(
+            Guid::from_u128(id),
+            src,
+            dst,
+            MessageKind::Ping,
+            Bytes::new(),
+        )
+    }
+
+    fn two_nodes<T: Transport>(t: &mut T) -> (Guid, Guid) {
+        let a = Guid::from_u128(0xa);
+        let b = Guid::from_u128(0xb);
+        t.add_node(a, "a").unwrap();
+        t.add_node(b, "b").unwrap();
+        t.connect_full();
+        (a, b)
+    }
+
+    #[test]
+    fn sim_network_transport_roundtrip() {
+        let mut t = SimNetwork::new();
+        let (a, b) = two_nodes(&mut t);
+        let out = Transport::send(&mut t, msg(1, a, b)).unwrap();
+        assert!(out.hops >= 1);
+        let delivered = t.drain(b);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].id, Guid::from_u128(1));
+        assert!(t.drain(b).is_empty(), "drain consumes");
+    }
+
+    #[test]
+    fn threaded_transport_delivers_through_channels() {
+        let mut t = ThreadedTransport::new();
+        let (a, b) = two_nodes(&mut t);
+        t.send(msg(2, a, b)).unwrap();
+        let delivered = t.drain(b);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(Transport::stats(&t).delivered(), 1);
+    }
+
+    #[test]
+    fn threaded_transport_mailbox_crosses_threads() {
+        let mut t = ThreadedTransport::new();
+        let (a, b) = two_nodes(&mut t);
+        let rx = t.take_receiver(b).unwrap();
+        let consumer = std::thread::spawn(move || rx.recv().unwrap().id);
+        t.send(msg(3, a, b)).unwrap();
+        assert_eq!(consumer.join().unwrap(), Guid::from_u128(3));
+        assert!(t.drain(b).is_empty(), "receiver was handed off");
+    }
+
+    #[test]
+    fn threaded_transport_direct_sender_bypasses_router() {
+        let mut t = ThreadedTransport::new();
+        let (a, b) = two_nodes(&mut t);
+        let tx = t.sender_for(b).unwrap();
+        let producer = std::thread::spawn(move || {
+            tx.send(msg(4, a, b)).unwrap();
+        });
+        producer.join().unwrap();
+        assert_eq!(t.drain(b).len(), 1);
+        assert_eq!(Transport::stats(&t).delivered(), 0, "no route taken");
+    }
+
+    #[test]
+    fn threaded_transport_respects_partitions() {
+        let mut t = ThreadedTransport::new();
+        let (a, b) = two_nodes(&mut t);
+        t.router_mut().set_partition(b, 1).unwrap();
+        assert!(t.send(msg(5, a, b)).is_err());
+        assert!(t.drain(b).is_empty());
+    }
+}

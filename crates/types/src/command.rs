@@ -1,0 +1,130 @@
+//! Range command-protocol data: the answer and reply values a Range's
+//! runtime returns to whoever drives it.
+//!
+//! The Context Server is "centralised per range, decentralised across
+//! ranges" (paper, Section 3). The per-range centralisation is realised
+//! as an actor: a single-writer runtime loop owns the server and
+//! processes a stream of commands from a mailbox. The *command* side of
+//! the protocol carries queries and logic factories and therefore lives
+//! upstack (`sci-core::runtime::RangeCommand`); the *reply* side is pure
+//! data model — profiles, advertisements, events, reports — and is
+//! defined here so every layer (core, overlay drivers, benches) can
+//! speak it without depending on the query engine.
+
+use crate::advertisement::Advertisement;
+use crate::diagnostic::AnalysisReport;
+use crate::entity::EntityDescriptor;
+use crate::event::ContextEvent;
+use crate::guid::Guid;
+use crate::profile::Profile;
+
+/// The answer to a submitted query.
+#[derive(Clone, Debug)]
+pub enum QueryAnswer {
+    /// Mode `profile`: the matching profiles.
+    Profiles(Vec<Profile>),
+    /// Mode `advertisement`: the selected services' interfaces.
+    Advertisements(Vec<Advertisement>),
+    /// Modes `subscribe`/`subscribe-once`: a configuration is live;
+    /// events will arrive in the application outbox.
+    Subscribed {
+        /// The query (= configuration) id.
+        configuration: Guid,
+        /// The producers the application is now subscribed to.
+        producers: Vec<Guid>,
+    },
+    /// The query waits for its When clause; the answer will appear in
+    /// the range's deferred-answer drain once triggered.
+    Deferred,
+    /// The Where clause names another range; federation must forward.
+    Forward {
+        /// Target range name.
+        range: String,
+    },
+}
+
+/// An event delivered to a Context Aware Application.
+#[derive(Clone, Debug)]
+pub struct AppDelivery {
+    /// The receiving application.
+    pub app: Guid,
+    /// The query whose configuration produced the event.
+    pub query: Guid,
+    /// The event itself.
+    pub event: ContextEvent,
+}
+
+/// A deferred answer: `(query, owner, answer)`.
+pub type DeferredAnswer = (Guid, Guid, QueryAnswer);
+
+/// The result of processing one range command.
+///
+/// Every mutating Context Server entry point maps to exactly one reply
+/// shape; drivers match on the variant they expect and treat anything
+/// else as a protocol violation ([`crate::SciError::Internal`]).
+#[derive(Clone, Debug)]
+pub enum RangeReply {
+    /// The command completed and produces no value (register, ingest,
+    /// cancel, settings…).
+    Ack,
+    /// `Submit` answered.
+    Answer(QueryAnswer),
+    /// `Deregister` returned the departing entity's descriptor.
+    Deregistered(EntityDescriptor),
+    /// `PollTimers` fired this many deferred queries.
+    Fired(usize),
+    /// `ExpireHistory` evicted this many history entries.
+    Expired(usize),
+    /// `DrainOutbox`/`DrainOutboxFor`: pending application deliveries.
+    Deliveries(Vec<AppDelivery>),
+    /// `DrainAnswers`: answers produced by deferred queries.
+    Answers(Vec<DeferredAnswer>),
+    /// `Audit`: the fleet drift report.
+    Report(AnalysisReport),
+}
+
+impl RangeReply {
+    /// A short name for the variant, used in protocol-violation errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RangeReply::Ack => "ack",
+            RangeReply::Answer(_) => "answer",
+            RangeReply::Deregistered(_) => "deregistered",
+            RangeReply::Fired(_) => "fired",
+            RangeReply::Expired(_) => "expired",
+            RangeReply::Deliveries(_) => "deliveries",
+            RangeReply::Answers(_) => "answers",
+            RangeReply::Report(_) => "report",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_kinds_are_distinct() {
+        let kinds = [
+            RangeReply::Ack.kind(),
+            RangeReply::Answer(QueryAnswer::Deferred).kind(),
+            RangeReply::Fired(0).kind(),
+            RangeReply::Expired(0).kind(),
+            RangeReply::Deliveries(Vec::new()).kind(),
+            RangeReply::Answers(Vec::new()).kind(),
+            RangeReply::Report(AnalysisReport::new()).kind(),
+        ];
+        let mut dedup = kinds.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len());
+    }
+
+    #[test]
+    fn reply_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RangeReply>();
+        assert_send::<QueryAnswer>();
+        assert_send::<AppDelivery>();
+    }
+}

@@ -33,6 +33,10 @@ pub enum SciError {
     UnknownSubscription(u64),
     /// An operation was attempted on a component that has been shut down.
     Stopped(String),
+    /// A range's runtime worker is no longer serving commands (its
+    /// thread panicked or its mailbox disconnected); other ranges keep
+    /// running — the payload is the downed range's name.
+    RangeDown(String),
     /// An advertised operation was invoked with mismatched arguments.
     BadInvocation(String),
     /// The overlay could not deliver a message (partition, missing node).
@@ -62,6 +66,9 @@ impl fmt::Display for SciError {
             SciError::UnknownLocation(name) => write!(f, "no range covers location `{name}`"),
             SciError::UnknownSubscription(id) => write!(f, "subscription {id} is unknown"),
             SciError::Stopped(what) => write!(f, "{what} has been stopped"),
+            SciError::RangeDown(range) => {
+                write!(f, "range `{range}` is down (runtime worker lost)")
+            }
             SciError::BadInvocation(msg) => write!(f, "bad service invocation: {msg}"),
             SciError::Unroutable { from, to } => {
                 write!(f, "message from {from} to {to} is unroutable")

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod advertisement;
+pub mod command;
 pub mod diagnostic;
 pub mod entity;
 pub mod error;
@@ -52,6 +53,7 @@ pub mod time;
 pub mod value;
 
 pub use advertisement::{Advertisement, Operation};
+pub use command::{AppDelivery, DeferredAnswer, QueryAnswer, RangeReply};
 pub use diagnostic::{AnalysisReport, DiagCode, Diagnostic, Severity};
 pub use entity::{EntityDescriptor, EntityKind};
 pub use error::{SciError, SciResult};

@@ -79,7 +79,7 @@ pub use sci_types as types;
 pub mod prelude {
     pub use sci_analysis::{analyze, PlanGraph, ProfileSource, ProfileTable};
     pub use sci_core::capa::CapaApp;
-    pub use sci_core::context_server::{AppDelivery, ContextServer, QueryAnswer};
+    pub use sci_core::context_server::{AppDelivery, ContextServer, QueryAnswer, RangeReply};
     pub use sci_core::driver::{Deployment, StandardCes};
     pub use sci_core::entity_rt::{
         start_caa, start_ce, CaaHandle, CeHandle, ConsumeInterface, RegisterInterface,
@@ -90,10 +90,11 @@ pub mod prelude {
         factory, AggregateLogic, ObjLocationLogic, OccupancyLogic, PathLogic, WlanLocationLogic,
     };
     pub use sci_core::range_service::RangeService;
+    pub use sci_core::runtime::{ParallelFederation, RangeCommand, RangeRuntime};
     pub use sci_event::{EventBus, EventMediator, Scheduler, Topic, VirtualClock};
     pub use sci_location::floorplan::{capa_level10, FloorPlan};
     pub use sci_location::{LocationExpr, Rect, Route};
-    pub use sci_overlay::{HierarchicalNetwork, SimNetwork};
+    pub use sci_overlay::{HierarchicalNetwork, SimNetwork, ThreadedTransport, Transport};
     pub use sci_query::{CmpOp, Mode, Predicate, Query, Subject, What, When, Where, Which};
     pub use sci_sensors::{BaseStation, DoorSensor, Printer, SimPerson, TemperatureSensor, World};
     pub use sci_types::guid::GuidGenerator;

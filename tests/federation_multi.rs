@@ -208,6 +208,56 @@ fn range_adverts_build_per_node_directories() {
 }
 
 #[test]
+fn relayed_deliveries_respect_freshness_bounds() {
+    // Regression for pump() ignoring its `now` argument: a relayed
+    // event must be dropped when overlay latency pushes its arrival
+    // beyond the subscription's qoc-max-age-us bound.
+    let mut r = rig(2);
+    let app = r.ids.next_guid();
+    let q = Query::builder(r.ids.next_guid(), app)
+        .info(ContextType::Presence)
+        .in_range("range-1")
+        .fresh_within(VirtualDuration::from_millis(50))
+        .mode(Mode::Subscribe)
+        .build();
+    let fa = r.fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
+    assert!(matches!(fa.answer, QueryAnswer::Subscribed { .. }));
+
+    // Control: with the default per-hop latency the relay arrives well
+    // inside the 50 ms freshness window.
+    let t1 = VirtualTime::from_secs(1);
+    let ev = ContextEvent::new(
+        r.sensors[1],
+        ContextType::Presence,
+        ContextValue::record([("subject", ContextValue::Id(r.ids.next_guid()))]),
+        t1,
+    );
+    r.fed.ingest_at("range-1", &ev, t1).unwrap();
+    assert_eq!(r.fed.deliveries_for(app).len(), 1);
+    assert_eq!(r.fed.relay_stale_drops(), 0);
+
+    // Now make every hop cost 100 ms: arrival time (now + route
+    // latency) exceeds event timestamp + 50 ms, so the relay must be
+    // dropped and counted.
+    r.fed
+        .network_mut()
+        .set_hop_latency(VirtualDuration::from_millis(100));
+    let t2 = VirtualTime::from_secs(2);
+    let stale = ContextEvent::new(
+        r.sensors[1],
+        ContextType::Presence,
+        ContextValue::record([("subject", ContextValue::Id(r.ids.next_guid()))]),
+        t2,
+    );
+    r.fed.ingest_at("range-1", &stale, t2).unwrap();
+    assert!(
+        r.fed.deliveries_for(app).is_empty(),
+        "stale relay must not reach the app"
+    );
+    assert_eq!(r.fed.relay_stale_drops(), 1);
+}
+
+#[test]
 fn place_directory_routes_queries_by_room_name() {
     let mut r = rig(3);
     // hall-1 is advertised by range-1 only; an app in range-0 querying

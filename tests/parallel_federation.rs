@@ -1,0 +1,258 @@
+//! Integration: the parallel range-per-thread driver is observationally
+//! equivalent to the serial federation (same deliveries, order aside),
+//! and a panic inside one range's worker never takes down its siblings.
+
+use std::collections::BTreeMap;
+
+use sci::prelude::*;
+
+const RANGES: usize = 3;
+const EVENTS_PER_RANGE: u64 = 5;
+
+fn range_plan(i: usize) -> FloorPlan {
+    FloorPlan::builder("campus")
+        .zone(format!("wing-{i}"))
+        .room(
+            format!("hall-{i}"),
+            Rect::with_size(Coord::new(0.0, 0.0), 20.0, 10.0),
+        )
+        .build()
+        .unwrap()
+}
+
+fn server(i: usize, ids: &mut GuidGenerator) -> (ContextServer, Guid) {
+    let mut cs = ContextServer::new(ids.next_guid(), format!("range-{i}"), range_plan(i));
+    let sensor = ids.next_guid();
+    cs.register(
+        Profile::builder(sensor, EntityKind::Device, format!("sensor-{i}"))
+            .output(PortSpec::new("presence", ContextType::Presence))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    (cs, sensor)
+}
+
+struct Workload {
+    /// App `i` is homed in `range-i` and subscribes to presence in
+    /// `range-(i+1) mod n` — every delivery crosses the overlay.
+    apps: Vec<Guid>,
+    queries: Vec<Query>,
+    /// (producing range, event, ingest time), interleaved across ranges.
+    events: Vec<(String, ContextEvent, VirtualTime)>,
+}
+
+fn workload(ids: &mut GuidGenerator, sensors: &[Guid]) -> Workload {
+    let mut apps = Vec::new();
+    let mut queries = Vec::new();
+    for i in 0..RANGES {
+        let app = ids.next_guid();
+        queries.push(
+            Query::builder(ids.next_guid(), app)
+                .info(ContextType::Presence)
+                .in_range(format!("range-{}", (i + 1) % RANGES))
+                .mode(Mode::Subscribe)
+                .build(),
+        );
+        apps.push(app);
+    }
+    let mut events = Vec::new();
+    for k in 0..EVENTS_PER_RANGE {
+        for (j, &sensor) in sensors.iter().enumerate().take(RANGES) {
+            let t = VirtualTime::from_millis(1 + k * 100 + j as u64);
+            events.push((
+                format!("range-{j}"),
+                ContextEvent::new(
+                    sensor,
+                    ContextType::Presence,
+                    ContextValue::record([(
+                        "subject",
+                        ContextValue::Id(Guid::from_u128(u128::from(1000 + k * 10 + j as u64))),
+                    )]),
+                    t,
+                ),
+                t,
+            ));
+        }
+    }
+    Workload {
+        apps,
+        queries,
+        events,
+    }
+}
+
+/// Canonical multiset key for a batch of deliveries: sorted Debug
+/// forms (`AppDelivery` has no `PartialEq`/`Ord`; both drivers draw
+/// identical GUIDs from the same seeded generator, so the Debug form
+/// is a faithful structural key).
+fn delivery_keys(deliveries: Vec<AppDelivery>) -> Vec<String> {
+    let mut keys: Vec<String> = deliveries.iter().map(|d| format!("{d:?}")).collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn serial_deliveries() -> BTreeMap<Guid, Vec<String>> {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = Federation::new(3);
+    let mut sensors = Vec::new();
+    for i in 0..RANGES {
+        let (cs, sensor) = server(i, &mut ids);
+        sensors.push(sensor);
+        fed.add_range(cs).unwrap();
+    }
+    fed.connect_full();
+    let w = workload(&mut ids, &sensors);
+    for (i, q) in w.queries.iter().enumerate() {
+        let fa = fed
+            .submit_from(&format!("range-{i}"), q, VirtualTime::ZERO)
+            .unwrap();
+        assert!(matches!(fa.answer, QueryAnswer::Subscribed { .. }));
+    }
+    for (range, ev, t) in &w.events {
+        fed.ingest_at(range, ev, *t).unwrap();
+    }
+    w.apps
+        .iter()
+        .map(|&app| (app, delivery_keys(fed.deliveries_for(app))))
+        .collect()
+}
+
+fn parallel_deliveries() -> BTreeMap<Guid, Vec<String>> {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = ParallelFederation::new(3);
+    let mut sensors = Vec::new();
+    for i in 0..RANGES {
+        let (cs, sensor) = server(i, &mut ids);
+        sensors.push(sensor);
+        fed.add_range(cs).unwrap();
+    }
+    fed.connect_full();
+    let w = workload(&mut ids, &sensors);
+    for (i, q) in w.queries.iter().enumerate() {
+        let fa = fed
+            .submit_from(&format!("range-{i}"), q, VirtualTime::ZERO)
+            .unwrap();
+        assert!(matches!(fa.answer, QueryAnswer::Subscribed { .. }));
+    }
+    let mut last = VirtualTime::ZERO;
+    for (range, ev, t) in &w.events {
+        fed.ingest_at(range, ev, *t).unwrap();
+        last = *t;
+    }
+    // The barrier: waits for every pipelined ingest, then relays.
+    fed.sync(last).unwrap();
+    let out = w
+        .apps
+        .iter()
+        .map(|&app| (app, delivery_keys(fed.deliveries_for(app))))
+        .collect();
+    let survivors = fed.shutdown();
+    assert_eq!(survivors.len(), RANGES, "all workers survive the run");
+    out
+}
+
+#[test]
+fn parallel_driver_matches_serial_deliveries() {
+    let serial = serial_deliveries();
+    let parallel = parallel_deliveries();
+    assert_eq!(serial.len(), RANGES);
+    for (app, keys) in &serial {
+        assert_eq!(
+            keys.len(),
+            EVENTS_PER_RANGE as usize,
+            "each app sees one delivery per event in its subscribed range"
+        );
+        assert_eq!(
+            Some(keys),
+            parallel.get(app),
+            "delivery multiset diverges for app {app}"
+        );
+    }
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn worker_panic_is_contained_to_its_range() {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = ParallelFederation::new(3);
+
+    // range-0 hosts a software CE whose logic panics on first event.
+    let (mut cs0, sensor0) = server(0, &mut ids);
+    let bomb = ids.next_guid();
+    cs0.register(
+        Profile::builder(bomb, EntityKind::Software, "bomb")
+            .input(PortSpec::new("in", ContextType::Presence))
+            .output(PortSpec::new("out", ContextType::Temperature))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    struct PanicLogic;
+    impl sci::core::logic::EntityLogic for PanicLogic {
+        fn on_event(
+            &mut self,
+            _event: &ContextEvent,
+            _binding: &Metadata,
+            _now: VirtualTime,
+        ) -> Vec<(ContextType, ContextValue)> {
+            panic!("logic bomb")
+        }
+    }
+    cs0.register_logic(bomb, factory(|| PanicLogic));
+    fed.add_range(cs0).unwrap();
+    let (cs1, _sensor1) = server(1, &mut ids);
+    fed.add_range(cs1).unwrap();
+    fed.connect_full();
+
+    // Subscribing to temperature instantiates the bomb configuration.
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Temperature)
+        .mode(Mode::Subscribe)
+        .build();
+    fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
+
+    // The triggering ingest is a pipelined cast: it is accepted, the
+    // panic happens inside range-0's worker, and the next barrier
+    // surfaces it as RangeDown.
+    let ev = ContextEvent::new(
+        sensor0,
+        ContextType::Presence,
+        ContextValue::record([("subject", ContextValue::Id(ids.next_guid()))]),
+        VirtualTime::from_secs(1),
+    );
+    fed.ingest_at("range-0", &ev, VirtualTime::from_secs(1))
+        .unwrap();
+    let res = fed.sync(VirtualTime::from_secs(1));
+    assert!(
+        matches!(res, Err(SciError::RangeDown(ref name)) if name == "range-0"),
+        "got {res:?}"
+    );
+
+    // The sibling range keeps serving queries.
+    let app2 = ids.next_guid();
+    let q2 = Query::builder(ids.next_guid(), app2)
+        .kind(EntityKind::Device)
+        .all()
+        .mode(Mode::Profile)
+        .build();
+    let fa = fed
+        .submit_from("range-1", &q2, VirtualTime::from_secs(2))
+        .unwrap();
+    match fa.answer {
+        QueryAnswer::Profiles(ps) => assert_eq!(ps.len(), 1),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The dead range fails fast on every further command.
+    assert!(matches!(
+        fed.command("range-0", RangeCommand::Audit, VirtualTime::from_secs(2)),
+        Err(SciError::RangeDown(_))
+    ));
+
+    // Shutdown hands back only the survivor's state.
+    let survivors = fed.shutdown();
+    assert_eq!(survivors.len(), 1);
+    assert_eq!(survivors[0].name(), "range-1");
+}

@@ -1,0 +1,147 @@
+//! Property tests: the federation's QueryAnswer wire codec round-trips
+//! every variant, including names that need XML escaping and
+//! subscriptions with no producers.
+
+use proptest::prelude::*;
+use sci::core::federation::{answer_from_xml, answer_to_xml};
+use sci::prelude::*;
+
+fn arb_guid() -> impl Strategy<Value = Guid> {
+    any::<u128>().prop_map(Guid::from_u128)
+}
+
+/// Names as they appear on the wire (XML attribute values). Half the
+/// cases deliberately contain `<`, `&`, `"` and `'` so the codec's
+/// escaping is exercised; all cases are trim-stable.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9-]{0,11}".prop_map(|s| s),
+        "[a-z]{1,6}".prop_map(|s| format!("{s}<&\">'{s}")),
+    ]
+}
+
+fn arb_context_type() -> impl Strategy<Value = ContextType> {
+    prop_oneof![
+        Just(ContextType::Identity),
+        Just(ContextType::Presence),
+        Just(ContextType::Location),
+        Just(ContextType::Temperature),
+        "[a-z][a-z0-9-]{0,10}".prop_map(ContextType::Custom),
+    ]
+}
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        arb_guid(),
+        prop_oneof![
+            Just(EntityKind::Person),
+            Just(EntityKind::Software),
+            Just(EntityKind::Place),
+            Just(EntityKind::Device),
+            Just(EntityKind::Artifact),
+        ],
+        arb_name(),
+        prop::collection::vec(("[a-z]{1,8}", arb_context_type()), 0..3),
+        prop::collection::vec(("[a-z]{1,8}", arb_context_type()), 0..3),
+        prop::collection::vec(("[a-z]{1,8}", arb_name()), 0..3),
+    )
+        .prop_map(|(id, kind, name, inputs, outputs, attrs)| {
+            let mut b = Profile::builder(id, kind, name);
+            for (port, ty) in inputs {
+                b = b.input(PortSpec::new(port, ty));
+            }
+            for (port, ty) in outputs {
+                b = b.output(PortSpec::new(port, ty));
+            }
+            for (key, value) in attrs {
+                b = b.attribute(key, ContextValue::Text(value));
+            }
+            b.build()
+        })
+}
+
+fn arb_advertisement() -> impl Strategy<Value = Advertisement> {
+    (
+        arb_guid(),
+        arb_name(),
+        prop::collection::vec(
+            (
+                "[a-z]{1,8}",
+                prop::collection::vec(arb_context_type(), 0..3),
+                prop::option::of(arb_context_type()),
+            ),
+            0..3,
+        ),
+        prop::collection::vec(("[a-z]{1,8}", arb_name()), 0..3),
+    )
+        .prop_map(|(provider, interface, ops, attrs)| {
+            let mut ad = Advertisement::new(provider, interface);
+            for (name, params, returns) in ops {
+                ad = ad.with_operation(sci::types::Operation::new(name, params, returns));
+            }
+            for (key, value) in attrs {
+                ad = ad.with_attribute(key, ContextValue::Text(value));
+            }
+            ad
+        })
+}
+
+fn arb_answer() -> impl Strategy<Value = QueryAnswer> {
+    prop_oneof![
+        prop::collection::vec(arb_profile(), 0..4).prop_map(QueryAnswer::Profiles),
+        prop::collection::vec(arb_advertisement(), 0..4).prop_map(QueryAnswer::Advertisements),
+        // 0..4 producers: the empty-producer subscription is a real
+        // case (a configuration serving purely from history).
+        (arb_guid(), prop::collection::vec(arb_guid(), 0..4)).prop_map(
+            |(configuration, producers)| QueryAnswer::Subscribed {
+                configuration,
+                producers,
+            }
+        ),
+        Just(QueryAnswer::Deferred),
+        arb_name().prop_map(|range| QueryAnswer::Forward { range }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every answer survives serialise → parse → serialise unchanged.
+    /// (QueryAnswer carries no PartialEq, so equality is checked on the
+    /// canonical wire form, as the federation itself does.)
+    #[test]
+    fn answer_codec_roundtrip(answer in arb_answer()) {
+        let xml = answer_to_xml(&answer);
+        let back = answer_from_xml(&xml).unwrap();
+        prop_assert_eq!(answer_to_xml(&back), xml);
+    }
+
+    /// Parsing arbitrary junk never panics.
+    #[test]
+    fn answer_parser_never_panics(s in ".{0,200}") {
+        let _ = answer_from_xml(&s);
+    }
+}
+
+/// The exhaustive fixed cases the property generator is built around:
+/// one of each variant, hostile names, empty producers.
+#[test]
+fn answer_codec_covers_every_variant() {
+    let cases = vec![
+        QueryAnswer::Profiles(Vec::new()),
+        QueryAnswer::Advertisements(Vec::new()),
+        QueryAnswer::Subscribed {
+            configuration: Guid::from_u128(9),
+            producers: Vec::new(),
+        },
+        QueryAnswer::Deferred,
+        QueryAnswer::Forward {
+            range: "a<&\">'b".into(),
+        },
+    ];
+    for answer in cases {
+        let xml = answer_to_xml(&answer);
+        let back = answer_from_xml(&xml).unwrap();
+        assert_eq!(answer_to_xml(&back), xml, "unstable round trip: {xml}");
+    }
+}
