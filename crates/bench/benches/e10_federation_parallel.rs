@@ -13,6 +13,13 @@
 //! `available_cores`: the speedup ceiling is `min(ranges, cores)`, so
 //! on a single-core container the parallel driver can only show its
 //! pipelining win, not true multi-core scaling.
+//!
+//! Each row also carries the parallel driver's per-phase breakdown,
+//! read as histogram-sum deltas from the federation telemetry snapshot
+//! around the measured batch: `cast_us` (enqueue into per-range
+//! mailboxes), `barrier_us` (the `sync` drain), `relay_us` (cross-range
+//! event/answer relaying). The final snapshot rides along under
+//! `telemetry`.
 
 use std::time::{Duration, Instant};
 
@@ -22,6 +29,7 @@ use sci_core::federation::Federation;
 use sci_core::runtime::ParallelFederation;
 use sci_location::{FloorPlan, Rect};
 use sci_query::{Mode, Query};
+use sci_telemetry::TelemetrySnapshot;
 use sci_types::guid::GuidGenerator;
 use sci_types::{
     ContextEvent, ContextType, ContextValue, Coord, EntityKind, Guid, PortSpec, Profile,
@@ -187,11 +195,27 @@ fn parallel_batch(rig: &mut ParallelRig, per_range: u64) -> (Duration, usize) {
     (start.elapsed(), delivered)
 }
 
+/// The three instrumented phases of a parallel batch, as cumulative
+/// histogram sums (microseconds) from the telemetry snapshot.
+const PHASES: [&str; 3] = [
+    "federation.cast_us",
+    "federation.barrier_us",
+    "federation.relay_us",
+];
+
+fn phase_sums(snap: &TelemetrySnapshot) -> [u64; 3] {
+    PHASES.map(|name| snap.histogram(name).map_or(0, |h| h.sum))
+}
+
 struct Row {
     ranges: usize,
     events: u64,
     serial_us: f64,
     parallel_us: f64,
+    /// Per-phase time (us) spent in the measured parallel batch.
+    cast_us: u64,
+    barrier_us: u64,
+    relay_us: u64,
 }
 
 impl Row {
@@ -208,8 +232,9 @@ impl Row {
     }
 }
 
-fn measure_rows() -> Vec<Row> {
-    RANGE_SWEEP
+fn measure_rows() -> (Vec<Row>, TelemetrySnapshot) {
+    let mut last_snapshot = TelemetrySnapshot::default();
+    let rows = RANGE_SWEEP
         .iter()
         .map(|&ranges| {
             let events = EVENTS_PER_RANGE * ranges as u64;
@@ -222,8 +247,11 @@ fn measure_rows() -> Vec<Row> {
 
             let mut parallel = build_parallel(ranges, 17);
             parallel_batch(&mut parallel, 50);
+            let before = phase_sums(&parallel.fed.snapshot());
             let (parallel_t, parallel_n) = parallel_batch(&mut parallel, EVENTS_PER_RANGE);
             assert_eq!(parallel_n as u64, events, "parallel loses deliveries");
+            last_snapshot = parallel.fed.snapshot();
+            let after = phase_sums(&last_snapshot);
             parallel.fed.shutdown();
 
             Row {
@@ -231,9 +259,13 @@ fn measure_rows() -> Vec<Row> {
                 events,
                 serial_us: serial_t.as_secs_f64() * 1e6,
                 parallel_us: parallel_t.as_secs_f64() * 1e6,
+                cast_us: after[0].saturating_sub(before[0]),
+                barrier_us: after[1].saturating_sub(before[1]),
+                relay_us: after[2].saturating_sub(before[2]),
             }
         })
-        .collect()
+        .collect();
+    (rows, last_snapshot)
 }
 
 fn available_cores() -> usize {
@@ -242,30 +274,36 @@ fn available_cores() -> usize {
         .unwrap_or(1)
 }
 
-fn write_json(rows: &[Row]) {
+fn write_json(rows: &[Row], snapshot: &TelemetrySnapshot) {
     let body: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
                 "    {{\"group\": \"relay\", \"ranges\": {}, \"events\": {}, \
                  \"serial_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.2}, \
-                 \"serial_kevents_s\": {:.1}, \"parallel_kevents_s\": {:.1}}}",
+                 \"serial_kevents_s\": {:.1}, \"parallel_kevents_s\": {:.1}, \
+                 \"cast_us\": {}, \"barrier_us\": {}, \"relay_us\": {}}}",
                 r.ranges,
                 r.events,
                 r.serial_us,
                 r.parallel_us,
                 r.speedup(),
                 r.serial_keps(),
-                r.parallel_keps()
+                r.parallel_keps(),
+                r.cast_us,
+                r.barrier_us,
+                r.relay_us
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"experiment\": \"e10_federation_parallel\",\n  \"unit\": \"us\",\n  \
-         \"available_cores\": {},\n  \"events_per_range\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"available_cores\": {},\n  \"events_per_range\": {},\n  \"rows\": [\n{}\n  ],\n  \
+         \"telemetry\": {}\n}}\n",
         available_cores(),
         EVENTS_PER_RANGE,
-        body.join(",\n")
+        body.join(",\n"),
+        snapshot.to_json()
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_federation.json");
     match std::fs::write(&path, json) {
@@ -281,27 +319,38 @@ fn print_shape_table(rows: &[Row]) {
         available_cores()
     );
     println!(
-        "{:>7} | {:>12} {:>14} {:>12} {:>14} {:>8}",
-        "ranges", "serial (us)", "(kevents/s)", "parallel (us)", "(kevents/s)", "speedup"
+        "{:>7} | {:>12} {:>14} {:>12} {:>14} {:>8} | {:>9} {:>10} {:>9}",
+        "ranges",
+        "serial (us)",
+        "(kevents/s)",
+        "parallel (us)",
+        "(kevents/s)",
+        "speedup",
+        "cast (us)",
+        "barrier(us)",
+        "relay(us)"
     );
     for r in rows {
         println!(
-            "{:>7} | {:>12.0} {:>14.1} {:>12.0} {:>14.1} {:>7.2}x",
+            "{:>7} | {:>12.0} {:>14.1} {:>12.0} {:>14.1} {:>7.2}x | {:>9} {:>10} {:>9}",
             r.ranges,
             r.serial_us,
             r.serial_keps(),
             r.parallel_us,
             r.parallel_keps(),
-            r.speedup()
+            r.speedup(),
+            r.cast_us,
+            r.barrier_us,
+            r.relay_us
         );
     }
     println!();
 }
 
 fn bench_parallel_federation(c: &mut Criterion) {
-    let rows = measure_rows();
+    let (rows, snapshot) = measure_rows();
     print_shape_table(&rows);
-    write_json(&rows);
+    write_json(&rows, &snapshot);
 
     let mut group = c.benchmark_group("e10_relay_batch");
     for ranges in [4usize, 8] {

@@ -6,7 +6,10 @@
 //!
 //! Besides the Criterion timings, the harness writes the shape rows to
 //! `BENCH_dispatch.json` at the repo root — the machine-readable perf
-//! trajectory documented in `EXPERIMENTS.md` (§E9).
+//! trajectory documented in `EXPERIMENTS.md` (§E9). The indexed bus is
+//! timed **with telemetry attached** (counters-only on this hot path),
+//! so the rows price the instrumented configuration the middleware
+//! actually runs; the registry snapshot rides along under `telemetry`.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -15,6 +18,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sci_bench::Figure3Rig;
 use sci_core::resolver::{plan_configuration, Demand};
 use sci_event::{EventBus, LinearBus, Topic};
+use sci_telemetry::Registry;
 use sci_types::{ContextEvent, ContextType, ContextValue, Guid, VirtualTime};
 
 /// Number of subscriptions that match the probe event in every table
@@ -52,8 +56,9 @@ fn topic_for_slot(i: usize, total: usize) -> Topic {
     }
 }
 
-fn build_buses(total: usize) -> (EventBus, LinearBus) {
+fn build_buses(total: usize, registry: &Registry) -> (EventBus, LinearBus) {
     let mut indexed = EventBus::new();
+    indexed.attach_telemetry(registry);
     let mut linear = LinearBus::new();
     for i in 0..total {
         let subscriber = Guid::from_u128(i as u128 + 1);
@@ -90,12 +95,12 @@ struct ResolverRow {
     plan_us: f64,
 }
 
-fn measure_publish_rows() -> Vec<PublishRow> {
+fn measure_publish_rows(registry: &Registry) -> Vec<PublishRow> {
     let ev = probe_event();
     TABLE_SIZES
         .iter()
         .map(|&total| {
-            let (mut indexed, mut linear) = build_buses(total);
+            let (mut indexed, mut linear) = build_buses(total, registry);
             let a = indexed.publish(&ev);
             let b = linear.publish(&ev);
             assert_eq!(a, b, "index and oracle must agree before timing");
@@ -133,7 +138,7 @@ fn measure_resolver_rows() -> Vec<ResolverRow> {
         .collect()
 }
 
-fn write_json(publish: &[PublishRow], resolver: &[ResolverRow]) {
+fn write_json(publish: &[PublishRow], resolver: &[ResolverRow], registry: &Registry) {
     let mut rows: Vec<String> = publish
         .iter()
         .map(|r| {
@@ -155,8 +160,10 @@ fn write_json(publish: &[PublishRow], resolver: &[ResolverRow]) {
         )
     }));
     let json = format!(
-        "{{\n  \"experiment\": \"e9_dispatch\",\n  \"unit\": \"us\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"experiment\": \"e9_dispatch\",\n  \"unit\": \"us\",\n  \"rows\": [\n{}\n  ],\n  \
+         \"telemetry\": {}\n}}\n",
+        rows.join(",\n"),
+        registry.snapshot().to_json()
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dispatch.json");
     match std::fs::write(&path, json) {
@@ -189,15 +196,16 @@ fn print_shape_table(publish: &[PublishRow], resolver: &[ResolverRow]) {
 }
 
 fn bench_dispatch(c: &mut Criterion) {
-    let publish = measure_publish_rows();
+    let registry = Registry::new();
+    let publish = measure_publish_rows(&registry);
     let resolver = measure_resolver_rows();
     print_shape_table(&publish, &resolver);
-    write_json(&publish, &resolver);
+    write_json(&publish, &resolver, &registry);
 
     let ev = probe_event();
     let mut group = c.benchmark_group("e9_publish");
     for total in TABLE_SIZES {
-        let (mut indexed, mut linear) = build_buses(total);
+        let (mut indexed, mut linear) = build_buses(total, &registry);
         group.bench_with_input(BenchmarkId::new("indexed", total), &ev, |b, ev| {
             b.iter(|| indexed.publish(ev));
         });

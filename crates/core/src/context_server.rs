@@ -24,6 +24,7 @@
 //! mailbox instead.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
 
 use sci_event::bus::SubId;
 use sci_event::sim::Scheduler;
@@ -44,8 +45,11 @@ use crate::location_service::LocationService;
 use crate::logic::LogicFactory;
 use crate::profile_manager::ProfileManager;
 use crate::registrar::Registrar;
+use sci_telemetry::{Registry, TelemetrySnapshot, Tracer};
+
 use crate::resolver::{plan_configuration, Demand};
 use crate::runtime::RangeCommand;
+use crate::telemetry::{elapsed_us, CsMetrics};
 
 pub use sci_types::{AppDelivery, DeferredAnswer, QueryAnswer, RangeReply};
 
@@ -82,6 +86,7 @@ pub struct ContextServer {
     history: ContextStore,
     verify_plans: bool,
     rejected_plans: u64,
+    metrics: CsMetrics,
 }
 
 impl std::fmt::Debug for ContextServer {
@@ -98,12 +103,15 @@ impl std::fmt::Debug for ContextServer {
 impl ContextServer {
     /// Creates a Context Server for the range `name` covering `plan`.
     pub fn new(id: Guid, name: impl Into<String>, plan: FloorPlan) -> Self {
+        let metrics = CsMetrics::new();
+        let mut mediator = EventMediator::new();
+        mediator.attach_telemetry(metrics.registry());
         ContextServer {
             id,
             name: name.into(),
             registrar: Registrar::new(),
             profiles: ProfileManager::new(),
-            mediator: EventMediator::new(),
+            mediator,
             location: LocationService::new(plan),
             instances: InstanceStore::new(true),
             factories: HashMap::new(),
@@ -121,7 +129,30 @@ impl ContextServer {
             history: ContextStore::default(),
             verify_plans: true,
             rejected_plans: 0,
+            metrics,
         }
+    }
+
+    /// The range's telemetry registry. The handle is `Arc`-shared:
+    /// clone it before moving the server onto a worker thread and the
+    /// clone keeps observing the live counters.
+    pub fn telemetry(&self) -> &Registry {
+        self.metrics.registry()
+    }
+
+    /// Freezes the range's telemetry registry.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.metrics.registry().snapshot()
+    }
+
+    /// Installs a tracer for structured span/event output (default:
+    /// no-op — tracing costs nothing until a subscriber is attached).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.metrics.set_tracer(tracer);
+    }
+
+    pub(crate) fn metrics(&self) -> &CsMetrics {
+        &self.metrics
     }
 
     /// The server's SCINET GUID.
@@ -514,8 +545,15 @@ impl ContextServer {
                     ty: ty.clone(),
                     subject,
                 };
-                let plan =
-                    plan_configuration(&self.profiles, &demand, constraints, &self.excluded)?;
+                let plan_started = Instant::now();
+                let planned =
+                    plan_configuration(&self.profiles, &demand, constraints, &self.excluded);
+                self.metrics.record_plan_attempt(elapsed_us(plan_started));
+                let plan = planned?;
+                self.metrics.record_plan_shape(
+                    plan.nodes.len(),
+                    plan.nodes.iter().map(|n| n.inputs.len()).sum(),
+                );
                 // Mandatory pre-instantiation gate: no subscription is
                 // wired for a plan static analysis rejects (bypassable
                 // via `set_plan_verification(false)`).
@@ -523,6 +561,7 @@ impl ContextServer {
                     let report = self.analyze_plan(&plan);
                     if report.has_errors() {
                         self.rejected_plans += 1;
+                        self.metrics.record_plan_rejected();
                         return Err(SciError::PlanRejected(report.summary()));
                     }
                 }
@@ -938,6 +977,7 @@ impl ContextServer {
                         .unwrap_or(false);
                     if stale {
                         self.stale_drops += 1;
+                        self.metrics.record_stale_drop();
                         if delivery.last {
                             // The one-time subscription was consumed by
                             // the (dropped) delivery; clean up anyway.
@@ -945,6 +985,7 @@ impl ContextServer {
                         }
                         continue;
                     }
+                    self.metrics.record_app_delivery();
                     self.outbox.push(AppDelivery {
                         app: target,
                         query,

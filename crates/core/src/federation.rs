@@ -549,6 +549,27 @@ impl<T: Transport> Federation<T> {
         self.relay_stale_drops
     }
 
+    /// Freezes a federation-wide telemetry view: every range's registry
+    /// merged with the overlay's routing stats (folded in under the
+    /// `net.*` names) and this driver's relay accounting. The summary
+    /// accessors ([`Federation::network_stats`],
+    /// [`Federation::relay_stale_drops`]) remain for callers that want
+    /// the raw [`LoadStats`]; the snapshot unifies both drivers behind
+    /// one serialisable shape.
+    pub fn snapshot(&self) -> sci_telemetry::TelemetrySnapshot {
+        let mut snap = sci_telemetry::TelemetrySnapshot::default();
+        for server in self.servers.values() {
+            snap.merge(&server.snapshot());
+        }
+        snap.merge(&crate::telemetry::fold_load_stats(self.net.stats()));
+        let relays = sci_telemetry::Registry::new();
+        relays
+            .counter("federation.relay.stale_drops")
+            .add(self.relay_stale_drops);
+        snap.merge(&relays.snapshot());
+        snap
+    }
+
     /// Removes and returns the deliveries waiting for an application.
     pub fn deliveries_for(&mut self, app: Guid) -> Vec<AppDelivery> {
         self.inbox.remove(&app).unwrap_or_default()

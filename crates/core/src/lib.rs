@@ -80,6 +80,7 @@ pub mod range_service;
 pub mod registrar;
 pub mod resolver;
 pub mod runtime;
+pub mod telemetry;
 
 pub use configuration::Configuration;
 pub use context_server::{ContextServer, QueryAnswer, RangeReply};
@@ -90,3 +91,4 @@ pub use profile_manager::ProfileManager;
 pub use registrar::Registrar;
 pub use resolver::ConfigurationPlan;
 pub use runtime::{ParallelFederation, RangeCommand, RangeRuntime};
+pub use telemetry::{snapshot_from_xml, snapshot_to_xml};

@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use bytes::Bytes;
 
@@ -43,9 +44,12 @@ use sci_types::{
     VirtualTime,
 };
 
+use sci_telemetry::{Registry, TelemetrySnapshot};
+
 use crate::context_server::{AppDelivery, ContextServer, DeferredAnswer, QueryAnswer, RangeReply};
 use crate::federation::{answer_from_xml, answer_to_xml, FederatedAnswer};
 use crate::logic::LogicFactory;
+use crate::telemetry::{elapsed_us, fold_load_stats, FedMetrics, RuntimeMetrics};
 
 /// One mutating operation on a range.
 ///
@@ -94,28 +98,59 @@ pub enum RangeCommand {
 }
 
 impl RangeCommand {
-    /// A short name for the variant (logging, protocol errors).
-    pub fn kind(&self) -> &'static str {
+    /// Every command kind name, indexed by
+    /// [`RangeCommand::kind_index`]. The telemetry layer pre-registers
+    /// one counter and one latency histogram per entry
+    /// (`range.cmd.<kind>.count` / `range.cmd.<kind>.latency_us`).
+    pub const KINDS: [&'static str; 18] = [
+        "register",
+        "register-logic",
+        "declare-equivalence",
+        "heartbeat",
+        "advertise",
+        "deregister",
+        "submit",
+        "cancel",
+        "ingest",
+        "poll-timers",
+        "expire-history",
+        "drain-outbox",
+        "drain-outbox-for",
+        "drain-answers",
+        "set-reuse",
+        "set-auto-register-people",
+        "set-plan-verification",
+        "audit",
+    ];
+
+    /// Dense index of this variant within [`RangeCommand::KINDS`].
+    pub fn kind_index(&self) -> usize {
         match self {
-            RangeCommand::Register(_) => "register",
-            RangeCommand::RegisterLogic(..) => "register-logic",
-            RangeCommand::DeclareEquivalence(..) => "declare-equivalence",
-            RangeCommand::Heartbeat(_) => "heartbeat",
-            RangeCommand::Advertise(_) => "advertise",
-            RangeCommand::Deregister(_) => "deregister",
-            RangeCommand::Submit(_) => "submit",
-            RangeCommand::Cancel(_) => "cancel",
-            RangeCommand::Ingest(_) => "ingest",
-            RangeCommand::PollTimers => "poll-timers",
-            RangeCommand::ExpireHistory => "expire-history",
-            RangeCommand::DrainOutbox => "drain-outbox",
-            RangeCommand::DrainOutboxFor(_) => "drain-outbox-for",
-            RangeCommand::DrainAnswers => "drain-answers",
-            RangeCommand::SetReuse(_) => "set-reuse",
-            RangeCommand::SetAutoRegisterPeople(_) => "set-auto-register-people",
-            RangeCommand::SetPlanVerification(_) => "set-plan-verification",
-            RangeCommand::Audit => "audit",
+            RangeCommand::Register(_) => 0,
+            RangeCommand::RegisterLogic(..) => 1,
+            RangeCommand::DeclareEquivalence(..) => 2,
+            RangeCommand::Heartbeat(_) => 3,
+            RangeCommand::Advertise(_) => 4,
+            RangeCommand::Deregister(_) => 5,
+            RangeCommand::Submit(_) => 6,
+            RangeCommand::Cancel(_) => 7,
+            RangeCommand::Ingest(_) => 8,
+            RangeCommand::PollTimers => 9,
+            RangeCommand::ExpireHistory => 10,
+            RangeCommand::DrainOutbox => 11,
+            RangeCommand::DrainOutboxFor(_) => 12,
+            RangeCommand::DrainAnswers => 13,
+            RangeCommand::SetReuse(_) => 14,
+            RangeCommand::SetAutoRegisterPeople(_) => 15,
+            RangeCommand::SetPlanVerification(_) => 16,
+            RangeCommand::Audit => 17,
         }
+    }
+
+    /// A short name for the variant (logging, protocol errors, metric
+    /// names).
+    pub fn kind(&self) -> &'static str {
+        Self::KINDS[self.kind_index()]
     }
 }
 
@@ -138,6 +173,16 @@ impl ContextServer {
     ///
     /// Whatever the underlying operation returns.
     pub fn handle(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<RangeReply> {
+        let idx = cmd.kind_index();
+        let tracer = self.metrics().tracer().clone();
+        let _span = tracer.span(cmd.kind());
+        let started = Instant::now();
+        let reply = self.handle_inner(cmd, now);
+        self.metrics().record_command(idx, elapsed_us(started));
+        reply
+    }
+
+    fn handle_inner(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<RangeReply> {
         match cmd {
             RangeCommand::Register(profile) => {
                 self.register_impl(*profile, now).map(|()| RangeReply::Ack)
@@ -197,10 +242,12 @@ fn worker_loop(
     mut cs: ContextServer,
     rx: Receiver<ToWorker>,
     tx: Sender<SciResult<RangeReply>>,
+    metrics: RuntimeMetrics,
 ) -> Option<ContextServer> {
     loop {
         match rx.recv() {
             Ok(ToWorker::Cmd { cmd, now }) => {
+                metrics.mailbox_depth.dec();
                 // Panic isolation: a poisoned command must not take the
                 // whole federation down. The server's state after a
                 // panic is suspect, so the worker retires instead of
@@ -213,7 +260,10 @@ fn worker_loop(
                             return Some(cs);
                         }
                     }
-                    Err(_) => return None,
+                    Err(_) => {
+                        metrics.panics.inc();
+                        return None;
+                    }
                 }
             }
             Ok(ToWorker::Stop) | Err(_) => return Some(cs),
@@ -243,6 +293,11 @@ pub struct RangeRuntime {
     errors: Vec<SciError>,
     worker: Option<JoinHandle<Option<ContextServer>>>,
     down: bool,
+    /// The server's registry, cloned before the server moved onto its
+    /// worker thread — snapshots need no round-trip command, and the
+    /// registry outlives a panicked worker.
+    registry: Registry,
+    metrics: RuntimeMetrics,
 }
 
 impl std::fmt::Debug for RangeRuntime {
@@ -262,11 +317,14 @@ impl RangeRuntime {
     pub fn spawn(cs: ContextServer) -> Self {
         let id = cs.id();
         let name = cs.name().to_owned();
+        let registry = cs.telemetry().clone();
+        let metrics = RuntimeMetrics::register(&registry);
+        let worker_metrics = metrics.clone();
         let (cmd_tx, cmd_rx) = mailbox::<ToWorker>();
         let (reply_tx, reply_rx) = mailbox::<SciResult<RangeReply>>();
         let worker = std::thread::Builder::new()
             .name(format!("range-{name}"))
-            .spawn(move || worker_loop(cs, cmd_rx, reply_tx))
+            .spawn(move || worker_loop(cs, cmd_rx, reply_tx, worker_metrics))
             .ok();
         RangeRuntime {
             id,
@@ -277,7 +335,16 @@ impl RangeRuntime {
             errors: Vec::new(),
             worker,
             down: false,
+            registry,
+            metrics,
         }
+    }
+
+    /// The underlying server's telemetry registry (shared with the
+    /// worker thread; counters are atomics, so reading here is safe
+    /// while the worker runs).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The range's GUID.
@@ -317,6 +384,7 @@ impl RangeRuntime {
         if self.tx.send(ToWorker::Cmd { cmd, now }).is_err() {
             return Err(self.down_error());
         }
+        self.metrics.mailbox_depth.inc();
         self.pending += 1;
         Ok(())
     }
@@ -352,6 +420,7 @@ impl RangeRuntime {
     /// * whatever the command itself returned.
     pub fn call(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<RangeReply> {
         self.cast(cmd, now)?;
+        let started = Instant::now();
         // FIFO: everything before the reply we want is a pipelined
         // predecessor.
         while self.pending > 1 {
@@ -368,6 +437,7 @@ impl RangeRuntime {
         match self.rx.recv() {
             Ok(reply) => {
                 self.pending -= 1;
+                self.metrics.call_wait.record(elapsed_us(started));
                 reply
             }
             Err(_) => Err(self.down_error()),
@@ -423,6 +493,7 @@ pub struct ParallelFederation {
     relay_max_age: HashMap<Guid, VirtualDuration>,
     relay_stale_drops: u64,
     ids: GuidGenerator,
+    metrics: FedMetrics,
 }
 
 impl std::fmt::Debug for ParallelFederation {
@@ -447,6 +518,7 @@ impl ParallelFederation {
             relay_max_age: HashMap::new(),
             relay_stale_drops: 0,
             ids: GuidGenerator::seeded(seed),
+            metrics: FedMetrics::new(),
         }
     }
 
@@ -492,6 +564,20 @@ impl ParallelFederation {
         self.relay_stale_drops
     }
 
+    /// Freezes a federation-wide telemetry view: every range's registry
+    /// (bus, command, resolver and runtime instruments — readable while
+    /// the workers run, since all counters are atomics), the
+    /// coordinator's phase/relay instruments, and the overlay's routing
+    /// stats folded in under the `net.*` names.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.metrics.registry.snapshot();
+        for worker in self.workers.values() {
+            snap.merge(&worker.registry().snapshot());
+        }
+        snap.merge(&fold_load_stats(self.fabric.stats()));
+        snap
+    }
+
     fn worker_by_name(&mut self, range: &str) -> SciResult<&mut RangeRuntime> {
         let id = self
             .fabric
@@ -533,8 +619,12 @@ impl ParallelFederation {
         event: &ContextEvent,
         now: VirtualTime,
     ) -> SciResult<()> {
-        self.worker_by_name(range)?
-            .cast(RangeCommand::Ingest(event.clone()), now)
+        let started = Instant::now();
+        let result = self
+            .worker_by_name(range)?
+            .cast(RangeCommand::Ingest(event.clone()), now);
+        self.metrics.cast_us.record(elapsed_us(started));
+        result
     }
 
     /// Submits a query at the application's current range, forwarding
@@ -686,6 +776,7 @@ impl ParallelFederation {
             let Some(worker) = self.workers.get_mut(&node) else {
                 continue;
             };
+            let barrier_started = Instant::now();
             let drained: SciResult<(Vec<AppDelivery>, Vec<DeferredAnswer>)> = (|| {
                 let deliveries = match worker.call(RangeCommand::DrainOutbox, now)? {
                     RangeReply::Deliveries(d) => d,
@@ -707,6 +798,7 @@ impl ParallelFederation {
                 };
                 Ok((deliveries, answers))
             })();
+            self.metrics.barrier_us.record(elapsed_us(barrier_started));
             for e in worker.take_errors() {
                 first_error.get_or_insert(e);
             }
@@ -717,6 +809,7 @@ impl ParallelFederation {
                     continue;
                 }
             };
+            let relay_started = Instant::now();
             for d in deliveries {
                 let home = self.app_home.get(&d.app).copied().unwrap_or(node);
                 if home == node {
@@ -735,6 +828,7 @@ impl ParallelFederation {
                     MessageKind::EventRelay,
                     Bytes::from(payload.into_bytes()),
                 );
+                self.metrics.relay_events.inc();
                 let outcome = self.fabric.send(msg)?;
                 let arrival = now.saturating_add(outcome.latency);
                 let messages = self
@@ -766,6 +860,7 @@ impl ParallelFederation {
                         .unwrap_or(false);
                     if stale {
                         self.relay_stale_drops += 1;
+                        self.metrics.relay_stale_drops.inc();
                         continue;
                     }
                     self.inbox
@@ -792,6 +887,7 @@ impl ParallelFederation {
                     MessageKind::QueryResponse,
                     Bytes::from(payload.into_bytes()),
                 );
+                self.metrics.relay_answers.inc();
                 self.fabric.send(msg)?;
                 let messages = self
                     .fabric
@@ -821,6 +917,7 @@ impl ParallelFederation {
                     self.answers.entry(app).or_default().push((q, decoded));
                 }
             }
+            self.metrics.relay_us.record(elapsed_us(relay_started));
         }
 
         match first_error {

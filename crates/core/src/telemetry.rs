@@ -1,0 +1,369 @@
+//! Range-level observability: metric registration and the snapshot
+//! XML codec.
+//!
+//! Every [`crate::context_server::ContextServer`] owns a
+//! [`sci_telemetry::Registry`] from birth; this module centralises the
+//! instrument names and the recording helpers so the hot paths stay
+//! free of string formatting. The registry is `Arc`-shared: actor
+//! drivers ([`crate::runtime::RangeRuntime`],
+//! [`crate::runtime::ParallelFederation`]) clone a range's registry
+//! before the server moves onto its worker thread, so the coordinator
+//! can freeze per-range state without a round-trip command — the
+//! counters are atomics.
+//!
+//! # Metric catalogue
+//!
+//! | Name | Kind | Meaning |
+//! |------|------|---------|
+//! | `bus.publish.count` | counter | events published on the range bus |
+//! | `bus.deliver.count` | counter | deliveries matched |
+//! | `bus.fanout` | histogram | deliveries per publish |
+//! | `bus.publish.latency_us` | histogram | publish→deliver match time |
+//! | `range.cmd.<kind>.count` | counter | commands dispatched, per [`crate::runtime::RangeCommand`] kind |
+//! | `range.cmd.<kind>.latency_us` | histogram | command execution time |
+//! | `resolver.plan.count` | counter | configuration plans attempted |
+//! | `resolver.plan.latency_us` | histogram | plan build time |
+//! | `resolver.plan.nodes` | histogram | nodes per successful plan |
+//! | `resolver.plan.edges` | histogram | configuration edges per successful plan |
+//! | `resolver.plan.rejected` | counter | plans refused by the verification gate |
+//! | `range.stale_drops` | counter | in-range deliveries dropped as stale |
+//! | `range.app.deliveries` | counter | deliveries handed to applications |
+//! | `range.mailbox.depth` | gauge | commands enqueued, not yet executed |
+//! | `range.call.wait_us` | histogram | call-barrier wait at the coordinator |
+//! | `range.panics` | counter | worker panics isolated |
+//! | `federation.cast_us` | histogram | pipelined ingest enqueue time |
+//! | `federation.barrier_us` | histogram | per-range drain time in `sync` |
+//! | `federation.relay_us` | histogram | per-range cross-range relay time |
+//! | `federation.relay.events` | counter | deliveries relayed over the fabric |
+//! | `federation.relay.answers` | counter | deferred answers relayed |
+//! | `federation.relay.stale_drops` | counter | relays dropped as stale |
+//! | `net.delivered` / `net.failed` / `net.recoveries` | counter | overlay routing outcomes |
+//! | `net.hops` | histogram | hops per delivered overlay message |
+
+use sci_overlay::stats::LoadStats;
+use sci_query::xml::{parse, Element};
+use sci_telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, TelemetrySnapshot, Tracer,
+};
+use sci_types::{SciError, SciResult};
+
+use crate::runtime::RangeCommand;
+
+/// The instruments a [`crate::context_server::ContextServer`] records
+/// into. Constructed once per server; all handles are pre-registered so
+/// recording never formats a name.
+pub(crate) struct CsMetrics {
+    registry: Registry,
+    tracer: Tracer,
+    cmd_count: Vec<Counter>,
+    cmd_latency: Vec<Histogram>,
+    plan_count: Counter,
+    plan_latency: Histogram,
+    plan_nodes: Histogram,
+    plan_edges: Histogram,
+    plan_rejected: Counter,
+    stale_drops: Counter,
+    app_deliveries: Counter,
+}
+
+impl CsMetrics {
+    /// Creates a fresh registry with every instrument pre-registered
+    /// and a no-op tracer.
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        let cmd_count = RangeCommand::KINDS
+            .iter()
+            .map(|kind| registry.counter(&format!("range.cmd.{kind}.count")))
+            .collect();
+        let cmd_latency = RangeCommand::KINDS
+            .iter()
+            .map(|kind| registry.histogram(&format!("range.cmd.{kind}.latency_us")))
+            .collect();
+        CsMetrics {
+            cmd_count,
+            cmd_latency,
+            plan_count: registry.counter("resolver.plan.count"),
+            plan_latency: registry.histogram("resolver.plan.latency_us"),
+            plan_nodes: registry.histogram("resolver.plan.nodes"),
+            plan_edges: registry.histogram("resolver.plan.edges"),
+            plan_rejected: registry.counter("resolver.plan.rejected"),
+            stale_drops: registry.counter("range.stale_drops"),
+            app_deliveries: registry.counter("range.app.deliveries"),
+            tracer: Tracer::noop(),
+            registry,
+        }
+    }
+
+    /// The server's registry (shared handle).
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The server's tracer.
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Replaces the tracer (default: no-op).
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Records one executed command of kind-index `idx`.
+    #[inline]
+    pub(crate) fn record_command(&self, idx: usize, elapsed_us: u64) {
+        self.cmd_count[idx].inc();
+        self.cmd_latency[idx].record(elapsed_us);
+    }
+
+    /// Records one plan attempt (successful or not) and its build time.
+    pub(crate) fn record_plan_attempt(&self, elapsed_us: u64) {
+        self.plan_count.inc();
+        self.plan_latency.record(elapsed_us);
+    }
+
+    /// Records the shape of a successfully built plan.
+    pub(crate) fn record_plan_shape(&self, nodes: usize, edges: usize) {
+        self.plan_nodes.record(nodes as u64);
+        self.plan_edges.record(edges as u64);
+    }
+
+    /// Records a plan refused by the static verification gate.
+    pub(crate) fn record_plan_rejected(&self) {
+        self.plan_rejected.inc();
+    }
+
+    /// Records an in-range delivery dropped for staleness.
+    #[inline]
+    pub(crate) fn record_stale_drop(&self) {
+        self.stale_drops.inc();
+    }
+
+    /// Records a delivery handed to an application outbox.
+    #[inline]
+    pub(crate) fn record_app_delivery(&self) {
+        self.app_deliveries.inc();
+    }
+}
+
+/// The coordinator-side instruments of a federation driver.
+pub(crate) struct FedMetrics {
+    pub(crate) registry: Registry,
+    pub(crate) cast_us: Histogram,
+    pub(crate) barrier_us: Histogram,
+    pub(crate) relay_us: Histogram,
+    pub(crate) relay_events: Counter,
+    pub(crate) relay_answers: Counter,
+    pub(crate) relay_stale_drops: Counter,
+}
+
+impl FedMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        FedMetrics {
+            cast_us: registry.histogram("federation.cast_us"),
+            barrier_us: registry.histogram("federation.barrier_us"),
+            relay_us: registry.histogram("federation.relay_us"),
+            relay_events: registry.counter("federation.relay.events"),
+            relay_answers: registry.counter("federation.relay.answers"),
+            relay_stale_drops: registry.counter("federation.relay.stale_drops"),
+            registry,
+        }
+    }
+}
+
+/// The per-runtime instruments shared between a [`crate::runtime::RangeRuntime`]
+/// coordinator handle and its worker thread. All handles alias the
+/// server's own registry.
+#[derive(Clone)]
+pub(crate) struct RuntimeMetrics {
+    pub(crate) mailbox_depth: Gauge,
+    pub(crate) call_wait: Histogram,
+    pub(crate) panics: Counter,
+}
+
+impl RuntimeMetrics {
+    pub(crate) fn register(registry: &Registry) -> Self {
+        RuntimeMetrics {
+            mailbox_depth: registry.gauge("range.mailbox.depth"),
+            call_wait: registry.histogram("range.call.wait_us"),
+            panics: registry.counter("range.panics"),
+        }
+    }
+}
+
+/// Microseconds elapsed since `start`, saturating at `u64::MAX`.
+#[inline]
+pub(crate) fn elapsed_us(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Folds the overlay's [`LoadStats`] into a snapshot under the `net.*`
+/// names, so federation snapshots carry routing outcomes without a
+/// parallel accounting mechanism.
+pub(crate) fn fold_load_stats(stats: &LoadStats) -> TelemetrySnapshot {
+    let reg = Registry::new();
+    reg.counter("net.delivered").add(stats.delivered());
+    reg.counter("net.failed").add(stats.failed());
+    reg.counter("net.recoveries").add(stats.recoveries());
+    let hops = reg.histogram("net.hops");
+    for &h in stats.hops() {
+        hops.record(u64::from(h));
+    }
+    reg.snapshot()
+}
+
+/// Serialises a snapshot with the workspace XML conventions (the same
+/// `Element` machinery the federation wire codec uses). Histogram
+/// buckets are written sparsely: only non-zero buckets appear, with the
+/// original bucket count preserved in the `buckets` attribute.
+pub fn snapshot_to_xml(snap: &TelemetrySnapshot) -> String {
+    let mut root = Element::new("telemetry");
+    for (name, v) in &snap.counters {
+        root = root.with_child(
+            Element::new("counter")
+                .with_attr("name", name.clone())
+                .with_attr("value", v.to_string()),
+        );
+    }
+    for (name, v) in &snap.gauges {
+        root = root.with_child(
+            Element::new("gauge")
+                .with_attr("name", name.clone())
+                .with_attr("value", v.to_string()),
+        );
+    }
+    for h in &snap.histograms {
+        let mut el = Element::new("histogram")
+            .with_attr("name", h.name.clone())
+            .with_attr("count", h.count.to_string())
+            .with_attr("sum", h.sum.to_string())
+            .with_attr("buckets", h.buckets.len().to_string());
+        for (i, &n) in h.buckets.iter().enumerate() {
+            if n != 0 {
+                el = el.with_child(
+                    Element::new("bucket")
+                        .with_attr("i", i.to_string())
+                        .with_attr("n", n.to_string()),
+                );
+            }
+        }
+        root = root.with_child(el);
+    }
+    root.to_xml()
+}
+
+fn require_attr<'a>(el: &'a Element, key: &str) -> SciResult<&'a str> {
+    el.attr(key)
+        .ok_or_else(|| SciError::Codec(format!("<{}> missing `{key}`", el.name)))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> SciResult<T> {
+    s.parse()
+        .map_err(|_| SciError::Codec(format!("bad {what}: `{s}`")))
+}
+
+/// Parses a snapshot serialised by [`snapshot_to_xml`].
+///
+/// # Errors
+///
+/// [`SciError::Codec`] for malformed documents.
+pub fn snapshot_from_xml(xml: &str) -> SciResult<TelemetrySnapshot> {
+    let doc = parse(xml)?;
+    if doc.name != "telemetry" {
+        return Err(SciError::Codec(format!(
+            "expected <telemetry>, got <{}>",
+            doc.name
+        )));
+    }
+    let mut snap = TelemetrySnapshot::default();
+    for el in doc.children_named("counter") {
+        snap.counters.push((
+            require_attr(el, "name")?.to_owned(),
+            parse_num(require_attr(el, "value")?, "counter value")?,
+        ));
+    }
+    for el in doc.children_named("gauge") {
+        snap.gauges.push((
+            require_attr(el, "name")?.to_owned(),
+            parse_num(require_attr(el, "value")?, "gauge value")?,
+        ));
+    }
+    for el in doc.children_named("histogram") {
+        let len: usize = parse_num(require_attr(el, "buckets")?, "bucket count")?;
+        let mut buckets = vec![0u64; len];
+        for b in el.children_named("bucket") {
+            let i: usize = parse_num(require_attr(b, "i")?, "bucket index")?;
+            let n: u64 = parse_num(require_attr(b, "n")?, "bucket value")?;
+            *buckets
+                .get_mut(i)
+                .ok_or_else(|| SciError::Codec(format!("bucket index {i} out of range")))? = n;
+        }
+        snap.histograms.push(HistogramSnapshot {
+            name: require_attr(el, "name")?.to_owned(),
+            count: parse_num(require_attr(el, "count")?, "histogram count")?,
+            sum: parse_num(require_attr(el, "sum")?, "histogram sum")?,
+            buckets,
+        });
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_instruments_cover_every_kind() {
+        let m = CsMetrics::new();
+        assert_eq!(m.cmd_count.len(), RangeCommand::KINDS.len());
+        m.record_command(0, 5);
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter("range.cmd.register.count"), 1);
+        let h = snap.histogram("range.cmd.register.latency_us").unwrap();
+        assert_eq!((h.count, h.sum), (1, 5));
+    }
+
+    #[test]
+    fn snapshot_xml_round_trips() {
+        let reg = Registry::new();
+        reg.counter("range.app.deliveries").add(42);
+        reg.gauge("range.mailbox.depth").set(-3);
+        for v in [0, 1, 7, 900, u64::MAX] {
+            reg.histogram("bus.fanout").record(v);
+        }
+        let snap = reg.snapshot();
+        let xml = snapshot_to_xml(&snap);
+        let back = snapshot_from_xml(&xml).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn snapshot_xml_rejects_malformed_documents() {
+        assert!(snapshot_from_xml("<notelemetry/>").is_err());
+        assert!(snapshot_from_xml("<telemetry><counter value=\"1\"/></telemetry>").is_err());
+        assert!(
+            snapshot_from_xml("<telemetry><counter name=\"x\" value=\"nope\"/></telemetry>")
+                .is_err()
+        );
+        let oob = "<telemetry><histogram name=\"h\" count=\"1\" sum=\"1\" buckets=\"2\">\
+                   <bucket i=\"9\" n=\"1\"/></histogram></telemetry>";
+        assert!(snapshot_from_xml(oob).is_err());
+    }
+
+    #[test]
+    fn load_stats_fold_matches_counters() {
+        let mut stats = LoadStats::new();
+        stats.record_delivery(2);
+        stats.record_delivery(4);
+        stats.record_failure();
+        stats.record_recovery();
+        let snap = fold_load_stats(&stats);
+        assert_eq!(snap.counter("net.delivered"), 2);
+        assert_eq!(snap.counter("net.failed"), 1);
+        assert_eq!(snap.counter("net.recoveries"), 1);
+        let hops = snap.histogram("net.hops").unwrap();
+        assert_eq!((hops.count, hops.sum), (2, 6));
+    }
+}

@@ -11,9 +11,11 @@
 
 use std::fmt;
 
+use sci_telemetry::Registry;
 use sci_types::{ContextEvent, Guid, SciResult};
 
 use crate::index::TopicIndex;
+use crate::telemetry::BusTelemetry;
 use crate::topic::Topic;
 
 /// Identifier of a subscription issued by a bus.
@@ -65,12 +67,22 @@ pub struct Delivery {
 #[derive(Clone, Debug, Default)]
 pub struct EventBus {
     index: TopicIndex<()>,
+    telemetry: Option<BusTelemetry>,
 }
 
 impl EventBus {
     /// Creates an empty bus.
     pub fn new() -> Self {
         EventBus::default()
+    }
+
+    /// Starts recording publish/deliver counters and the fan-out
+    /// distribution into `registry` (`bus.publish.count`,
+    /// `bus.deliver.count`, `bus.fanout`). Deliberately counters-only:
+    /// this bus is the E9 hot path, so no clocks are read here —
+    /// publish latency is measured by the callers that wrap it.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(BusTelemetry::register(registry));
     }
 
     /// Registers a subscription and returns its id.
@@ -111,6 +123,9 @@ impl EventBus {
             });
             true
         });
+        if let Some(t) = &self.telemetry {
+            t.record_publish(deliveries.len());
+        }
         deliveries
     }
 
@@ -249,6 +264,22 @@ mod tests {
         bus.unsubscribe(a).unwrap();
         let b = bus.subscribe(Guid::from_u128(1), Topic::any(), false);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn telemetry_counters_track_publishes() {
+        let mut bus = EventBus::new();
+        let reg = sci_telemetry::Registry::new();
+        bus.attach_telemetry(&reg);
+        bus.subscribe(Guid::from_u128(1), Topic::any(), false);
+        bus.subscribe(Guid::from_u128(2), Topic::any(), false);
+        bus.publish(&temp_event(1.0));
+        bus.publish(&temp_event(2.0));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("bus.publish.count"), 2);
+        assert_eq!(snap.counter("bus.deliver.count"), 4);
+        let fanout = snap.histogram("bus.fanout").unwrap();
+        assert_eq!((fanout.count, fanout.sum), (2, 4));
     }
 
     #[test]

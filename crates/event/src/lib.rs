@@ -37,6 +37,7 @@ pub mod mediator;
 pub mod rt;
 pub mod sim;
 pub mod stats;
+mod telemetry;
 pub mod topic;
 
 pub use bus::{Delivery, EventBus, SubId};

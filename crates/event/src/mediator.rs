@@ -14,7 +14,9 @@
 //!   "adaptivity to environmental changes (e.g. component failure)".
 
 use std::collections::HashMap;
+use std::time::Instant;
 
+use sci_telemetry::{Histogram, Registry};
 use sci_types::{ContextEvent, Guid, SciError, SciResult, VirtualDuration, VirtualTime};
 
 use crate::bus::{Delivery, EventBus, SubId};
@@ -33,6 +35,7 @@ pub struct EventMediator {
     bus: EventBus,
     stats: DeliveryStats,
     publishers: HashMap<Guid, PublisherState>,
+    publish_latency: Option<Histogram>,
 }
 
 impl EventMediator {
@@ -86,13 +89,27 @@ impl EventMediator {
         self.publishers.remove(&publisher);
     }
 
+    /// Starts recording telemetry into `registry`: the underlying bus's
+    /// publish/deliver counters and fan-out distribution, plus
+    /// `bus.publish.latency_us` — the publish→deliver match latency,
+    /// measured here (rather than in [`EventBus`]) so the bare table
+    /// stays clock-free on the hot path.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.bus.attach_telemetry(registry);
+        self.publish_latency = Some(registry.histogram("bus.publish.latency_us"));
+    }
+
     /// Publishes an event: matches subscriptions, updates stats and the
     /// publisher's liveness.
     pub fn publish(&mut self, event: &ContextEvent) -> Vec<Delivery> {
         if let Some(state) = self.publishers.get_mut(&event.source) {
             state.last_seen = event.timestamp;
         }
+        let start = self.publish_latency.as_ref().map(|_| Instant::now());
         let deliveries = self.bus.publish(event);
+        if let (Some(h), Some(start)) = (&self.publish_latency, start) {
+            h.record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
         let one_time = deliveries.iter().filter(|d| d.last).count();
         self.stats
             .record_publish(&event.topic, deliveries.len(), one_time);

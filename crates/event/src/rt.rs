@@ -10,21 +10,31 @@
 //! dedicated channel pair ([`point_to_point`]).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::unbounded;
 pub use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
+use sci_telemetry::{Histogram, Registry};
 use sci_types::{ContextEvent, Guid, SciError, SciResult};
 
 use crate::bus::SubId;
 use crate::index::TopicIndex;
 use crate::stats::DeliveryStats;
+use crate::telemetry::BusTelemetry;
 use crate::topic::Topic;
+
+#[derive(Clone)]
+struct RtTelemetry {
+    bus: BusTelemetry,
+    latency: Histogram,
+}
 
 struct Inner {
     subs: Mutex<TopicIndex<Sender<ContextEvent>>>,
     stats: Mutex<DeliveryStats>,
+    telemetry: Mutex<Option<RtTelemetry>>,
 }
 
 /// A thread-safe pub/sub bus delivering over channels.
@@ -66,8 +76,20 @@ impl ThreadedBus {
             inner: Arc::new(Inner {
                 subs: Mutex::new(TopicIndex::new()),
                 stats: Mutex::new(DeliveryStats::new()),
+                telemetry: Mutex::new(None),
             }),
         }
+    }
+
+    /// Starts recording telemetry into `registry`: the shared
+    /// publish/deliver counters and fan-out distribution plus
+    /// `bus.publish.latency_us` (match + channel-send time, measured
+    /// under real concurrency).
+    pub fn attach_telemetry(&self, registry: &Registry) {
+        *self.inner.telemetry.lock() = Some(RtTelemetry {
+            bus: BusTelemetry::register(registry),
+            latency: registry.histogram("bus.publish.latency_us"),
+        });
     }
 
     /// Registers a subscription, returning its id and the receiving end
@@ -107,6 +129,8 @@ impl ThreadedBus {
     /// garbage-collected when the index next visits them as candidates;
     /// one-time subscriptions are consumed.
     pub fn publish(&self, event: &ContextEvent) -> usize {
+        let telemetry = self.inner.telemetry.lock().clone();
+        let start = telemetry.as_ref().map(|_| Instant::now());
         let outcome = self
             .inner
             .subs
@@ -114,6 +138,11 @@ impl ThreadedBus {
             // A failed send means the receiver is gone; returning `false`
             // reaps the subscription.
             .publish_with(event, |view| view.extra.send(event.clone()).is_ok());
+        if let (Some(t), Some(start)) = (&telemetry, start) {
+            t.bus.record_publish(outcome.fanout);
+            t.latency
+                .record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
         self.inner.stats.lock().record_publish(
             &event.topic,
             outcome.fanout,

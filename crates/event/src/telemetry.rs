@@ -1,0 +1,38 @@
+//! Shared instrument bundles for the two buses.
+//!
+//! The deterministic [`crate::bus::EventBus`] sits on the Range hot
+//! path (E9 measures it in the hundreds of nanoseconds), so its bundle
+//! is counters-only — no clock reads. Publish→deliver *latency* is
+//! recorded one level up, by [`crate::mediator::EventMediator`] and
+//! [`crate::rt::ThreadedBus`], where a publish already costs enough
+//! that two `Instant::now` calls disappear into the noise.
+
+use sci_telemetry::{Counter, Histogram, Registry};
+
+/// Counter-only bundle recorded by `EventBus::publish`.
+#[derive(Clone, Debug)]
+pub(crate) struct BusTelemetry {
+    /// `bus.publish.count` — events offered to the subscription table.
+    pub(crate) published: Counter,
+    /// `bus.deliver.count` — deliveries fanned out (sum of fan-outs).
+    pub(crate) delivered: Counter,
+    /// `bus.fanout` — fan-out size distribution, one sample per publish.
+    pub(crate) fanout: Histogram,
+}
+
+impl BusTelemetry {
+    pub(crate) fn register(registry: &Registry) -> Self {
+        BusTelemetry {
+            published: registry.counter("bus.publish.count"),
+            delivered: registry.counter("bus.deliver.count"),
+            fanout: registry.histogram("bus.fanout"),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_publish(&self, fanout: usize) {
+        self.published.inc();
+        self.delivered.add(fanout as u64);
+        self.fanout.record(fanout as u64);
+    }
+}

@@ -102,6 +102,13 @@ impl LoadStats {
         }
     }
 
+    /// Hop counts of every delivered message, in delivery order. The
+    /// telemetry layer folds this distribution into its histogram
+    /// registry instead of keeping a parallel accounting mechanism.
+    pub fn hops(&self) -> &[u32] {
+        &self.hops
+    }
+
     /// Maximum hops observed.
     pub fn max_hops(&self) -> u32 {
         self.hops.iter().copied().max().unwrap_or(0)

@@ -1,0 +1,34 @@
+//! # sci-telemetry — observability spine for the SCI middleware
+//!
+//! Two small, dependency-free facilities:
+//!
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]) —
+//!   a lock-light registry of named instruments. Registration takes a
+//!   mutex once (cold path); after that every handle is an `Arc` of
+//!   atomics, so recording on the hot path is a handful of relaxed
+//!   atomic ops and never blocks. [`Registry::snapshot`] freezes the
+//!   current values into a [`TelemetrySnapshot`] that can be merged
+//!   across ranges and serialised (JSON here, XML via `sci-core`'s
+//!   existing element conventions).
+//! * **Tracing** ([`Tracer`], [`Subscriber`]) — a structured span/event
+//!   facade with pluggable subscribers: [`NoopSubscriber`] (default;
+//!   disabled, so instrumented code skips even the clock read),
+//!   [`RingBufferSubscriber`] (bounded in-memory buffer for tests) and
+//!   [`LineSubscriber`] (line-format writer for humans).
+//!
+//! The crate is deliberately a leaf: `std` only, no workspace or
+//! vendored dependencies, so `sci-event`, `sci-core` and the benches
+//! can all instrument themselves without new edges in the dependency
+//! graph.
+
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod snapshot;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
+pub use trace::{
+    LineSubscriber, NoopSubscriber, RingBufferSubscriber, Span, Subscriber, TraceRecord, Tracer,
+};

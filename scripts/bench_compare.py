@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compare bench shape rows against a committed baseline.
+
+Usage:
+    bench_compare.py --compare BASELINE CURRENT [--compare ...]
+                     [--threshold 2.0] [--report PATH]
+
+Each ``--compare`` pair names two bench JSON files produced by the same
+harness (``BENCH_dispatch.json`` from e9, ``BENCH_federation.json`` from
+e10). Rows are matched by their identity keys and every latency metric
+is reported as a ratio ``current / baseline``.
+
+Only the **gated** metrics fail the run: the indexed-dispatch latency
+rows of e9 (``group == "publish"``, metric ``indexed_us``) must stay
+within ``--threshold`` (default 2.0x) of the baseline. Everything else
+— the linear oracle, resolver plans, federation phase timings — is
+informational: those rows track an unpinned-machine trajectory and a
+hard gate on them would flake.
+
+Exit status: 0 when no gated metric regressed, 1 otherwise, 2 on bad
+input. A markdown report is always written when ``--report`` is given
+(and uploaded as a CI artifact either way), so a red run still ships
+the numbers that killed it.
+
+Stdlib only — no third-party imports; CI runs this on a bare runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Per-experiment row schema: identity key fields and (metric, gated?).
+SCHEMAS = {
+    "e9_dispatch": {
+        "key": ("group", "total_subs", "distractors"),
+        "metrics": {
+            "indexed_us": True,  # the regression gate
+            "linear_us": False,
+            "plan_us": False,
+        },
+    },
+    "e10_federation_parallel": {
+        "key": ("group", "ranges"),
+        "metrics": {
+            "serial_us": False,
+            "parallel_us": False,
+            "cast_us": False,
+            "barrier_us": False,
+            "relay_us": False,
+        },
+    },
+}
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if "experiment" not in doc or "rows" not in doc:
+        sys.exit(f"bench_compare: {path} is not a bench shape file")
+    return doc
+
+
+def row_key(row, key_fields):
+    return tuple((f, row[f]) for f in key_fields if f in row)
+
+
+def fmt_key(key):
+    return " ".join(f"{f}={v}" for f, v in key)
+
+
+def compare_pair(baseline_path, current_path, threshold, lines):
+    """Appends report lines for one file pair; returns gated failures."""
+    base = load(baseline_path)
+    cur = load(current_path)
+    if base["experiment"] != cur["experiment"]:
+        sys.exit(
+            f"bench_compare: experiment mismatch: {baseline_path} is "
+            f"{base['experiment']!r}, {current_path} is {cur['experiment']!r}"
+        )
+    schema = SCHEMAS.get(base["experiment"])
+    if schema is None:
+        sys.exit(f"bench_compare: unknown experiment {base['experiment']!r}")
+
+    base_rows = {row_key(r, schema["key"]): r for r in base["rows"]}
+    failures = []
+    lines.append(f"## {base['experiment']} — `{current_path}` vs `{baseline_path}`")
+    lines.append("")
+    lines.append("| row | metric | baseline | current | ratio | gate |")
+    lines.append("|-----|--------|---------:|--------:|------:|------|")
+    for row in cur["rows"]:
+        key = row_key(row, schema["key"])
+        ref = base_rows.get(key)
+        for metric, gated in schema["metrics"].items():
+            if metric not in row:
+                continue
+            now = float(row[metric])
+            if ref is None or metric not in ref:
+                lines.append(
+                    f"| {fmt_key(key)} | {metric} | — | {now:.3f} | — | new row |"
+                )
+                continue
+            then = float(ref[metric])
+            ratio = now / then if then > 0 else float("inf")
+            verdict = "info"
+            if gated:
+                verdict = "**FAIL**" if ratio > threshold else "ok"
+                if ratio > threshold:
+                    failures.append(
+                        f"{base['experiment']}: {fmt_key(key)} {metric} "
+                        f"{then:.3f} -> {now:.3f} ({ratio:.2f}x > {threshold:.1f}x)"
+                    )
+            lines.append(
+                f"| {fmt_key(key)} | {metric} | {then:.3f} | {now:.3f} "
+                f"| {ratio:.2f}x | {verdict} |"
+            )
+    lines.append("")
+    return failures
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--compare",
+        nargs=2,
+        action="append",
+        metavar=("BASELINE", "CURRENT"),
+        required=True,
+        help="baseline and freshly-generated bench JSON (repeatable)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="max allowed current/baseline ratio on gated metrics (default 2.0)",
+    )
+    ap.add_argument("--report", help="write a markdown report to this path")
+    args = ap.parse_args(argv)
+
+    lines = ["# Bench regression report", ""]
+    failures = []
+    for baseline_path, current_path in args.compare:
+        failures += compare_pair(baseline_path, current_path, args.threshold, lines)
+
+    if failures:
+        lines.append(f"**{len(failures)} gated regression(s):**")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        lines.append("**All gated metrics within threshold.**")
+    report = "\n".join(lines) + "\n"
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            f.write(report)
+    print(report)
+    if failures:
+        print("bench_compare: FAIL", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -73,6 +73,7 @@ pub use sci_location as location;
 pub use sci_overlay as overlay;
 pub use sci_query as query;
 pub use sci_sensors as sensors;
+pub use sci_telemetry as telemetry;
 pub use sci_types as types;
 
 /// The most commonly used items, for glob import.
@@ -87,7 +88,8 @@ pub mod prelude {
     };
     pub use sci_core::federation::Federation;
     pub use sci_core::logic::{
-        factory, AggregateLogic, ObjLocationLogic, OccupancyLogic, PathLogic, WlanLocationLogic,
+        factory, AggregateLogic, EntityLogic, ObjLocationLogic, OccupancyLogic, PathLogic,
+        WlanLocationLogic,
     };
     pub use sci_core::range_service::RangeService;
     pub use sci_core::runtime::{ParallelFederation, RangeCommand, RangeRuntime};
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use sci_overlay::{HierarchicalNetwork, SimNetwork, ThreadedTransport, Transport};
     pub use sci_query::{CmpOp, Mode, Predicate, Query, Subject, What, When, Where, Which};
     pub use sci_sensors::{BaseStation, DoorSensor, Printer, SimPerson, TemperatureSensor, World};
+    pub use sci_telemetry::{Registry, RingBufferSubscriber, TelemetrySnapshot, Tracer};
     pub use sci_types::guid::GuidGenerator;
     pub use sci_types::{
         Advertisement, AnalysisReport, ContextEvent, ContextType, ContextValue, Coord, DiagCode,
