@@ -103,7 +103,24 @@ impl std::fmt::Debug for ContextServer {
 impl ContextServer {
     /// Creates a Context Server for the range `name` covering `plan`.
     pub fn new(id: Guid, name: impl Into<String>, plan: FloorPlan) -> Self {
-        let metrics = CsMetrics::new();
+        ContextServer::with_registry(id, name, plan, Registry::new())
+    }
+
+    /// Creates a Context Server whose instruments register on an
+    /// existing telemetry `registry` instead of a fresh one.
+    ///
+    /// This is the continuity path for supervised restarts: the
+    /// registry's get-or-register semantics mean a server rebuilt after
+    /// a worker panic keeps incrementing the counters its predecessor
+    /// registered, so `range.restarts` sits beside an unbroken command
+    /// history rather than a zeroed one.
+    pub fn with_registry(
+        id: Guid,
+        name: impl Into<String>,
+        plan: FloorPlan,
+        registry: Registry,
+    ) -> Self {
+        let metrics = CsMetrics::with_registry(registry);
         let mut mediator = EventMediator::new();
         mediator.attach_telemetry(metrics.registry());
         ContextServer {

@@ -27,9 +27,24 @@
 //! channel-backed [`sci_overlay::transport::ThreadedTransport`] drops in
 //! when node mailboxes must be drained from other threads; the
 //! fully-threaded driver (one worker per range) is
-//! [`crate::runtime::ParallelFederation`].
+//! [`crate::runtime::ParallelFederation`]. Wrapping the transport in
+//! [`sci_overlay::fault::FaultyTransport`] turns either driver into a
+//! chaos rig.
+//!
+//! # Reliable relay protocol
+//!
+//! Cross-range relays ride an *envelope*: every relayed delivery or
+//! deferred answer carries the producing node's GUID (`origin`) and a
+//! per-origin monotonic sequence number (`seq`). The sender retries a
+//! failed relay up to [`RELAY_RETRIES`] times with exponential backoff
+//! accounted in virtual time, then parks it for the next pump — so a
+//! relay survives any outage that eventually heals. The receiver
+//! discards envelopes it has already seen. Together that turns the
+//! transport's at-least-once behaviour (retransmissions, ack loss,
+//! duplication faults) into exactly-once delivery, counted by
+//! `federation.retry.attempts` and `federation.relay.dedup_hits`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
 
@@ -44,6 +59,15 @@ use sci_types::guid::GuidGenerator;
 use sci_types::{ContextEvent, Guid, SciError, SciResult, VirtualDuration, VirtualTime};
 
 use crate::context_server::{AppDelivery, ContextServer, QueryAnswer};
+
+/// In-call retransmissions attempted for a failed relay before it is
+/// parked for the next pump.
+pub const RELAY_RETRIES: u32 = 4;
+
+/// Base of the exponential retry backoff, accounted in virtual time
+/// (the arrival time of a retried relay is pushed back by
+/// `base * (2^attempt - 1)`).
+pub const RETRY_BACKOFF_BASE_US: u64 = 500;
 
 /// The result of a federated query submission.
 #[derive(Clone, Debug)]
@@ -77,6 +101,22 @@ pub struct Federation<T: Transport = SimNetwork> {
     /// Relayed deliveries dropped for violating their configuration's
     /// freshness bound (`qoc-max-age-us`) after crossing the overlay.
     relay_stale_drops: u64,
+    /// Node GUID → range name, for naming unreachable ranges in
+    /// degraded answers.
+    names: HashMap<Guid, String>,
+    /// Per-origin monotonic relay sequence numbers (envelope `seq`).
+    relay_seq: HashMap<Guid, u64>,
+    /// Envelopes already absorbed, keyed `(origin, seq)` — the
+    /// receiver-side half of exactly-once relay.
+    seen_relays: HashSet<(Guid, u64)>,
+    /// Relays that exhausted their in-call retries; retried first on
+    /// every subsequent pump, so eventual connectivity means eventual
+    /// delivery.
+    pending_relays: Vec<Message>,
+    relay_dedup_hits: u64,
+    retry_attempts: u64,
+    retry_parked: u64,
+    partial_answers: u64,
     ids: GuidGenerator,
 }
 
@@ -120,6 +160,14 @@ impl<T: Transport> Federation<T> {
             places: HashMap::new(),
             directories: HashMap::new(),
             relay_stale_drops: 0,
+            names: HashMap::new(),
+            relay_seq: HashMap::new(),
+            seen_relays: HashSet::new(),
+            pending_relays: Vec::new(),
+            relay_dedup_hits: 0,
+            retry_attempts: 0,
+            retry_parked: 0,
+            partial_answers: 0,
             ids: GuidGenerator::seeded(seed),
         }
     }
@@ -143,6 +191,7 @@ impl<T: Transport> Federation<T> {
         for room in cs.location().plan().rooms() {
             self.places.entry(room.name.clone()).or_insert(id);
         }
+        self.names.insert(id, name);
         self.servers.insert(id, cs);
         Ok(id)
     }
@@ -293,13 +342,41 @@ impl<T: Transport> Federation<T> {
         self.pump(now)
     }
 
+    /// Builds the degraded answer for a query whose target range could
+    /// not be consulted, counting it in `federation.answers.partial`.
+    fn degraded(&mut self, missing: Guid, reason: &str) -> FederatedAnswer {
+        self.partial_answers += 1;
+        let missing_range = self
+            .names
+            .get(&missing)
+            .cloned()
+            .unwrap_or_else(|| missing.to_string());
+        FederatedAnswer {
+            answer: QueryAnswer::Partial {
+                answer: Box::new(QueryAnswer::Forward {
+                    range: missing_range.clone(),
+                }),
+                missing_range,
+                reason: reason.to_owned(),
+            },
+            hops: 0,
+            latency: VirtualDuration::ZERO,
+        }
+    }
+
     /// Submits a query at the application's current range, forwarding
     /// over the SCINET if the Where clause targets another range.
+    ///
+    /// Graceful degradation: if the target range is known but the
+    /// overlay cannot currently reach it (partition, lossy link), the
+    /// submission does **not** error — it returns a
+    /// [`QueryAnswer::Partial`] naming the unreachable range, so the
+    /// caller can distinguish "nothing matched" from "somebody could
+    /// not be asked". Unknown range names still error.
     ///
     /// # Errors
     ///
     /// * [`SciError::UnknownLocation`] for unknown range names.
-    /// * [`SciError::Unroutable`] if the overlay cannot reach the target.
     /// * Whatever the answering Context Server returns.
     pub fn submit_from(
         &mut self,
@@ -357,14 +434,21 @@ impl<T: Transport> Federation<T> {
             MessageKind::QueryForward,
             Bytes::from(qcodec::to_xml(query).into_bytes()),
         );
-        let out_fwd = self.net.send(fwd)?;
+        let out_fwd = match self.net.send(fwd) {
+            Ok(o) => o,
+            Err(SciError::Unroutable { .. }) => return Ok(self.degraded(dst, "unroutable")),
+            Err(e) => return Err(e),
+        };
         let arrival = now.saturating_add(out_fwd.latency);
 
-        // The destination CS processes its inbox.
+        // The destination CS processes its inbox. Unrelated traffic
+        // (late relay envelopes released by a fault layer) is absorbed
+        // rather than discarded.
         let messages = self.net.drain(dst);
         let mut answer = None;
         for msg in messages {
             if msg.kind != MessageKind::QueryForward {
+                self.absorb(msg, arrival)?;
                 continue;
             }
             let xml = String::from_utf8(msg.payload.to_vec())
@@ -387,17 +471,28 @@ impl<T: Transport> Federation<T> {
             MessageKind::QueryResponse,
             Bytes::from(answer_to_xml(&answer).into_bytes()),
         );
-        let out_resp = self.net.send(resp)?;
+        let out_resp = match self.net.send(resp) {
+            Ok(o) => o,
+            // The remote range answered (a subscription it created stays
+            // live) but the answer could not travel home: degrade.
+            Err(SciError::Unroutable { .. }) => return Ok(self.degraded(dst, "unroutable")),
+            Err(e) => return Err(e),
+        };
+        let resp_arrival = now.saturating_add(out_fwd.latency + out_resp.latency);
         let decoded = {
             let messages = self.net.drain(home);
             let mut found = None;
             for msg in messages {
                 if msg.kind == MessageKind::QueryResponse {
-                    found = Some(answer_from_xml(
-                        std::str::from_utf8(&msg.payload)
-                            .map_err(|_| SciError::Codec("answer payload is not UTF-8".into()))?,
-                    )?);
+                    let text = std::str::from_utf8(&msg.payload)
+                        .map_err(|_| SciError::Codec("answer payload is not UTF-8".into()))?;
+                    let doc = parse(text)?;
+                    if doc.name == "answer" {
+                        found = Some(answer_from_element(&doc)?);
+                        continue;
+                    }
                 }
+                self.absorb(msg, resp_arrival)?;
             }
             found.ok_or_else(|| SciError::Internal("response vanished".into()))?
         };
@@ -422,9 +517,19 @@ impl<T: Transport> Federation<T> {
     ///
     /// # Errors
     ///
-    /// Propagates routing failures for cross-range relays.
+    /// Propagates non-routing failures (codec errors, dead inner
+    /// transports). Routing failures are retried, not propagated.
     pub fn pump(&mut self, now: VirtualTime) -> SciResult<()> {
-        let node_ids: Vec<Guid> = self.servers.keys().copied().collect();
+        // Release traffic a fault layer held back (delay faults), then
+        // give parked relays their once-per-pump retransmission.
+        self.net.flush();
+        self.retry_pending(now)?;
+
+        // Sorted iteration keeps the fault layer's PRNG draw sequence —
+        // and with it the whole chaos schedule — a pure function of the
+        // seed (HashMap order is randomised per process).
+        let mut node_ids: Vec<Guid> = self.servers.keys().copied().collect();
+        node_ids.sort_unstable();
         for node in node_ids {
             let (deliveries, answers) = {
                 let Some(cs) = self.servers.get_mut(&node) else {
@@ -435,18 +540,16 @@ impl<T: Transport> Federation<T> {
             for d in deliveries {
                 let home = self.app_home.get(&d.app).copied().unwrap_or(node);
                 if home != node {
-                    // The producing range owns the configuration and
-                    // with it the freshness contract the relay must
-                    // honour on arrival.
-                    let max_age = self
-                        .servers
-                        .get(&node)
-                        .and_then(|cs| cs.configuration(d.query))
-                        .and_then(|c| c.max_age);
                     // Relay across the overlay, exercising the codec.
+                    // The envelope (origin node + per-origin sequence
+                    // number) lets the receiver discard the duplicates
+                    // that retransmission inevitably produces.
+                    let seq = self.next_seq(node);
                     let payload = Element::new("relay")
                         .with_attr("app", d.app.to_string())
                         .with_attr("query", d.query.to_string())
+                        .with_attr("origin", node.to_string())
+                        .with_attr("seq", seq.to_string())
                         .with_child(qcodec::event_to_element(&d.event))
                         .to_xml();
                     let msg = Message::new(
@@ -456,38 +559,7 @@ impl<T: Transport> Federation<T> {
                         MessageKind::EventRelay,
                         Bytes::from(payload.into_bytes()),
                     );
-                    let outcome = self.net.send(msg)?;
-                    let arrival = now.saturating_add(outcome.latency);
-                    let messages = self.net.drain(home);
-                    for m in messages {
-                        if m.kind != MessageKind::EventRelay {
-                            continue;
-                        }
-                        let doc = parse(
-                            std::str::from_utf8(&m.payload)
-                                .map_err(|_| SciError::Codec("relay not UTF-8".into()))?,
-                        )?;
-                        let app: Guid = doc
-                            .attr("app")
-                            .ok_or_else(|| SciError::Codec("relay missing app".into()))?
-                            .parse()?;
-                        let query: Guid = doc
-                            .attr("query")
-                            .ok_or_else(|| SciError::Codec("relay missing query".into()))?
-                            .parse()?;
-                        let event = qcodec::event_from_element(doc.require_child("event")?)?;
-                        let stale = max_age
-                            .map(|max| arrival.saturating_since(event.timestamp) > max)
-                            .unwrap_or(false);
-                        if stale {
-                            self.relay_stale_drops += 1;
-                            continue;
-                        }
-                        self.inbox
-                            .entry(app)
-                            .or_default()
-                            .push(AppDelivery { app, query, event });
-                    }
+                    self.send_reliable(msg, now)?;
                 } else {
                     self.inbox.entry(d.app).or_default().push(d);
                 }
@@ -498,11 +570,14 @@ impl<T: Transport> Federation<T> {
                     // A deferred answer produced away from the app's
                     // home range travels back as a QueryResponse over
                     // the overlay (the CAPA lobby→Level-Ten pattern in
-                    // reverse).
+                    // reverse), under the same envelope protocol.
+                    let seq = self.next_seq(node);
                     let payload = Element::new("answer-relay")
                         .with_attr("app", owner.to_string())
                         .with_attr("query", query.to_string())
-                        .with_child(parse(&answer_to_xml(&answer))?)
+                        .with_attr("origin", node.to_string())
+                        .with_attr("seq", seq.to_string())
+                        .with_child(answer_element(&answer))
                         .to_xml();
                     let msg = Message::new(
                         self.ids.next_guid(),
@@ -511,34 +586,178 @@ impl<T: Transport> Federation<T> {
                         MessageKind::QueryResponse,
                         Bytes::from(payload.into_bytes()),
                     );
-                    self.net.send(msg)?;
-                    let messages = self.net.drain(home);
-                    for m in messages {
-                        if m.kind != MessageKind::QueryResponse {
-                            continue;
-                        }
-                        let doc = parse(
-                            std::str::from_utf8(&m.payload)
-                                .map_err(|_| SciError::Codec("answer relay not UTF-8".into()))?,
-                        )?;
-                        if doc.name != "answer-relay" {
-                            continue;
-                        }
-                        let app: Guid = doc
-                            .attr("app")
-                            .ok_or_else(|| SciError::Codec("relay missing app".into()))?
-                            .parse()?;
-                        let q: Guid = doc
-                            .attr("query")
-                            .ok_or_else(|| SciError::Codec("relay missing query".into()))?
-                            .parse()?;
-                        let decoded = answer_from_xml(&doc.require_child("answer")?.to_xml())?;
-                        self.answers.entry(app).or_default().push((q, decoded));
-                    }
+                    self.send_reliable(msg, now)?;
                 } else {
                     self.answers.entry(owner).or_default().push((query, answer));
                 }
             }
+        }
+        self.sweep(now)
+    }
+
+    /// Mints the next envelope sequence number for `origin`.
+    fn next_seq(&mut self, origin: Guid) -> u64 {
+        let seq = self.relay_seq.entry(origin).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    /// Sends a relay envelope with up to [`RELAY_RETRIES`]
+    /// retransmissions under exponential backoff (accounted in virtual
+    /// time: each retry pushes the arrival stamp back by the
+    /// accumulated wait). An envelope that exhausts its retries is
+    /// parked in `pending_relays` for the next pump, so any outage that
+    /// eventually heals cannot lose it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-routing transport failures.
+    fn send_reliable(&mut self, msg: Message, now: VirtualTime) -> SciResult<()> {
+        let dst = msg.dst;
+        let mut backoff = VirtualDuration::ZERO;
+        let mut wait = RETRY_BACKOFF_BASE_US;
+        for attempt in 0..=RELAY_RETRIES {
+            if attempt > 0 {
+                self.retry_attempts += 1;
+                backoff += VirtualDuration::from_micros(wait);
+                wait = wait.saturating_mul(2);
+            }
+            match self.net.send(msg.clone()) {
+                Ok(outcome) => {
+                    let arrival = now.saturating_add(outcome.latency).saturating_add(backoff);
+                    let landed = self.net.drain(dst);
+                    for m in landed {
+                        self.absorb(m, arrival)?;
+                    }
+                    return Ok(());
+                }
+                Err(SciError::Unroutable { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.retry_parked += 1;
+        self.pending_relays.push(msg);
+        Ok(())
+    }
+
+    /// Retransmits every parked relay once. Still-unroutable envelopes
+    /// go back in the park; a success is absorbed immediately.
+    fn retry_pending(&mut self, now: VirtualTime) -> SciResult<()> {
+        if self.pending_relays.is_empty() {
+            return Ok(());
+        }
+        let parked = std::mem::take(&mut self.pending_relays);
+        for msg in parked {
+            self.retry_attempts += 1;
+            let dst = msg.dst;
+            match self.net.send(msg.clone()) {
+                Ok(outcome) => {
+                    let arrival = now.saturating_add(outcome.latency);
+                    let landed = self.net.drain(dst);
+                    for m in landed {
+                        self.absorb(m, arrival)?;
+                    }
+                }
+                Err(SciError::Unroutable { .. }) => self.pending_relays.push(msg),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every node's inbox and absorbs what landed: late
+    /// arrivals from ack-lost sends, duplicates, and traffic released
+    /// by [`Transport::flush`] all reach their applications here.
+    fn sweep(&mut self, now: VirtualTime) -> SciResult<()> {
+        let mut node_ids: Vec<Guid> = self.servers.keys().copied().collect();
+        node_ids.sort_unstable();
+        for node in node_ids {
+            let landed = self.net.drain(node);
+            for m in landed {
+                self.absorb(m, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Delivers one overlay message to its application, applying the
+    /// exactly-once filter: an envelope `(origin, seq)` already seen is
+    /// counted in `federation.relay.dedup_hits` and discarded. Event
+    /// relays are additionally checked against the producing
+    /// configuration's freshness bound at `arrival`. Non-relay traffic
+    /// (stray query forwards from degraded submissions) is dropped.
+    fn absorb(&mut self, m: Message, arrival: VirtualTime) -> SciResult<()> {
+        match m.kind {
+            MessageKind::EventRelay => {
+                let doc = parse(
+                    std::str::from_utf8(&m.payload)
+                        .map_err(|_| SciError::Codec("relay not UTF-8".into()))?,
+                )?;
+                if doc.name != "relay" {
+                    return Ok(());
+                }
+                let Some(envelope) = envelope_of(&doc)? else {
+                    return Ok(());
+                };
+                if !self.seen_relays.insert(envelope) {
+                    self.relay_dedup_hits += 1;
+                    return Ok(());
+                }
+                let app: Guid = doc
+                    .attr("app")
+                    .ok_or_else(|| SciError::Codec("relay missing app".into()))?
+                    .parse()?;
+                let query: Guid = doc
+                    .attr("query")
+                    .ok_or_else(|| SciError::Codec("relay missing query".into()))?
+                    .parse()?;
+                let event = qcodec::event_from_element(doc.require_child("event")?)?;
+                // The producing range owns the configuration and with
+                // it the freshness contract the relay must honour.
+                let max_age = self
+                    .servers
+                    .get(&envelope.0)
+                    .and_then(|cs| cs.configuration(query))
+                    .and_then(|c| c.max_age);
+                let stale = max_age
+                    .map(|max| arrival.saturating_since(event.timestamp) > max)
+                    .unwrap_or(false);
+                if stale {
+                    self.relay_stale_drops += 1;
+                    return Ok(());
+                }
+                self.inbox
+                    .entry(app)
+                    .or_default()
+                    .push(AppDelivery { app, query, event });
+            }
+            MessageKind::QueryResponse => {
+                let doc = parse(
+                    std::str::from_utf8(&m.payload)
+                        .map_err(|_| SciError::Codec("answer relay not UTF-8".into()))?,
+                )?;
+                if doc.name != "answer-relay" {
+                    return Ok(());
+                }
+                let Some(envelope) = envelope_of(&doc)? else {
+                    return Ok(());
+                };
+                if !self.seen_relays.insert(envelope) {
+                    self.relay_dedup_hits += 1;
+                    return Ok(());
+                }
+                let app: Guid = doc
+                    .attr("app")
+                    .ok_or_else(|| SciError::Codec("relay missing app".into()))?
+                    .parse()?;
+                let q: Guid = doc
+                    .attr("query")
+                    .ok_or_else(|| SciError::Codec("relay missing query".into()))?
+                    .parse()?;
+                let decoded = answer_from_element(doc.require_child("answer")?)?;
+                self.answers.entry(app).or_default().push((q, decoded));
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -547,6 +766,48 @@ impl<T: Transport> Federation<T> {
     /// freshness bound after crossing the overlay.
     pub fn relay_stale_drops(&self) -> u64 {
         self.relay_stale_drops
+    }
+
+    /// Duplicate relay envelopes discarded by the receiver-side
+    /// exactly-once filter.
+    pub fn relay_dedup_hits(&self) -> u64 {
+        self.relay_dedup_hits
+    }
+
+    /// Relay retransmissions attempted (in-call retries plus
+    /// parked-envelope retries; first attempts are not counted).
+    pub fn retry_attempts(&self) -> u64 {
+        self.retry_attempts
+    }
+
+    /// Relays that exhausted their in-call retries and were parked for
+    /// later pumps.
+    pub fn retry_parked(&self) -> u64 {
+        self.retry_parked
+    }
+
+    /// Degraded (partial) query answers returned by
+    /// [`Federation::submit_from`].
+    pub fn partial_answers(&self) -> u64 {
+        self.partial_answers
+    }
+
+    /// Relays currently parked awaiting connectivity.
+    pub fn pending_relay_count(&self) -> usize {
+        self.pending_relays.len()
+    }
+
+    /// Read access to the transport, whatever its concrete type (the
+    /// [`Federation::network`] accessor only exists for the default
+    /// [`SimNetwork`]).
+    pub fn transport(&self) -> &T {
+        &self.net
+    }
+
+    /// Mutable access to the transport, for fault injection through a
+    /// [`sci_overlay::fault::FaultyTransport`] wrapper.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.net
     }
 
     /// Freezes a federation-wide telemetry view: every range's registry
@@ -566,7 +827,22 @@ impl<T: Transport> Federation<T> {
         relays
             .counter("federation.relay.stale_drops")
             .add(self.relay_stale_drops);
+        relays
+            .counter("federation.relay.dedup_hits")
+            .add(self.relay_dedup_hits);
+        relays
+            .counter("federation.retry.attempts")
+            .add(self.retry_attempts);
+        relays
+            .counter("federation.retry.parked")
+            .add(self.retry_parked);
+        relays
+            .counter("federation.answers.partial")
+            .add(self.partial_answers);
         snap.merge(&relays.snapshot());
+        if let Some(faults) = self.net.telemetry() {
+            snap.merge(&faults.snapshot());
+        }
         snap
     }
 
@@ -596,9 +872,34 @@ impl<T: Transport> Federation<T> {
     }
 }
 
+/// Extracts the reliable-relay envelope `(origin, seq)` from a relay
+/// document, if present (pre-envelope peers omit it).
+///
+/// # Errors
+///
+/// Returns [`SciError::Codec`] for a malformed envelope.
+pub(crate) fn envelope_of(doc: &Element) -> SciResult<Option<(Guid, u64)>> {
+    match (doc.attr("origin"), doc.attr("seq")) {
+        (Some(origin), Some(seq)) => {
+            let origin: Guid = origin.parse()?;
+            let seq: u64 = seq
+                .parse()
+                .map_err(|_| SciError::Codec(format!("bad relay seq {seq:?}")))?;
+            Ok(Some((origin, seq)))
+        }
+        _ => Ok(None),
+    }
+}
+
 /// Serialises a [`QueryAnswer`] to its `<answer>` document.
 pub fn answer_to_xml(answer: &QueryAnswer) -> String {
-    let e = match answer {
+    answer_element(answer).to_xml()
+}
+
+/// Builds the `<answer>` element for a [`QueryAnswer`] (recursive, so
+/// a partial answer nests the answer it degrades).
+pub fn answer_element(answer: &QueryAnswer) -> Element {
+    match answer {
         QueryAnswer::Profiles(ps) => {
             let mut e = Element::new("answer").with_attr("kind", "profiles");
             for p in ps {
@@ -629,8 +930,16 @@ pub fn answer_to_xml(answer: &QueryAnswer) -> String {
         QueryAnswer::Forward { range } => Element::new("answer")
             .with_attr("kind", "forward")
             .with_attr("range", range.clone()),
-    };
-    e.to_xml()
+        QueryAnswer::Partial {
+            answer,
+            missing_range,
+            reason,
+        } => Element::new("answer")
+            .with_attr("kind", "partial")
+            .with_attr("missing-range", missing_range.clone())
+            .with_attr("reason", reason.clone())
+            .with_child(answer_element(answer)),
+    }
 }
 
 /// Parses an `<answer>` document.
@@ -639,7 +948,16 @@ pub fn answer_to_xml(answer: &QueryAnswer) -> String {
 ///
 /// Returns [`SciError::Parse`] for malformed documents.
 pub fn answer_from_xml(xml: &str) -> SciResult<QueryAnswer> {
-    let e = parse(xml)?;
+    answer_from_element(&parse(xml)?)
+}
+
+/// Parses an `<answer>` element (recursive counterpart of
+/// [`answer_element`]).
+///
+/// # Errors
+///
+/// Returns [`SciError::Parse`] for malformed documents.
+pub fn answer_from_element(e: &Element) -> SciResult<QueryAnswer> {
     if e.name != "answer" {
         return Err(SciError::Parse(format!(
             "expected <answer>, found <{}>",
@@ -673,6 +991,17 @@ pub fn answer_from_xml(xml: &str) -> SciResult<QueryAnswer> {
             range: e
                 .attr("range")
                 .ok_or_else(|| SciError::Parse("forward answer missing range".into()))?
+                .to_owned(),
+        }),
+        Some("partial") => Ok(QueryAnswer::Partial {
+            answer: Box::new(answer_from_element(e.require_child("answer")?)?),
+            missing_range: e
+                .attr("missing-range")
+                .ok_or_else(|| SciError::Parse("partial answer missing missing-range".into()))?
+                .to_owned(),
+            reason: e
+                .attr("reason")
+                .ok_or_else(|| SciError::Parse("partial answer missing reason".into()))?
                 .to_owned(),
         }),
         other => Err(SciError::Parse(format!("unknown answer kind {other:?}"))),
@@ -828,6 +1157,13 @@ mod tests {
             QueryAnswer::Deferred,
             QueryAnswer::Forward {
                 range: "level-ten".into(),
+            },
+            QueryAnswer::Partial {
+                answer: Box::new(QueryAnswer::Forward {
+                    range: "level-ten".into(),
+                }),
+                missing_range: "level-ten".into(),
+                reason: "unroutable".into(),
             },
         ];
         for a in answers {

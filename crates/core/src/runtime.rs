@@ -24,7 +24,7 @@
 //! per-planet operator placement and the Context Toolkit's distributed
 //! widgets both argue for.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -35,9 +35,10 @@ use sci_event::rt::{mailbox, Receiver, Sender};
 use sci_overlay::message::{Message, MessageKind};
 use sci_overlay::net::SimNetwork;
 use sci_overlay::stats::LoadStats;
+use sci_overlay::transport::Transport;
 use sci_query::codec as qcodec;
 use sci_query::xml::{parse, Element};
-use sci_query::{Query, What};
+use sci_query::{Mode, Query, What};
 use sci_types::guid::GuidGenerator;
 use sci_types::{
     Advertisement, ContextEvent, ContextType, Guid, Profile, SciError, SciResult, VirtualDuration,
@@ -47,9 +48,13 @@ use sci_types::{
 use sci_telemetry::{Registry, TelemetrySnapshot};
 
 use crate::context_server::{AppDelivery, ContextServer, DeferredAnswer, QueryAnswer, RangeReply};
-use crate::federation::{answer_from_xml, answer_to_xml, FederatedAnswer};
+use crate::federation::{
+    answer_element, answer_from_element, answer_to_xml, envelope_of as relay_envelope,
+    FederatedAnswer, RELAY_RETRIES, RETRY_BACKOFF_BASE_US,
+};
 use crate::logic::LogicFactory;
 use crate::telemetry::{elapsed_us, fold_load_stats, FedMetrics, RuntimeMetrics};
+use sci_location::floorplan::FloorPlan;
 
 /// One mutating operation on a range.
 ///
@@ -236,6 +241,67 @@ enum ToWorker {
     Stop,
 }
 
+/// Supervision policy for a [`RangeRuntime`]: how many times a panicked
+/// worker may be restarted.
+///
+/// The default is **no restarts** — a panic retires the range and the
+/// coordinator reports [`SciError::RangeDown`], preserving the original
+/// fail-stop semantics. With a bounded budget the runtime rebuilds the
+/// Context Server on a fresh worker thread (same GUID, name, floor plan
+/// and telemetry registry) and replays the range's *blueprint*: the
+/// replayable composition commands (registrations, logic factories,
+/// equivalences, advertisements, live subscriptions and settings
+/// toggles) recorded since spawn. In-flight events and command history
+/// are lost — supervision restores the composition graph, not the
+/// event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restarts allowed over the runtime's lifetime; `0` disables
+    /// supervision.
+    pub max_restarts: u32,
+}
+
+impl RestartPolicy {
+    /// Fail-stop: never restart (the default).
+    pub const NONE: RestartPolicy = RestartPolicy { max_restarts: 0 };
+
+    /// Restart up to `max_restarts` times.
+    pub fn bounded(max_restarts: u32) -> Self {
+        RestartPolicy { max_restarts }
+    }
+}
+
+/// A replayable composition command, recorded for restart supervision.
+/// Everything here can be cloned back into a [`RangeCommand`] any
+/// number of times (`LogicFactory` is an `Arc`).
+enum BlueprintCmd {
+    Register(Box<Profile>),
+    RegisterLogic(Guid, LogicFactory),
+    DeclareEquivalence(ContextType, ContextType),
+    Advertise(Box<Advertisement>),
+    Subscribe(Box<Query>),
+    SetReuse(bool),
+    SetAutoRegisterPeople(bool),
+    SetPlanVerification(bool),
+}
+
+impl BlueprintCmd {
+    fn to_command(&self) -> RangeCommand {
+        match self {
+            BlueprintCmd::Register(p) => RangeCommand::Register(p.clone()),
+            BlueprintCmd::RegisterLogic(ce, f) => RangeCommand::RegisterLogic(*ce, f.clone()),
+            BlueprintCmd::DeclareEquivalence(a, b) => {
+                RangeCommand::DeclareEquivalence(a.clone(), b.clone())
+            }
+            BlueprintCmd::Advertise(ad) => RangeCommand::Advertise(ad.clone()),
+            BlueprintCmd::Subscribe(q) => RangeCommand::Submit(q.clone()),
+            BlueprintCmd::SetReuse(v) => RangeCommand::SetReuse(*v),
+            BlueprintCmd::SetAutoRegisterPeople(v) => RangeCommand::SetAutoRegisterPeople(*v),
+            BlueprintCmd::SetPlanVerification(v) => RangeCommand::SetPlanVerification(*v),
+        }
+    }
+}
+
 /// One worker thread's life: drain the mailbox, execute commands,
 /// return the server on graceful stop, `None` if a command panicked.
 fn worker_loop(
@@ -298,6 +364,16 @@ pub struct RangeRuntime {
     /// registry outlives a panicked worker.
     registry: Registry,
     metrics: RuntimeMetrics,
+    /// The range's floor plan, kept so a supervised restart can rebuild
+    /// the Context Server.
+    plan: FloorPlan,
+    policy: RestartPolicy,
+    restarts_used: u32,
+    /// Replayable composition commands recorded since spawn (only when
+    /// supervision is enabled).
+    blueprint: Vec<BlueprintCmd>,
+    /// The latest logical time seen, used as the replay clock.
+    last_now: VirtualTime,
 }
 
 impl std::fmt::Debug for RangeRuntime {
@@ -313,11 +389,26 @@ impl std::fmt::Debug for RangeRuntime {
 
 impl RangeRuntime {
     /// Moves `cs` onto a dedicated worker thread and returns the handle
-    /// that drives it.
+    /// that drives it. Fail-stop: a panic retires the range for good
+    /// (see [`RangeRuntime::spawn_supervised`]).
     pub fn spawn(cs: ContextServer) -> Self {
+        RangeRuntime::spawn_supervised(cs, RestartPolicy::NONE)
+    }
+
+    /// Moves `cs` onto a dedicated worker thread under a supervision
+    /// `policy`: after a worker panic, up to
+    /// [`RestartPolicy::max_restarts`] restarts rebuild the server
+    /// (same registry, so counters stay continuous) and replay its
+    /// composition blueprint. The command that observed the crash still
+    /// fails with [`SciError::RangeDown`]; subsequent commands reach
+    /// the restarted worker. Each restart increments `range.restarts`;
+    /// blueprint commands that fail on replay increment
+    /// `range.restart.replay_errors`.
+    pub fn spawn_supervised(cs: ContextServer, policy: RestartPolicy) -> Self {
         let id = cs.id();
         let name = cs.name().to_owned();
         let registry = cs.telemetry().clone();
+        let plan = cs.location().plan().clone();
         let metrics = RuntimeMetrics::register(&registry);
         let worker_metrics = metrics.clone();
         let (cmd_tx, cmd_rx) = mailbox::<ToWorker>();
@@ -337,7 +428,128 @@ impl RangeRuntime {
             down: false,
             registry,
             metrics,
+            plan,
+            policy,
+            restarts_used: 0,
+            blueprint: Vec::new(),
+            last_now: VirtualTime::ZERO,
         }
+    }
+
+    /// Restarts performed so far under the supervision policy.
+    pub fn restarts(&self) -> u32 {
+        self.restarts_used
+    }
+
+    /// Records `cmd` in the restart blueprint if it shapes the range's
+    /// composition graph. Deregistrations and cancellations erase their
+    /// counterparts so the blueprint tracks the *live* graph, not the
+    /// command history.
+    fn record(&mut self, cmd: &RangeCommand) {
+        if self.policy.max_restarts == 0 {
+            return;
+        }
+        match cmd {
+            RangeCommand::Register(p) => self.blueprint.push(BlueprintCmd::Register(p.clone())),
+            RangeCommand::RegisterLogic(ce, f) => self
+                .blueprint
+                .push(BlueprintCmd::RegisterLogic(*ce, f.clone())),
+            RangeCommand::DeclareEquivalence(a, b) => {
+                self.blueprint
+                    .push(BlueprintCmd::DeclareEquivalence(a.clone(), b.clone()));
+            }
+            RangeCommand::Advertise(ad) => self.blueprint.push(BlueprintCmd::Advertise(ad.clone())),
+            RangeCommand::Submit(q) if q.mode == Mode::Subscribe => {
+                self.blueprint.push(BlueprintCmd::Subscribe(q.clone()));
+            }
+            RangeCommand::Deregister(id) => self.blueprint.retain(|b| match b {
+                BlueprintCmd::Register(p) => p.id() != *id,
+                BlueprintCmd::RegisterLogic(ce, _) => ce != id,
+                BlueprintCmd::Advertise(ad) => ad.provider() != *id,
+                _ => true,
+            }),
+            RangeCommand::Cancel(query_id) => self.blueprint.retain(|b| match b {
+                BlueprintCmd::Subscribe(q) => q.id != *query_id,
+                _ => true,
+            }),
+            RangeCommand::SetReuse(v) => self.blueprint.push(BlueprintCmd::SetReuse(*v)),
+            RangeCommand::SetAutoRegisterPeople(v) => {
+                self.blueprint.push(BlueprintCmd::SetAutoRegisterPeople(*v));
+            }
+            RangeCommand::SetPlanVerification(v) => {
+                self.blueprint.push(BlueprintCmd::SetPlanVerification(*v));
+            }
+            _ => {}
+        }
+    }
+
+    /// Attempts a supervised restart after a worker death. Rebuilds the
+    /// server on a fresh worker and replays the blueprint at the last
+    /// seen logical time. Returns `false` when the restart budget is
+    /// exhausted (or the replacement itself died).
+    fn try_restart(&mut self) -> bool {
+        if self.restarts_used >= self.policy.max_restarts {
+            return false;
+        }
+        self.restarts_used += 1;
+        // The dead worker's server state is gone; join to reap the
+        // thread.
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+        // Same GUID, name, plan and registry: the rebuilt server keeps
+        // incrementing the counters its predecessor registered.
+        let cs = ContextServer::with_registry(
+            self.id,
+            self.name.clone(),
+            self.plan.clone(),
+            self.registry.clone(),
+        );
+        let (cmd_tx, cmd_rx) = mailbox::<ToWorker>();
+        let (reply_tx, reply_rx) = mailbox::<SciResult<RangeReply>>();
+        let worker_metrics = self.metrics.clone();
+        self.worker = std::thread::Builder::new()
+            .name(format!("range-{}", self.name))
+            .spawn(move || worker_loop(cs, cmd_rx, reply_tx, worker_metrics))
+            .ok();
+        self.tx = cmd_tx;
+        self.rx = reply_rx;
+        // Commands queued for the dead worker are lost with it.
+        self.pending = 0;
+        self.metrics.mailbox_depth.set(0);
+        self.down = false;
+        self.registry.counter("range.restarts").inc();
+
+        // Replay the composition graph.
+        let now = self.last_now;
+        let replay: Vec<RangeCommand> = self
+            .blueprint
+            .iter()
+            .map(BlueprintCmd::to_command)
+            .collect();
+        for cmd in replay {
+            if self.tx.send(ToWorker::Cmd { cmd, now }).is_err() {
+                self.down = true;
+                return false;
+            }
+            self.metrics.mailbox_depth.inc();
+            self.pending += 1;
+        }
+        while self.pending > 0 {
+            match self.rx.recv() {
+                Ok(reply) => {
+                    self.pending -= 1;
+                    if reply.is_err() {
+                        self.registry.counter("range.restart.replay_errors").inc();
+                    }
+                }
+                Err(_) => {
+                    self.down = true;
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// The underlying server's telemetry registry (shared with the
@@ -364,7 +576,13 @@ impl RangeRuntime {
 
     fn down_error(&mut self) -> SciError {
         self.down = true;
-        SciError::RangeDown(self.name.clone())
+        let name = self.name.clone();
+        // Supervised runtimes come back up for the *next* command; the
+        // one that observed the crash still fails.
+        if self.policy.max_restarts > 0 {
+            self.try_restart();
+        }
+        SciError::RangeDown(name)
     }
 
     /// Pipelined submission: enqueue `cmd` and return without waiting.
@@ -381,6 +599,10 @@ impl RangeRuntime {
         if self.down {
             return Err(SciError::RangeDown(self.name.clone()));
         }
+        if now > self.last_now {
+            self.last_now = now;
+        }
+        self.record(&cmd);
         if self.tx.send(ToWorker::Cmd { cmd, now }).is_err() {
             return Err(self.down_error());
         }
@@ -480,8 +702,8 @@ impl RangeRuntime {
 /// `tests/parallel_federation.rs` holds the two drivers to that.
 ///
 /// [`sync`]: ParallelFederation::sync
-pub struct ParallelFederation {
-    fabric: SimNetwork,
+pub struct ParallelFederation<T: Transport = SimNetwork> {
+    fabric: T,
     workers: HashMap<Guid, RangeRuntime>,
     app_home: HashMap<Guid, Guid>,
     inbox: HashMap<Guid, Vec<AppDelivery>>,
@@ -492,11 +714,21 @@ pub struct ParallelFederation {
     /// producing range.
     relay_max_age: HashMap<Guid, VirtualDuration>,
     relay_stale_drops: u64,
+    /// Supervision policy applied to every worker spawned by
+    /// [`ParallelFederation::add_range`].
+    restart_policy: RestartPolicy,
+    /// Per-origin monotonic relay sequence numbers (envelope `seq`).
+    relay_seq: HashMap<Guid, u64>,
+    /// Envelopes already absorbed (`(origin, seq)`): the receiver-side
+    /// half of exactly-once relay.
+    seen_relays: HashSet<(Guid, u64)>,
+    /// Relays that exhausted their in-call retries, retried each sync.
+    pending_relays: Vec<Message>,
     ids: GuidGenerator,
     metrics: FedMetrics,
 }
 
-impl std::fmt::Debug for ParallelFederation {
+impl<T: Transport> std::fmt::Debug for ParallelFederation<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ParallelFederation")
             .field("ranges", &self.workers.len())
@@ -505,11 +737,19 @@ impl std::fmt::Debug for ParallelFederation {
 }
 
 impl ParallelFederation {
-    /// Creates an empty parallel federation; `seed` drives message-id
-    /// minting.
+    /// Creates an empty parallel federation over the deterministic
+    /// simulated overlay; `seed` drives message-id minting.
     pub fn new(seed: u64) -> Self {
+        ParallelFederation::with_transport(SimNetwork::new(), seed)
+    }
+}
+
+impl<T: Transport> ParallelFederation<T> {
+    /// Creates an empty parallel federation over an arbitrary
+    /// transport; `seed` drives message-id minting.
+    pub fn with_transport(fabric: T, seed: u64) -> Self {
         ParallelFederation {
-            fabric: SimNetwork::new(),
+            fabric,
             workers: HashMap::new(),
             app_home: HashMap::new(),
             inbox: HashMap::new(),
@@ -517,13 +757,28 @@ impl ParallelFederation {
             places: HashMap::new(),
             relay_max_age: HashMap::new(),
             relay_stale_drops: 0,
+            restart_policy: RestartPolicy::NONE,
+            relay_seq: HashMap::new(),
+            seen_relays: HashSet::new(),
+            pending_relays: Vec::new(),
             ids: GuidGenerator::seeded(seed),
             metrics: FedMetrics::new(),
         }
     }
 
+    /// Sets the supervision policy applied to ranges added *after*
+    /// this call (builder style: chain before [`add_range`]).
+    ///
+    /// [`add_range`]: ParallelFederation::add_range
+    #[must_use]
+    pub fn with_restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart_policy = policy;
+        self
+    }
+
     /// Adds a range: its rooms join the place directory, its Context
-    /// Server moves onto a fresh worker thread.
+    /// Server moves onto a fresh worker thread under the federation's
+    /// restart policy.
     ///
     /// # Errors
     ///
@@ -534,13 +789,31 @@ impl ParallelFederation {
         for room in cs.location().plan().rooms() {
             self.places.entry(room.name.clone()).or_insert(id);
         }
-        self.workers.insert(id, RangeRuntime::spawn(cs));
+        self.workers
+            .insert(id, RangeRuntime::spawn_supervised(cs, self.restart_policy));
         Ok(id)
+    }
+
+    /// Restarts performed by the named range's supervised runtime.
+    pub fn restarts_of(&self, range: &str) -> Option<u32> {
+        let id = self.fabric.find_by_name(range)?;
+        self.workers.get(&id).map(RangeRuntime::restarts)
     }
 
     /// Gives every node full overlay knowledge.
     pub fn connect_full(&mut self) {
-        self.fabric.populate_full();
+        self.fabric.connect_full();
+    }
+
+    /// Read access to the transport fabric.
+    pub fn fabric(&self) -> &T {
+        &self.fabric
+    }
+
+    /// Mutable access to the transport fabric, for fault injection
+    /// through a [`sci_overlay::fault::FaultyTransport`] wrapper.
+    pub fn fabric_mut(&mut self) -> &mut T {
+        &mut self.fabric
     }
 
     /// Number of ranges (including downed ones).
@@ -564,6 +837,33 @@ impl ParallelFederation {
         self.relay_stale_drops
     }
 
+    /// Duplicate relay envelopes discarded by the receiver-side
+    /// exactly-once filter.
+    pub fn relay_dedup_hits(&self) -> u64 {
+        self.metrics.relay_dedup_hits.get()
+    }
+
+    /// Relay retransmissions attempted (first attempts not counted).
+    pub fn retry_attempts(&self) -> u64 {
+        self.metrics.retry_attempts.get()
+    }
+
+    /// Relays that exhausted their in-call retries and were parked.
+    pub fn retry_parked(&self) -> u64 {
+        self.metrics.retry_parked.get()
+    }
+
+    /// Degraded (partial) query answers returned by
+    /// [`ParallelFederation::submit_from`].
+    pub fn partial_answers(&self) -> u64 {
+        self.metrics.partial_answers.get()
+    }
+
+    /// Relays currently parked awaiting connectivity.
+    pub fn pending_relay_count(&self) -> usize {
+        self.pending_relays.len()
+    }
+
     /// Freezes a federation-wide telemetry view: every range's registry
     /// (bus, command, resolver and runtime instruments — readable while
     /// the workers run, since all counters are atomics), the
@@ -575,6 +875,9 @@ impl ParallelFederation {
             snap.merge(&worker.registry().snapshot());
         }
         snap.merge(&fold_load_stats(self.fabric.stats()));
+        if let Some(faults) = self.fabric.telemetry() {
+            snap.merge(&faults.snapshot());
+        }
         snap
     }
 
@@ -627,14 +930,41 @@ impl ParallelFederation {
         result
     }
 
+    /// Builds the degraded answer for a query whose target range could
+    /// not be consulted, counting it in `federation.answers.partial`.
+    fn degraded(&mut self, missing: Guid, reason: &str) -> FederatedAnswer {
+        self.metrics.partial_answers.inc();
+        let missing_range = self
+            .workers
+            .get(&missing)
+            .map(|w| w.name().to_owned())
+            .unwrap_or_else(|| missing.to_string());
+        FederatedAnswer {
+            answer: QueryAnswer::Partial {
+                answer: Box::new(QueryAnswer::Forward {
+                    range: missing_range.clone(),
+                }),
+                missing_range,
+                reason: reason.to_owned(),
+            },
+            hops: 0,
+            latency: VirtualDuration::ZERO,
+        }
+    }
+
     /// Submits a query at the application's current range, forwarding
     /// over the SCINET if needed. Blocks for the answer (and thereby
     /// for every event previously pipelined into that range).
     ///
+    /// Graceful degradation: a target range whose worker has died
+    /// (`range-down`) or that the fabric cannot currently reach
+    /// (`unroutable`) yields a [`QueryAnswer::Partial`] naming the
+    /// missing range instead of an error.
+    ///
     /// # Errors
     ///
     /// As for [`crate::federation::Federation::submit_from`], plus
-    /// [`SciError::RangeDown`] for downed workers.
+    /// [`SciError::RangeDown`] if the *home* range's worker died.
     pub fn submit_from(
         &mut self,
         range: &str,
@@ -693,28 +1023,36 @@ impl ParallelFederation {
             MessageKind::QueryForward,
             Bytes::from(qcodec::to_xml(query).into_bytes()),
         );
-        let out_fwd = self.fabric.send(fwd)?;
+        let out_fwd = match self.fabric.send(fwd) {
+            Ok(o) => o,
+            Err(SciError::Unroutable { .. }) => return Ok(self.degraded(dst, "unroutable")),
+            Err(e) => return Err(e),
+        };
         let arrival = now.saturating_add(out_fwd.latency);
 
-        let messages = self
-            .fabric
-            .node_mut(dst)
-            .ok_or_else(|| SciError::Internal(format!("routed to missing node {dst}")))?
-            .drain_inbox();
+        let messages = self.fabric.drain(dst);
         let mut answer = None;
         for msg in messages {
             if msg.kind != MessageKind::QueryForward {
+                self.absorb(msg, arrival)?;
                 continue;
             }
             let xml = String::from_utf8(msg.payload.to_vec())
                 .map_err(|_| SciError::Codec("query payload is not UTF-8".into()))?;
             let remote_query = qcodec::from_xml(&xml)?;
-            let remote_answer = self
+            let remote_answer = match self
                 .workers
                 .get_mut(&dst)
                 .ok_or_else(|| SciError::Internal(format!("node {dst} has no runtime")))?
                 .call(RangeCommand::Submit(Box::new(remote_query)), arrival)
-                .and_then(expect_answer)?;
+                .and_then(expect_answer)
+            {
+                Ok(a) => a,
+                // The target range's worker is dead: degrade rather
+                // than fail the whole submission.
+                Err(SciError::RangeDown(_)) => return Ok(self.degraded(dst, "range-down")),
+                Err(e) => return Err(e),
+            };
             answer = Some(remote_answer);
         }
         let answer = answer.ok_or_else(|| SciError::Internal("forwarded query vanished".into()))?;
@@ -727,20 +1065,25 @@ impl ParallelFederation {
             MessageKind::QueryResponse,
             Bytes::from(answer_to_xml(&answer).into_bytes()),
         );
-        let out_resp = self.fabric.send(resp)?;
+        let out_resp = match self.fabric.send(resp) {
+            Ok(o) => o,
+            Err(SciError::Unroutable { .. }) => return Ok(self.degraded(dst, "unroutable")),
+            Err(e) => return Err(e),
+        };
+        let resp_arrival = now.saturating_add(out_fwd.latency + out_resp.latency);
         let mut decoded = None;
-        let messages = self
-            .fabric
-            .node_mut(home)
-            .ok_or_else(|| SciError::Internal(format!("overlay lost home node {home}")))?
-            .drain_inbox();
+        let messages = self.fabric.drain(home);
         for msg in messages {
             if msg.kind == MessageKind::QueryResponse {
-                decoded = Some(answer_from_xml(
-                    std::str::from_utf8(&msg.payload)
-                        .map_err(|_| SciError::Codec("answer payload is not UTF-8".into()))?,
-                )?);
+                let text = std::str::from_utf8(&msg.payload)
+                    .map_err(|_| SciError::Codec("answer payload is not UTF-8".into()))?;
+                let doc = parse(text)?;
+                if doc.name == "answer" {
+                    decoded = Some(answer_from_element(&doc)?);
+                    continue;
+                }
             }
+            self.absorb(msg, resp_arrival)?;
         }
         let decoded = decoded.ok_or_else(|| SciError::Internal("response vanished".into()))?;
 
@@ -766,8 +1109,14 @@ impl ParallelFederation {
     ///   sync;
     /// * [`SciError::RangeDown`] for workers that died (remaining
     ///   ranges are still synced first);
-    /// * routing failures for cross-range relays.
+    /// * codec failures for cross-range relays (routing failures are
+    ///   retried, not propagated).
     pub fn sync(&mut self, now: VirtualTime) -> SciResult<()> {
+        // Release fault-delayed traffic, then give parked relays their
+        // once-per-sync retransmission.
+        self.fabric.flush();
+        self.retry_pending(now)?;
+
         let mut node_ids: Vec<Guid> = self.workers.keys().copied().collect();
         node_ids.sort_unstable();
         let mut first_error: Option<SciError> = None;
@@ -816,9 +1165,12 @@ impl ParallelFederation {
                     self.inbox.entry(d.app).or_default().push(d);
                     continue;
                 }
+                let seq = self.next_seq(node);
                 let payload = Element::new("relay")
                     .with_attr("app", d.app.to_string())
                     .with_attr("query", d.query.to_string())
+                    .with_attr("origin", node.to_string())
+                    .with_attr("seq", seq.to_string())
                     .with_child(qcodec::event_to_element(&d.event))
                     .to_xml();
                 let msg = Message::new(
@@ -829,45 +1181,7 @@ impl ParallelFederation {
                     Bytes::from(payload.into_bytes()),
                 );
                 self.metrics.relay_events.inc();
-                let outcome = self.fabric.send(msg)?;
-                let arrival = now.saturating_add(outcome.latency);
-                let messages = self
-                    .fabric
-                    .node_mut(home)
-                    .ok_or_else(|| SciError::Internal(format!("overlay lost home node {home}")))?
-                    .drain_inbox();
-                for m in messages {
-                    if m.kind != MessageKind::EventRelay {
-                        continue;
-                    }
-                    let doc = parse(
-                        std::str::from_utf8(&m.payload)
-                            .map_err(|_| SciError::Codec("relay not UTF-8".into()))?,
-                    )?;
-                    let app: Guid = doc
-                        .attr("app")
-                        .ok_or_else(|| SciError::Codec("relay missing app".into()))?
-                        .parse()?;
-                    let query: Guid = doc
-                        .attr("query")
-                        .ok_or_else(|| SciError::Codec("relay missing query".into()))?
-                        .parse()?;
-                    let event = qcodec::event_from_element(doc.require_child("event")?)?;
-                    let stale = self
-                        .relay_max_age
-                        .get(&query)
-                        .map(|&max| arrival.saturating_since(event.timestamp) > max)
-                        .unwrap_or(false);
-                    if stale {
-                        self.relay_stale_drops += 1;
-                        self.metrics.relay_stale_drops.inc();
-                        continue;
-                    }
-                    self.inbox
-                        .entry(app)
-                        .or_default()
-                        .push(AppDelivery { app, query, event });
-                }
+                self.send_reliable(msg, now)?;
             }
             for (query, owner, answer) in answers {
                 let home = self.app_home.get(&owner).copied().unwrap_or(node);
@@ -875,10 +1189,13 @@ impl ParallelFederation {
                     self.answers.entry(owner).or_default().push((query, answer));
                     continue;
                 }
+                let seq = self.next_seq(node);
                 let payload = Element::new("answer-relay")
                     .with_attr("app", owner.to_string())
                     .with_attr("query", query.to_string())
-                    .with_child(parse(&answer_to_xml(&answer))?)
+                    .with_attr("origin", node.to_string())
+                    .with_attr("seq", seq.to_string())
+                    .with_child(answer_element(&answer))
                     .to_xml();
                 let msg = Message::new(
                     self.ids.next_guid(),
@@ -888,42 +1205,174 @@ impl ParallelFederation {
                     Bytes::from(payload.into_bytes()),
                 );
                 self.metrics.relay_answers.inc();
-                self.fabric.send(msg)?;
-                let messages = self
-                    .fabric
-                    .node_mut(home)
-                    .ok_or_else(|| SciError::Internal(format!("overlay lost home node {home}")))?
-                    .drain_inbox();
-                for m in messages {
-                    if m.kind != MessageKind::QueryResponse {
-                        continue;
-                    }
-                    let doc = parse(
-                        std::str::from_utf8(&m.payload)
-                            .map_err(|_| SciError::Codec("answer relay not UTF-8".into()))?,
-                    )?;
-                    if doc.name != "answer-relay" {
-                        continue;
-                    }
-                    let app: Guid = doc
-                        .attr("app")
-                        .ok_or_else(|| SciError::Codec("relay missing app".into()))?
-                        .parse()?;
-                    let q: Guid = doc
-                        .attr("query")
-                        .ok_or_else(|| SciError::Codec("relay missing query".into()))?
-                        .parse()?;
-                    let decoded = answer_from_xml(&doc.require_child("answer")?.to_xml())?;
-                    self.answers.entry(app).or_default().push((q, decoded));
-                }
+                self.send_reliable(msg, now)?;
             }
             self.metrics.relay_us.record(elapsed_us(relay_started));
         }
+        self.sweep(now)?;
 
         match first_error {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Mints the next envelope sequence number for `origin`.
+    fn next_seq(&mut self, origin: Guid) -> u64 {
+        let seq = self.relay_seq.entry(origin).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    /// Sends a relay envelope with up to [`RELAY_RETRIES`]
+    /// retransmissions under exponential backoff (accounted in virtual
+    /// time), parking it for the next sync if all attempts fail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-routing transport failures.
+    fn send_reliable(&mut self, msg: Message, now: VirtualTime) -> SciResult<()> {
+        let dst = msg.dst;
+        let mut backoff = VirtualDuration::ZERO;
+        let mut wait = RETRY_BACKOFF_BASE_US;
+        for attempt in 0..=RELAY_RETRIES {
+            if attempt > 0 {
+                self.metrics.retry_attempts.inc();
+                backoff += VirtualDuration::from_micros(wait);
+                wait = wait.saturating_mul(2);
+            }
+            match self.fabric.send(msg.clone()) {
+                Ok(outcome) => {
+                    let arrival = now.saturating_add(outcome.latency).saturating_add(backoff);
+                    let landed = self.fabric.drain(dst);
+                    for m in landed {
+                        self.absorb(m, arrival)?;
+                    }
+                    return Ok(());
+                }
+                Err(SciError::Unroutable { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.metrics.retry_parked.inc();
+        self.pending_relays.push(msg);
+        Ok(())
+    }
+
+    /// Retransmits every parked relay once; still-unroutable envelopes
+    /// go back in the park.
+    fn retry_pending(&mut self, now: VirtualTime) -> SciResult<()> {
+        if self.pending_relays.is_empty() {
+            return Ok(());
+        }
+        let parked = std::mem::take(&mut self.pending_relays);
+        for msg in parked {
+            self.metrics.retry_attempts.inc();
+            let dst = msg.dst;
+            match self.fabric.send(msg.clone()) {
+                Ok(outcome) => {
+                    let arrival = now.saturating_add(outcome.latency);
+                    let landed = self.fabric.drain(dst);
+                    for m in landed {
+                        self.absorb(m, arrival)?;
+                    }
+                }
+                Err(SciError::Unroutable { .. }) => self.pending_relays.push(msg),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every node's inbox and absorbs what landed (late
+    /// arrivals from ack-lost sends, duplicates, flushed delays).
+    fn sweep(&mut self, now: VirtualTime) -> SciResult<()> {
+        let mut node_ids: Vec<Guid> = self.workers.keys().copied().collect();
+        node_ids.sort_unstable();
+        for node in node_ids {
+            let landed = self.fabric.drain(node);
+            for m in landed {
+                self.absorb(m, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Delivers one fabric message to its application behind the
+    /// exactly-once filter: a `(origin, seq)` envelope already seen is
+    /// counted in `federation.relay.dedup_hits` and dropped. Event
+    /// relays are checked against their query's freshness bound at
+    /// `arrival`; non-relay traffic is dropped.
+    fn absorb(&mut self, m: Message, arrival: VirtualTime) -> SciResult<()> {
+        match m.kind {
+            MessageKind::EventRelay => {
+                let doc = parse(
+                    std::str::from_utf8(&m.payload)
+                        .map_err(|_| SciError::Codec("relay not UTF-8".into()))?,
+                )?;
+                if doc.name != "relay" {
+                    return Ok(());
+                }
+                let Some(envelope) = relay_envelope(&doc)? else {
+                    return Ok(());
+                };
+                if !self.seen_relays.insert(envelope) {
+                    self.metrics.relay_dedup_hits.inc();
+                    return Ok(());
+                }
+                let app: Guid = doc
+                    .attr("app")
+                    .ok_or_else(|| SciError::Codec("relay missing app".into()))?
+                    .parse()?;
+                let query: Guid = doc
+                    .attr("query")
+                    .ok_or_else(|| SciError::Codec("relay missing query".into()))?
+                    .parse()?;
+                let event = qcodec::event_from_element(doc.require_child("event")?)?;
+                let stale = self
+                    .relay_max_age
+                    .get(&query)
+                    .map(|&max| arrival.saturating_since(event.timestamp) > max)
+                    .unwrap_or(false);
+                if stale {
+                    self.relay_stale_drops += 1;
+                    self.metrics.relay_stale_drops.inc();
+                    return Ok(());
+                }
+                self.inbox
+                    .entry(app)
+                    .or_default()
+                    .push(AppDelivery { app, query, event });
+            }
+            MessageKind::QueryResponse => {
+                let doc = parse(
+                    std::str::from_utf8(&m.payload)
+                        .map_err(|_| SciError::Codec("answer relay not UTF-8".into()))?,
+                )?;
+                if doc.name != "answer-relay" {
+                    return Ok(());
+                }
+                let Some(envelope) = relay_envelope(&doc)? else {
+                    return Ok(());
+                };
+                if !self.seen_relays.insert(envelope) {
+                    self.metrics.relay_dedup_hits.inc();
+                    return Ok(());
+                }
+                let app: Guid = doc
+                    .attr("app")
+                    .ok_or_else(|| SciError::Codec("relay missing app".into()))?
+                    .parse()?;
+                let q: Guid = doc
+                    .attr("query")
+                    .ok_or_else(|| SciError::Codec("relay missing query".into()))?
+                    .parse()?;
+                let decoded = answer_from_element(doc.require_child("answer")?)?;
+                self.answers.entry(app).or_default().push((q, decoded));
+            }
+            _ => {}
+        }
+        Ok(())
     }
 
     /// Fires due timers in every range, then syncs.

@@ -37,6 +37,13 @@
 //! | `federation.relay.events` | counter | deliveries relayed over the fabric |
 //! | `federation.relay.answers` | counter | deferred answers relayed |
 //! | `federation.relay.stale_drops` | counter | relays dropped as stale |
+//! | `federation.relay.dedup_hits` | counter | duplicate relay envelopes discarded by receiver-side dedup |
+//! | `federation.retry.attempts` | counter | relay retransmissions (every send after a message's first) |
+//! | `federation.retry.parked` | counter | relays parked for a later pump after exhausting in-call retries |
+//! | `federation.answers.partial` | counter | degraded partial answers returned for unreachable ranges |
+//! | `range.restarts` | counter | supervised worker restarts after a panic |
+//! | `range.restart.replay_errors` | counter | blueprint commands that failed during restart replay |
+//! | `fault.drops` / `fault.delays` / `fault.dups` / `fault.reorders` / `fault.partition_blocks` | counter | faults injected by `sci_overlay::fault::FaultyTransport` |
 //! | `net.delivered` / `net.failed` / `net.recoveries` | counter | overlay routing outcomes |
 //! | `net.hops` | histogram | hops per delivered overlay message |
 
@@ -67,10 +74,12 @@ pub(crate) struct CsMetrics {
 }
 
 impl CsMetrics {
-    /// Creates a fresh registry with every instrument pre-registered
-    /// and a no-op tracer.
-    pub(crate) fn new() -> Self {
-        let registry = Registry::new();
+    /// Pre-registers every instrument on an existing registry. The
+    /// registry's get-or-register semantics make this the continuity
+    /// path for supervised restarts: a restarted Context Server adopts
+    /// its predecessor's registry and keeps incrementing the same
+    /// counters.
+    pub(crate) fn with_registry(registry: Registry) -> Self {
         let cmd_count = RangeCommand::KINDS
             .iter()
             .map(|kind| registry.counter(&format!("range.cmd.{kind}.count")))
@@ -155,6 +164,10 @@ pub(crate) struct FedMetrics {
     pub(crate) relay_events: Counter,
     pub(crate) relay_answers: Counter,
     pub(crate) relay_stale_drops: Counter,
+    pub(crate) relay_dedup_hits: Counter,
+    pub(crate) retry_attempts: Counter,
+    pub(crate) retry_parked: Counter,
+    pub(crate) partial_answers: Counter,
 }
 
 impl FedMetrics {
@@ -167,6 +180,10 @@ impl FedMetrics {
             relay_events: registry.counter("federation.relay.events"),
             relay_answers: registry.counter("federation.relay.answers"),
             relay_stale_drops: registry.counter("federation.relay.stale_drops"),
+            relay_dedup_hits: registry.counter("federation.relay.dedup_hits"),
+            retry_attempts: registry.counter("federation.retry.attempts"),
+            retry_parked: registry.counter("federation.retry.parked"),
+            partial_answers: registry.counter("federation.answers.partial"),
             registry,
         }
     }
@@ -316,7 +333,7 @@ mod tests {
 
     #[test]
     fn command_instruments_cover_every_kind() {
-        let m = CsMetrics::new();
+        let m = CsMetrics::with_registry(Registry::new());
         assert_eq!(m.cmd_count.len(), RangeCommand::KINDS.len());
         m.record_command(0, 5);
         let snap = m.registry().snapshot();

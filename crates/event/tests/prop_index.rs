@@ -162,3 +162,113 @@ proptest! {
         }
     }
 }
+
+/// Regression: churning a topic's subscriber set must never reorder
+/// deliveries. Index buckets that recycle slots (swap-remove, free
+/// lists) can silently diverge from subscription order under heavy
+/// subscribe/unsubscribe/resubscribe traffic; the linear oracle *is*
+/// subscription order, so every published sequence must match it after
+/// every mutation — including one-time subscriptions that self-expire
+/// and whole-subscriber purges.
+#[test]
+fn churned_subscription_order_matches_oracle() {
+    let mut indexed = EventBus::new();
+    let mut oracle = LinearBus::new();
+    let mut live: Vec<SubId> = Vec::new();
+    let mut t = 0u64;
+
+    // Seed subscribers across every index key family.
+    for (i, (ty, source, subject)) in [
+        (None, None, None),
+        (Some(0), None, None),
+        (None, Some(1), None),
+        (Some(1), Some(1), Some(1)),
+        (Some(2), None, Some(2)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let who = Guid::from_u128(1 + (i as u128 % 4));
+        let topic = topic_of(ty, source, subject);
+        let a = indexed.subscribe(who, topic.clone(), false);
+        let b = oracle.subscribe(who, topic, false);
+        assert_eq!(a, b);
+        live.push(a);
+    }
+
+    for round in 0..200u64 {
+        // Remove a rotating victim from the middle of the live set,
+        // then resubscribe under a rotating key family: the recycled
+        // slot must not inherit the old position.
+        if !live.is_empty() {
+            let victim = live.remove(round as usize % live.len());
+            assert_eq!(
+                indexed.unsubscribe(victim).is_ok(),
+                oracle.unsubscribe(victim).is_ok()
+            );
+        }
+        let who = Guid::from_u128(1 + (round as u128 % 4));
+        let topic = match round % 4 {
+            0 => topic_of(None, None, None),
+            1 => topic_of(Some((round % 4) as u8), None, None),
+            2 => topic_of(None, Some((round % 4) as u8), Some((round % 4) as u8)),
+            _ => topic_of(Some((round % 4) as u8), Some((round % 4) as u8), None),
+        };
+        let one_time = round % 3 == 0;
+        let a = indexed.subscribe(who, topic.clone(), one_time);
+        let b = oracle.subscribe(who, topic, one_time);
+        assert_eq!(a, b, "id allocation agrees under churn");
+        live.push(a);
+
+        // Every 5th round, purge one subscriber outright.
+        if round % 5 == 4 {
+            let purged = Guid::from_u128(1 + ((round / 5) as u128 % 4));
+            assert_eq!(
+                indexed.unsubscribe_all(purged),
+                oracle.unsubscribe_all(purged),
+                "purge removes the same set"
+            );
+        }
+
+        // Probe all key families: the full delivery sequence (ids,
+        // subscribers, `last` flags, order) must match the oracle.
+        for (source, ty, subject) in [(0u8, 0u8, Some(0u8)), (1, 1, Some(1)), (2, 2, None)] {
+            t += 1;
+            let payload = match subject {
+                Some(s) => ContextValue::record([
+                    ("subject", ContextValue::Id(subject_of(s))),
+                    ("n", ContextValue::Int(t as i64)),
+                ]),
+                None => ContextValue::Int(t as i64),
+            };
+            let event = ContextEvent::new(
+                source_of(source),
+                ty_of(ty),
+                payload,
+                VirtualTime::from_micros(t),
+            );
+            assert_eq!(
+                indexed.publish(&event),
+                oracle.publish(&event),
+                "delivery order diverged at churn round {round}"
+            );
+        }
+        // One-time expiry and purges are reflected identically.
+        live.retain(|&id| oracle.is_live(id));
+        assert_eq!(indexed.len(), oracle.len());
+        for &id in &live {
+            assert!(indexed.is_live(id), "index lost a live subscription");
+        }
+        // Keep the bus populated: purges and one-time expiry drain it
+        // faster than the churn refills it.
+        while live.len() < 4 {
+            let who = Guid::from_u128(1 + live.len() as u128);
+            let topic = topic_of(None, None, None);
+            let a = indexed.subscribe(who, topic.clone(), false);
+            let b = oracle.subscribe(who, topic, false);
+            assert_eq!(a, b);
+            live.push(a);
+        }
+    }
+    assert!(!live.is_empty(), "churn schedule kept the bus populated");
+}

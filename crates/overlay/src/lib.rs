@@ -21,6 +21,10 @@
 //! * [`message`] — the binary wire codec (built on `bytes`) for
 //!   inter-range messages: query forwarding, responses, range adverts,
 //!   liveness pings.
+//! * [`fault::FaultyTransport`] — a seeded fault-injection decorator
+//!   over any [`transport::Transport`]: per-link drops, delays,
+//!   duplicates, reorders and named partitions, all replayable from a
+//!   single `u64` seed.
 //!
 //! Experiment E1 (`sci-bench`, `e1_overlay`) sweeps network size and
 //! compares hop counts and maximum per-node forwarding load across the
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod discovery;
+pub mod fault;
 pub mod hierarchy;
 pub mod message;
 pub mod net;
@@ -37,6 +42,7 @@ pub mod routing;
 pub mod stats;
 pub mod transport;
 
+pub use fault::{FaultProbs, FaultyTransport};
 pub use hierarchy::HierarchicalNetwork;
 pub use message::{Message, MessageKind};
 pub use net::{RouteOutcome, SimNetwork};

@@ -60,6 +60,17 @@ pub trait Transport {
 
     /// Cumulative routing statistics.
     fn stats(&self) -> &LoadStats;
+
+    /// Releases any traffic the transport is holding back (delayed
+    /// messages in a fault-injecting decorator, for example). Default:
+    /// nothing is ever held, so nothing to do.
+    fn flush(&mut self) {}
+
+    /// The transport's own telemetry registry, if it keeps one (the
+    /// fault layer's injection counters, for example). Default: none.
+    fn telemetry(&self) -> Option<&sci_telemetry::Registry> {
+        None
+    }
 }
 
 impl Transport for SimNetwork {

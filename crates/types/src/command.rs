@@ -41,6 +41,28 @@ pub enum QueryAnswer {
         /// Target range name.
         range: String,
     },
+    /// Graceful degradation: part of the answer could not be produced
+    /// because a producing range was unreachable or down. Carries what
+    /// *is* known plus degraded quality-of-context metadata, so
+    /// applications can distinguish "nothing matched" from "somebody
+    /// could not be asked".
+    Partial {
+        /// What could still be answered (often the pending
+        /// [`QueryAnswer::Forward`] that failed to travel).
+        answer: Box<QueryAnswer>,
+        /// The range that could not be consulted.
+        missing_range: String,
+        /// Why: `unroutable` (overlay cannot reach it) or `range-down`
+        /// (its worker died).
+        reason: String,
+    },
+}
+
+impl QueryAnswer {
+    /// Is any part of this answer missing due to an unreachable range?
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, QueryAnswer::Partial { .. })
+    }
 }
 
 /// An event delivered to a Context Aware Application.
@@ -118,6 +140,19 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), kinds.len());
+    }
+
+    #[test]
+    fn partial_answers_flag_degradation() {
+        let partial = QueryAnswer::Partial {
+            answer: Box::new(QueryAnswer::Forward {
+                range: "level-ten".into(),
+            }),
+            missing_range: "level-ten".into(),
+            reason: "unroutable".into(),
+        };
+        assert!(partial.is_degraded());
+        assert!(!QueryAnswer::Deferred.is_degraded());
     }
 
     #[test]

@@ -86,17 +86,19 @@ pub mod prelude {
         start_caa, start_ce, CaaHandle, CeHandle, ConsumeInterface, RegisterInterface,
         ServiceInterface,
     };
-    pub use sci_core::federation::Federation;
+    pub use sci_core::federation::{FederatedAnswer, Federation};
     pub use sci_core::logic::{
         factory, AggregateLogic, EntityLogic, ObjLocationLogic, OccupancyLogic, PathLogic,
         WlanLocationLogic,
     };
     pub use sci_core::range_service::RangeService;
-    pub use sci_core::runtime::{ParallelFederation, RangeCommand, RangeRuntime};
+    pub use sci_core::runtime::{ParallelFederation, RangeCommand, RangeRuntime, RestartPolicy};
     pub use sci_event::{EventBus, EventMediator, Scheduler, Topic, VirtualClock};
     pub use sci_location::floorplan::{capa_level10, FloorPlan};
     pub use sci_location::{LocationExpr, Rect, Route};
-    pub use sci_overlay::{HierarchicalNetwork, SimNetwork, ThreadedTransport, Transport};
+    pub use sci_overlay::{
+        FaultProbs, FaultyTransport, HierarchicalNetwork, SimNetwork, ThreadedTransport, Transport,
+    };
     pub use sci_query::{CmpOp, Mode, Predicate, Query, Subject, What, When, Where, Which};
     pub use sci_sensors::{BaseStation, DoorSensor, Printer, SimPerson, TemperatureSensor, World};
     pub use sci_telemetry::{Registry, RingBufferSubscriber, TelemetrySnapshot, Tracer};

@@ -116,7 +116,7 @@ fn remote_subscription_streams_relayed_events() {
 }
 
 #[test]
-fn partition_blocks_forwarding_until_healed() {
+fn partition_degrades_forwarding_until_healed() {
     let mut r = rig(3);
     let app = r.ids.next_guid();
     let q = Query::builder(r.ids.next_guid(), app)
@@ -129,19 +129,35 @@ fn partition_blocks_forwarding_until_healed() {
     // Works before the outage.
     assert!(r.fed.submit_from("range-0", &q, VirtualTime::ZERO).is_ok());
 
-    // Split range-2 away at the overlay level: forwarding fails.
+    // Split range-2 away at the overlay level: forwarding degrades to
+    // a partial answer naming the unreachable range, rather than
+    // erroring — graceful degradation with QoC metadata.
     r.fed.network_mut().set_partition(r.nodes[2], 1).unwrap();
-    assert!(matches!(
-        r.fed.submit_from("range-0", &q, VirtualTime::from_secs(1)),
-        Err(SciError::Unroutable { .. })
-    ));
+    let fa = r
+        .fed
+        .submit_from("range-0", &q, VirtualTime::from_secs(1))
+        .unwrap();
+    assert!(fa.answer.is_degraded());
+    match fa.answer {
+        QueryAnswer::Partial {
+            missing_range,
+            reason,
+            ..
+        } => {
+            assert_eq!(missing_range, "range-2");
+            assert_eq!(reason, "unroutable");
+        }
+        other => panic!("expected partial answer, got {other:?}"),
+    }
+    assert_eq!(r.fed.partial_answers(), 1);
 
-    // Healing restores service.
+    // Healing restores full service.
     r.fed.network_mut().heal_partitions();
-    assert!(r
+    let fa = r
         .fed
         .submit_from("range-0", &q, VirtualTime::from_secs(2))
-        .is_ok());
+        .unwrap();
+    assert!(!fa.answer.is_degraded());
 }
 
 #[test]

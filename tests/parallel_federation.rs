@@ -3,6 +3,8 @@
 //! and a panic inside one range's worker never takes down its siblings.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use sci::prelude::*;
 
@@ -252,6 +254,225 @@ fn worker_panic_is_contained_to_its_range() {
     ));
 
     // Shutdown hands back only the survivor's state.
+    let survivors = fed.shutdown();
+    assert_eq!(survivors.len(), 1);
+    assert_eq!(survivors[0].name(), "range-1");
+}
+
+/// Logic that panics on its first event only; later instances (sharing
+/// the fuse) compute normally. Models a crash caused by one poisoned
+/// input rather than a persistent defect.
+struct PanicOnceLogic {
+    fuse: Arc<AtomicUsize>,
+}
+
+impl sci::core::logic::EntityLogic for PanicOnceLogic {
+    fn on_event(
+        &mut self,
+        _event: &ContextEvent,
+        _binding: &Metadata,
+        _now: VirtualTime,
+    ) -> Vec<(ContextType, ContextValue)> {
+        if self.fuse.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("poisoned first event")
+        }
+        vec![(ContextType::Temperature, ContextValue::text("21.5C"))]
+    }
+}
+
+/// Builds a supervised federation whose `range-0` composition graph is
+/// assembled *through* range commands (so the restart blueprint records
+/// it), wired to the given logic factory.
+fn supervised_rig(
+    policy: RestartPolicy,
+    logic: sci::core::logic::LogicFactory,
+) -> (ParallelFederation, GuidGenerator, Guid, Guid) {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = ParallelFederation::new(3).with_restart_policy(policy);
+    fed.add_range(ContextServer::new(
+        ids.next_guid(),
+        "range-0",
+        range_plan(0),
+    ))
+    .unwrap();
+    let (cs1, _) = server(1, &mut ids);
+    fed.add_range(cs1).unwrap();
+    fed.connect_full();
+
+    // The composition graph arrives as commands: sensor, derived CE,
+    // its logic. All of it lands in the blueprint.
+    let sensor = ids.next_guid();
+    fed.command(
+        "range-0",
+        RangeCommand::Register(Box::new(
+            Profile::builder(sensor, EntityKind::Device, "sensor-0")
+                .output(PortSpec::new("presence", ContextType::Presence))
+                .build(),
+        )),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    let ce = ids.next_guid();
+    fed.command(
+        "range-0",
+        RangeCommand::Register(Box::new(
+            Profile::builder(ce, EntityKind::Software, "deriver")
+                .input(PortSpec::new("in", ContextType::Presence))
+                .output(PortSpec::new("out", ContextType::Temperature))
+                .build(),
+        )),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    fed.command(
+        "range-0",
+        RangeCommand::RegisterLogic(ce, logic),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    (fed, ids, sensor, ce)
+}
+
+fn presence(sensor: Guid, subject: u128, at: VirtualTime) -> ContextEvent {
+    ContextEvent::new(
+        sensor,
+        ContextType::Presence,
+        ContextValue::record([("subject", ContextValue::Id(Guid::from_u128(subject)))]),
+        at,
+    )
+}
+
+#[test]
+fn supervised_restart_revives_range_and_resubscribes_blueprint() {
+    let fuse = Arc::new(AtomicUsize::new(0));
+    let fuse2 = Arc::clone(&fuse);
+    let (mut fed, mut ids, sensor, _ce) = supervised_rig(
+        RestartPolicy::bounded(2),
+        factory(move || PanicOnceLogic {
+            fuse: Arc::clone(&fuse2),
+        }),
+    );
+
+    // The subscription is a range command too, so the blueprint
+    // replays it after a restart.
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Temperature)
+        .mode(Mode::Subscribe)
+        .build();
+    let fa = fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
+    assert!(matches!(fa.answer, QueryAnswer::Subscribed { .. }));
+
+    // First event: the logic panics, the worker dies, the barrier that
+    // observes the crash reports RangeDown — then the supervisor
+    // restarts the range and replays the blueprint.
+    fed.ingest_at(
+        "range-0",
+        &presence(sensor, 1, VirtualTime::from_secs(1)),
+        VirtualTime::from_secs(1),
+    )
+    .unwrap();
+    assert!(matches!(
+        fed.sync(VirtualTime::from_secs(1)),
+        Err(SciError::RangeDown(ref name)) if name == "range-0"
+    ));
+    assert_eq!(fed.restarts_of("range-0"), Some(1));
+
+    // The revived range serves queries again...
+    let probe = Query::builder(ids.next_guid(), app)
+        .kind(EntityKind::Device)
+        .all()
+        .mode(Mode::Profile)
+        .build();
+    let fa = fed
+        .submit_from("range-0", &probe, VirtualTime::from_secs(2))
+        .unwrap();
+    match fa.answer {
+        QueryAnswer::Profiles(ps) => {
+            assert_eq!(ps.len(), 1, "registrations were replayed");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // ...and the replayed subscription is live: the next event flows
+    // through the (no longer panicking) logic to the app.
+    fed.ingest_at(
+        "range-0",
+        &presence(sensor, 2, VirtualTime::from_secs(3)),
+        VirtualTime::from_secs(3),
+    )
+    .unwrap();
+    fed.sync(VirtualTime::from_secs(3)).unwrap();
+    let deliveries = fed.deliveries_for(app);
+    assert_eq!(deliveries.len(), 1, "resubscribed graph delivers");
+    assert_eq!(deliveries[0].event.topic, ContextType::Temperature);
+
+    // The restart is visible in telemetry, and both workers survive.
+    assert_eq!(fed.snapshot().counter("range.restarts"), 1);
+    let survivors = fed.shutdown();
+    assert_eq!(survivors.len(), 2);
+}
+
+#[test]
+fn restart_budget_exhausts_back_to_fail_stop() {
+    struct AlwaysPanicLogic;
+    impl sci::core::logic::EntityLogic for AlwaysPanicLogic {
+        fn on_event(
+            &mut self,
+            _event: &ContextEvent,
+            _binding: &Metadata,
+            _now: VirtualTime,
+        ) -> Vec<(ContextType, ContextValue)> {
+            panic!("persistent defect")
+        }
+    }
+    let (mut fed, mut ids, sensor, _ce) =
+        supervised_rig(RestartPolicy::bounded(1), factory(|| AlwaysPanicLogic));
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Temperature)
+        .mode(Mode::Subscribe)
+        .build();
+    fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
+
+    // Crash #1: restart budget covers it.
+    fed.ingest_at(
+        "range-0",
+        &presence(sensor, 1, VirtualTime::from_secs(1)),
+        VirtualTime::from_secs(1),
+    )
+    .unwrap();
+    assert!(fed.sync(VirtualTime::from_secs(1)).is_err());
+    assert_eq!(fed.restarts_of("range-0"), Some(1));
+
+    // Crash #2: the defect persists, the budget is spent — the range
+    // degrades to fail-stop and stays down.
+    fed.ingest_at(
+        "range-0",
+        &presence(sensor, 2, VirtualTime::from_secs(2)),
+        VirtualTime::from_secs(2),
+    )
+    .unwrap();
+    assert!(fed.sync(VirtualTime::from_secs(2)).is_err());
+    assert_eq!(fed.restarts_of("range-0"), Some(1), "budget not exceeded");
+    assert!(matches!(
+        fed.command("range-0", RangeCommand::Audit, VirtualTime::from_secs(3)),
+        Err(SciError::RangeDown(_))
+    ));
+
+    // The sibling is untouched either way.
+    let fa = fed
+        .submit_from(
+            "range-1",
+            &Query::builder(ids.next_guid(), app)
+                .kind(EntityKind::Device)
+                .all()
+                .mode(Mode::Profile)
+                .build(),
+            VirtualTime::from_secs(3),
+        )
+        .unwrap();
+    assert!(matches!(fa.answer, QueryAnswer::Profiles(_)));
     let survivors = fed.shutdown();
     assert_eq!(survivors.len(), 1);
     assert_eq!(survivors[0].name(), "range-1");

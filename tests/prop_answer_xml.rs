@@ -86,7 +86,7 @@ fn arb_advertisement() -> impl Strategy<Value = Advertisement> {
         })
 }
 
-fn arb_answer() -> impl Strategy<Value = QueryAnswer> {
+fn arb_base_answer() -> impl Strategy<Value = QueryAnswer> {
     prop_oneof![
         prop::collection::vec(arb_profile(), 0..4).prop_map(QueryAnswer::Profiles),
         prop::collection::vec(arb_advertisement(), 0..4).prop_map(QueryAnswer::Advertisements),
@@ -100,6 +100,21 @@ fn arb_answer() -> impl Strategy<Value = QueryAnswer> {
         ),
         Just(QueryAnswer::Deferred),
         arb_name().prop_map(|range| QueryAnswer::Forward { range }),
+    ]
+}
+
+fn arb_answer() -> impl Strategy<Value = QueryAnswer> {
+    prop_oneof![
+        arb_base_answer(),
+        // Degraded answers nest any base answer (one level deep on the
+        // wire today; the codec itself is fully recursive).
+        (arb_base_answer(), arb_name(), arb_name()).prop_map(|(inner, missing_range, reason)| {
+            QueryAnswer::Partial {
+                answer: Box::new(inner),
+                missing_range,
+                reason,
+            }
+        }),
     ]
 }
 
@@ -137,6 +152,13 @@ fn answer_codec_covers_every_variant() {
         QueryAnswer::Deferred,
         QueryAnswer::Forward {
             range: "a<&\">'b".into(),
+        },
+        QueryAnswer::Partial {
+            answer: Box::new(QueryAnswer::Forward {
+                range: "level<&ten".into(),
+            }),
+            missing_range: "level<&ten".into(),
+            reason: "unroutable".into(),
         },
     ];
     for answer in cases {
