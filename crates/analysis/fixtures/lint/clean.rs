@@ -1,0 +1,34 @@
+//! Passing fixture: a seeded path that stays deterministic, metric
+//! names from the catalogue, and an allowed wall-clock read. The
+//! `lint_fixtures` integration test asserts sci-lint accepts it.
+
+pub struct Sim {
+    rng: StdRng,
+    started: Instant,
+}
+
+impl Sim {
+    pub fn seeded(seed: u64, metrics: &Registry) -> Self {
+        metrics.counter("bus.fanout").incr(1);
+        metrics.histogram("federation.relay_us").record(12);
+        let started = Instant::now(); // sci-lint: allow(wall-clock): bench harness timing
+        Sim {
+            rng: StdRng::seed_from_u64(seed),
+            started,
+        }
+    }
+
+    pub fn step(&mut self) -> u64 {
+        // Mentioning thread_rng in prose is fine; calling it is not.
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_the_wall_clock() {
+        let _ = Instant::now();
+        let _ = thread_rng();
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded-violation fixture for SCI-A303: a `RangeCommand` mirror
+//! whose `KINDS` table drifted from the enum — one variant renamed
+//! without its kind string, and the table one entry short. The
+//! `lint_fixtures` integration test asserts sci-lint rejects it.
+
+pub enum RangeCommand {
+    Register(Box<Profile>),
+    DrainOutboxFor(Guid),
+    PollTimers,
+}
+
+impl RangeCommand {
+    pub const KINDS: [&'static str; 2] = [
+        "register",
+        "drain-outbox", // was renamed to DrainOutboxFor; kind not updated
+    ];
+}

@@ -1,0 +1,10 @@
+//! Seeded-violation fixture for SCI-A302: metric names that drifted
+//! from the central catalogue (a typo and an unregistered family
+//! member). The `lint_fixtures` integration test asserts sci-lint
+//! rejects both and accepts the catalogued name.
+
+pub fn instrument(metrics: &Registry) {
+    metrics.counter("bus.fanout").incr(1); // listed: fine
+    metrics.counter("bus.fanout.total").incr(1); // typo'd suffix: drift
+    metrics.gauge("range.mailbox.backlog").set(3); // unregistered: drift
+}

@@ -1,0 +1,10 @@
+//! Seeded-violation fixture for SCI-A301: three unexempted
+//! nondeterministic calls in library code. The `lint_fixtures`
+//! integration test asserts sci-lint rejects every one of them.
+
+pub fn jitter() -> u64 {
+    let t = Instant::now();
+    let mut rng = thread_rng();
+    let salt: u64 = rand::random();
+    t.elapsed().as_micros() as u64 ^ rng.gen::<u64>() ^ salt
+}

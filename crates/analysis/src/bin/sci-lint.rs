@@ -1,0 +1,31 @@
+//! `sci-lint` — workspace determinism/telemetry/command-kind audit.
+//!
+//! Usage: `sci-lint [workspace-root]` (default: current directory).
+//! Exits non-zero when any SCI-A3xx error is found, printing one line
+//! per finding; prints a clean summary otherwise. CI runs this as the
+//! self-audit gate.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    match sci_analysis::lint::lint_workspace(Path::new(&root)) {
+        Ok(report) if report.has_errors() => {
+            eprintln!("{report}");
+            eprintln!("sci-lint: {} error(s)", report.errors().count());
+            ExitCode::FAILURE
+        }
+        Ok(report) => {
+            for warning in report.warnings() {
+                eprintln!("{warning}");
+            }
+            println!("sci-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("sci-lint: cannot walk workspace at `{root}`: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Federation protocol-model verification (SCI-A2xx).
+//!
+//! A live federation exports a pure
+//! [`FederationModel`] — ranges, links,
+//! declared partitions, retry/backoff constants, restart budgets,
+//! freshness bounds, place-directory beliefs, message classes and the
+//! restart blueprint's command taxonomy. [`verify_federation`] checks
+//! the model *before* the runtime is trusted with traffic:
+//!
+//! * **SCI-A201** — every relay route the place directories imply must
+//!   be routable: linked in the declared topology and not crossing a
+//!   named partition boundary (both the query's forward leg and the
+//!   answer's return leg).
+//! * **SCI-A202** — the per-place forwarding chains implied by
+//!   disagreeing directories must be acyclic; a cycle means a relay
+//!   could bounce between ranges forever.
+//! * **SCI-A203** — the worst-case retry backoff
+//!   (`base * (2^retries - 1)`, accounted in virtual time) must fit
+//!   inside every `qoc-max-age-us` bound; a tighter bound makes every
+//!   fully-retried relay *guaranteed* stale.
+//! * **SCI-A204** — every graph-shaping `RangeCommand` kind must have
+//!   an erasing counterpart, or supervised restart replays state that
+//!   should have died with its entity.
+//! * **SCI-A205** — every retried cross-range message class must
+//!   carry the `(origin, seq)` dedup envelope, or retransmission
+//!   duplicates deliveries.
+
+use std::collections::{HashMap, HashSet};
+
+use sci_types::{AnalysisReport, DiagCode, Diagnostic, FederationModel, Guid};
+
+/// Verifies a federation protocol model, returning one diagnostic per
+/// defect (codes SCI-A201..A205). A clean report means the declared
+/// topology, retry discipline, blueprint taxonomy and envelope
+/// discipline are consistent — it does not prove liveness under
+/// faults, only the absence of statically-visible protocol defects.
+pub fn verify_federation(model: &FederationModel) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    check_routability(model, &mut report);
+    check_relay_cycles(model, &mut report);
+    check_freshness(model, &mut report);
+    check_blueprint(model, &mut report);
+    check_envelopes(model, &mut report);
+    report
+}
+
+/// SCI-A201: every directory-implied relay route must be linked and
+/// partition-free, in both directions (query out, answer home).
+fn check_routability(model: &FederationModel, report: &mut AnalysisReport) {
+    let mut flagged: HashSet<(Guid, Guid)> = HashSet::new();
+    for claim in &model.routes {
+        if claim.at == claim.coverer {
+            continue;
+        }
+        for (src, dst, leg) in [
+            (claim.at, claim.coverer, "relay"),
+            (claim.coverer, claim.at, "answer"),
+        ] {
+            if !flagged.insert((src, dst)) {
+                continue; // one finding per directed pair
+            }
+            let (src_group, dst_group) = (model.partition_group(src), model.partition_group(dst));
+            if src_group != dst_group {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::PartitionUnroutable,
+                        format!(
+                            "{leg} leg {} -> {} for place `{}` crosses partition \
+                             groups `{src_group}` and `{dst_group}`",
+                            model.range_name(src),
+                            model.range_name(dst),
+                            claim.place,
+                        ),
+                    )
+                    .for_ce(src),
+                );
+            } else if !model.linked(src, dst) {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::PartitionUnroutable,
+                        format!(
+                            "{leg} leg {} -> {} for place `{}` has no link in the \
+                             declared topology",
+                            model.range_name(src),
+                            model.range_name(dst),
+                            claim.place,
+                        ),
+                    )
+                    .for_ce(src),
+                );
+            } else {
+                flagged.remove(&(src, dst));
+            }
+        }
+    }
+}
+
+/// SCI-A202: per place, following each node's believed coverer must
+/// terminate at a self-designating node, never revisit one.
+fn check_relay_cycles(model: &FederationModel, report: &mut AnalysisReport) {
+    let mut by_place: HashMap<&str, HashMap<Guid, Guid>> = HashMap::new();
+    for claim in &model.routes {
+        by_place
+            .entry(claim.place.as_str())
+            .or_default()
+            .insert(claim.at, claim.coverer);
+    }
+    let mut places: Vec<&str> = by_place.keys().copied().collect();
+    places.sort_unstable();
+    for place in places {
+        let beliefs = &by_place[place];
+        let mut starts: Vec<Guid> = beliefs.keys().copied().collect();
+        starts.sort_unstable();
+        let mut reported = false;
+        for start in starts {
+            if reported {
+                break; // one cycle finding per place is enough
+            }
+            let mut walk: Vec<Guid> = vec![start];
+            let mut seen: HashSet<Guid> = HashSet::from([start]);
+            let mut current = start;
+            while let Some(&next) = beliefs.get(&current) {
+                if next == current {
+                    break; // reached a self-designating coverer
+                }
+                if !seen.insert(next) {
+                    let path: Vec<String> = walk.iter().map(|&g| model.range_name(g)).collect();
+                    report.push(Diagnostic::new(
+                        DiagCode::RelayCycle,
+                        format!(
+                            "place `{place}`: forwarding chain {} -> {} revisits {}",
+                            path.join(" -> "),
+                            model.range_name(next),
+                            model.range_name(next),
+                        ),
+                    ));
+                    reported = true;
+                    break;
+                }
+                walk.push(next);
+                current = next;
+            }
+        }
+    }
+}
+
+/// SCI-A203: a fully-retried relay must still be able to arrive fresh.
+fn check_freshness(model: &FederationModel, report: &mut AnalysisReport) {
+    let worst = model.retry.worst_case_backoff_us();
+    for bound in &model.freshness {
+        if bound.max_age_us < worst {
+            report.push(Diagnostic::new(
+                DiagCode::FreshnessInfeasible,
+                format!(
+                    "query {}: qoc-max-age-us {} is below the worst-case retry \
+                     backoff of {worst}us ({} retries, base {}us) — a fully \
+                     retried relay is guaranteed stale",
+                    bound.query, bound.max_age_us, model.retry.retries, model.retry.backoff_base_us,
+                ),
+            ));
+        }
+    }
+}
+
+/// SCI-A204: shaping kinds need erasers, and erasers must be kinds.
+fn check_blueprint(model: &FederationModel, report: &mut AnalysisReport) {
+    let kinds: HashSet<&str> = model.blueprint.iter().map(|b| b.kind.as_str()).collect();
+    for entry in &model.blueprint {
+        if !entry.shaping {
+            continue;
+        }
+        match &entry.eraser {
+            None => report.push(Diagnostic::new(
+                DiagCode::BlueprintLeak,
+                format!(
+                    "graph-shaping command kind `{}` has no erasing counterpart: \
+                     supervised restart would replay state its entity's departure \
+                     should have removed",
+                    entry.kind,
+                ),
+            )),
+            Some(eraser) if !kinds.contains(eraser.as_str()) => {
+                report.push(Diagnostic::new(
+                    DiagCode::BlueprintLeak,
+                    format!(
+                        "command kind `{}` names eraser `{eraser}`, which is not a \
+                         known command kind",
+                        entry.kind,
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+        if !entry.recorded {
+            report.push(Diagnostic::new(
+                DiagCode::BlueprintLeak,
+                format!(
+                    "command kind `{}` shapes the graph but is not recorded: a \
+                     restart would silently drop its state",
+                    entry.kind,
+                ),
+            ));
+        }
+    }
+}
+
+/// SCI-A205: retried cross-range classes must carry the envelope.
+fn check_envelopes(model: &FederationModel, report: &mut AnalysisReport) {
+    for class in &model.messages {
+        if class.crosses_ranges && class.retried && !class.enveloped {
+            report.push(Diagnostic::new(
+                DiagCode::EnvelopeMissing,
+                format!(
+                    "message class `{}` is retried across ranges without the \
+                     (origin, seq) dedup envelope: retransmission duplicates \
+                     deliveries",
+                    class.name,
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use sci_types::{
+        BlueprintKindModel, FaultSchedule, FreshnessBound, MessageClassModel, RangeModel,
+        RetryModel, RouteClaim,
+    };
+
+    fn g(raw: u128) -> Guid {
+        Guid::from_u128(raw)
+    }
+
+    /// A two-range model with consistent directories, feasible
+    /// freshness, a well-formed blueprint and enveloped relays — the
+    /// passing fixture every check accepts.
+    fn healthy() -> FederationModel {
+        let (a, b) = (g(1), g(2));
+        FederationModel {
+            ranges: vec![
+                RangeModel {
+                    id: a,
+                    name: "lobby".into(),
+                },
+                RangeModel {
+                    id: b,
+                    name: "level-ten".into(),
+                },
+            ],
+            links: vec![(a, b), (b, a)],
+            faults: None,
+            retry: RetryModel {
+                retries: 4,
+                backoff_base_us: 500,
+            },
+            restart_budget: Some(2),
+            freshness: vec![FreshnessBound {
+                query: g(77),
+                max_age_us: 10_000,
+            }],
+            routes: vec![
+                RouteClaim {
+                    at: a,
+                    place: "L10.01".into(),
+                    coverer: b,
+                },
+                RouteClaim {
+                    at: b,
+                    place: "L10.01".into(),
+                    coverer: b,
+                },
+            ],
+            messages: vec![
+                MessageClassModel {
+                    name: "event-relay".into(),
+                    crosses_ranges: true,
+                    retried: true,
+                    enveloped: true,
+                },
+                MessageClassModel {
+                    name: "query-forward".into(),
+                    crosses_ranges: true,
+                    retried: false,
+                    enveloped: false,
+                },
+            ],
+            blueprint: vec![
+                BlueprintKindModel {
+                    kind: "register".into(),
+                    recorded: true,
+                    shaping: true,
+                    eraser: Some("deregister".into()),
+                },
+                BlueprintKindModel {
+                    kind: "deregister".into(),
+                    recorded: false,
+                    shaping: false,
+                    eraser: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn healthy_model_is_clean() {
+        let report = verify_federation(&healthy());
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn a201_partition_between_claimant_and_coverer() {
+        let mut model = healthy();
+        model.faults = Some(FaultSchedule {
+            partitions: vec![(g(2), "island".into())],
+            ..FaultSchedule::default()
+        });
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::PartitionUnroutable), "{report}");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn a201_partition_off_the_route_is_harmless() {
+        let mut model = healthy();
+        // Partition a third range no route claim touches.
+        model.ranges.push(RangeModel {
+            id: g(3),
+            name: "annex".into(),
+        });
+        model.links.push((g(1), g(3)));
+        model.links.push((g(3), g(1)));
+        model.faults = Some(FaultSchedule {
+            partitions: vec![(g(3), "island".into())],
+            ..FaultSchedule::default()
+        });
+        assert!(verify_federation(&model).is_clean());
+    }
+
+    #[test]
+    fn a201_missing_link() {
+        let mut model = healthy();
+        model.links.retain(|&(src, _)| src != g(2)); // no answer leg
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::PartitionUnroutable), "{report}");
+        let rendered = report.to_string();
+        assert!(rendered.contains("no link"), "{rendered}");
+    }
+
+    #[test]
+    fn a202_disagreeing_directories_cycle() {
+        let mut model = healthy();
+        // `lobby` believes `level-ten` covers the place; `level-ten`
+        // believes `lobby` does. A relay would ping-pong forever.
+        model.routes = vec![
+            RouteClaim {
+                at: g(1),
+                place: "L10.01".into(),
+                coverer: g(2),
+            },
+            RouteClaim {
+                at: g(2),
+                place: "L10.01".into(),
+                coverer: g(1),
+            },
+        ];
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::RelayCycle), "{report}");
+    }
+
+    #[test]
+    fn a203_backoff_exceeding_max_age_is_guaranteed_stale() {
+        let mut model = healthy();
+        // Worst case: 500 * (2^4 - 1) = 7500us. A 5ms bound loses.
+        model.freshness.push(FreshnessBound {
+            query: g(78),
+            max_age_us: 5_000,
+        });
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::FreshnessInfeasible), "{report}");
+        assert_eq!(report.errors().count(), 1, "the 10ms bound stays clean");
+    }
+
+    #[test]
+    fn a204_shaping_kind_without_eraser_leaks() {
+        let mut model = healthy();
+        model.blueprint[0].eraser = None;
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::BlueprintLeak), "{report}");
+    }
+
+    #[test]
+    fn a204_unknown_eraser_is_drift() {
+        let mut model = healthy();
+        model.blueprint[0].eraser = Some("evaporate".into());
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::BlueprintLeak), "{report}");
+    }
+
+    #[test]
+    fn a204_unrecorded_shaping_kind_is_dropped_state() {
+        let mut model = healthy();
+        model.blueprint[0].recorded = false;
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::BlueprintLeak), "{report}");
+    }
+
+    #[test]
+    fn a205_retried_class_without_envelope() {
+        let mut model = healthy();
+        model.messages[0].enveloped = false;
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::EnvelopeMissing), "{report}");
+        // The unretried query-forward class stays acceptable bare.
+        assert_eq!(report.errors().count(), 1);
+    }
+}

@@ -118,6 +118,7 @@ pub fn diff_subscriptions(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::Severity;

@@ -20,7 +20,15 @@
 //!   diagnostics with stable `SCI-Axxx` codes;
 //! * [`fleet::diff_subscriptions`] — fleet-mode drift detection
 //!   between the subscriptions analyzed plans require and the live
-//!   subscription table.
+//!   subscription table;
+//! * [`federation::verify_federation`] — protocol-model checking of an
+//!   exported [`FederationModel`](sci_types::FederationModel)
+//!   (`SCI-A2xx`: routability under partitions, relay cycles,
+//!   freshness feasibility, blueprint replayability, envelope
+//!   coverage);
+//! * [`lint`] — the dependency-free `sci-lint` source pass
+//!   (`SCI-A3xx`: nondeterminism in seeded paths, metric-name drift,
+//!   command-kind drift), also available as the `sci-lint` binary.
 //!
 //! The crate depends only on `sci-types`; `sci-core` converts its
 //! `ConfigurationPlan` into the [`PlanGraph`] mirror model and feeds
@@ -29,7 +37,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod federation;
 pub mod fleet;
+pub mod lint;
 
 use std::collections::{HashMap, HashSet};
 
@@ -458,6 +468,7 @@ fn list_types<'a>(types: impl Iterator<Item = &'a ContextType>) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::{EntityKind, PortSpec};

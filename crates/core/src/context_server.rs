@@ -378,10 +378,12 @@ impl ContextServer {
         if !self.registrar.is_registered(ad.provider()) {
             return Err(SciError::UnknownEntity(ad.provider()));
         }
-        self.advertisements
-            .entry(ad.provider())
-            .or_default()
-            .push(ad);
+        let ads = self.advertisements.entry(ad.provider()).or_default();
+        // Re-advertising the identical service is a no-op: restart
+        // blueprint replay must be idempotent, not accumulate copies.
+        if !ads.contains(&ad) {
+            ads.push(ad);
+        }
         Ok(())
     }
 
@@ -562,7 +564,7 @@ impl ContextServer {
                     ty: ty.clone(),
                     subject,
                 };
-                let plan_started = Instant::now();
+                let plan_started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
                 let planned =
                     plan_configuration(&self.profiles, &demand, constraints, &self.excluded);
                 self.metrics.record_plan_attempt(elapsed_us(plan_started));

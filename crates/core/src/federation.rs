@@ -56,7 +56,10 @@ use sci_query::codec as qcodec;
 use sci_query::xml::{parse, Element};
 use sci_query::Query;
 use sci_types::guid::GuidGenerator;
-use sci_types::{ContextEvent, Guid, SciError, SciResult, VirtualDuration, VirtualTime};
+use sci_types::{
+    ContextEvent, FederationModel, FreshnessBound, Guid, MessageClassModel, RangeModel, RetryModel,
+    RouteClaim, SciError, SciResult, VirtualDuration, VirtualTime,
+};
 
 use crate::context_server::{AppDelivery, ContextServer, QueryAnswer};
 
@@ -316,6 +319,81 @@ impl<T: Transport> Federation<T> {
             .collect();
         reports.sort_by_key(|(id, _)| *id);
         reports
+    }
+
+    /// Exports the pure protocol model of this federation: ranges,
+    /// links, the transport's declared fault schedule, retry/backoff
+    /// constants, live freshness bounds and every place-directory
+    /// belief. `sci_analysis::federation::verify_federation` checks
+    /// the model (SCI-A201..A205) before the runtime is trusted with
+    /// traffic.
+    pub fn protocol_model(&self) -> FederationModel {
+        let mut ranges: Vec<RangeModel> = self
+            .servers
+            .iter()
+            .map(|(&id, cs)| RangeModel {
+                id,
+                name: cs.name().to_owned(),
+            })
+            .collect();
+        ranges.sort_by_key(|r| r.id);
+
+        // The pump relays any-to-any, so the declared topology is the
+        // full mesh over ranges; partitions narrow it.
+        let mut links = Vec::new();
+        for a in &ranges {
+            for b in &ranges {
+                if a.id != b.id {
+                    links.push((a.id, b.id));
+                }
+            }
+        }
+
+        let mut freshness: Vec<FreshnessBound> = self
+            .servers
+            .values()
+            .flat_map(|cs| {
+                cs.configurations().filter_map(|c| {
+                    c.max_age.map(|age| FreshnessBound {
+                        query: c.query_id,
+                        max_age_us: age.as_micros(),
+                    })
+                })
+            })
+            .collect();
+        freshness.sort_by_key(|f| f.query);
+
+        let mut routes = Vec::new();
+        for r in &ranges {
+            let learned = self.directories.get(&r.id);
+            for (place, &fallback) in &self.places {
+                let coverer = learned
+                    .and_then(|d| d.get(place))
+                    .copied()
+                    .unwrap_or(fallback);
+                routes.push(RouteClaim {
+                    at: r.id,
+                    place: place.clone(),
+                    coverer,
+                });
+            }
+        }
+        routes.sort_by(|a, b| (a.at, &a.place).cmp(&(b.at, &b.place)));
+
+        FederationModel {
+            ranges,
+            links,
+            faults: self.net.fault_model(),
+            retry: RetryModel {
+                retries: RELAY_RETRIES,
+                backoff_base_us: RETRY_BACKOFF_BASE_US,
+            },
+            restart_budget: None,
+            freshness,
+            routes,
+            messages: relay_message_classes(),
+            blueprint: crate::runtime::blueprint_model(),
+        }
     }
 
     /// Feeds a sensor event into the named range.
@@ -646,7 +724,13 @@ impl<T: Transport> Federation<T> {
         if self.pending_relays.is_empty() {
             return Ok(());
         }
-        let parked = std::mem::take(&mut self.pending_relays);
+        let mut parked = std::mem::take(&mut self.pending_relays);
+        // Canonical re-fire order — the same discipline as the sorted
+        // node iteration in `pump`/`sweep`: message ids are minted
+        // monotonically from the seed, so `(dst, id)` preserves each
+        // destination's send order while making the fault layer's PRNG
+        // draw sequence independent of park insertion history.
+        parked.sort_unstable_by_key(|m| (m.dst, m.id));
         for msg in parked {
             self.retry_attempts += 1;
             let dst = msg.dst;
@@ -889,6 +973,28 @@ pub(crate) fn envelope_of(doc: &Element) -> SciResult<Option<(Guid, u64)>> {
         }
         _ => Ok(None),
     }
+}
+
+/// The cross-range message classes both federation drivers exchange,
+/// with their delivery discipline: the retried classes (event and
+/// answer relays) carry the `(origin, seq)` dedup envelope; the
+/// synchronous query round-trip and the idempotent advert broadcast
+/// are fire-once and travel bare. SCI-A205 holds every retried class
+/// to the envelope.
+pub(crate) fn relay_message_classes() -> Vec<MessageClassModel> {
+    let class = |name: &str, retried: bool, enveloped: bool| MessageClassModel {
+        name: name.to_owned(),
+        crosses_ranges: true,
+        retried,
+        enveloped,
+    };
+    vec![
+        class("query-forward", false, false),
+        class("query-response", false, false),
+        class("range-advert", false, false),
+        class("event-relay", true, true),
+        class("answer-relay", true, true),
+    ]
 }
 
 /// Serialises a [`QueryAnswer`] to its `<answer>` document.

@@ -24,7 +24,7 @@
 //! per-planet operator placement and the Context Toolkit's distributed
 //! widgets both argue for.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -41,7 +41,8 @@ use sci_query::xml::{parse, Element};
 use sci_query::{Mode, Query, What};
 use sci_types::guid::GuidGenerator;
 use sci_types::{
-    Advertisement, ContextEvent, ContextType, Guid, Profile, SciError, SciResult, VirtualDuration,
+    Advertisement, BlueprintKindModel, ContextEvent, ContextType, FederationModel, FreshnessBound,
+    Guid, Profile, RangeModel, RetryModel, RouteClaim, SciError, SciResult, VirtualDuration,
     VirtualTime,
 };
 
@@ -50,7 +51,7 @@ use sci_telemetry::{Registry, TelemetrySnapshot};
 use crate::context_server::{AppDelivery, ContextServer, DeferredAnswer, QueryAnswer, RangeReply};
 use crate::federation::{
     answer_element, answer_from_element, answer_to_xml, envelope_of as relay_envelope,
-    FederatedAnswer, RELAY_RETRIES, RETRY_BACKOFF_BASE_US,
+    relay_message_classes, FederatedAnswer, RELAY_RETRIES, RETRY_BACKOFF_BASE_US,
 };
 use crate::logic::LogicFactory;
 use crate::telemetry::{elapsed_us, fold_load_stats, FedMetrics, RuntimeMetrics};
@@ -181,7 +182,7 @@ impl ContextServer {
         let idx = cmd.kind_index();
         let tracer = self.metrics().tracer().clone();
         let _span = tracer.span(cmd.kind());
-        let started = Instant::now();
+        let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
         let reply = self.handle_inner(cmd, now);
         self.metrics().record_command(idx, elapsed_us(started));
         reply
@@ -302,6 +303,39 @@ impl BlueprintCmd {
     }
 }
 
+/// The restart blueprint's view of every [`RangeCommand`] kind, for
+/// static verification (SCI-A204): which kinds the recorder replays,
+/// which of those accumulate per-entity graph state, and which kind
+/// erases each. Must stay in lockstep with [`RangeRuntime`]'s
+/// `record`; `crates/core/tests/prop_blueprint.rs` holds the two
+/// together behaviourally.
+pub fn blueprint_model() -> Vec<BlueprintKindModel> {
+    RangeCommand::KINDS
+        .iter()
+        .map(|&kind| {
+            let (recorded, shaping, eraser) = match kind {
+                // Per-entity graph state: replayed on restart, erased
+                // when the entity departs or the subscription dies.
+                "register" | "register-logic" | "advertise" => (true, true, Some("deregister")),
+                "submit" => (true, true, Some("cancel")),
+                // Monotonic or last-write-wins configuration: replayed
+                // verbatim, nothing to erase.
+                "declare-equivalence"
+                | "set-reuse"
+                | "set-auto-register-people"
+                | "set-plan-verification" => (true, false, None),
+                _ => (false, false, None),
+            };
+            BlueprintKindModel {
+                kind: kind.to_owned(),
+                recorded,
+                shaping,
+                eraser: eraser.map(str::to_owned),
+            }
+        })
+        .collect()
+}
+
 /// One worker thread's life: drain the mailbox, execute commands,
 /// return the server on graceful stop, `None` if a command panicked.
 fn worker_loop(
@@ -370,8 +404,16 @@ pub struct RangeRuntime {
     policy: RestartPolicy,
     restarts_used: u32,
     /// Replayable composition commands recorded since spawn (only when
-    /// supervision is enabled).
-    blueprint: Vec<BlueprintCmd>,
+    /// supervision is enabled), each tagged with the serial that ties
+    /// it to its in-flight reply.
+    blueprint: Vec<(u64, BlueprintCmd)>,
+    /// Serial source for blueprint entries.
+    bp_serial: u64,
+    /// One slot per pipelined command awaiting its reply, FIFO:
+    /// `Some(serial)` when the command was provisionally recorded in
+    /// the blueprint, so an error reply can un-record it (a refused
+    /// Register/Subscribe must not resurrect on restart replay).
+    inflight: VecDeque<Option<u64>>,
     /// The latest logical time seen, used as the replay clock.
     last_now: VirtualTime,
 }
@@ -432,6 +474,8 @@ impl RangeRuntime {
             policy,
             restarts_used: 0,
             blueprint: Vec::new(),
+            bp_serial: 0,
+            inflight: VecDeque::new(),
             last_now: VirtualTime::ZERO,
         }
     }
@@ -441,45 +485,85 @@ impl RangeRuntime {
         self.restarts_used
     }
 
+    /// The kebab-case kinds currently held in the restart blueprint,
+    /// in record order (test and analysis surface: lets contract
+    /// tests pin what the recorder handles without replaying).
+    pub fn blueprint_kinds(&self) -> Vec<&'static str> {
+        self.blueprint
+            .iter()
+            .map(|(_, b)| b.to_command().kind())
+            .collect()
+    }
+
+    /// Clones the restart blueprint as replayable commands — exactly
+    /// what a supervised restart would feed the rebuilt server.
+    pub fn blueprint_commands(&self) -> Vec<RangeCommand> {
+        // Canonical replay order: providers, logic, services and
+        // toggles before subscriptions (each class in record order).
+        // A subscription recorded before a provider it now depends on
+        // would otherwise fail on the first replay and silently
+        // succeed on a repeat — replay must be idempotent.
+        let mut entries: Vec<&(u64, BlueprintCmd)> = self.blueprint.iter().collect();
+        entries.sort_by_key(|(serial, b)| (matches!(b, BlueprintCmd::Subscribe(_)), *serial));
+        entries.iter().map(|(_, b)| b.to_command()).collect()
+    }
+
     /// Records `cmd` in the restart blueprint if it shapes the range's
     /// composition graph. Deregistrations and cancellations erase their
     /// counterparts so the blueprint tracks the *live* graph, not the
-    /// command history.
-    fn record(&mut self, cmd: &RangeCommand) {
+    /// command history. Returns the serial of the provisional entry,
+    /// if one was pushed — [`RangeRuntime::settle_reply`] un-records
+    /// it should the command come back refused.
+    fn record(&mut self, cmd: &RangeCommand) -> Option<u64> {
         if self.policy.max_restarts == 0 {
-            return;
+            return None;
         }
-        match cmd {
-            RangeCommand::Register(p) => self.blueprint.push(BlueprintCmd::Register(p.clone())),
-            RangeCommand::RegisterLogic(ce, f) => self
-                .blueprint
-                .push(BlueprintCmd::RegisterLogic(*ce, f.clone())),
+        let entry = match cmd {
+            RangeCommand::Register(p) => Some(BlueprintCmd::Register(p.clone())),
+            RangeCommand::RegisterLogic(ce, f) => Some(BlueprintCmd::RegisterLogic(*ce, f.clone())),
             RangeCommand::DeclareEquivalence(a, b) => {
-                self.blueprint
-                    .push(BlueprintCmd::DeclareEquivalence(a.clone(), b.clone()));
+                Some(BlueprintCmd::DeclareEquivalence(a.clone(), b.clone()))
             }
-            RangeCommand::Advertise(ad) => self.blueprint.push(BlueprintCmd::Advertise(ad.clone())),
+            RangeCommand::Advertise(ad) => Some(BlueprintCmd::Advertise(ad.clone())),
             RangeCommand::Submit(q) if q.mode == Mode::Subscribe => {
-                self.blueprint.push(BlueprintCmd::Subscribe(q.clone()));
+                Some(BlueprintCmd::Subscribe(q.clone()))
             }
-            RangeCommand::Deregister(id) => self.blueprint.retain(|b| match b {
-                BlueprintCmd::Register(p) => p.id() != *id,
-                BlueprintCmd::RegisterLogic(ce, _) => ce != id,
-                BlueprintCmd::Advertise(ad) => ad.provider() != *id,
-                _ => true,
-            }),
-            RangeCommand::Cancel(query_id) => self.blueprint.retain(|b| match b {
-                BlueprintCmd::Subscribe(q) => q.id != *query_id,
-                _ => true,
-            }),
-            RangeCommand::SetReuse(v) => self.blueprint.push(BlueprintCmd::SetReuse(*v)),
-            RangeCommand::SetAutoRegisterPeople(v) => {
-                self.blueprint.push(BlueprintCmd::SetAutoRegisterPeople(*v));
+            RangeCommand::Deregister(id) => {
+                self.blueprint.retain(|(_, b)| match b {
+                    BlueprintCmd::Register(p) => p.id() != *id,
+                    BlueprintCmd::RegisterLogic(ce, _) => ce != id,
+                    BlueprintCmd::Advertise(ad) => ad.provider() != *id,
+                    _ => true,
+                });
+                None
             }
-            RangeCommand::SetPlanVerification(v) => {
-                self.blueprint.push(BlueprintCmd::SetPlanVerification(*v));
+            RangeCommand::Cancel(query_id) => {
+                self.blueprint.retain(|(_, b)| match b {
+                    BlueprintCmd::Subscribe(q) => q.id != *query_id,
+                    _ => true,
+                });
+                None
             }
-            _ => {}
+            RangeCommand::SetReuse(v) => Some(BlueprintCmd::SetReuse(*v)),
+            RangeCommand::SetAutoRegisterPeople(v) => Some(BlueprintCmd::SetAutoRegisterPeople(*v)),
+            RangeCommand::SetPlanVerification(v) => Some(BlueprintCmd::SetPlanVerification(*v)),
+            _ => None,
+        };
+        let entry = entry?;
+        let serial = self.bp_serial;
+        self.bp_serial += 1;
+        self.blueprint.push((serial, entry));
+        Some(serial)
+    }
+
+    /// Settles the oldest in-flight reply slot: a refused command's
+    /// provisional blueprint entry is removed, so restart replay only
+    /// rebuilds state the live server actually accepted.
+    fn settle_reply(&mut self, errored: bool) {
+        if let Some(Some(serial)) = self.inflight.pop_front() {
+            if errored {
+                self.blueprint.retain(|(s, _)| *s != serial);
+            }
         }
     }
 
@@ -514,19 +598,18 @@ impl RangeRuntime {
             .ok();
         self.tx = cmd_tx;
         self.rx = reply_rx;
-        // Commands queued for the dead worker are lost with it.
+        // Commands queued for the dead worker are lost with it; their
+        // provisional blueprint entries stay — the replay below is
+        // what executes them on the rebuilt server.
         self.pending = 0;
+        self.inflight.clear();
         self.metrics.mailbox_depth.set(0);
         self.down = false;
         self.registry.counter("range.restarts").inc();
 
         // Replay the composition graph.
         let now = self.last_now;
-        let replay: Vec<RangeCommand> = self
-            .blueprint
-            .iter()
-            .map(BlueprintCmd::to_command)
-            .collect();
+        let replay: Vec<RangeCommand> = self.blueprint_commands();
         for cmd in replay {
             if self.tx.send(ToWorker::Cmd { cmd, now }).is_err() {
                 self.down = true;
@@ -602,10 +685,15 @@ impl RangeRuntime {
         if now > self.last_now {
             self.last_now = now;
         }
-        self.record(&cmd);
+        let ticket = self.record(&cmd);
         if self.tx.send(ToWorker::Cmd { cmd, now }).is_err() {
+            // The command never reached a worker; drop its entry.
+            if let Some(serial) = ticket {
+                self.blueprint.retain(|(s, _)| *s != serial);
+            }
             return Err(self.down_error());
         }
+        self.inflight.push_back(ticket);
         self.metrics.mailbox_depth.inc();
         self.pending += 1;
         Ok(())
@@ -622,6 +710,7 @@ impl RangeRuntime {
             match self.rx.recv() {
                 Ok(reply) => {
                     self.pending -= 1;
+                    self.settle_reply(reply.is_err());
                     if let Err(e) = reply {
                         self.errors.push(e);
                     }
@@ -642,13 +731,14 @@ impl RangeRuntime {
     /// * whatever the command itself returned.
     pub fn call(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<RangeReply> {
         self.cast(cmd, now)?;
-        let started = Instant::now();
-        // FIFO: everything before the reply we want is a pipelined
-        // predecessor.
+        let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
+                                      // FIFO: everything before the reply we want is a pipelined
+                                      // predecessor.
         while self.pending > 1 {
             match self.rx.recv() {
                 Ok(reply) => {
                     self.pending -= 1;
+                    self.settle_reply(reply.is_err());
                     if let Err(e) = reply {
                         self.errors.push(e);
                     }
@@ -659,6 +749,7 @@ impl RangeRuntime {
         match self.rx.recv() {
             Ok(reply) => {
                 self.pending -= 1;
+                self.settle_reply(reply.is_err());
                 self.metrics.call_wait.record(elapsed_us(started));
                 reply
             }
@@ -794,6 +885,72 @@ impl<T: Transport> ParallelFederation<T> {
         Ok(id)
     }
 
+    /// Exports the pure protocol model of this federation — the
+    /// parallel counterpart of
+    /// [`Federation::protocol_model`](crate::federation::Federation::protocol_model):
+    /// same retry constants and message
+    /// classes, plus the supervision budget, with freshness bounds
+    /// taken from the relay-side `qoc-max-age-us` registry (the
+    /// servers themselves live on worker threads).
+    pub fn protocol_model(&self) -> FederationModel {
+        let mut ranges: Vec<RangeModel> = self
+            .workers
+            .iter()
+            .map(|(&id, w)| RangeModel {
+                id,
+                name: w.name().to_owned(),
+            })
+            .collect();
+        ranges.sort_by_key(|r| r.id);
+
+        let mut links = Vec::new();
+        for a in &ranges {
+            for b in &ranges {
+                if a.id != b.id {
+                    links.push((a.id, b.id));
+                }
+            }
+        }
+
+        let mut freshness: Vec<FreshnessBound> = self
+            .relay_max_age
+            .iter()
+            .map(|(&query, &age)| FreshnessBound {
+                query,
+                max_age_us: age.as_micros(),
+            })
+            .collect();
+        freshness.sort_by_key(|f| f.query);
+
+        let mut routes = Vec::new();
+        for r in &ranges {
+            for (place, &coverer) in &self.places {
+                routes.push(RouteClaim {
+                    at: r.id,
+                    place: place.clone(),
+                    coverer,
+                });
+            }
+        }
+        routes.sort_by(|a, b| (a.at, &a.place).cmp(&(b.at, &b.place)));
+
+        FederationModel {
+            ranges,
+            links,
+            faults: self.fabric.fault_model(),
+            retry: RetryModel {
+                retries: RELAY_RETRIES,
+                backoff_base_us: RETRY_BACKOFF_BASE_US,
+            },
+            restart_budget: (self.restart_policy.max_restarts > 0)
+                .then_some(self.restart_policy.max_restarts),
+            freshness,
+            routes,
+            messages: relay_message_classes(),
+            blueprint: blueprint_model(),
+        }
+    }
+
     /// Restarts performed by the named range's supervised runtime.
     pub fn restarts_of(&self, range: &str) -> Option<u32> {
         let id = self.fabric.find_by_name(range)?;
@@ -922,7 +1079,7 @@ impl<T: Transport> ParallelFederation<T> {
         event: &ContextEvent,
         now: VirtualTime,
     ) -> SciResult<()> {
-        let started = Instant::now();
+        let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
         let result = self
             .worker_by_name(range)?
             .cast(RangeCommand::Ingest(event.clone()), now);
@@ -1125,7 +1282,7 @@ impl<T: Transport> ParallelFederation<T> {
             let Some(worker) = self.workers.get_mut(&node) else {
                 continue;
             };
-            let barrier_started = Instant::now();
+            let barrier_started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
             let drained: SciResult<(Vec<AppDelivery>, Vec<DeferredAnswer>)> = (|| {
                 let deliveries = match worker.call(RangeCommand::DrainOutbox, now)? {
                     RangeReply::Deliveries(d) => d,
@@ -1158,7 +1315,7 @@ impl<T: Transport> ParallelFederation<T> {
                     continue;
                 }
             };
-            let relay_started = Instant::now();
+            let relay_started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
             for d in deliveries {
                 let home = self.app_home.get(&d.app).copied().unwrap_or(node);
                 if home == node {
@@ -1265,7 +1422,13 @@ impl<T: Transport> ParallelFederation<T> {
         if self.pending_relays.is_empty() {
             return Ok(());
         }
-        let parked = std::mem::take(&mut self.pending_relays);
+        let mut parked = std::mem::take(&mut self.pending_relays);
+        // Canonical re-fire order, mirroring the sorted node iteration
+        // in `sync`/`sweep`: `(dst, id)` keeps per-destination send
+        // order (ids are seed-minted monotonically) while decoupling
+        // the fault layer's PRNG draw sequence from park insertion
+        // history.
+        parked.sort_unstable_by_key(|m| (m.dst, m.id));
         for msg in parked {
             self.metrics.retry_attempts.inc();
             let dst = msg.dst;

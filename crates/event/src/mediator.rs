@@ -105,7 +105,7 @@ impl EventMediator {
         if let Some(state) = self.publishers.get_mut(&event.source) {
             state.last_seen = event.timestamp;
         }
-        let start = self.publish_latency.as_ref().map(|_| Instant::now());
+        let start = self.publish_latency.as_ref().map(|_| Instant::now()); // sci-lint: allow(wall-clock): telemetry timing
         let deliveries = self.bus.publish(event);
         if let (Some(h), Some(start)) = (&self.publish_latency, start) {
             h.record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));

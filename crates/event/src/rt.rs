@@ -130,7 +130,7 @@ impl ThreadedBus {
     /// one-time subscriptions are consumed.
     pub fn publish(&self, event: &ContextEvent) -> usize {
         let telemetry = self.inner.telemetry.lock().clone();
-        let start = telemetry.as_ref().map(|_| Instant::now());
+        let start = telemetry.as_ref().map(|_| Instant::now()); // sci-lint: allow(wall-clock): telemetry timing
         let outcome = self
             .inner
             .subs

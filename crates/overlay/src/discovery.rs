@@ -115,25 +115,20 @@ pub fn lookup(net: &mut SimNetwork, asker: Guid, target: Guid) -> SciResult<Opti
     }
     let mut asked: Vec<Guid> = Vec::new();
     loop {
-        let frontier = net
-            .node(asker)
-            .expect("checked")
-            .table()
-            .closest_n(target, FIND_NODE_FANOUT);
+        let Some(asker_node) = net.node(asker) else {
+            return Err(SciError::UnknownRange(asker));
+        };
+        let frontier = asker_node.table().closest_n(target, FIND_NODE_FANOUT);
         let next = frontier.into_iter().find(|g| !asked.contains(g));
         let Some(peer) = next else {
             break;
         };
         asked.push(peer);
         // Skip dead peers — a real lookup would time out on them.
-        if !net.node(peer).map(|n| n.is_alive()).unwrap_or(false) {
-            continue;
-        }
-        let learned = net
-            .node(peer)
-            .expect("checked")
-            .table()
-            .closest_n(target, FIND_NODE_FANOUT);
+        let learned = match net.node(peer) {
+            Some(n) if n.is_alive() => n.table().closest_n(target, FIND_NODE_FANOUT),
+            _ => continue,
+        };
         for g in learned {
             if g != asker {
                 net.link(asker, g)?;
@@ -142,7 +137,7 @@ pub fn lookup(net: &mut SimNetwork, asker: Guid, target: Guid) -> SciResult<Opti
         // Contact announces the asker to the peer.
         net.link(peer, asker)?;
     }
-    Ok(net.node(asker).expect("checked").table().closest_to(target))
+    Ok(net.node(asker).and_then(|n| n.table().closest_to(target)))
 }
 
 /// Builds a network of `n` nodes by sequential discovery joins (the
@@ -173,6 +168,7 @@ pub fn grow_network(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::guid::GuidGenerator;

@@ -108,11 +108,13 @@ impl HierarchicalNetwork {
 
         let up = self.path_to_root(si);
         let down = self.path_to_root(di);
-        // Find the LCA: deepest index present in both root paths.
-        let lca_pos_in_up = up
-            .iter()
-            .position(|i| down.contains(i))
-            .expect("root is always shared");
+        // Find the LCA: deepest index present in both root paths. Two
+        // nodes of one tree always share the root; a miss means the
+        // hierarchy was corrupted, which routing reports rather than
+        // panics on.
+        let Some(lca_pos_in_up) = up.iter().position(|i| down.contains(i)) else {
+            return Err(SciError::Unroutable { from: src, to: dst });
+        };
         let lca = up[lca_pos_in_up];
 
         let mut path: Vec<usize> = up[..=lca_pos_in_up].to_vec();
@@ -135,6 +137,7 @@ impl HierarchicalNetwork {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -140,10 +140,12 @@ impl SimNetwork {
     pub fn populate_full(&mut self) {
         let guids: Vec<Guid> = self.nodes.keys().copied().collect();
         for &a in &guids {
-            let table = &mut self.nodes.get_mut(&a).expect("listed").table;
+            let Some(node) = self.nodes.get_mut(&a) else {
+                continue;
+            };
             for &b in &guids {
                 if a != b {
-                    table.insert(b);
+                    node.table.insert(b);
                 }
             }
         }
@@ -293,9 +295,10 @@ impl SimNetwork {
                 }
             }
             if !dead.is_empty() {
-                let table = &mut self.nodes.get_mut(&current).expect("exists").table;
-                for d in dead {
-                    table.remove(d);
+                if let Some(node) = self.nodes.get_mut(&current) {
+                    for d in dead {
+                        node.table.remove(d);
+                    }
                 }
             }
             let Some(next) = next else {
@@ -337,9 +340,10 @@ impl SimNetwork {
                 to: delivered.dst,
             })?;
         }
+        let (src, dst) = (delivered.src, delivered.dst);
         self.nodes
-            .get_mut(&delivered.dst)
-            .expect("routed to existing node")
+            .get_mut(&dst)
+            .ok_or(SciError::Unroutable { from: src, to: dst })?
             .inbox
             .push(delivered);
         Ok(outcome)
@@ -364,6 +368,7 @@ impl Default for SimNetwork {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use sci_types::guid::GuidGenerator;

@@ -78,13 +78,17 @@ impl RoutingTable {
             bucket.push(peer);
             return true;
         }
-        // Evict the farthest-from-owner entry if the newcomer is closer.
-        let (far_pos, far_guid) = bucket
+        // Evict the farthest-from-owner entry if the newcomer is
+        // closer. A full bucket is non-empty, so the maximum exists;
+        // a zero-capacity bucket simply refuses the newcomer.
+        let Some((far_pos, far_guid)) = bucket
             .iter()
             .copied()
             .enumerate()
             .max_by_key(|&(_, g)| owner.xor_distance(g))
-            .expect("full bucket is non-empty");
+        else {
+            return false;
+        };
         if owner.xor_distance(peer) < owner.xor_distance(far_guid) {
             bucket[far_pos] = peer;
             true
@@ -160,6 +164,7 @@ impl RoutingTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -142,6 +142,7 @@ impl std::fmt::Display for LoadStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -71,6 +71,15 @@ pub trait Transport {
     fn telemetry(&self) -> Option<&sci_telemetry::Registry> {
         None
     }
+
+    /// The transport's declared fault schedule (seed, probabilities,
+    /// named partitions), if it injects faults. Federations fold this
+    /// into the [`FederationModel`](sci_types::FederationModel) that
+    /// `sci-analysis` checks before runtime. Default: none — the
+    /// transport is fault-free as far as static analysis can tell.
+    fn fault_model(&self) -> Option<sci_types::FaultSchedule> {
+        None
+    }
 }
 
 impl Transport for SimNetwork {

@@ -2,6 +2,8 @@
 //! recoveries and ongoing maintenance — the robustness property the
 //! paper claims for the overlay arrangement.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sci_overlay::discovery::{grow_network, join, maintain};
 use sci_overlay::net::SimNetwork;
 use sci_types::guid::GuidGenerator;

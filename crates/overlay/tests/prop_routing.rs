@@ -1,5 +1,7 @@
 //! Property tests for SCINET routing and the wire codec.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use bytes::Bytes;
 use proptest::prelude::*;
 use sci_overlay::message::{Message, MessageKind};

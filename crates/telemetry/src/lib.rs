@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod catalogue;
 mod metrics;
 mod snapshot;
 mod trace;

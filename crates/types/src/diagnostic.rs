@@ -34,7 +34,9 @@ impl fmt::Display for Severity {
 /// Codes are append-only: a released code never changes meaning.
 /// `SCI-A0xx` codes come from single-plan verification, `SCI-A1xx`
 /// codes from fleet-level drift detection between analyzed plans and
-/// the live subscription table.
+/// the live subscription table, `SCI-A2xx` codes from federation
+/// protocol-model checking, and `SCI-A3xx` codes from the `sci-lint`
+/// source-level pass.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 #[non_exhaustive]
 pub enum DiagCode {
@@ -62,6 +64,36 @@ pub enum DiagCode {
     /// `SCI-A102`: the live subscription table holds a configuration
     /// subscription no analyzed plan accounts for.
     OrphanSubscription,
+    /// `SCI-A201`: a relay route the federation's place directories
+    /// imply crosses a declared partition boundary (or a missing
+    /// link), so the relay is unroutable by construction.
+    PartitionUnroutable,
+    /// `SCI-A202`: the per-place forwarding chains implied by
+    /// disagreeing place directories contain a cycle — a relay could
+    /// bounce between ranges forever without reaching a coverer.
+    RelayCycle,
+    /// `SCI-A203`: the worst-case relay retry backoff (in virtual
+    /// time) exceeds a configuration's `qoc-max-age-us` bound, so a
+    /// retried relay is guaranteed stale on arrival.
+    FreshnessInfeasible,
+    /// `SCI-A204`: a graph-shaping `RangeCommand` kind has no erasing
+    /// counterpart in the restart blueprint, so supervised restart
+    /// would leak replayed state.
+    BlueprintLeak,
+    /// `SCI-A205`: a retried cross-range message class does not carry
+    /// the `(origin, seq)` dedup envelope — retransmission would
+    /// duplicate deliveries.
+    EnvelopeMissing,
+    /// `SCI-A301`: a seeded (deterministic) code path calls a
+    /// nondeterministic source (`Instant::now`, `SystemTime::now`,
+    /// `thread_rng`, …) outside the telemetry allowlist.
+    NondeterministicCall,
+    /// `SCI-A302`: a metric name passed to a telemetry registry does
+    /// not appear in the central metric catalogue.
+    MetricNameDrift,
+    /// `SCI-A303`: `RangeCommand::KINDS` and the enum's variants have
+    /// drifted apart (count, order, or kebab-case naming).
+    CommandKindDrift,
 }
 
 impl DiagCode {
@@ -76,6 +108,14 @@ impl DiagCode {
             DiagCode::FanInViolation => "SCI-A006",
             DiagCode::MissingSubscription => "SCI-A101",
             DiagCode::OrphanSubscription => "SCI-A102",
+            DiagCode::PartitionUnroutable => "SCI-A201",
+            DiagCode::RelayCycle => "SCI-A202",
+            DiagCode::FreshnessInfeasible => "SCI-A203",
+            DiagCode::BlueprintLeak => "SCI-A204",
+            DiagCode::EnvelopeMissing => "SCI-A205",
+            DiagCode::NondeterministicCall => "SCI-A301",
+            DiagCode::MetricNameDrift => "SCI-A302",
+            DiagCode::CommandKindDrift => "SCI-A303",
         }
     }
 
@@ -87,7 +127,15 @@ impl DiagCode {
             | DiagCode::DanglingEdge
             | DiagCode::DuplicateBinding
             | DiagCode::FanInViolation
-            | DiagCode::MissingSubscription => Severity::Error,
+            | DiagCode::MissingSubscription
+            | DiagCode::PartitionUnroutable
+            | DiagCode::RelayCycle
+            | DiagCode::FreshnessInfeasible
+            | DiagCode::BlueprintLeak
+            | DiagCode::EnvelopeMissing
+            | DiagCode::NondeterministicCall
+            | DiagCode::MetricNameDrift
+            | DiagCode::CommandKindDrift => Severity::Error,
             DiagCode::UnreachableNode | DiagCode::OrphanSubscription => Severity::Warning,
         }
     }
@@ -253,6 +301,14 @@ mod tests {
             DiagCode::FanInViolation,
             DiagCode::MissingSubscription,
             DiagCode::OrphanSubscription,
+            DiagCode::PartitionUnroutable,
+            DiagCode::RelayCycle,
+            DiagCode::FreshnessInfeasible,
+            DiagCode::BlueprintLeak,
+            DiagCode::EnvelopeMissing,
+            DiagCode::NondeterministicCall,
+            DiagCode::MetricNameDrift,
+            DiagCode::CommandKindDrift,
         ];
         let mut codes: Vec<&str> = all.iter().map(DiagCode::code).collect();
         codes.sort_unstable();

@@ -49,6 +49,7 @@ pub mod event;
 pub mod guid;
 pub mod metadata;
 pub mod profile;
+pub mod protocol;
 pub mod time;
 pub mod value;
 
@@ -61,5 +62,9 @@ pub use event::{ContextEvent, EventSeq};
 pub use guid::Guid;
 pub use metadata::Metadata;
 pub use profile::{PortSpec, Profile, ProfileBuilder};
+pub use protocol::{
+    BlueprintKindModel, FaultModel, FaultSchedule, FederationModel, FreshnessBound, LinkFaultModel,
+    MessageClassModel, RangeModel, RetryModel, RouteClaim,
+};
 pub use time::{VirtualDuration, VirtualTime};
 pub use value::{ContextType, ContextValue, Coord};

@@ -78,6 +78,7 @@ pub use sci_types as types;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use sci_analysis::federation::verify_federation;
     pub use sci_analysis::{analyze, PlanGraph, ProfileSource, ProfileTable};
     pub use sci_core::capa::CapaApp;
     pub use sci_core::context_server::{AppDelivery, ContextServer, QueryAnswer, RangeReply};
@@ -105,7 +106,7 @@ pub mod prelude {
     pub use sci_types::guid::GuidGenerator;
     pub use sci_types::{
         Advertisement, AnalysisReport, ContextEvent, ContextType, ContextValue, Coord, DiagCode,
-        Diagnostic, EntityDescriptor, EntityKind, Guid, Metadata, PortSpec, Profile, SciError,
-        SciResult, Severity, VirtualDuration, VirtualTime,
+        Diagnostic, EntityDescriptor, EntityKind, FederationModel, Guid, Metadata, PortSpec,
+        Profile, SciError, SciResult, Severity, VirtualDuration, VirtualTime,
     };
 }

@@ -228,3 +228,58 @@ fn panic_isolation_increments_exactly_one_counter() {
         "exactly one isolated panic recorded"
     );
 }
+
+/// Every instrument name a live federated workload registers must be
+/// listed in the central catalogue (`sci-telemetry::catalogue`) — the
+/// same table the `sci-lint` SCI-A302 pass audits source literals
+/// against. A name in the snapshot but not the catalogue means the
+/// catalogue (or the lint) has drifted from reality.
+#[test]
+fn every_snapshot_name_is_catalogued() {
+    use sci::telemetry::catalogue;
+
+    let mut ids = GuidGenerator::seeded(23);
+    let mut fed = ParallelFederation::new(5).with_restart_policy(RestartPolicy::bounded(1));
+    let mut sensors = Vec::new();
+    for i in 0..2usize {
+        let (cs, sensor) = server(i, &mut ids);
+        sensors.push(sensor);
+        fed.add_range(cs).unwrap();
+    }
+    fed.connect_full();
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Presence)
+        .in_range("range-1")
+        .fresh_within(VirtualDuration::from_secs(5))
+        .mode(Mode::Subscribe)
+        .build();
+    fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
+    for k in 0..4u64 {
+        let t = VirtualTime::from_secs(k + 1);
+        fed.ingest_at("range-1", &presence(sensors[1], 500 + u128::from(k), t), t)
+            .unwrap();
+    }
+    fed.sync(VirtualTime::from_secs(10)).unwrap();
+
+    let snap = fed.snapshot();
+    fed.shutdown();
+    let mut names: Vec<&str> = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .chain(snap.gauges.iter().map(|(n, _)| n.as_str()))
+        .chain(snap.histograms.iter().map(|h| h.name.as_str()))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert!(!names.is_empty());
+    let strays: Vec<&str> = names
+        .into_iter()
+        .filter(|n| !catalogue::contains(n))
+        .collect();
+    assert!(
+        strays.is_empty(),
+        "instrument names missing from the central catalogue: {strays:?}"
+    );
+}
