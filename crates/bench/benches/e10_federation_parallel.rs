@@ -20,6 +20,14 @@
 //! mailboxes), `barrier_us` (the `sync` drain), `relay_us` (cross-range
 //! event/answer relaying). The final snapshot rides along under
 //! `telemetry`.
+//!
+//! Two row groups are emitted. `"relay"` is the historical barrier
+//! shape (per-event `ingest_at`, one big `sync`), kept for
+//! cross-version comparability. `"stream"` is the streaming shape
+//! (per-range `ingest_batch_at`, free-running `pump_streams` rounds, a
+//! closing `sync`) and reports `sustained_kevents_s` — the
+//! steady-state throughput the CI gate protects (a regression is a
+//! throughput *drop*, not a time increase).
 
 use std::time::{Duration, Instant};
 
@@ -195,15 +203,65 @@ fn parallel_batch(rig: &mut ParallelRig, per_range: u64) -> (Duration, usize) {
     (start.elapsed(), delivered)
 }
 
-/// The three instrumented phases of a parallel batch, as cumulative
+/// Steady-state rounds per measured streaming batch: each round is a
+/// per-range `ingest_batch_at` (one mailbox send for the whole batch)
+/// chased by a free-running `pump_streams` pass; a closing `sync`
+/// settles the tail.
+const STREAM_ROUNDS: u64 = 5;
+
+/// One streaming round: batch-ingest `per_range` events into every
+/// range, then pump whatever has streamed so far.
+fn streaming_round(rig: &mut ParallelRig, per_range: u64) {
+    for j in 0..rig.sensors.len() {
+        let sensor = rig.sensors[j];
+        let mut batch = Vec::with_capacity(per_range as usize);
+        for _ in 0..per_range {
+            rig.clock += 1;
+            let t = VirtualTime::from_micros(rig.clock);
+            batch.push(event(sensor, rig.clock, t));
+        }
+        let t = VirtualTime::from_micros(rig.clock);
+        rig.fed
+            .ingest_batch_at(&format!("range-{j}"), &batch, t)
+            .expect("ingests");
+    }
+    rig.fed
+        .pump_streams(VirtualTime::from_micros(rig.clock))
+        .expect("pumps");
+}
+
+/// One measured streaming batch: `STREAM_ROUNDS` steady-state rounds,
+/// then one closing `sync`. Returns elapsed time and deliveries
+/// drained — the sustained-throughput shape of the streaming design,
+/// vs `parallel_batch`'s one-big-barrier shape.
+fn streaming_batch(rig: &mut ParallelRig, per_range: u64) -> (Duration, usize) {
+    let per_round = (per_range / STREAM_ROUNDS).max(1);
+    let start = Instant::now();
+    for _ in 0..STREAM_ROUNDS {
+        streaming_round(rig, per_round);
+    }
+    rig.fed
+        .sync(VirtualTime::from_micros(rig.clock))
+        .expect("syncs");
+    let delivered: usize = rig
+        .apps
+        .clone()
+        .into_iter()
+        .map(|app| rig.fed.deliveries_for(app).len())
+        .sum();
+    (start.elapsed(), delivered)
+}
+
+/// The instrumented phases of a parallel batch, as cumulative
 /// histogram sums (microseconds) from the telemetry snapshot.
-const PHASES: [&str; 3] = [
+const PHASES: [&str; 4] = [
     "federation.cast_us",
     "federation.barrier_us",
     "federation.relay_us",
+    "federation.stream.pump_us",
 ];
 
-fn phase_sums(snap: &TelemetrySnapshot) -> [u64; 3] {
+fn phase_sums(snap: &TelemetrySnapshot) -> [u64; 4] {
     PHASES.map(|name| snap.histogram(name).map_or(0, |h| h.sum))
 }
 
@@ -232,8 +290,33 @@ impl Row {
     }
 }
 
-fn measure_rows() -> (Vec<Row>, TelemetrySnapshot) {
+/// The sustained-throughput row for the streaming driver: batched
+/// ingest + continuous pumps, measured over `STREAM_ROUNDS`
+/// steady-state rounds against the same serial baseline.
+struct StreamRow {
+    ranges: usize,
+    events: u64,
+    serial_us: f64,
+    stream_us: f64,
+    /// Per-phase time (us) spent in the measured streaming batch.
+    cast_us: u64,
+    pump_us: u64,
+}
+
+impl StreamRow {
+    fn speedup(&self) -> f64 {
+        self.serial_us / self.stream_us
+    }
+
+    /// Sustained end-to-end throughput of the streaming driver.
+    fn sustained_keps(&self) -> f64 {
+        self.events as f64 / self.stream_us * 1e3
+    }
+}
+
+fn measure_rows() -> (Vec<Row>, Vec<StreamRow>, TelemetrySnapshot) {
     let mut last_snapshot = TelemetrySnapshot::default();
+    let mut stream_rows = Vec::new();
     let rows = RANGE_SWEEP
         .iter()
         .map(|&ranges| {
@@ -244,20 +327,38 @@ fn measure_rows() -> (Vec<Row>, TelemetrySnapshot) {
             serial_batch(&mut serial, 50);
             let (serial_t, serial_n) = serial_batch(&mut serial, EVENTS_PER_RANGE);
             assert_eq!(serial_n as u64, events, "serial loses deliveries");
+            let serial_us = serial_t.as_secs_f64() * 1e6;
 
             let mut parallel = build_parallel(ranges, 17);
             parallel_batch(&mut parallel, 50);
             let before = phase_sums(&parallel.fed.snapshot());
             let (parallel_t, parallel_n) = parallel_batch(&mut parallel, EVENTS_PER_RANGE);
             assert_eq!(parallel_n as u64, events, "parallel loses deliveries");
-            last_snapshot = parallel.fed.snapshot();
-            let after = phase_sums(&last_snapshot);
+            let after = phase_sums(&parallel.fed.snapshot());
             parallel.fed.shutdown();
+
+            let mut stream = build_parallel(ranges, 17);
+            streaming_batch(&mut stream, 50);
+            let s_before = phase_sums(&stream.fed.snapshot());
+            let (stream_t, stream_n) = streaming_batch(&mut stream, EVENTS_PER_RANGE);
+            assert_eq!(stream_n as u64, events, "streaming loses deliveries");
+            last_snapshot = stream.fed.snapshot();
+            let s_after = phase_sums(&last_snapshot);
+            stream.fed.shutdown();
+
+            stream_rows.push(StreamRow {
+                ranges,
+                events,
+                serial_us,
+                stream_us: stream_t.as_secs_f64() * 1e6,
+                cast_us: s_after[0].saturating_sub(s_before[0]),
+                pump_us: s_after[3].saturating_sub(s_before[3]),
+            });
 
             Row {
                 ranges,
                 events,
-                serial_us: serial_t.as_secs_f64() * 1e6,
+                serial_us,
                 parallel_us: parallel_t.as_secs_f64() * 1e6,
                 cast_us: after[0].saturating_sub(before[0]),
                 barrier_us: after[1].saturating_sub(before[1]),
@@ -265,7 +366,7 @@ fn measure_rows() -> (Vec<Row>, TelemetrySnapshot) {
             }
         })
         .collect();
-    (rows, last_snapshot)
+    (rows, stream_rows, last_snapshot)
 }
 
 fn available_cores() -> usize {
@@ -274,8 +375,8 @@ fn available_cores() -> usize {
         .unwrap_or(1)
 }
 
-fn write_json(rows: &[Row], snapshot: &TelemetrySnapshot) {
-    let body: Vec<String> = rows
+fn write_json(rows: &[Row], stream_rows: &[StreamRow], snapshot: &TelemetrySnapshot) {
+    let mut body: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
@@ -296,6 +397,25 @@ fn write_json(rows: &[Row], snapshot: &TelemetrySnapshot) {
             )
         })
         .collect();
+    // The streaming rows ride alongside the barrier-mode rows so the
+    // perf trajectory keeps both shapes comparable across PRs.
+    body.extend(stream_rows.iter().map(|r| {
+        format!(
+            "    {{\"group\": \"stream\", \"ranges\": {}, \"events\": {}, \
+             \"rounds\": {}, \"serial_us\": {:.1}, \"stream_us\": {:.1}, \
+             \"speedup\": {:.2}, \"sustained_kevents_s\": {:.1}, \
+             \"cast_us\": {}, \"pump_us\": {}}}",
+            r.ranges,
+            r.events,
+            STREAM_ROUNDS,
+            r.serial_us,
+            r.stream_us,
+            r.speedup(),
+            r.sustained_keps(),
+            r.cast_us,
+            r.pump_us
+        )
+    }));
     let json = format!(
         "{{\n  \"experiment\": \"e10_federation_parallel\",\n  \"unit\": \"us\",\n  \
          \"available_cores\": {},\n  \"events_per_range\": {},\n  \"rows\": [\n{}\n  ],\n  \
@@ -347,10 +467,42 @@ fn print_shape_table(rows: &[Row]) {
     println!();
 }
 
+fn print_stream_table(rows: &[StreamRow]) {
+    println!(
+        "E10/stream: batched ingest + continuous pumps, {} rounds/batch ({} cores available)",
+        STREAM_ROUNDS,
+        available_cores()
+    );
+    println!(
+        "{:>7} | {:>12} {:>12} {:>8} {:>22} | {:>9} {:>9}",
+        "ranges",
+        "serial (us)",
+        "stream (us)",
+        "speedup",
+        "sustained (kevents/s)",
+        "cast (us)",
+        "pump (us)"
+    );
+    for r in rows {
+        println!(
+            "{:>7} | {:>12.0} {:>12.0} {:>7.2}x {:>22.1} | {:>9} {:>9}",
+            r.ranges,
+            r.serial_us,
+            r.stream_us,
+            r.speedup(),
+            r.sustained_keps(),
+            r.cast_us,
+            r.pump_us
+        );
+    }
+    println!();
+}
+
 fn bench_parallel_federation(c: &mut Criterion) {
-    let (rows, snapshot) = measure_rows();
+    let (rows, stream_rows, snapshot) = measure_rows();
     print_shape_table(&rows);
-    write_json(&rows, &snapshot);
+    print_stream_table(&stream_rows);
+    write_json(&rows, &stream_rows, &snapshot);
 
     let mut group = c.benchmark_group("e10_relay_batch");
     for ranges in [4usize, 8] {
@@ -361,6 +513,10 @@ fn bench_parallel_federation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel", ranges), &ranges, |b, &n| {
             let mut rig = build_parallel(n, 17);
             b.iter(|| parallel_batch(&mut rig, 20));
+        });
+        group.bench_with_input(BenchmarkId::new("stream", ranges), &ranges, |b, &n| {
+            let mut rig = build_parallel(n, 17);
+            b.iter(|| streaming_batch(&mut rig, 20));
         });
     }
     group.finish();

@@ -120,6 +120,9 @@ pub struct Federation<T: Transport = SimNetwork> {
     retry_attempts: u64,
     retry_parked: u64,
     partial_answers: u64,
+    /// Deliveries/answers whose application had no recorded home range
+    /// (kept at the producing range instead of being silently homed).
+    relay_unknown_app: u64,
     ids: GuidGenerator,
 }
 
@@ -171,6 +174,7 @@ impl<T: Transport> Federation<T> {
             retry_attempts: 0,
             retry_parked: 0,
             partial_answers: 0,
+            relay_unknown_app: 0,
             ids: GuidGenerator::seeded(seed),
         }
     }
@@ -420,6 +424,47 @@ impl<T: Transport> Federation<T> {
         self.pump(now)
     }
 
+    /// Feeds a batch of sensor events into the named range, pumping
+    /// relayable output **once** at the end — the serial counterpart of
+    /// `ParallelFederation::ingest_batch_at`, amortising the per-event
+    /// pump over the batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Federation::ingest_at`]; on an ingestion failure the
+    /// first error is returned but the remaining events are still
+    /// attempted (and the pump still runs), so a bad reading cannot
+    /// strand its batch-mates' relays.
+    pub fn ingest_batch_at(
+        &mut self,
+        range: &str,
+        events: &[ContextEvent],
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let id = self
+            .net
+            .find_by_name(range)
+            .ok_or_else(|| SciError::UnknownLocation(range.to_owned()))?;
+        let cs = self
+            .servers
+            .get_mut(&id)
+            .ok_or_else(|| SciError::Internal(format!("node {id} has no Context Server")))?;
+        let mut first_error = None;
+        for event in events {
+            if let Err(e) = cs.ingest(event, now) {
+                first_error.get_or_insert(e);
+            }
+        }
+        self.pump(now)?;
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Builds the degraded answer for a query whose target range could
     /// not be consulted, counting it in `federation.answers.partial`.
     fn degraded(&mut self, missing: Guid, reason: &str) -> FederatedAnswer {
@@ -616,7 +661,13 @@ impl<T: Transport> Federation<T> {
                 (cs.drain_outbox(), cs.drain_answers())
             };
             for d in deliveries {
-                let home = self.app_home.get(&d.app).copied().unwrap_or(node);
+                // An app with no recorded home is counted, not
+                // silently homed (mirrors the parallel coordinator's
+                // `federation.relay.unknown_app` accounting).
+                let home = self.app_home.get(&d.app).copied().unwrap_or_else(|| {
+                    self.relay_unknown_app += 1;
+                    node
+                });
                 if home != node {
                     // Relay across the overlay, exercising the codec.
                     // The envelope (origin node + per-origin sequence
@@ -643,7 +694,10 @@ impl<T: Transport> Federation<T> {
                 }
             }
             for (query, owner, answer) in answers {
-                let home = self.app_home.get(&owner).copied().unwrap_or(node);
+                let home = self.app_home.get(&owner).copied().unwrap_or_else(|| {
+                    self.relay_unknown_app += 1;
+                    node
+                });
                 if home != node {
                     // A deferred answer produced away from the app's
                     // home range travels back as a QueryResponse over
@@ -864,6 +918,13 @@ impl<T: Transport> Federation<T> {
         self.retry_attempts
     }
 
+    /// Deliveries and answers whose application had no recorded home
+    /// range (counted and kept at the producing range instead of being
+    /// silently homed).
+    pub fn relay_unknown_app(&self) -> u64 {
+        self.relay_unknown_app
+    }
+
     /// Relays that exhausted their in-call retries and were parked for
     /// later pumps.
     pub fn retry_parked(&self) -> u64 {
@@ -923,6 +984,9 @@ impl<T: Transport> Federation<T> {
         relays
             .counter("federation.answers.partial")
             .add(self.partial_answers);
+        relays
+            .counter("federation.relay.unknown_app")
+            .add(self.relay_unknown_app);
         snap.merge(&relays.snapshot());
         if let Some(faults) = self.net.telemetry() {
             snap.merge(&faults.snapshot());

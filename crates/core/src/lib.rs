@@ -90,5 +90,5 @@ pub use location_service::LocationService;
 pub use profile_manager::ProfileManager;
 pub use registrar::Registrar;
 pub use resolver::ConfigurationPlan;
-pub use runtime::{ParallelFederation, RangeCommand, RangeRuntime};
+pub use runtime::{MailboxPolicy, ParallelFederation, RangeCommand, RangeRuntime};
 pub use telemetry::{snapshot_from_xml, snapshot_to_xml};

@@ -31,7 +31,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 
-use sci_event::rt::{mailbox, Receiver, Sender};
+use sci_event::rt::{bounded_mailbox, mailbox, Receiver, Sender, TrySendError};
 use sci_overlay::message::{Message, MessageKind};
 use sci_overlay::net::SimNetwork;
 use sci_overlay::stats::LoadStats;
@@ -46,7 +46,7 @@ use sci_types::{
     VirtualTime,
 };
 
-use sci_telemetry::{Registry, TelemetrySnapshot};
+use sci_telemetry::{Registry, TelemetrySnapshot, Tracer};
 
 use crate::context_server::{AppDelivery, ContextServer, DeferredAnswer, QueryAnswer, RangeReply};
 use crate::federation::{
@@ -83,6 +83,12 @@ pub enum RangeCommand {
     Cancel(Guid),
     /// Ingest a sensor event.
     Ingest(ContextEvent),
+    /// Ingest a batch of sensor events with one mailbox send: the
+    /// amortised form of [`RangeCommand::Ingest`] for streaming
+    /// drivers. Events are applied in order; the first failure is
+    /// remembered and returned after the rest have been attempted, so
+    /// a batch behaves like the same events pipelined individually.
+    IngestBatch(Vec<ContextEvent>),
     /// Fire deferred queries whose timers are due.
     PollTimers,
     /// Evict history entries past their retention window.
@@ -108,7 +114,7 @@ impl RangeCommand {
     /// [`RangeCommand::kind_index`]. The telemetry layer pre-registers
     /// one counter and one latency histogram per entry
     /// (`range.cmd.<kind>.count` / `range.cmd.<kind>.latency_us`).
-    pub const KINDS: [&'static str; 18] = [
+    pub const KINDS: [&'static str; 19] = [
         "register",
         "register-logic",
         "declare-equivalence",
@@ -118,6 +124,7 @@ impl RangeCommand {
         "submit",
         "cancel",
         "ingest",
+        "ingest-batch",
         "poll-timers",
         "expire-history",
         "drain-outbox",
@@ -141,15 +148,16 @@ impl RangeCommand {
             RangeCommand::Submit(_) => 6,
             RangeCommand::Cancel(_) => 7,
             RangeCommand::Ingest(_) => 8,
-            RangeCommand::PollTimers => 9,
-            RangeCommand::ExpireHistory => 10,
-            RangeCommand::DrainOutbox => 11,
-            RangeCommand::DrainOutboxFor(_) => 12,
-            RangeCommand::DrainAnswers => 13,
-            RangeCommand::SetReuse(_) => 14,
-            RangeCommand::SetAutoRegisterPeople(_) => 15,
-            RangeCommand::SetPlanVerification(_) => 16,
-            RangeCommand::Audit => 17,
+            RangeCommand::IngestBatch(_) => 9,
+            RangeCommand::PollTimers => 10,
+            RangeCommand::ExpireHistory => 11,
+            RangeCommand::DrainOutbox => 12,
+            RangeCommand::DrainOutboxFor(_) => 13,
+            RangeCommand::DrainAnswers => 14,
+            RangeCommand::SetReuse(_) => 15,
+            RangeCommand::SetAutoRegisterPeople(_) => 16,
+            RangeCommand::SetPlanVerification(_) => 17,
+            RangeCommand::Audit => 18,
         }
     }
 
@@ -213,6 +221,22 @@ impl ContextServer {
                 self.cancel_query_impl(query_id).map(|()| RangeReply::Ack)
             }
             RangeCommand::Ingest(event) => self.ingest_impl(&event, now).map(|()| RangeReply::Ack),
+            RangeCommand::IngestBatch(events) => {
+                let mut first_error = None;
+                let mut applied = 0usize;
+                for event in &events {
+                    match self.ingest_impl(event, now) {
+                        Ok(()) => applied += 1,
+                        Err(e) => {
+                            first_error.get_or_insert(e);
+                        }
+                    }
+                }
+                match first_error {
+                    Some(e) => Err(e),
+                    None => Ok(RangeReply::Ingested(applied)),
+                }
+            }
             RangeCommand::PollTimers => self.poll_timers_impl(now).map(RangeReply::Fired),
             RangeCommand::ExpireHistory => Ok(RangeReply::Expired(self.expire_history_impl(now))),
             RangeCommand::DrainOutbox => Ok(RangeReply::Deliveries(self.drain_outbox_impl())),
@@ -240,6 +264,64 @@ impl ContextServer {
 enum ToWorker {
     Cmd { cmd: RangeCommand, now: VirtualTime },
     Stop,
+}
+
+/// Backpressure discipline of a range's command mailbox.
+///
+/// The default is unbounded — sends never block and depth is only
+/// observable through the `range.mailbox.depth` gauge. Bounded
+/// policies cap how far a producer may run ahead of the worker; the
+/// deepest mailbox ever observed is tracked in
+/// `range.mailbox.highwater` under every policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MailboxPolicy {
+    /// Unbounded mailbox: sends never block (the historical
+    /// behaviour).
+    #[default]
+    Unbounded,
+    /// Bounded mailbox of the given capacity: a full mailbox *blocks*
+    /// the producer until the worker frees a slot. Deadlock-free: the
+    /// single consumer always drains, and a dead worker disconnects
+    /// the channel, waking blocked producers with
+    /// [`SciError::RangeDown`].
+    Block(usize),
+    /// Bounded mailbox of the given capacity: a full mailbox *sheds*
+    /// pipelined casts — the command is dropped and accounted in
+    /// `range.mailbox.shed` instead of blocking. Request/response
+    /// [`RangeRuntime::call`]s still block: a reply must never be
+    /// silently dropped.
+    Shed(usize),
+}
+
+impl MailboxPolicy {
+    fn make_mailbox(self) -> (Sender<ToWorker>, Receiver<ToWorker>) {
+        match self {
+            MailboxPolicy::Unbounded => mailbox(),
+            MailboxPolicy::Block(cap) | MailboxPolicy::Shed(cap) => bounded_mailbox(cap),
+        }
+    }
+}
+
+/// One unit of cross-range traffic drained from a range worker *as it
+/// executes*: the continuously-streamed replacement for the old
+/// per-sync `DrainOutbox`/`DrainAnswers` round-trips.
+enum StreamItem {
+    Delivery(AppDelivery),
+    Answer(DeferredAnswer),
+}
+
+/// Moves everything the last command produced out of the server and
+/// into the range's relay stream. Runs on the worker thread, *before*
+/// the command's reply is sent, so a coordinator that has observed a
+/// barrier reply is guaranteed to find the barrier's traffic in the
+/// stream.
+fn drain_into_stream(cs: &mut ContextServer, stream: &Sender<StreamItem>) {
+    for d in cs.drain_outbox_impl() {
+        let _ = stream.send(StreamItem::Delivery(d));
+    }
+    for a in cs.drain_answers_impl() {
+        let _ = stream.send(StreamItem::Answer(a));
+    }
 }
 
 /// Supervision policy for a [`RangeRuntime`]: how many times a panicked
@@ -343,6 +425,7 @@ fn worker_loop(
     rx: Receiver<ToWorker>,
     tx: Sender<SciResult<RangeReply>>,
     metrics: RuntimeMetrics,
+    stream: Option<Sender<StreamItem>>,
 ) -> Option<ContextServer> {
     loop {
         match rx.recv() {
@@ -355,6 +438,13 @@ fn worker_loop(
                 // observes as RangeDown.
                 match catch_unwind(AssertUnwindSafe(|| cs.handle(cmd, now))) {
                     Ok(reply) => {
+                        // Streaming mode: relay-bound traffic leaves the
+                        // range the moment the command that produced it
+                        // retires — even a failed command may have
+                        // delivered to some applications first.
+                        if let Some(stream) = &stream {
+                            drain_into_stream(&mut cs, stream);
+                        }
                         if tx.send(reply).is_err() {
                             // Coordinator went away; stop serving.
                             return Some(cs);
@@ -402,6 +492,13 @@ pub struct RangeRuntime {
     /// the Context Server.
     plan: FloorPlan,
     policy: RestartPolicy,
+    /// Mailbox discipline, kept so a supervised restart rebuilds the
+    /// same backpressure shape.
+    mailbox_policy: MailboxPolicy,
+    /// The relay stream, when streaming is enabled: the coordinator
+    /// holds both ends so the channel survives worker restarts; each
+    /// worker gets a sender clone.
+    stream: Option<(Sender<StreamItem>, Receiver<StreamItem>)>,
     restarts_used: u32,
     /// Replayable composition commands recorded since spawn (only when
     /// supervision is enabled), each tagged with the serial that ties
@@ -447,17 +544,38 @@ impl RangeRuntime {
     /// blueprint commands that fail on replay increment
     /// `range.restart.replay_errors`.
     pub fn spawn_supervised(cs: ContextServer, policy: RestartPolicy) -> Self {
+        RangeRuntime::spawn_with(cs, policy, MailboxPolicy::Unbounded, false)
+    }
+
+    /// The fully-parameterised spawn: `mailbox` picks the backpressure
+    /// discipline and `streaming` wires a relay stream the worker
+    /// drains its outbox into after every command (the continuous
+    /// alternative to `DrainOutbox`/`DrainAnswers` barrier calls,
+    /// consumed by `RangeRuntime::drain_stream`). With streaming
+    /// enabled,
+    /// explicit drain commands observe an already-empty outbox.
+    pub fn spawn_with(
+        cs: ContextServer,
+        policy: RestartPolicy,
+        mailbox_policy: MailboxPolicy,
+        streaming: bool,
+    ) -> Self {
         let id = cs.id();
         let name = cs.name().to_owned();
         let registry = cs.telemetry().clone();
         let plan = cs.location().plan().clone();
         let metrics = RuntimeMetrics::register(&registry);
         let worker_metrics = metrics.clone();
-        let (cmd_tx, cmd_rx) = mailbox::<ToWorker>();
+        let (cmd_tx, cmd_rx) = mailbox_policy.make_mailbox();
         let (reply_tx, reply_rx) = mailbox::<SciResult<RangeReply>>();
+        // The coordinator owns both stream ends: the channel survives
+        // worker restarts, and every (re)spawned worker just gets a
+        // fresh sender clone.
+        let stream = streaming.then(mailbox::<StreamItem>);
+        let stream_tx = stream.as_ref().map(|(tx, _)| tx.clone());
         let worker = std::thread::Builder::new()
             .name(format!("range-{name}"))
-            .spawn(move || worker_loop(cs, cmd_rx, reply_tx, worker_metrics))
+            .spawn(move || worker_loop(cs, cmd_rx, reply_tx, worker_metrics, stream_tx))
             .ok();
         RangeRuntime {
             id,
@@ -472,6 +590,8 @@ impl RangeRuntime {
             metrics,
             plan,
             policy,
+            mailbox_policy,
+            stream,
             restarts_used: 0,
             blueprint: Vec::new(),
             bp_serial: 0,
@@ -589,12 +709,15 @@ impl RangeRuntime {
             self.plan.clone(),
             self.registry.clone(),
         );
-        let (cmd_tx, cmd_rx) = mailbox::<ToWorker>();
+        let (cmd_tx, cmd_rx) = self.mailbox_policy.make_mailbox();
         let (reply_tx, reply_rx) = mailbox::<SciResult<RangeReply>>();
         let worker_metrics = self.metrics.clone();
+        // The replacement worker feeds the same stream channel, so
+        // traffic already drained by the dead worker stays collectable.
+        let stream_tx = self.stream.as_ref().map(|(tx, _)| tx.clone());
         self.worker = std::thread::Builder::new()
             .name(format!("range-{}", self.name))
-            .spawn(move || worker_loop(cs, cmd_rx, reply_tx, worker_metrics))
+            .spawn(move || worker_loop(cs, cmd_rx, reply_tx, worker_metrics, stream_tx))
             .ok();
         self.tx = cmd_tx;
         self.rx = reply_rx;
@@ -616,6 +739,7 @@ impl RangeRuntime {
                 return false;
             }
             self.metrics.mailbox_depth.inc();
+            self.metrics.note_depth();
             self.pending += 1;
         }
         while self.pending > 0 {
@@ -679,6 +803,22 @@ impl RangeRuntime {
     ///
     /// [`SciError::RangeDown`] if the worker is gone.
     pub fn cast(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<()> {
+        self.enqueue(cmd, now, true)
+    }
+
+    /// The shared enqueue path behind [`cast`] and [`call`].
+    ///
+    /// Under [`MailboxPolicy::Shed`] a full mailbox drops the command
+    /// (accounted in `range.mailbox.shed`) — but only when `allow_shed`
+    /// is set. A [`call`] must never shed: its reply wait would block
+    /// forever on a command that was never enqueued. Under
+    /// [`MailboxPolicy::Block`] a full mailbox blocks the sender until
+    /// the worker frees a slot; the worker always drains, so this is
+    /// backpressure, not deadlock.
+    ///
+    /// [`cast`]: RangeRuntime::cast
+    /// [`call`]: RangeRuntime::call
+    fn enqueue(&mut self, cmd: RangeCommand, now: VirtualTime, allow_shed: bool) -> SciResult<()> {
         if self.down {
             return Err(SciError::RangeDown(self.name.clone()));
         }
@@ -686,7 +826,25 @@ impl RangeRuntime {
             self.last_now = now;
         }
         let ticket = self.record(&cmd);
-        if self.tx.send(ToWorker::Cmd { cmd, now }).is_err() {
+        let shed = matches!(self.mailbox_policy, MailboxPolicy::Shed(_)) && allow_shed;
+        let send_result = if shed {
+            match self.tx.try_send(ToWorker::Cmd { cmd, now }) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => {
+                    // Accounted drop: the command never ran, so its
+                    // provisional blueprint entry must go too.
+                    self.metrics.mailbox_shed.inc();
+                    if let Some(serial) = ticket {
+                        self.blueprint.retain(|(s, _)| *s != serial);
+                    }
+                    return Ok(());
+                }
+                Err(TrySendError::Disconnected(_)) => Err(()),
+            }
+        } else {
+            self.tx.send(ToWorker::Cmd { cmd, now }).map_err(|_| ())
+        };
+        if send_result.is_err() {
             // The command never reached a worker; drop its entry.
             if let Some(serial) = ticket {
                 self.blueprint.retain(|(s, _)| *s != serial);
@@ -695,6 +853,7 @@ impl RangeRuntime {
         }
         self.inflight.push_back(ticket);
         self.metrics.mailbox_depth.inc();
+        self.metrics.note_depth();
         self.pending += 1;
         Ok(())
     }
@@ -730,7 +889,7 @@ impl RangeRuntime {
     ///   waiting);
     /// * whatever the command itself returned.
     pub fn call(&mut self, cmd: RangeCommand, now: VirtualTime) -> SciResult<RangeReply> {
-        self.cast(cmd, now)?;
+        self.enqueue(cmd, now, false)?;
         let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
                                       // FIFO: everything before the reply we want is a pipelined
                                       // predecessor.
@@ -762,6 +921,27 @@ impl RangeRuntime {
         std::mem::take(&mut self.errors)
     }
 
+    /// Collects everything the worker has streamed so far, without
+    /// blocking and without a command round-trip. Items are partitioned
+    /// by class — all application deliveries, then all deferred
+    /// answers, each in production order — which reproduces the exact
+    /// send order of the historical `DrainOutbox`-then-`DrainAnswers`
+    /// barrier, so seeded fault-injection schedules replay unchanged.
+    /// Always empty when the runtime was spawned without streaming.
+    fn drain_stream(&mut self) -> (Vec<AppDelivery>, Vec<DeferredAnswer>) {
+        let mut deliveries = Vec::new();
+        let mut answers = Vec::new();
+        if let Some((_, rx)) = &self.stream {
+            for item in rx.try_iter() {
+                match item {
+                    StreamItem::Delivery(d) => deliveries.push(d),
+                    StreamItem::Answer(a) => answers.push(a),
+                }
+            }
+        }
+        (deliveries, answers)
+    }
+
     /// Stops the worker and returns the server it owned; `None` if the
     /// worker panicked (its state is gone with it).
     pub fn shutdown(mut self) -> Option<ContextServer> {
@@ -779,18 +959,27 @@ impl RangeRuntime {
 /// routing fabric, the place directory, application home ranges and
 /// their inboxes — and everything per-range lives behind a mailbox.
 /// Sensor ingest is pipelined ([`RangeRuntime::cast`]):
-/// [`ParallelFederation::ingest_at`] returns as soon as the event is
-/// enqueued, so N ranges chew their streams concurrently, and
-/// [`ParallelFederation::sync`] is the barrier that collects outboxes
-/// and relays cross-range traffic, exactly like the serial
-/// [`crate::federation::Federation::pump`].
+/// [`ParallelFederation::ingest_at`] (or, one send for N events,
+/// [`ParallelFederation::ingest_batch_at`]) returns as soon as the
+/// event is enqueued, so N ranges chew their streams concurrently.
+/// Cross-range traffic **streams**: each worker drains its outbox into
+/// a per-range relay stream as commands execute, and the coordinator
+/// moves it over the fabric either continuously
+/// ([`ParallelFederation::pump_streams`], free-running mode) or at the
+/// [`ParallelFederation::sync`] barrier (deterministic mode) — there is
+/// no per-sync `DrainOutbox`/`DrainAnswers` round-trip any more.
+/// Backpressure is a [`MailboxPolicy`]: unbounded, blocking, or
+/// shedding with accounted drops.
 ///
 /// Determinism: each range still processes its own command stream in
 /// submission order against a virtual clock, so per-range outcomes are
 /// reproducible; only the interleaving *between* ranges is concurrent,
 /// and [`sync`] imposes the same happens-before edges the serial pump
-/// does. The serial/parallel delivery-equivalence test in
-/// `tests/parallel_federation.rs` holds the two drivers to that.
+/// does (workers stream *before* replying, so a completed barrier has
+/// seen all its traffic). The serial/parallel delivery-equivalence
+/// test in `tests/parallel_federation.rs` holds the two drivers to
+/// that; free-running pumps preserve the delivery *multiset* but not
+/// which sync relays each item.
 ///
 /// [`sync`]: ParallelFederation::sync
 pub struct ParallelFederation<T: Transport = SimNetwork> {
@@ -808,6 +997,9 @@ pub struct ParallelFederation<T: Transport = SimNetwork> {
     /// Supervision policy applied to every worker spawned by
     /// [`ParallelFederation::add_range`].
     restart_policy: RestartPolicy,
+    /// Mailbox backpressure discipline applied to every worker spawned
+    /// by [`ParallelFederation::add_range`].
+    mailbox_policy: MailboxPolicy,
     /// Per-origin monotonic relay sequence numbers (envelope `seq`).
     relay_seq: HashMap<Guid, u64>,
     /// Envelopes already absorbed (`(origin, seq)`): the receiver-side
@@ -849,6 +1041,7 @@ impl<T: Transport> ParallelFederation<T> {
             relay_max_age: HashMap::new(),
             relay_stale_drops: 0,
             restart_policy: RestartPolicy::NONE,
+            mailbox_policy: MailboxPolicy::Unbounded,
             relay_seq: HashMap::new(),
             seen_relays: HashSet::new(),
             pending_relays: Vec::new(),
@@ -867,6 +1060,27 @@ impl<T: Transport> ParallelFederation<T> {
         self
     }
 
+    /// Sets the mailbox backpressure discipline applied to ranges added
+    /// *after* this call (builder style: chain before [`add_range`]).
+    /// [`MailboxPolicy::Block`] makes a full mailbox block the
+    /// coordinator's cast until the worker catches up;
+    /// [`MailboxPolicy::Shed`] drops casts on a full mailbox, accounted
+    /// in `range.mailbox.shed`. Either way `range.mailbox.highwater`
+    /// records the deepest backlog seen.
+    ///
+    /// [`add_range`]: ParallelFederation::add_range
+    #[must_use]
+    pub fn with_mailbox_policy(mut self, policy: MailboxPolicy) -> Self {
+        self.mailbox_policy = policy;
+        self
+    }
+
+    /// Installs a tracer on the coordinator's relay path (unknown-app
+    /// homing decisions emit spans through it). Defaults to a no-op.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.metrics.tracer = tracer;
+    }
+
     /// Adds a range: its rooms join the place directory, its Context
     /// Server moves onto a fresh worker thread under the federation's
     /// restart policy.
@@ -880,8 +1094,10 @@ impl<T: Transport> ParallelFederation<T> {
         for room in cs.location().plan().rooms() {
             self.places.entry(room.name.clone()).or_insert(id);
         }
-        self.workers
-            .insert(id, RangeRuntime::spawn_supervised(cs, self.restart_policy));
+        self.workers.insert(
+            id,
+            RangeRuntime::spawn_with(cs, self.restart_policy, self.mailbox_policy, true),
+        );
         Ok(id)
     }
 
@@ -1000,6 +1216,13 @@ impl<T: Transport> ParallelFederation<T> {
         self.metrics.relay_dedup_hits.get()
     }
 
+    /// Deliveries and answers whose application had no recorded home
+    /// range (counted, traced, and kept at the producing range instead
+    /// of being silently homed).
+    pub fn relay_unknown_app(&self) -> u64 {
+        self.metrics.relay_unknown_app.get()
+    }
+
     /// Relay retransmissions attempted (first attempts not counted).
     pub fn retry_attempts(&self) -> u64 {
         self.metrics.retry_attempts.get()
@@ -1083,6 +1306,35 @@ impl<T: Transport> ParallelFederation<T> {
         let result = self
             .worker_by_name(range)?
             .cast(RangeCommand::Ingest(event.clone()), now);
+        self.metrics.cast_us.record(elapsed_us(started));
+        result
+    }
+
+    /// Feeds a batch of sensor events into the named range with **one**
+    /// mailbox send ([`RangeCommand::IngestBatch`]), amortising the
+    /// per-command channel round-trip that dominates per-event
+    /// [`ingest_at`](ParallelFederation::ingest_at) cost. Pipelined the
+    /// same way: ingest failures surface at the next
+    /// [`ParallelFederation::sync`] (first failure wins; later events in
+    /// the batch are still attempted).
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::UnknownLocation`] for unknown ranges;
+    /// * [`SciError::RangeDown`] if that range's worker died.
+    pub fn ingest_batch_at(
+        &mut self,
+        range: &str,
+        events: &[ContextEvent],
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
+        let result = self
+            .worker_by_name(range)?
+            .cast(RangeCommand::IngestBatch(events.to_vec()), now);
         self.metrics.cast_us.record(elapsed_us(started));
         result
     }
@@ -1251,10 +1503,17 @@ impl<T: Transport> ParallelFederation<T> {
         })
     }
 
-    /// The barrier: waits for every pipelined command, drains every
-    /// range's outbox and deferred answers, and relays cross-range
-    /// traffic over the fabric — the parallel counterpart of the serial
-    /// `pump`.
+    /// The deterministic barrier: waits for every pipelined command,
+    /// collects what each range *streamed while executing* (workers
+    /// drain their outboxes into their relay stream after every
+    /// command — there is no `DrainOutbox`/`DrainAnswers` round-trip
+    /// any more), and relays cross-range traffic over the fabric — the
+    /// parallel counterpart of the serial `pump`.
+    ///
+    /// In free-running mode, [`ParallelFederation::pump_streams`] moves
+    /// the same traffic continuously *without* waiting on in-flight
+    /// commands; `sync` remains the happens-before edge that seeded
+    /// replay and the equivalence oracles are pinned to.
     ///
     /// Relayed deliveries whose arrival time (`now` + route latency)
     /// exceeds their query's `qoc-max-age-us` bound are dropped and
@@ -1282,87 +1541,26 @@ impl<T: Transport> ParallelFederation<T> {
             let Some(worker) = self.workers.get_mut(&node) else {
                 continue;
             };
+            // Barrier: once every reply is in, everything those
+            // commands streamed is in the relay stream too (workers
+            // stream *before* replying).
             let barrier_started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
-            let drained: SciResult<(Vec<AppDelivery>, Vec<DeferredAnswer>)> = (|| {
-                let deliveries = match worker.call(RangeCommand::DrainOutbox, now)? {
-                    RangeReply::Deliveries(d) => d,
-                    other => {
-                        return Err(SciError::Internal(format!(
-                            "drain-outbox expected `deliveries`, got `{}`",
-                            other.kind()
-                        )))
-                    }
-                };
-                let answers = match worker.call(RangeCommand::DrainAnswers, now)? {
-                    RangeReply::Answers(a) => a,
-                    other => {
-                        return Err(SciError::Internal(format!(
-                            "drain-answers expected `answers`, got `{}`",
-                            other.kind()
-                        )))
-                    }
-                };
-                Ok((deliveries, answers))
-            })();
+            if let Err(e) = worker.drain_pending() {
+                first_error.get_or_insert(e);
+            }
             self.metrics.barrier_us.record(elapsed_us(barrier_started));
             for e in worker.take_errors() {
                 first_error.get_or_insert(e);
             }
-            let (deliveries, answers) = match drained {
-                Ok(pair) => pair,
-                Err(e) => {
-                    first_error.get_or_insert(e);
-                    continue;
-                }
-            };
+            let (deliveries, answers) = worker.drain_stream();
             let relay_started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
             for d in deliveries {
-                let home = self.app_home.get(&d.app).copied().unwrap_or(node);
-                if home == node {
-                    self.inbox.entry(d.app).or_default().push(d);
-                    continue;
-                }
-                let seq = self.next_seq(node);
-                let payload = Element::new("relay")
-                    .with_attr("app", d.app.to_string())
-                    .with_attr("query", d.query.to_string())
-                    .with_attr("origin", node.to_string())
-                    .with_attr("seq", seq.to_string())
-                    .with_child(qcodec::event_to_element(&d.event))
-                    .to_xml();
-                let msg = Message::new(
-                    self.ids.next_guid(),
-                    node,
-                    home,
-                    MessageKind::EventRelay,
-                    Bytes::from(payload.into_bytes()),
-                );
-                self.metrics.relay_events.inc();
-                self.send_reliable(msg, now)?;
+                self.metrics.stream_events.inc();
+                self.route_delivery(node, d, now)?;
             }
-            for (query, owner, answer) in answers {
-                let home = self.app_home.get(&owner).copied().unwrap_or(node);
-                if home == node {
-                    self.answers.entry(owner).or_default().push((query, answer));
-                    continue;
-                }
-                let seq = self.next_seq(node);
-                let payload = Element::new("answer-relay")
-                    .with_attr("app", owner.to_string())
-                    .with_attr("query", query.to_string())
-                    .with_attr("origin", node.to_string())
-                    .with_attr("seq", seq.to_string())
-                    .with_child(answer_element(&answer))
-                    .to_xml();
-                let msg = Message::new(
-                    self.ids.next_guid(),
-                    node,
-                    home,
-                    MessageKind::QueryResponse,
-                    Bytes::from(payload.into_bytes()),
-                );
-                self.metrics.relay_answers.inc();
-                self.send_reliable(msg, now)?;
+            for a in answers {
+                self.metrics.stream_answers.inc();
+                self.route_answer(node, a, now)?;
             }
             self.metrics.relay_us.record(elapsed_us(relay_started));
         }
@@ -1372,6 +1570,132 @@ impl<T: Transport> ParallelFederation<T> {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// The streaming pump: relays whatever every range has streamed *so
+    /// far*, without waiting for in-flight commands — the free-running
+    /// counterpart of the [`sync`] barrier. Call it as often as you
+    /// like between ingest batches; traffic moves as it appears instead
+    /// of piling up for one big drain. Pump passes are timed in
+    /// `federation.stream.pump_us`.
+    ///
+    /// Determinism note: a pump observes each worker mid-stream, so
+    /// *which* sync a given delivery is relayed in depends on thread
+    /// scheduling. The delivery multiset is unaffected (the exactly-once
+    /// envelope and freshness bounds apply unchanged), which is why
+    /// benches free-run with this while the chaos oracles drive
+    /// [`sync`] only.
+    ///
+    /// [`sync`]: ParallelFederation::sync
+    ///
+    /// # Errors
+    ///
+    /// Codec failures for cross-range relays (routing failures are
+    /// retried, not propagated).
+    pub fn pump_streams(&mut self, now: VirtualTime) -> SciResult<()> {
+        let pump_started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
+        self.fabric.flush();
+        self.retry_pending(now)?;
+        let mut node_ids: Vec<Guid> = self.workers.keys().copied().collect();
+        node_ids.sort_unstable();
+        for node in node_ids {
+            let Some(worker) = self.workers.get_mut(&node) else {
+                continue;
+            };
+            let (deliveries, answers) = worker.drain_stream();
+            for d in deliveries {
+                self.metrics.stream_events.inc();
+                self.route_delivery(node, d, now)?;
+            }
+            for a in answers {
+                self.metrics.stream_answers.inc();
+                self.route_answer(node, a, now)?;
+            }
+        }
+        self.sweep(now)?;
+        self.metrics.stream_pump_us.record(elapsed_us(pump_started));
+        Ok(())
+    }
+
+    /// Routes one application delivery produced at `node`: local-home
+    /// traffic lands in the coordinator inbox, cross-range traffic
+    /// travels the fabric in an exactly-once `(origin, seq)` envelope.
+    ///
+    /// An app with no recorded home is *not* silently homed any more:
+    /// the decision is counted in `federation.relay.unknown_app` and
+    /// traced, then the delivery is kept at its producing range (the
+    /// only safe default — it is where the subscription lives).
+    fn route_delivery(&mut self, node: Guid, d: AppDelivery, now: VirtualTime) -> SciResult<()> {
+        let home = match self.app_home.get(&d.app) {
+            Some(&home) => home,
+            None => {
+                self.metrics.relay_unknown_app.inc();
+                let mut span = self.metrics.tracer.span("federation.relay.unknown-app");
+                span.field("app", d.app);
+                span.field("origin", node);
+                node
+            }
+        };
+        if home == node {
+            self.inbox.entry(d.app).or_default().push(d);
+            return Ok(());
+        }
+        let seq = self.next_seq(node);
+        let payload = Element::new("relay")
+            .with_attr("app", d.app.to_string())
+            .with_attr("query", d.query.to_string())
+            .with_attr("origin", node.to_string())
+            .with_attr("seq", seq.to_string())
+            .with_child(qcodec::event_to_element(&d.event))
+            .to_xml();
+        let msg = Message::new(
+            self.ids.next_guid(),
+            node,
+            home,
+            MessageKind::EventRelay,
+            Bytes::from(payload.into_bytes()),
+        );
+        self.metrics.relay_events.inc();
+        self.send_reliable(msg, now)
+    }
+
+    /// Routes one deferred answer produced at `node` — the
+    /// [`route_delivery`](ParallelFederation::route_delivery) twin for
+    /// the `answer-relay` envelope, with the same unknown-app
+    /// accounting.
+    fn route_answer(&mut self, node: Guid, a: DeferredAnswer, now: VirtualTime) -> SciResult<()> {
+        let (query, owner, answer) = a;
+        let home = match self.app_home.get(&owner) {
+            Some(&home) => home,
+            None => {
+                self.metrics.relay_unknown_app.inc();
+                let mut span = self.metrics.tracer.span("federation.relay.unknown-app");
+                span.field("app", owner);
+                span.field("origin", node);
+                node
+            }
+        };
+        if home == node {
+            self.answers.entry(owner).or_default().push((query, answer));
+            return Ok(());
+        }
+        let seq = self.next_seq(node);
+        let payload = Element::new("answer-relay")
+            .with_attr("app", owner.to_string())
+            .with_attr("query", query.to_string())
+            .with_attr("origin", node.to_string())
+            .with_attr("seq", seq.to_string())
+            .with_child(answer_element(&answer))
+            .to_xml();
+        let msg = Message::new(
+            self.ids.next_guid(),
+            node,
+            home,
+            MessageKind::QueryResponse,
+            Bytes::from(payload.into_bytes()),
+        );
+        self.metrics.relay_answers.inc();
+        self.send_reliable(msg, now)
     }
 
     /// Mints the next envelope sequence number for `origin`.

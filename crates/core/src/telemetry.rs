@@ -29,6 +29,8 @@
 //! | `range.stale_drops` | counter | in-range deliveries dropped as stale |
 //! | `range.app.deliveries` | counter | deliveries handed to applications |
 //! | `range.mailbox.depth` | gauge | commands enqueued, not yet executed |
+//! | `range.mailbox.highwater` | gauge | deepest mailbox observed since spawn (backpressure watermark) |
+//! | `range.mailbox.shed` | counter | casts dropped by a full `Shed`-policy mailbox |
 //! | `range.call.wait_us` | histogram | call-barrier wait at the coordinator |
 //! | `range.panics` | counter | worker panics isolated |
 //! | `federation.cast_us` | histogram | pipelined ingest enqueue time |
@@ -41,6 +43,10 @@
 //! | `federation.retry.attempts` | counter | relay retransmissions (every send after a message's first) |
 //! | `federation.retry.parked` | counter | relays parked for a later pump after exhausting in-call retries |
 //! | `federation.answers.partial` | counter | degraded partial answers returned for unreachable ranges |
+//! | `federation.relay.unknown_app` | counter | deliveries/answers for apps with no recorded home range (homed locally, no longer silently) |
+//! | `federation.stream.events` | counter | deliveries drained from per-range relay streams |
+//! | `federation.stream.answers` | counter | deferred answers drained from per-range relay streams |
+//! | `federation.stream.pump_us` | histogram | time per free-running `pump_streams` pass |
 //! | `range.restarts` | counter | supervised worker restarts after a panic |
 //! | `range.restart.replay_errors` | counter | blueprint commands that failed during restart replay |
 //! | `fault.drops` / `fault.delays` / `fault.dups` / `fault.reorders` / `fault.partition_blocks` | counter | faults injected by `sci_overlay::fault::FaultyTransport` |
@@ -158,6 +164,7 @@ impl CsMetrics {
 /// The coordinator-side instruments of a federation driver.
 pub(crate) struct FedMetrics {
     pub(crate) registry: Registry,
+    pub(crate) tracer: Tracer,
     pub(crate) cast_us: Histogram,
     pub(crate) barrier_us: Histogram,
     pub(crate) relay_us: Histogram,
@@ -165,15 +172,20 @@ pub(crate) struct FedMetrics {
     pub(crate) relay_answers: Counter,
     pub(crate) relay_stale_drops: Counter,
     pub(crate) relay_dedup_hits: Counter,
+    pub(crate) relay_unknown_app: Counter,
     pub(crate) retry_attempts: Counter,
     pub(crate) retry_parked: Counter,
     pub(crate) partial_answers: Counter,
+    pub(crate) stream_events: Counter,
+    pub(crate) stream_answers: Counter,
+    pub(crate) stream_pump_us: Histogram,
 }
 
 impl FedMetrics {
     pub(crate) fn new() -> Self {
         let registry = Registry::new();
         FedMetrics {
+            tracer: Tracer::noop(),
             cast_us: registry.histogram("federation.cast_us"),
             barrier_us: registry.histogram("federation.barrier_us"),
             relay_us: registry.histogram("federation.relay_us"),
@@ -181,9 +193,13 @@ impl FedMetrics {
             relay_answers: registry.counter("federation.relay.answers"),
             relay_stale_drops: registry.counter("federation.relay.stale_drops"),
             relay_dedup_hits: registry.counter("federation.relay.dedup_hits"),
+            relay_unknown_app: registry.counter("federation.relay.unknown_app"),
             retry_attempts: registry.counter("federation.retry.attempts"),
             retry_parked: registry.counter("federation.retry.parked"),
             partial_answers: registry.counter("federation.answers.partial"),
+            stream_events: registry.counter("federation.stream.events"),
+            stream_answers: registry.counter("federation.stream.answers"),
+            stream_pump_us: registry.histogram("federation.stream.pump_us"),
             registry,
         }
     }
@@ -195,6 +211,8 @@ impl FedMetrics {
 #[derive(Clone)]
 pub(crate) struct RuntimeMetrics {
     pub(crate) mailbox_depth: Gauge,
+    pub(crate) mailbox_highwater: Gauge,
+    pub(crate) mailbox_shed: Counter,
     pub(crate) call_wait: Histogram,
     pub(crate) panics: Counter,
 }
@@ -203,8 +221,21 @@ impl RuntimeMetrics {
     pub(crate) fn register(registry: &Registry) -> Self {
         RuntimeMetrics {
             mailbox_depth: registry.gauge("range.mailbox.depth"),
+            mailbox_highwater: registry.gauge("range.mailbox.highwater"),
+            mailbox_shed: registry.counter("range.mailbox.shed"),
             call_wait: registry.histogram("range.call.wait_us"),
             panics: registry.counter("range.panics"),
+        }
+    }
+
+    /// Raises the high-water gauge to the current mailbox depth when it
+    /// sets a new record. Racing the worker's decrement only ever
+    /// under-reports by the in-flight command — fine for a watermark.
+    #[inline]
+    pub(crate) fn note_depth(&self) {
+        let depth = self.mailbox_depth.get();
+        if depth > self.mailbox_highwater.get() {
+            self.mailbox_highwater.set(depth);
         }
     }
 }

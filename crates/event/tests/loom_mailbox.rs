@@ -12,7 +12,7 @@
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
 
-use sci_event::rt::{mailbox, point_to_point};
+use sci_event::rt::{bounded_mailbox, mailbox, point_to_point, TrySendError};
 
 #[test]
 fn mailbox_loses_nothing_across_producers() {
@@ -47,6 +47,72 @@ fn mailbox_preserves_per_producer_order() {
         producer.join().unwrap();
         let got: Vec<u32> = (0..4).map(|_| rx.recv().unwrap()).collect();
         assert_eq!(got, vec![0, 1, 2, 3], "single-producer FIFO holds");
+    });
+}
+
+#[test]
+fn bounded_mailbox_blocks_producers_without_losing_or_deadlocking() {
+    loom::model(|| {
+        // Two producers race into a one-slot mailbox while the consumer
+        // drains: blocking sends must all complete (backpressure, not
+        // deadlock) and deliver exactly once across every interleaving.
+        let (tx, rx) = bounded_mailbox::<u32>(1);
+        let tx2 = tx.clone();
+        let a = loom::thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        let b = loom::thread::spawn(move || {
+            tx2.send(10).unwrap();
+        });
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap(), rx.recv().unwrap()];
+        a.join().unwrap();
+        b.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![1, 2, 10],
+            "every blocking send lands exactly once"
+        );
+        assert!(rx.try_recv().is_err(), "nothing is duplicated");
+    });
+}
+
+#[test]
+fn bounded_mailbox_sheds_cleanly_when_full() {
+    loom::model(|| {
+        // The shedding discipline: a full mailbox fails try_send with
+        // the rejected value — the producer keeps going, the consumer
+        // sees only what was accepted, still in FIFO order.
+        let (tx, rx) = bounded_mailbox::<u32>(1);
+        let producer = loom::thread::spawn(move || {
+            let mut shed = 0u32;
+            for i in 0..3 {
+                match tx.try_send(i) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(v)) => {
+                        assert_eq!(v, i, "the shed value is handed back");
+                        shed += 1;
+                    }
+                    Err(TrySendError::Disconnected(_)) => panic!("consumer alive"),
+                }
+            }
+            shed
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        let shed = producer.join().unwrap();
+        assert_eq!(
+            got.len() + shed as usize,
+            3,
+            "every try_send is either delivered or an accounted drop"
+        );
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "accepted sends stay FIFO"
+        );
     });
 }
 

@@ -26,9 +26,13 @@ pub const METRICS: &[&str] = &[
     "federation.relay.dedup_hits",
     "federation.relay.events",
     "federation.relay.stale_drops",
+    "federation.relay.unknown_app",
     "federation.relay_us",
     "federation.retry.attempts",
     "federation.retry.parked",
+    "federation.stream.answers",
+    "federation.stream.events",
+    "federation.stream.pump_us",
     "net.delivered",
     "net.failed",
     "net.hops",
@@ -36,6 +40,8 @@ pub const METRICS: &[&str] = &[
     "range.app.deliveries",
     "range.call.wait_us",
     "range.mailbox.depth",
+    "range.mailbox.highwater",
+    "range.mailbox.shed",
     "range.panics",
     "range.restart.replay_errors",
     "range.restarts",

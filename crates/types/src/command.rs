@@ -93,6 +93,8 @@ pub enum RangeReply {
     Answer(QueryAnswer),
     /// `Deregister` returned the departing entity's descriptor.
     Deregistered(EntityDescriptor),
+    /// `IngestBatch` applied this many events.
+    Ingested(usize),
     /// `PollTimers` fired this many deferred queries.
     Fired(usize),
     /// `ExpireHistory` evicted this many history entries.
@@ -112,6 +114,7 @@ impl RangeReply {
             RangeReply::Ack => "ack",
             RangeReply::Answer(_) => "answer",
             RangeReply::Deregistered(_) => "deregistered",
+            RangeReply::Ingested(_) => "ingested",
             RangeReply::Fired(_) => "fired",
             RangeReply::Expired(_) => "expired",
             RangeReply::Deliveries(_) => "deliveries",
@@ -130,6 +133,7 @@ mod tests {
         let kinds = [
             RangeReply::Ack.kind(),
             RangeReply::Answer(QueryAnswer::Deferred).kind(),
+            RangeReply::Ingested(0).kind(),
             RangeReply::Fired(0).kind(),
             RangeReply::Expired(0).kind(),
             RangeReply::Deliveries(Vec::new()).kind(),

@@ -12,14 +12,18 @@ is reported as a ratio ``current / baseline``.
 
 Only the **gated** metrics fail the run. A metric's gate value in
 ``SCHEMAS`` is ``False`` (informational), ``True`` (gated at the global
-``--threshold``, default 2.0x) or a float (gated at that per-metric
-ratio, overriding the global threshold). Gated today: the
-indexed-dispatch latency of e9 (``indexed_us`` at the global
-threshold) and the federation phase timings of e10 (``barrier_us`` /
-``relay_us`` at 3.0x — noisier multi-thread paths get the wider
-band). Everything else — the linear oracle, resolver plans, serial
-sweeps — is informational: those rows track an unpinned-machine
-trajectory and a hard gate on them would flake.
+``--threshold``, default 2.0x), a float (gated at that per-metric
+ratio, overriding the global threshold), or a dict
+``{"gate": <float>, "higher_is_better": True}`` for throughput
+metrics, where a regression is a *drop*: the run fails when
+``current/baseline < 1/limit`` instead of ``> limit``. Gated today:
+the indexed-dispatch latency of e9 (``indexed_us`` at the global
+threshold), the federation phase timings of e10 (``barrier_us`` /
+``relay_us`` at 3.0x — noisier multi-thread paths get the wider band)
+and e10's streaming throughput (``sustained_kevents_s``,
+direction-aware at 3.0x). Everything else — the linear oracle,
+resolver plans, serial sweeps — is informational: those rows track an
+unpinned-machine trajectory and a hard gate on them would flake.
 
 Exit status: 0 when no gated metric regressed, 1 otherwise, 2 on bad
 input. A markdown report is always written when ``--report`` is given
@@ -52,9 +56,14 @@ SCHEMAS = {
         "metrics": {
             "serial_us": False,
             "parallel_us": False,
+            "stream_us": False,
             "cast_us": False,
+            "pump_us": False,
             "barrier_us": 3.0,  # multi-thread sync: wider band
             "relay_us": 3.0,  # cross-range relay: wider band
+            # Streaming throughput: a regression is a *drop*, so the
+            # gate is direction-aware (fails when ratio < 1/3.0).
+            "sustained_kevents_s": {"gate": 3.0, "higher_is_better": True},
         },
     },
 }
@@ -114,14 +123,28 @@ def compare_pair(baseline_path, current_path, threshold, lines):
             ratio = now / then if then > 0 else float("inf")
             verdict = "info"
             if gate:
-                # bool is not a float subclass, so True keeps the
-                # global threshold and 3.0 overrides it.
-                limit = gate if isinstance(gate, float) else threshold
-                verdict = "**FAIL**" if ratio > limit else "ok"
-                if ratio > limit:
+                higher_is_better = isinstance(gate, dict) and gate.get(
+                    "higher_is_better", False
+                )
+                if isinstance(gate, dict):
+                    limit = float(gate["gate"])
+                else:
+                    # bool is not a float subclass, so True keeps the
+                    # global threshold and 3.0 overrides it.
+                    limit = gate if isinstance(gate, float) else threshold
+                if higher_is_better:
+                    # Throughput metric: regression = a drop below
+                    # baseline/limit, not a time increase.
+                    failed = ratio < 1.0 / limit
+                    bound = f"{1.0 / limit:.2f}x floor"
+                else:
+                    failed = ratio > limit
+                    bound = f"{limit:.1f}x ceiling"
+                verdict = "**FAIL**" if failed else "ok"
+                if failed:
                     failures.append(
                         f"{base['experiment']}: {fmt_key(key)} {metric} "
-                        f"{then:.3f} -> {now:.3f} ({ratio:.2f}x > {limit:.1f}x)"
+                        f"{then:.3f} -> {now:.3f} ({ratio:.2f}x vs {bound})"
                     )
             lines.append(
                 f"| {fmt_key(key)} | {metric} | {then:.3f} | {now:.3f} "

@@ -93,7 +93,9 @@ pub mod prelude {
         WlanLocationLogic,
     };
     pub use sci_core::range_service::RangeService;
-    pub use sci_core::runtime::{ParallelFederation, RangeCommand, RangeRuntime, RestartPolicy};
+    pub use sci_core::runtime::{
+        MailboxPolicy, ParallelFederation, RangeCommand, RangeRuntime, RestartPolicy,
+    };
     pub use sci_event::{EventBus, EventMediator, Scheduler, Topic, VirtualClock};
     pub use sci_location::floorplan::{capa_level10, FloorPlan};
     pub use sci_location::{LocationExpr, Rect, Route};

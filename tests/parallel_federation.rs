@@ -174,6 +174,232 @@ fn parallel_driver_matches_serial_deliveries() {
     assert_eq!(serial, parallel);
 }
 
+/// The streaming fast path: events arrive as per-range batches
+/// ([`ParallelFederation::ingest_batch_at`], one mailbox send each),
+/// cross-range traffic is moved by free-running
+/// [`ParallelFederation::pump_streams`] passes between batches, and a
+/// final [`ParallelFederation::sync`] closes the run. The delivery
+/// multiset must match the serial per-event driver exactly.
+fn streaming_deliveries() -> BTreeMap<Guid, Vec<String>> {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = ParallelFederation::new(3);
+    let mut sensors = Vec::new();
+    for i in 0..RANGES {
+        let (cs, sensor) = server(i, &mut ids);
+        sensors.push(sensor);
+        fed.add_range(cs).unwrap();
+    }
+    fed.connect_full();
+    let w = workload(&mut ids, &sensors);
+    for (i, q) in w.queries.iter().enumerate() {
+        let fa = fed
+            .submit_from(&format!("range-{i}"), q, VirtualTime::ZERO)
+            .unwrap();
+        assert!(matches!(fa.answer, QueryAnswer::Subscribed { .. }));
+    }
+    // Re-batch the interleaved event list per producing range, keeping
+    // per-range order (what a real per-range sensor feed looks like).
+    let mut batches: BTreeMap<String, Vec<ContextEvent>> = BTreeMap::new();
+    let mut last = VirtualTime::ZERO;
+    for (range, ev, t) in &w.events {
+        batches.entry(range.clone()).or_default().push(ev.clone());
+        last = (*t).max(last);
+    }
+    for (range, events) in &batches {
+        fed.ingest_batch_at(range, events, last).unwrap();
+        // Free-running pump: moves whatever has streamed so far; the
+        // closing sync picks up the rest.
+        fed.pump_streams(last).unwrap();
+    }
+    fed.sync(last).unwrap();
+    let out = w
+        .apps
+        .iter()
+        .map(|&app| (app, delivery_keys(fed.deliveries_for(app))))
+        .collect();
+    let snap = fed.snapshot();
+    assert_eq!(
+        snap.counter("federation.stream.events"),
+        (RANGES as u64) * EVENTS_PER_RANGE,
+        "every delivery travelled the relay stream"
+    );
+    let pumps = snap
+        .histogram("federation.stream.pump_us")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    assert!(pumps >= batches.len() as u64, "each pump pass is timed");
+    let survivors = fed.shutdown();
+    assert_eq!(survivors.len(), RANGES, "all workers survive the run");
+    out
+}
+
+#[test]
+fn batched_streaming_matches_serial_deliveries() {
+    let serial = serial_deliveries();
+    let streamed = streaming_deliveries();
+    assert_eq!(
+        serial, streamed,
+        "streaming changes relay timing, never the delivery multiset"
+    );
+}
+
+#[test]
+fn serial_batch_ingest_matches_per_event_ingest() {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = Federation::new(3);
+    let mut sensors = Vec::new();
+    for i in 0..RANGES {
+        let (cs, sensor) = server(i, &mut ids);
+        sensors.push(sensor);
+        fed.add_range(cs).unwrap();
+    }
+    fed.connect_full();
+    let w = workload(&mut ids, &sensors);
+    for (i, q) in w.queries.iter().enumerate() {
+        fed.submit_from(&format!("range-{i}"), q, VirtualTime::ZERO)
+            .unwrap();
+    }
+    let mut batches: BTreeMap<String, Vec<ContextEvent>> = BTreeMap::new();
+    let mut last = VirtualTime::ZERO;
+    for (range, ev, t) in &w.events {
+        batches.entry(range.clone()).or_default().push(ev.clone());
+        last = (*t).max(last);
+    }
+    for (range, events) in &batches {
+        fed.ingest_batch_at(range, events, last).unwrap();
+    }
+    let batched: BTreeMap<Guid, Vec<String>> = w
+        .apps
+        .iter()
+        .map(|&app| (app, delivery_keys(fed.deliveries_for(app))))
+        .collect();
+    assert_eq!(serial_deliveries(), batched);
+}
+
+#[test]
+fn blocking_mailbox_applies_backpressure_without_deadlock() {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = ParallelFederation::new(3).with_mailbox_policy(MailboxPolicy::Block(2));
+    let (cs, sensor) = server(0, &mut ids);
+    fed.add_range(cs).unwrap();
+    fed.connect_full();
+
+    // Local subscription: every ingest becomes one delivery.
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Presence)
+        .mode(Mode::Subscribe)
+        .build();
+    fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
+
+    // Far more casts than the mailbox holds: producers must block on
+    // the full mailbox and resume as the worker drains — never
+    // deadlock, never lose a command.
+    const EVENTS: u64 = 200;
+    for k in 0..EVENTS {
+        let t = VirtualTime::from_millis(k + 1);
+        fed.ingest_at("range-0", &presence(sensor, u128::from(k), t), t)
+            .unwrap();
+    }
+    fed.sync(VirtualTime::from_millis(EVENTS)).unwrap();
+    assert_eq!(fed.deliveries_for(app).len(), EVENTS as usize);
+    let snap = fed.snapshot();
+    assert_eq!(snap.counter("range.mailbox.shed"), 0, "Block never sheds");
+    // The gauge may transiently count the command the worker has taken
+    // but not yet finished accounting, so the ceiling is capacity + 1.
+    let high = snap.gauge("range.mailbox.highwater");
+    assert!(
+        (1..=3).contains(&high),
+        "highwater {high} must stay within the bounded capacity (+1 in flight)"
+    );
+    fed.shutdown();
+}
+
+#[test]
+fn shed_mailbox_drops_are_accounted_not_deadlocks() {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = ParallelFederation::new(3).with_mailbox_policy(MailboxPolicy::Shed(1));
+    let (cs, sensor) = server(0, &mut ids);
+    fed.add_range(cs).unwrap();
+    fed.connect_full();
+
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Presence)
+        .mode(Mode::Subscribe)
+        .build();
+    // Request/response calls must never shed (their reply is awaited).
+    fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
+
+    // One big batch occupies the worker, then a burst of single-event
+    // casts overruns the one-slot mailbox: the overflow is shed and
+    // accounted, the run completes.
+    const BATCH: u64 = 2_000;
+    const BURST: u64 = 50;
+    let batch: Vec<ContextEvent> = (0..BATCH)
+        .map(|k| presence(sensor, u128::from(k), VirtualTime::from_millis(k + 1)))
+        .collect();
+    fed.ingest_batch_at("range-0", &batch, VirtualTime::from_millis(BATCH))
+        .unwrap();
+    for k in 0..BURST {
+        let t = VirtualTime::from_millis(BATCH + k + 1);
+        fed.ingest_at("range-0", &presence(sensor, u128::from(BATCH + k), t), t)
+            .unwrap();
+    }
+    fed.sync(VirtualTime::from_millis(BATCH + BURST)).unwrap();
+
+    let delivered = fed.deliveries_for(app).len() as u64;
+    let shed = fed.snapshot().counter("range.mailbox.shed");
+    assert_eq!(
+        delivered + shed,
+        BATCH + BURST,
+        "every event is either delivered or an accounted drop"
+    );
+    assert!(shed >= 1, "the burst must overrun a one-slot mailbox");
+    assert!(shed <= BURST, "batched events never shed (one send)");
+    fed.shutdown();
+}
+
+#[test]
+fn unknown_app_homing_is_counted_not_silent() {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = ParallelFederation::new(3);
+    let (cs, sensor) = server(0, &mut ids);
+    fed.add_range(cs).unwrap();
+    fed.connect_full();
+
+    // Subscribe through the raw command path: the coordinator never
+    // learns the app's home range, so the produced deliveries hit the
+    // unknown-app fallback.
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Presence)
+        .mode(Mode::Subscribe)
+        .build();
+    let reply = fed
+        .command(
+            "range-0",
+            RangeCommand::Submit(Box::new(q)),
+            VirtualTime::ZERO,
+        )
+        .unwrap();
+    assert!(matches!(
+        reply,
+        RangeReply::Answer(QueryAnswer::Subscribed { .. })
+    ));
+
+    let t = VirtualTime::from_secs(1);
+    fed.ingest_at("range-0", &presence(sensor, 9, t), t)
+        .unwrap();
+    fed.sync(t).unwrap();
+
+    assert_eq!(fed.relay_unknown_app(), 1, "the homing decision is counted");
+    assert_eq!(fed.snapshot().counter("federation.relay.unknown_app"), 1);
+    // The delivery itself is kept at the producing range, not dropped.
+    assert_eq!(fed.deliveries_for(app).len(), 1);
+    fed.shutdown();
+}
+
 #[test]
 fn worker_panic_is_contained_to_its_range() {
     let mut ids = GuidGenerator::seeded(71);

@@ -1,29 +1,141 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! SCI's threaded runtime only uses `crossbeam::channel::{unbounded,
-//! Sender, Receiver}` with `send`/`recv`/`try_recv`/`try_iter`, all of
-//! which `std::sync::mpsc` provides with identical semantics for the
-//! single-consumer topology SCI builds, so this shim re-exports std.
+//! SCI's threaded runtime uses `crossbeam::channel::{unbounded,
+//! bounded, Sender, Receiver}` with `send`/`try_send`/`recv`/
+//! `try_recv`/`try_iter`. For the single-consumer topologies SCI
+//! builds, `std::sync::mpsc` provides identical semantics — except
+//! that std splits the sender type in two (`Sender` for unbounded,
+//! `SyncSender` for bounded) where crossbeam has one. This shim
+//! papers over that split with a unified [`channel::Sender`] so the
+//! mailbox policy (unbounded vs bounded-blocking vs bounded-shedding)
+//! is a runtime value, exactly as with the real crate.
 
 #![forbid(unsafe_code)]
 
 /// Multi-producer channels (std-backed subset of `crossbeam::channel`).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, TryRecvError, TrySendError};
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel, unbounded or bounded — matching
+    /// crossbeam's unified sender (std's `Sender`/`SyncSender` split
+    /// is hidden inside).
+    pub struct Sender<T> {
+        inner: Flavor<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let inner = match &self.inner {
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+            };
+            Sender { inner }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self.inner {
+                Flavor::Unbounded(_) => "Sender::Unbounded",
+                Flavor::Bounded(_) => "Sender::Bounded",
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `t`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] when the receiver is gone (bounded senders
+        /// blocked on a full channel are woken and also error).
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                Flavor::Unbounded(tx) => tx.send(t),
+                Flavor::Bounded(tx) => tx.send(t),
+            }
+        }
+
+        /// Sends `t` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel has no free
+        /// slot (unbounded channels are never full);
+        /// [`TrySendError::Disconnected`] when the receiver is gone.
+        pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                Flavor::Unbounded(tx) => tx
+                    .send(t)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+                Flavor::Bounded(tx) => tx.try_send(t),
+            }
+        }
+    }
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: Flavor::Unbounded(tx),
+            },
+            rx,
+        )
+    }
+
+    /// Creates a bounded FIFO channel holding at most `cap` messages;
+    /// `cap` 0 is a rendezvous channel, as with the real crate.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: Flavor::Bounded(tx),
+            },
+            rx,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::channel::{bounded, unbounded, TrySendError};
+
     #[test]
     fn channel_roundtrip() {
-        let (tx, rx) = super::channel::unbounded();
+        let (tx, rx) = unbounded();
         tx.send(7).unwrap();
         assert_eq!(rx.recv().unwrap(), 7);
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn unbounded_try_send_never_fills() {
+        let (tx, rx) = unbounded();
+        for i in 0..64 {
+            tx.try_send(i).unwrap();
+        }
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(64),
+            Err(TrySendError::Disconnected(64))
+        ));
     }
 }
