@@ -24,13 +24,18 @@
 //! * **SCI-A205** — every retried cross-range message class must
 //!   carry the `(origin, seq)` dedup envelope, or retransmission
 //!   duplicates deliveries.
+//! * **SCI-A206** — a federation whose blueprint taxonomy accepts
+//!   `migrate-in` must declare a cross-range `migrate` message class
+//!   that is retried *and* enveloped; anything less and a mid-move
+//!   entity can lose its packaged state (no retry), double-replay it
+//!   (no envelope), or never receive it at all (no class).
 
 use std::collections::{HashMap, HashSet};
 
 use sci_types::{AnalysisReport, DiagCode, Diagnostic, FederationModel, Guid};
 
 /// Verifies a federation protocol model, returning one diagnostic per
-/// defect (codes SCI-A201..A205). A clean report means the declared
+/// defect (codes SCI-A201..A206). A clean report means the declared
 /// topology, retry discipline, blueprint taxonomy and envelope
 /// discipline are consistent — it does not prove liveness under
 /// faults, only the absence of statically-visible protocol defects.
@@ -41,6 +46,7 @@ pub fn verify_federation(model: &FederationModel) -> AnalysisReport {
     check_freshness(model, &mut report);
     check_blueprint(model, &mut report);
     check_envelopes(model, &mut report);
+    check_migration(model, &mut report);
     report
 }
 
@@ -218,6 +224,43 @@ fn check_envelopes(model: &FederationModel, report: &mut AnalysisReport) {
                 ),
             ));
         }
+    }
+}
+
+/// SCI-A206: a federation that accepts `migrate-in` commands needs a
+/// retried, enveloped cross-range `migrate` message class to carry the
+/// packets.
+fn check_migration(model: &FederationModel, report: &mut AnalysisReport) {
+    let accepts_migration = model
+        .blueprint
+        .iter()
+        .any(|b| b.kind == "migrate-in" && b.recorded);
+    if !accepts_migration {
+        return;
+    }
+    let class = model.messages.iter().find(|c| c.name == "migrate");
+    let defect = match class {
+        None => Some("declares no `migrate` message class to carry the packets".to_owned()),
+        Some(c) if !c.crosses_ranges => {
+            Some("its `migrate` message class does not cross ranges".to_owned())
+        }
+        Some(c) if !c.retried => Some(
+            "its `migrate` message class is not retried: a dropped packet loses \
+             the entity's packaged state"
+                .to_owned(),
+        ),
+        Some(c) if !c.enveloped => Some(
+            "its `migrate` message class lacks the (origin, seq) dedup envelope: \
+             a retransmitted packet replays the entity twice"
+                .to_owned(),
+        ),
+        Some(_) => None,
+    };
+    if let Some(defect) = defect {
+        report.push(Diagnostic::new(
+            DiagCode::MigrationUnenveloped,
+            format!("the federation accepts `migrate-in` commands but {defect}"),
+        ));
     }
 }
 
@@ -405,6 +448,84 @@ mod tests {
         model.blueprint[0].recorded = false;
         let report = verify_federation(&model);
         assert!(report.has_code(DiagCode::BlueprintLeak), "{report}");
+    }
+
+    /// The healthy fixture, extended with a recorded `migrate-in`
+    /// blueprint kind and a well-formed `migrate` message class.
+    fn migratory() -> FederationModel {
+        let mut model = healthy();
+        model.blueprint.push(BlueprintKindModel {
+            kind: "migrate-in".into(),
+            recorded: true,
+            shaping: true,
+            eraser: Some("migrate-out".into()),
+        });
+        model.blueprint.push(BlueprintKindModel {
+            kind: "migrate-out".into(),
+            recorded: false,
+            shaping: false,
+            eraser: None,
+        });
+        model.messages.push(MessageClassModel {
+            name: "migrate".into(),
+            crosses_ranges: true,
+            retried: true,
+            enveloped: true,
+        });
+        model
+    }
+
+    #[test]
+    fn a206_well_formed_migration_is_clean() {
+        let report = verify_federation(&migratory());
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn a206_migration_without_a_message_class() {
+        let mut model = migratory();
+        model.messages.retain(|c| c.name != "migrate");
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::MigrationUnenveloped), "{report}");
+    }
+
+    #[test]
+    fn a206_unretried_migrate_class_loses_packets() {
+        let mut model = migratory();
+        model
+            .messages
+            .iter_mut()
+            .find(|c| c.name == "migrate")
+            .unwrap()
+            .retried = false;
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::MigrationUnenveloped), "{report}");
+        let rendered = report.to_string();
+        assert!(rendered.contains("not retried"), "{rendered}");
+    }
+
+    #[test]
+    fn a206_unenveloped_migrate_class_doubles_entities() {
+        let mut model = migratory();
+        model
+            .messages
+            .iter_mut()
+            .find(|c| c.name == "migrate")
+            .unwrap()
+            .enveloped = false;
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::MigrationUnenveloped), "{report}");
+        // A205 flags the bare retried class too; A206 adds the
+        // migration-specific consequence.
+        assert!(report.has_code(DiagCode::EnvelopeMissing), "{report}");
+    }
+
+    #[test]
+    fn a206_silent_without_migration_support() {
+        // The base fixture has no migrate-in kind: no `migrate` class
+        // required.
+        let report = verify_federation(&healthy());
+        assert!(!report.has_code(DiagCode::MigrationUnenveloped), "{report}");
     }
 
     #[test]

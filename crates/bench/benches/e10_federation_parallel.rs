@@ -18,7 +18,11 @@
 //! read as histogram-sum deltas from the federation telemetry snapshot
 //! around the measured batch: `cast_us` (enqueue into per-range
 //! mailboxes), `barrier_us` (the `sync` drain), `relay_us` (cross-range
-//! event/answer relaying). The final snapshot rides along under
+//! event/answer relaying) — plus `mailbox_highwater`, the deepest
+//! mailbox the run observed (`range.mailbox.highwater`). When the
+//! highwater pins at the mailbox capacity, `cast_us` is dominated by
+//! backpressure blocking rather than enqueue cost (see EXPERIMENTS.md
+//! §E10 on the 16-range spike). The final snapshot rides along under
 //! `telemetry`.
 //!
 //! Two row groups are emitted. `"relay"` is the historical barrier
@@ -274,6 +278,10 @@ struct Row {
     cast_us: u64,
     barrier_us: u64,
     relay_us: u64,
+    /// Deepest per-range mailbox observed (`range.mailbox.highwater`):
+    /// when this sits at the mailbox capacity, `cast_us` is measuring
+    /// backpressure blocking, not enqueue cost — the §E10 spike.
+    mailbox_highwater: i64,
 }
 
 impl Row {
@@ -301,6 +309,8 @@ struct StreamRow {
     /// Per-phase time (us) spent in the measured streaming batch.
     cast_us: u64,
     pump_us: u64,
+    /// Deepest per-range mailbox observed in the streaming run.
+    mailbox_highwater: i64,
 }
 
 impl StreamRow {
@@ -334,7 +344,9 @@ fn measure_rows() -> (Vec<Row>, Vec<StreamRow>, TelemetrySnapshot) {
             let before = phase_sums(&parallel.fed.snapshot());
             let (parallel_t, parallel_n) = parallel_batch(&mut parallel, EVENTS_PER_RANGE);
             assert_eq!(parallel_n as u64, events, "parallel loses deliveries");
-            let after = phase_sums(&parallel.fed.snapshot());
+            let after_snap = parallel.fed.snapshot();
+            let after = phase_sums(&after_snap);
+            let parallel_highwater = after_snap.gauge("range.mailbox.highwater");
             parallel.fed.shutdown();
 
             let mut stream = build_parallel(ranges, 17);
@@ -353,6 +365,7 @@ fn measure_rows() -> (Vec<Row>, Vec<StreamRow>, TelemetrySnapshot) {
                 stream_us: stream_t.as_secs_f64() * 1e6,
                 cast_us: s_after[0].saturating_sub(s_before[0]),
                 pump_us: s_after[3].saturating_sub(s_before[3]),
+                mailbox_highwater: last_snapshot.gauge("range.mailbox.highwater"),
             });
 
             Row {
@@ -363,6 +376,7 @@ fn measure_rows() -> (Vec<Row>, Vec<StreamRow>, TelemetrySnapshot) {
                 cast_us: after[0].saturating_sub(before[0]),
                 barrier_us: after[1].saturating_sub(before[1]),
                 relay_us: after[2].saturating_sub(before[2]),
+                mailbox_highwater: parallel_highwater,
             }
         })
         .collect();
@@ -383,7 +397,8 @@ fn write_json(rows: &[Row], stream_rows: &[StreamRow], snapshot: &TelemetrySnaps
                 "    {{\"group\": \"relay\", \"ranges\": {}, \"events\": {}, \
                  \"serial_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.2}, \
                  \"serial_kevents_s\": {:.1}, \"parallel_kevents_s\": {:.1}, \
-                 \"cast_us\": {}, \"barrier_us\": {}, \"relay_us\": {}}}",
+                 \"cast_us\": {}, \"barrier_us\": {}, \"relay_us\": {}, \
+                 \"mailbox_highwater\": {}}}",
                 r.ranges,
                 r.events,
                 r.serial_us,
@@ -393,7 +408,8 @@ fn write_json(rows: &[Row], stream_rows: &[StreamRow], snapshot: &TelemetrySnaps
                 r.parallel_keps(),
                 r.cast_us,
                 r.barrier_us,
-                r.relay_us
+                r.relay_us,
+                r.mailbox_highwater
             )
         })
         .collect();
@@ -404,7 +420,7 @@ fn write_json(rows: &[Row], stream_rows: &[StreamRow], snapshot: &TelemetrySnaps
             "    {{\"group\": \"stream\", \"ranges\": {}, \"events\": {}, \
              \"rounds\": {}, \"serial_us\": {:.1}, \"stream_us\": {:.1}, \
              \"speedup\": {:.2}, \"sustained_kevents_s\": {:.1}, \
-             \"cast_us\": {}, \"pump_us\": {}}}",
+             \"cast_us\": {}, \"pump_us\": {}, \"mailbox_highwater\": {}}}",
             r.ranges,
             r.events,
             STREAM_ROUNDS,
@@ -413,7 +429,8 @@ fn write_json(rows: &[Row], stream_rows: &[StreamRow], snapshot: &TelemetrySnaps
             r.speedup(),
             r.sustained_keps(),
             r.cast_us,
-            r.pump_us
+            r.pump_us,
+            r.mailbox_highwater
         )
     }));
     let json = format!(
@@ -439,7 +456,7 @@ fn print_shape_table(rows: &[Row]) {
         available_cores()
     );
     println!(
-        "{:>7} | {:>12} {:>14} {:>12} {:>14} {:>8} | {:>9} {:>10} {:>9}",
+        "{:>7} | {:>12} {:>14} {:>12} {:>14} {:>8} | {:>9} {:>10} {:>9} {:>9}",
         "ranges",
         "serial (us)",
         "(kevents/s)",
@@ -448,11 +465,12 @@ fn print_shape_table(rows: &[Row]) {
         "speedup",
         "cast (us)",
         "barrier(us)",
-        "relay(us)"
+        "relay(us)",
+        "highwater"
     );
     for r in rows {
         println!(
-            "{:>7} | {:>12.0} {:>14.1} {:>12.0} {:>14.1} {:>7.2}x | {:>9} {:>10} {:>9}",
+            "{:>7} | {:>12.0} {:>14.1} {:>12.0} {:>14.1} {:>7.2}x | {:>9} {:>10} {:>9} {:>9}",
             r.ranges,
             r.serial_us,
             r.serial_keps(),
@@ -461,7 +479,8 @@ fn print_shape_table(rows: &[Row]) {
             r.speedup(),
             r.cast_us,
             r.barrier_us,
-            r.relay_us
+            r.relay_us,
+            r.mailbox_highwater
         );
     }
     println!();
@@ -474,25 +493,27 @@ fn print_stream_table(rows: &[StreamRow]) {
         available_cores()
     );
     println!(
-        "{:>7} | {:>12} {:>12} {:>8} {:>22} | {:>9} {:>9}",
+        "{:>7} | {:>12} {:>12} {:>8} {:>22} | {:>9} {:>9} {:>9}",
         "ranges",
         "serial (us)",
         "stream (us)",
         "speedup",
         "sustained (kevents/s)",
         "cast (us)",
-        "pump (us)"
+        "pump (us)",
+        "highwater"
     );
     for r in rows {
         println!(
-            "{:>7} | {:>12.0} {:>12.0} {:>7.2}x {:>22.1} | {:>9} {:>9}",
+            "{:>7} | {:>12.0} {:>12.0} {:>7.2}x {:>22.1} | {:>9} {:>9} {:>9}",
             r.ranges,
             r.serial_us,
             r.stream_us,
             r.speedup(),
             r.sustained_keps(),
             r.cast_us,
-            r.pump_us
+            r.pump_us,
+            r.mailbox_highwater
         );
     }
     println!();

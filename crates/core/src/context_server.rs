@@ -74,6 +74,10 @@ pub struct ContextServer {
     factories: HashMap<Guid, LogicFactory>,
     advertisements: HashMap<Guid, Vec<Advertisement>>,
     configurations: HashMap<Guid, Configuration>,
+    /// The original query behind each live configuration, kept so a
+    /// migrating owner's subscriptions can be replayed verbatim at its
+    /// new home range (a `Configuration` no longer holds the query).
+    origin_queries: HashMap<Guid, Query>,
     caa_sub_index: HashMap<SubId, Guid>,
     deferred: Vec<DeferredQuery>,
     timers: Scheduler<Guid>,
@@ -134,6 +138,7 @@ impl ContextServer {
             factories: HashMap::new(),
             advertisements: HashMap::new(),
             configurations: HashMap::new(),
+            origin_queries: HashMap::new(),
             caa_sub_index: HashMap::new(),
             deferred: Vec::new(),
             timers: Scheduler::new(),
@@ -408,8 +413,18 @@ impl ContextServer {
         id: Guid,
         now: VirtualTime,
     ) -> SciResult<EntityDescriptor> {
-        let descriptor = self.registrar.deregister(id, now)?;
-        let _ = self.profiles.remove(id);
+        let descriptor = match self.registrar.deregister(id, now) {
+            Ok(descriptor) => descriptor,
+            Err(e) => {
+                self.metrics.record_deregister_unknown();
+                return Err(e);
+            }
+        };
+        if self.profiles.remove(id).is_err() {
+            // Registered but profile-less: the removal failure used to
+            // be swallowed silently; now it is at least counted.
+            self.metrics.record_deregister_unknown();
+        }
         self.mediator.purge_entity(id);
         self.location.forget(id);
         self.advertisements.remove(&id);
@@ -417,6 +432,151 @@ impl ContextServer {
         self.excluded.insert(id);
         let _ = crate::adaptation::repair_source(self, id, now);
         Ok(descriptor)
+    }
+
+    // ------------------------------------------------------------------
+    // Entity migration (city-scale mobility)
+    // ------------------------------------------------------------------
+
+    /// Packages a departing entity's full state for replay at another
+    /// range: profile, advertisements, the standing and deferred
+    /// queries it owns, and any undrained deliveries or answers. The
+    /// entity is removed locally — migration is departure, not
+    /// failure, so it is *not* excluded from future plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::UnknownEntity`] if the entity is not
+    /// registered here.
+    pub fn migrate_out(
+        &mut self,
+        id: Guid,
+        now: VirtualTime,
+    ) -> SciResult<crate::migration::MigrationPacket> {
+        match self.handle(RangeCommand::MigrateOut(id), now)? {
+            RangeReply::Migrated(xml) => crate::migration::MigrationPacket::from_xml(&xml),
+            other => Err(SciError::Internal(format!(
+                "migrate-out expected `migrated` reply, got `{}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub(crate) fn migrate_out_impl(
+        &mut self,
+        id: Guid,
+        now: VirtualTime,
+    ) -> SciResult<crate::migration::MigrationPacket> {
+        let profile = self.profiles.get(id).cloned();
+        if let Err(e) = self.registrar.deregister(id, now) {
+            self.metrics.record_deregister_unknown();
+            return Err(e);
+        }
+        let mut packet = crate::migration::MigrationPacket::new(id);
+        packet.profile = profile;
+        let _ = self.profiles.remove(id);
+        self.mediator.purge_entity(id);
+        self.location.forget(id);
+        packet.advertisements = self.advertisements.remove(&id).unwrap_or_default();
+
+        // Standing subscriptions the mover owns travel with it: the
+        // original query goes into the packet, the local configuration
+        // is torn down.
+        let owned: Vec<Guid> = self
+            .configurations
+            .values()
+            .filter(|c| c.owner == id)
+            .map(|c| c.query_id)
+            .collect();
+        for query_id in owned {
+            if let Some(q) = self.origin_queries.get(&query_id).cloned() {
+                packet.queries.push(q);
+            }
+            let _ = self.cancel_query_impl(query_id);
+        }
+        // Deferred queries the mover owns travel too.
+        let mut kept = Vec::new();
+        for d in self.deferred.drain(..) {
+            if d.query.owner == id {
+                packet.queries.push(d.query);
+            } else {
+                kept.push(d);
+            }
+        }
+        self.deferred = kept;
+        // Pending deliveries and deferred answers follow the mover so
+        // nothing queued for it is stranded at the old home.
+        packet.deliveries = self.drain_outbox_for_impl(id);
+        let mut kept_answers = Vec::new();
+        for entry in std::mem::take(&mut self.answers) {
+            if entry.1 == id {
+                packet.answers.push(entry);
+            } else {
+                kept_answers.push(entry);
+            }
+        }
+        self.answers = kept_answers;
+        // Dependent configurations repair as for any departure, but
+        // the mover stays plannable: it has a new home, not a fault.
+        let _ = crate::adaptation::repair_source(self, id, now);
+        self.excluded.remove(&id);
+        self.metrics.record_migrate_out();
+        Ok(packet)
+    }
+
+    /// Replays a migration packet, making this range the entity's new
+    /// home: profile and advertisements re-register, its queries are
+    /// re-submitted (re-resolving against local providers), and
+    /// undrained deliveries/answers land in the local outboxes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replay error; later parts are still applied
+    /// so a partially-resolvable packet loses as little as possible.
+    pub fn migrate_in(
+        &mut self,
+        packet: crate::migration::MigrationPacket,
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        self.handle(RangeCommand::MigrateIn(Box::new(packet)), now)
+            .map(drop)
+    }
+
+    pub(crate) fn migrate_in_impl(
+        &mut self,
+        packet: crate::migration::MigrationPacket,
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        let entity = packet.entity;
+        // The mover may have been sensed here before its state arrived
+        // and auto-registered as a skeleton; the packaged profile wins.
+        if self.registrar.is_registered(entity) {
+            let _ = self.deregister_impl(entity, now);
+        }
+        self.excluded.remove(&entity);
+        let mut first_error: Option<SciError> = None;
+        if let Some(profile) = packet.profile {
+            if let Err(e) = self.register_impl(profile, now) {
+                first_error.get_or_insert(e);
+            }
+        }
+        for ad in packet.advertisements {
+            if let Err(e) = self.advertise_impl(ad) {
+                first_error.get_or_insert(e);
+            }
+        }
+        for q in packet.queries {
+            if let Err(e) = self.submit_query_impl(&q, now) {
+                first_error.get_or_insert(e);
+            }
+        }
+        self.outbox.extend(packet.deliveries);
+        self.answers.extend(packet.answers);
+        self.metrics.record_migrate_in();
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -502,6 +662,7 @@ impl ContextServer {
 
     pub(crate) fn cancel_query_impl(&mut self, query_id: Guid) -> SciResult<()> {
         if let Some(config) = self.configurations.remove(&query_id) {
+            self.origin_queries.remove(&query_id);
             for sub in &config.caa_subs {
                 self.caa_sub_index.remove(sub);
             }
@@ -650,6 +811,7 @@ impl ContextServer {
 
         let producers = config.root_producers.clone();
         self.configurations.insert(query.id, config);
+        self.origin_queries.insert(query.id, query.clone());
         Ok(QueryAnswer::Subscribed {
             configuration: query.id,
             producers,

@@ -465,6 +465,67 @@ impl<T: Transport> Federation<T> {
         }
     }
 
+    /// Moves an entity between ranges as one first-class operation:
+    /// `migrate-out` packages its profile, advertisements, standing
+    /// queries, queued deliveries and deferred answers at the source;
+    /// the packet crosses the overlay as a [`MessageKind::Migrate`]
+    /// message inside the exactly-once `(origin, seq)` envelope (a
+    /// duplicated packet replays once, a dropped one is retransmitted
+    /// and eventually parked for the next pump); `migrate-in` replays
+    /// it at the target. The entity's home-range record moves *before*
+    /// the packet ships, so deliveries produced for it mid-move relay
+    /// toward the new home.
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::UnknownLocation`] for unknown range names;
+    /// * [`SciError::UnknownEntity`] if the source range does not know
+    ///   the entity;
+    /// * codec/replay failures from the target range.
+    pub fn migrate_entity(
+        &mut self,
+        entity: Guid,
+        from: &str,
+        to: &str,
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        let src = self
+            .net
+            .find_by_name(from)
+            .ok_or_else(|| SciError::UnknownLocation(from.to_owned()))?;
+        let dst = self
+            .net
+            .find_by_name(to)
+            .ok_or_else(|| SciError::UnknownLocation(to.to_owned()))?;
+        if src == dst {
+            return Ok(());
+        }
+        let packet = self
+            .servers
+            .get_mut(&src)
+            .ok_or_else(|| SciError::Internal(format!("node {src} has no Context Server")))?
+            .migrate_out(entity, now)?;
+        // Re-home before the send: anything the mover's subscriptions
+        // produce while the packet is in flight must chase the new
+        // home, not pile up at the abandoned one.
+        self.app_home.insert(entity, dst);
+        let seq = self.next_seq(src);
+        let payload = Element::new("migrate")
+            .with_attr("entity", entity.to_string())
+            .with_attr("origin", src.to_string())
+            .with_attr("seq", seq.to_string())
+            .with_child(packet.to_element())
+            .to_xml();
+        let msg = Message::new(
+            self.ids.next_guid(),
+            src,
+            dst,
+            MessageKind::Migrate,
+            Bytes::from(payload.into_bytes()),
+        );
+        self.send_reliable(msg, now)
+    }
+
     /// Builds the degraded answer for a query whose target range could
     /// not be consulted, counting it in `federation.answers.partial`.
     fn degraded(&mut self, missing: Guid, reason: &str) -> FederatedAnswer {
@@ -895,6 +956,28 @@ impl<T: Transport> Federation<T> {
                 let decoded = answer_from_element(doc.require_child("answer")?)?;
                 self.answers.entry(app).or_default().push((q, decoded));
             }
+            MessageKind::Migrate => {
+                let doc = parse(
+                    std::str::from_utf8(&m.payload)
+                        .map_err(|_| SciError::Codec("migration relay not UTF-8".into()))?,
+                )?;
+                if doc.name != "migrate" {
+                    return Ok(());
+                }
+                let Some(envelope) = envelope_of(&doc)? else {
+                    return Ok(());
+                };
+                if !self.seen_relays.insert(envelope) {
+                    self.relay_dedup_hits += 1;
+                    return Ok(());
+                }
+                let packet = crate::migration::MigrationPacket::from_element(
+                    doc.require_child("migration")?,
+                )?;
+                if let Some(cs) = self.servers.get_mut(&m.dst) {
+                    cs.migrate_in(packet, arrival)?;
+                }
+            }
             _ => {}
         }
         Ok(())
@@ -1041,7 +1124,8 @@ pub(crate) fn envelope_of(doc: &Element) -> SciResult<Option<(Guid, u64)>> {
 
 /// The cross-range message classes both federation drivers exchange,
 /// with their delivery discipline: the retried classes (event and
-/// answer relays) carry the `(origin, seq)` dedup envelope; the
+/// answer relays, migration packets) carry the `(origin, seq)` dedup
+/// envelope; the
 /// synchronous query round-trip and the idempotent advert broadcast
 /// are fire-once and travel bare. SCI-A205 holds every retried class
 /// to the envelope.
@@ -1058,6 +1142,7 @@ pub(crate) fn relay_message_classes() -> Vec<MessageClassModel> {
         class("range-advert", false, false),
         class("event-relay", true, true),
         class("answer-relay", true, true),
+        class("migrate", true, true),
     ]
 }
 

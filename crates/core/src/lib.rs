@@ -75,6 +75,7 @@ pub mod federation;
 pub mod history;
 pub mod location_service;
 pub mod logic;
+pub mod migration;
 pub mod profile_manager;
 pub mod range_service;
 pub mod registrar;
@@ -87,6 +88,7 @@ pub use context_server::{ContextServer, QueryAnswer, RangeReply};
 pub use driver::Deployment;
 pub use federation::Federation;
 pub use location_service::LocationService;
+pub use migration::MigrationPacket;
 pub use profile_manager::ProfileManager;
 pub use registrar::Registrar;
 pub use resolver::ConfigurationPlan;

@@ -6,16 +6,66 @@
 //! fast as ranges grow, and applies live attribute updates (a printer's
 //! queue length changes with every status event) so Which-clause
 //! selection sees current state.
+//!
+//! At city scale a Range holds 100k–1M entities, so the store is
+//! sharded by entity GUID ([`sci_types::ShardMap`]) and the per-type
+//! provider index keeps registration order in a serial-keyed
+//! `ProviderSet` instead of a `Vec` — deregistering one entity is
+//! O(log n) per provided type, not a scan over every provider of that
+//! type. The public API is byte-for-byte the pre-sharding one; the
+//! original single-`HashMap` implementation survives as
+//! [`oracle::UnshardedProfileManager`] so property tests can prove the
+//! two observably equivalent under churn.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-use sci_types::{ContextType, ContextValue, Guid, Profile, SciError, SciResult};
+use sci_types::{ContextType, ContextValue, Guid, Profile, SciError, SciResult, ShardMap};
+
+/// Registration-ordered set of providers of one context type.
+///
+/// Iteration yields GUIDs in registration order (ascending serial);
+/// membership and removal are `O(log n)` via the reverse index, so a
+/// 1M-provider type no longer costs a full scan per deregistration.
+#[derive(Clone, Debug, Default)]
+struct ProviderSet {
+    order: BTreeMap<u64, Guid>,
+    serial_of: HashMap<Guid, u64>,
+    next_serial: u64,
+}
+
+impl ProviderSet {
+    fn insert(&mut self, id: Guid) {
+        if self.serial_of.contains_key(&id) {
+            return;
+        }
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.order.insert(serial, id);
+        self.serial_of.insert(id, serial);
+    }
+
+    fn remove(&mut self, id: Guid) {
+        if let Some(serial) = self.serial_of.remove(&id) {
+            self.order.remove(&serial);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = Guid> + '_ {
+        self.order.values().copied()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
 
 /// Storage and indexing for Context Entity profiles.
 #[derive(Clone, Debug, Default)]
 pub struct ProfileManager {
-    profiles: HashMap<Guid, Profile>,
-    by_output: HashMap<ContextType, Vec<Guid>>,
+    /// Primary store, sharded by entity GUID.
+    profiles: ShardMap<Guid, Profile>,
+    /// Provided-type → registration-ordered provider set.
+    by_output: HashMap<ContextType, ProviderSet>,
     /// Semantic-equivalence classes over context types (paper §6, open
     /// issue 2: "notions of semantic equivalence"). Types in one class
     /// are interchangeable during composition — the answer to the
@@ -48,7 +98,10 @@ impl ProfileManager {
             )));
         }
         for port in profile.outputs() {
-            self.by_output.entry(port.ty.clone()).or_default().push(id);
+            self.by_output
+                .entry(port.ty.clone())
+                .or_default()
+                .insert(id);
         }
         self.profiles.insert(id, profile);
         Ok(())
@@ -65,8 +118,11 @@ impl ProfileManager {
             .remove(&id)
             .ok_or(SciError::UnknownEntity(id))?;
         for port in profile.outputs() {
-            if let Some(list) = self.by_output.get_mut(&port.ty) {
-                list.retain(|&g| g != id);
+            if let Some(set) = self.by_output.get_mut(&port.ty) {
+                set.remove(id);
+                if set.is_empty() {
+                    self.by_output.remove(&port.ty);
+                }
             }
         }
         Ok(profile)
@@ -100,7 +156,7 @@ impl ProfileManager {
     pub fn providers_of(&self, ty: &ContextType) -> Vec<&Profile> {
         self.by_output
             .get(ty)
-            .map(|ids| ids.iter().filter_map(|id| self.profiles.get(id)).collect())
+            .map(|set| set.iter().filter_map(|id| self.profiles.get(&id)).collect())
             .unwrap_or_default()
     }
 
@@ -188,6 +244,181 @@ impl ProfileManager {
     /// Returns `true` if no profiles are stored.
     pub fn is_empty(&self) -> bool {
         self.profiles.is_empty()
+    }
+
+    /// Per-shard profile counts of the primary store, for balance
+    /// diagnostics and the mobility bench.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.profiles.shard_lens()
+    }
+}
+
+/// The pre-sharding implementation, retained verbatim as the
+/// equivalence oracle for property tests (`prop_profile_shards`): one
+/// `HashMap` for the store, one `Vec<Guid>` per provided type.
+pub mod oracle {
+    use super::*;
+
+    /// Single-`HashMap` profile store with `Vec`-based provider lists —
+    /// the behaviourally-authoritative reference the sharded
+    /// [`ProfileManager`] is property-tested against.
+    #[derive(Clone, Debug, Default)]
+    pub struct UnshardedProfileManager {
+        profiles: HashMap<Guid, Profile>,
+        by_output: HashMap<ContextType, Vec<Guid>>,
+        equivalence_classes: Vec<Vec<ContextType>>,
+        class_of: HashMap<ContextType, usize>,
+    }
+
+    impl UnshardedProfileManager {
+        /// Creates an empty manager.
+        pub fn new() -> Self {
+            UnshardedProfileManager::default()
+        }
+
+        /// Stores a profile; errors on duplicate id.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SciError::Internal`] if the entity already has a
+        /// profile.
+        pub fn insert(&mut self, profile: Profile) -> SciResult<()> {
+            let id = profile.id();
+            if self.profiles.contains_key(&id) {
+                return Err(SciError::Internal(format!(
+                    "profile for {id} already stored"
+                )));
+            }
+            for port in profile.outputs() {
+                self.by_output.entry(port.ty.clone()).or_default().push(id);
+            }
+            self.profiles.insert(id, profile);
+            Ok(())
+        }
+
+        /// Removes a profile, returning it.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SciError::UnknownEntity`] if absent.
+        pub fn remove(&mut self, id: Guid) -> SciResult<Profile> {
+            let profile = self
+                .profiles
+                .remove(&id)
+                .ok_or(SciError::UnknownEntity(id))?;
+            for port in profile.outputs() {
+                if let Some(list) = self.by_output.get_mut(&port.ty) {
+                    list.retain(|&g| g != id);
+                }
+            }
+            Ok(profile)
+        }
+
+        /// Looks up a profile.
+        pub fn get(&self, id: Guid) -> Option<&Profile> {
+            self.profiles.get(&id)
+        }
+
+        /// Updates one attribute of a profile.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SciError::UnknownEntity`] if absent.
+        pub fn update_attribute(
+            &mut self,
+            id: Guid,
+            key: &str,
+            value: ContextValue,
+        ) -> SciResult<Option<ContextValue>> {
+            let profile = self
+                .profiles
+                .get_mut(&id)
+                .ok_or(SciError::UnknownEntity(id))?;
+            Ok(profile.attributes_mut().set(key, value))
+        }
+
+        /// Providers of `ty`, in registration order.
+        pub fn providers_of(&self, ty: &ContextType) -> Vec<&Profile> {
+            self.by_output
+                .get(ty)
+                .map(|ids| ids.iter().filter_map(|id| self.profiles.get(id)).collect())
+                .unwrap_or_default()
+        }
+
+        /// Declares two context types semantically equivalent.
+        pub fn declare_equivalence(&mut self, a: ContextType, b: ContextType) {
+            let ia = self.class_of.get(&a).copied();
+            let ib = self.class_of.get(&b).copied();
+            match (ia, ib) {
+                (Some(i), Some(j)) if i == j => {}
+                (Some(i), Some(j)) => {
+                    let (keep, merge) = if i < j { (i, j) } else { (j, i) };
+                    let merged = self.equivalence_classes.remove(merge);
+                    self.equivalence_classes[keep].extend(merged);
+                    self.class_of.clear();
+                    for (idx, class) in self.equivalence_classes.iter().enumerate() {
+                        for t in class {
+                            self.class_of.insert(t.clone(), idx);
+                        }
+                    }
+                }
+                (Some(i), None) => {
+                    self.equivalence_classes[i].push(b.clone());
+                    self.class_of.insert(b, i);
+                }
+                (None, Some(j)) => {
+                    self.equivalence_classes[j].push(a.clone());
+                    self.class_of.insert(a, j);
+                }
+                (None, None) => {
+                    let idx = self.equivalence_classes.len();
+                    self.equivalence_classes.push(vec![a.clone(), b.clone()]);
+                    self.class_of.insert(a, idx);
+                    self.class_of.insert(b, idx);
+                }
+            }
+        }
+
+        /// The types semantically equivalent to `ty`, including `ty`.
+        pub fn equivalents(&self, ty: &ContextType) -> Vec<ContextType> {
+            self.class_of
+                .get(ty)
+                .map(|&i| self.equivalence_classes[i].clone())
+                .unwrap_or_else(|| vec![ty.clone()])
+        }
+
+        /// Whether two types are the same or declared equivalent.
+        pub fn compatible(&self, a: &ContextType, b: &ContextType) -> bool {
+            a == b
+                || matches!(
+                    (self.class_of.get(a), self.class_of.get(b)),
+                    (Some(i), Some(j)) if i == j
+                )
+        }
+
+        /// Providers of `ty` or any equivalent type, deduplicated.
+        pub fn providers_of_compatible(&self, ty: &ContextType) -> Vec<&Profile> {
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for t in self.equivalents(ty) {
+                for p in self.providers_of(&t) {
+                    if seen.insert(p.id()) {
+                        out.push(p);
+                    }
+                }
+            }
+            out
+        }
+
+        /// Number of stored profiles.
+        pub fn len(&self) -> usize {
+            self.profiles.len()
+        }
+
+        /// Returns `true` if no profiles are stored.
+        pub fn is_empty(&self) -> bool {
+            self.profiles.is_empty()
+        }
     }
 }
 
@@ -294,5 +525,24 @@ mod tests {
             pm.remove(Guid::from_u128(5)),
             Err(SciError::UnknownEntity(_))
         ));
+    }
+
+    #[test]
+    fn registration_order_survives_interleaved_churn() {
+        let mut pm = ProfileManager::new();
+        for raw in 1..=50u128 {
+            pm.insert(sensor(raw)).unwrap();
+        }
+        for raw in (1..=50u128).step_by(3) {
+            pm.remove(Guid::from_u128(raw)).unwrap();
+        }
+        let survivors: Vec<u128> = pm
+            .providers_of(&ContextType::Presence)
+            .iter()
+            .map(|p| p.id().as_u128())
+            .collect();
+        let expected: Vec<u128> = (1..=50).filter(|r| (r - 1) % 3 != 0).collect();
+        assert_eq!(survivors, expected, "registration order must survive");
+        assert_eq!(pm.shard_lens().iter().sum::<usize>(), pm.len());
     }
 }

@@ -54,6 +54,7 @@ use crate::federation::{
     relay_message_classes, FederatedAnswer, RELAY_RETRIES, RETRY_BACKOFF_BASE_US,
 };
 use crate::logic::LogicFactory;
+use crate::migration::MigrationPacket;
 use crate::telemetry::{elapsed_us, fold_load_stats, FedMetrics, RuntimeMetrics};
 use sci_location::floorplan::FloorPlan;
 
@@ -107,6 +108,12 @@ pub enum RangeCommand {
     SetPlanVerification(bool),
     /// Run the fleet drift audit.
     Audit,
+    /// Package a departing entity's full range state for migration:
+    /// profile, advertisements, standing queries, queued deliveries and
+    /// deferred answers leave the range in one [`MigrationPacket`].
+    MigrateOut(Guid),
+    /// Replay a migrated entity's packaged state at its new home range.
+    MigrateIn(Box<MigrationPacket>),
 }
 
 impl RangeCommand {
@@ -114,7 +121,7 @@ impl RangeCommand {
     /// [`RangeCommand::kind_index`]. The telemetry layer pre-registers
     /// one counter and one latency histogram per entry
     /// (`range.cmd.<kind>.count` / `range.cmd.<kind>.latency_us`).
-    pub const KINDS: [&'static str; 19] = [
+    pub const KINDS: [&'static str; 21] = [
         "register",
         "register-logic",
         "declare-equivalence",
@@ -134,6 +141,8 @@ impl RangeCommand {
         "set-auto-register-people",
         "set-plan-verification",
         "audit",
+        "migrate-out",
+        "migrate-in",
     ];
 
     /// Dense index of this variant within [`RangeCommand::KINDS`].
@@ -158,6 +167,8 @@ impl RangeCommand {
             RangeCommand::SetAutoRegisterPeople(_) => 16,
             RangeCommand::SetPlanVerification(_) => 17,
             RangeCommand::Audit => 18,
+            RangeCommand::MigrateOut(_) => 19,
+            RangeCommand::MigrateIn(_) => 20,
         }
     }
 
@@ -257,6 +268,12 @@ impl ContextServer {
                 Ok(RangeReply::Ack)
             }
             RangeCommand::Audit => Ok(RangeReply::Report(self.audit_configurations())),
+            RangeCommand::MigrateOut(id) => self
+                .migrate_out_impl(id, now)
+                .map(|packet| RangeReply::Migrated(packet.to_xml())),
+            RangeCommand::MigrateIn(packet) => {
+                self.migrate_in_impl(*packet, now).map(|()| RangeReply::Ack)
+            }
         }
     }
 }
@@ -366,6 +383,7 @@ enum BlueprintCmd {
     SetReuse(bool),
     SetAutoRegisterPeople(bool),
     SetPlanVerification(bool),
+    MigrateIn(Box<MigrationPacket>),
 }
 
 impl BlueprintCmd {
@@ -381,6 +399,7 @@ impl BlueprintCmd {
             BlueprintCmd::SetReuse(v) => RangeCommand::SetReuse(*v),
             BlueprintCmd::SetAutoRegisterPeople(v) => RangeCommand::SetAutoRegisterPeople(*v),
             BlueprintCmd::SetPlanVerification(v) => RangeCommand::SetPlanVerification(*v),
+            BlueprintCmd::MigrateIn(p) => RangeCommand::MigrateIn(p.clone()),
         }
     }
 }
@@ -400,6 +419,10 @@ pub fn blueprint_model() -> Vec<BlueprintKindModel> {
                 // when the entity departs or the subscription dies.
                 "register" | "register-logic" | "advertise" => (true, true, Some("deregister")),
                 "submit" => (true, true, Some("cancel")),
+                // A migrated-in entity is per-entity graph state too:
+                // erased when the entity departs again, by deregister
+                // or the next hop's migrate-out.
+                "migrate-in" => (true, true, Some("migrate-out")),
                 // Monotonic or last-write-wins configuration: replayed
                 // verbatim, nothing to erase.
                 "declare-equivalence"
@@ -653,9 +676,34 @@ impl RangeRuntime {
                     BlueprintCmd::Register(p) => p.id() != *id,
                     BlueprintCmd::RegisterLogic(ce, _) => ce != id,
                     BlueprintCmd::Advertise(ad) => ad.provider() != *id,
+                    BlueprintCmd::MigrateIn(packet) => packet.entity != *id,
                     _ => true,
                 });
                 None
+            }
+            RangeCommand::MigrateOut(id) => {
+                // Migration is departure: erase everything the entity
+                // contributed to this range's composition graph —
+                // including a prior migrate-in and the subscriptions it
+                // owns, which travel in the packet and will be recorded
+                // again at the target. A restarted source range must
+                // not resurrect an entity that has already moved on.
+                self.blueprint.retain(|(_, b)| match b {
+                    BlueprintCmd::Register(p) => p.id() != *id,
+                    BlueprintCmd::RegisterLogic(ce, _) => ce != id,
+                    BlueprintCmd::Advertise(ad) => ad.provider() != *id,
+                    BlueprintCmd::Subscribe(q) => q.owner != *id,
+                    BlueprintCmd::MigrateIn(packet) => packet.entity != *id,
+                    _ => true,
+                });
+                None
+            }
+            RangeCommand::MigrateIn(packet) => {
+                // Shape only: deliveries and deferred answers already
+                // sitting in the packet are applied once by the live
+                // command; a restart replay must re-establish the
+                // entity's composition without double-delivering them.
+                Some(BlueprintCmd::MigrateIn(Box::new(packet.shape_only())))
             }
             RangeCommand::Cancel(query_id) => {
                 self.blueprint.retain(|(_, b)| match b {
@@ -830,10 +878,19 @@ impl RangeRuntime {
         let send_result = if shed {
             match self.tx.try_send(ToWorker::Cmd { cmd, now }) {
                 Ok(()) => Ok(()),
-                Err(TrySendError::Full(_)) => {
+                Err(TrySendError::Full(rejected)) => {
                     // Accounted drop: the command never ran, so its
-                    // provisional blueprint entry must go too.
-                    self.metrics.mailbox_shed.inc();
+                    // provisional blueprint entry must go too. A shed
+                    // batch sheds every event it carried — weighting
+                    // the counter by batch length keeps the
+                    // delivered + shed == sent ledger balanced.
+                    match rejected {
+                        ToWorker::Cmd {
+                            cmd: RangeCommand::IngestBatch(events),
+                            ..
+                        } => self.metrics.mailbox_shed.add(events.len() as u64),
+                        _ => self.metrics.mailbox_shed.inc(),
+                    }
                     if let Some(serial) = ticket {
                         self.blueprint.retain(|(s, _)| *s != serial);
                     }
@@ -1007,6 +1064,11 @@ pub struct ParallelFederation<T: Transport = SimNetwork> {
     seen_relays: HashSet<(Guid, u64)>,
     /// Relays that exhausted their in-call retries, retried each sync.
     pending_relays: Vec<Message>,
+    /// Wall-clock start of each in-flight migration, keyed by its
+    /// relay envelope: cleared (and timed into
+    /// `range.migrate.inflight_us`) when the packet is first absorbed
+    /// at its target.
+    migrate_started: HashMap<(Guid, u64), Instant>,
     ids: GuidGenerator,
     metrics: FedMetrics,
 }
@@ -1045,6 +1107,7 @@ impl<T: Transport> ParallelFederation<T> {
             relay_seq: HashMap::new(),
             seen_relays: HashSet::new(),
             pending_relays: Vec::new(),
+            migrate_started: HashMap::new(),
             ids: GuidGenerator::seeded(seed),
             metrics: FedMetrics::new(),
         }
@@ -1337,6 +1400,78 @@ impl<T: Transport> ParallelFederation<T> {
             .cast(RangeCommand::IngestBatch(events.to_vec()), now);
         self.metrics.cast_us.record(elapsed_us(started));
         result
+    }
+
+    /// Moves an entity between ranges as one first-class operation:
+    /// `migrate-out` packages its profile, advertisements, standing
+    /// queries, queued deliveries and deferred answers at the source;
+    /// the packet travels the fabric as a [`MessageKind::Migrate`]
+    /// relay inside the exactly-once `(origin, seq)` envelope (so a
+    /// duplicated packet replays once and a dropped one is
+    /// retransmitted); `migrate-in` replays it at the target. The
+    /// entity's home-range record moves *before* the packet ships, so
+    /// deliveries produced while the packet is in flight relay toward
+    /// the new home instead of the abandoned one. Coordinator wall
+    /// time from packaging to replay is recorded in
+    /// `range.migrate.inflight_us`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::UnknownLocation`] for unknown ranges;
+    /// * [`SciError::UnknownEntity`] if the source range does not know
+    ///   the entity;
+    /// * [`SciError::RangeDown`] if either worker died;
+    /// * codec/replay failures from the target range.
+    pub fn migrate_entity(
+        &mut self,
+        entity: Guid,
+        from: &str,
+        to: &str,
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        let src = self
+            .fabric
+            .find_by_name(from)
+            .ok_or_else(|| SciError::UnknownLocation(from.to_owned()))?;
+        let dst = self
+            .fabric
+            .find_by_name(to)
+            .ok_or_else(|| SciError::UnknownLocation(to.to_owned()))?;
+        if src == dst {
+            return Ok(());
+        }
+        let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
+        let reply = self
+            .workers
+            .get_mut(&src)
+            .ok_or_else(|| SciError::Internal(format!("node {src} has no runtime")))?
+            .call(RangeCommand::MigrateOut(entity), now)?;
+        let RangeReply::Migrated(xml) = reply else {
+            return Err(SciError::Internal(format!(
+                "migrate-out expected `migrated` reply, got `{}`",
+                reply.kind()
+            )));
+        };
+        // Re-home before the send: anything the mover's subscriptions
+        // produce while the packet is in flight must chase the new
+        // home, not pile up at the abandoned one.
+        self.app_home.insert(entity, dst);
+        let seq = self.next_seq(src);
+        let payload = Element::new("migrate")
+            .with_attr("entity", entity.to_string())
+            .with_attr("origin", src.to_string())
+            .with_attr("seq", seq.to_string())
+            .with_child(parse(&xml)?)
+            .to_xml();
+        let msg = Message::new(
+            self.ids.next_guid(),
+            src,
+            dst,
+            MessageKind::Migrate,
+            Bytes::from(payload.into_bytes()),
+        );
+        self.migrate_started.insert((src, seq), started);
+        self.send_reliable(msg, now)
     }
 
     /// Builds the degraded answer for a query whose target range could
@@ -1856,6 +1991,32 @@ impl<T: Transport> ParallelFederation<T> {
                     .parse()?;
                 let decoded = answer_from_element(doc.require_child("answer")?)?;
                 self.answers.entry(app).or_default().push((q, decoded));
+            }
+            MessageKind::Migrate => {
+                let doc = parse(
+                    std::str::from_utf8(&m.payload)
+                        .map_err(|_| SciError::Codec("migration relay not UTF-8".into()))?,
+                )?;
+                if doc.name != "migrate" {
+                    return Ok(());
+                }
+                let Some(envelope) = relay_envelope(&doc)? else {
+                    return Ok(());
+                };
+                if !self.seen_relays.insert(envelope) {
+                    self.metrics.relay_dedup_hits.inc();
+                    return Ok(());
+                }
+                if let Some(started) = self.migrate_started.remove(&envelope) {
+                    self.metrics.migrate_inflight.record(elapsed_us(started));
+                }
+                let packet = MigrationPacket::from_element(doc.require_child("migration")?)?;
+                if let Some(worker) = self.workers.get_mut(&m.dst) {
+                    // `call`, not `cast`: a shedding mailbox may drop
+                    // pipelined casts, and a migration packet must
+                    // never be shed — the entity would vanish mid-move.
+                    worker.call(RangeCommand::MigrateIn(Box::new(packet)), arrival)?;
+                }
             }
             _ => {}
         }

@@ -28,6 +28,10 @@
 //! | `resolver.plan.rejected` | counter | plans refused by the verification gate |
 //! | `range.stale_drops` | counter | in-range deliveries dropped as stale |
 //! | `range.app.deliveries` | counter | deliveries handed to applications |
+//! | `range.deregister.unknown` | counter | deregisters whose target had no profile (or no registration at all) |
+//! | `range.migrate.out` | counter | entities packaged and handed off to another range |
+//! | `range.migrate.in` | counter | migration packets replayed into this range |
+//! | `range.migrate.inflight_us` | histogram | coordinator wall time between packaging and replay of one migration |
 //! | `range.mailbox.depth` | gauge | commands enqueued, not yet executed |
 //! | `range.mailbox.highwater` | gauge | deepest mailbox observed since spawn (backpressure watermark) |
 //! | `range.mailbox.shed` | counter | casts dropped by a full `Shed`-policy mailbox |
@@ -77,6 +81,9 @@ pub(crate) struct CsMetrics {
     plan_rejected: Counter,
     stale_drops: Counter,
     app_deliveries: Counter,
+    deregister_unknown: Counter,
+    migrate_out: Counter,
+    migrate_in: Counter,
 }
 
 impl CsMetrics {
@@ -104,6 +111,9 @@ impl CsMetrics {
             plan_rejected: registry.counter("resolver.plan.rejected"),
             stale_drops: registry.counter("range.stale_drops"),
             app_deliveries: registry.counter("range.app.deliveries"),
+            deregister_unknown: registry.counter("range.deregister.unknown"),
+            migrate_out: registry.counter("range.migrate.out"),
+            migrate_in: registry.counter("range.migrate.in"),
             tracer: Tracer::noop(),
             registry,
         }
@@ -159,6 +169,25 @@ impl CsMetrics {
     pub(crate) fn record_app_delivery(&self) {
         self.app_deliveries.inc();
     }
+
+    /// Records a deregister whose target had no profile to remove (or
+    /// was entirely unknown to the registrar).
+    #[inline]
+    pub(crate) fn record_deregister_unknown(&self) {
+        self.deregister_unknown.inc();
+    }
+
+    /// Records an entity packaged and shipped out of this range.
+    #[inline]
+    pub(crate) fn record_migrate_out(&self) {
+        self.migrate_out.inc();
+    }
+
+    /// Records a migration packet replayed into this range.
+    #[inline]
+    pub(crate) fn record_migrate_in(&self) {
+        self.migrate_in.inc();
+    }
 }
 
 /// The coordinator-side instruments of a federation driver.
@@ -179,6 +208,7 @@ pub(crate) struct FedMetrics {
     pub(crate) stream_events: Counter,
     pub(crate) stream_answers: Counter,
     pub(crate) stream_pump_us: Histogram,
+    pub(crate) migrate_inflight: Histogram,
 }
 
 impl FedMetrics {
@@ -200,6 +230,7 @@ impl FedMetrics {
             stream_events: registry.counter("federation.stream.events"),
             stream_answers: registry.counter("federation.stream.answers"),
             stream_pump_us: registry.histogram("federation.stream.pump_us"),
+            migrate_inflight: registry.histogram("range.migrate.inflight_us"),
             registry,
         }
     }

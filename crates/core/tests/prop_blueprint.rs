@@ -228,13 +228,14 @@ fn blueprint_model_matches_the_live_recorder() {
     rt.shutdown();
 
     let model = blueprint_model();
-    // (register-logic needs a LogicFactory; it is recorded but not
-    // driven here — drop it from the modelled set for the comparison.)
+    // (register-logic needs a LogicFactory and migrate-in a packaged
+    // peer range; both are recorded but not driven here — drop them
+    // from the modelled set for the comparison.)
     let modelled: BTreeSet<&str> = model
         .iter()
         .filter(|b| b.recorded)
         .map(|b| b.kind.as_str())
-        .filter(|k| *k != "register-logic")
+        .filter(|k| *k != "register-logic" && *k != "migrate-in")
         .collect();
     assert_eq!(
         live, modelled,

@@ -26,9 +26,9 @@
 //! [`crate::bus::EventBus`] (`T = ()`) and the threaded runtime
 //! (`T = Sender<ContextEvent>`) share one implementation.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use sci_types::{ContextEvent, ContextType, Guid, SciError, SciResult};
+use sci_types::{ContextEvent, ContextType, Guid, SciError, SciResult, ShardMap};
 
 use crate::bus::SubId;
 use crate::topic::Topic;
@@ -98,11 +98,14 @@ pub struct TopicIndex<T> {
     /// All live entries, ordered by id — doubles as the `SubId → slot`
     /// map that makes `unsubscribe`/`is_live`/`topic_of` O(log n).
     entries: BTreeMap<SubId, IndexedEntry<T>>,
-    by_type: HashMap<ContextType, Vec<SubId>>,
-    by_source: HashMap<Guid, Vec<SubId>>,
-    by_subject: HashMap<Guid, Vec<SubId>>,
+    /// Candidate lists, sharded by entity GUID (and by type for the
+    /// type family) so a city-scale Range's subscription tables never
+    /// live in one giant `HashMap` with stop-the-world rehashes.
+    by_type: ShardMap<ContextType, Vec<SubId>>,
+    by_source: ShardMap<Guid, Vec<SubId>>,
+    by_subject: ShardMap<Guid, Vec<SubId>>,
     wildcard: Vec<SubId>,
-    by_subscriber: HashMap<Guid, Vec<SubId>>,
+    by_subscriber: ShardMap<Guid, Vec<SubId>>,
     next_id: u64,
 }
 
@@ -110,11 +113,11 @@ impl<T> Default for TopicIndex<T> {
     fn default() -> Self {
         TopicIndex {
             entries: BTreeMap::new(),
-            by_type: HashMap::new(),
-            by_source: HashMap::new(),
-            by_subject: HashMap::new(),
+            by_type: ShardMap::new(),
+            by_source: ShardMap::new(),
+            by_subject: ShardMap::new(),
             wildcard: Vec::new(),
-            by_subscriber: HashMap::new(),
+            by_subscriber: ShardMap::new(),
             next_id: 0,
         }
     }
@@ -132,12 +135,23 @@ impl<T> TopicIndex<T> {
         self.next_id += 1;
         let key = IndexKey::for_topic(&topic);
         match &key {
-            IndexKey::Source(source) => self.by_source.entry(*source).or_default().push(id),
-            IndexKey::Subject(subject) => self.by_subject.entry(*subject).or_default().push(id),
-            IndexKey::Type(ty) => self.by_type.entry(ty.clone()).or_default().push(id),
+            IndexKey::Source(source) => self
+                .by_source
+                .get_or_insert_with(*source, Vec::new)
+                .push(id),
+            IndexKey::Subject(subject) => self
+                .by_subject
+                .get_or_insert_with(*subject, Vec::new)
+                .push(id),
+            IndexKey::Type(ty) => self
+                .by_type
+                .get_or_insert_with(ty.clone(), Vec::new)
+                .push(id),
             IndexKey::Wildcard => self.wildcard.push(id),
         }
-        self.by_subscriber.entry(subscriber).or_default().push(id);
+        self.by_subscriber
+            .get_or_insert_with(subscriber, Vec::new)
+            .push(id);
         self.entries.insert(
             id,
             IndexedEntry {

@@ -47,11 +47,13 @@ pub enum MessageKind {
     FindNodeReply,
     /// A context event streamed to a remote subscriber range.
     EventRelay,
+    /// An entity's packaged state moving to a new home range.
+    Migrate,
 }
 
 impl MessageKind {
     /// All message kinds.
-    pub const ALL: [MessageKind; 8] = [
+    pub const ALL: [MessageKind; 9] = [
         MessageKind::QueryForward,
         MessageKind::QueryResponse,
         MessageKind::RangeAdvert,
@@ -60,6 +62,7 @@ impl MessageKind {
         MessageKind::FindNode,
         MessageKind::FindNodeReply,
         MessageKind::EventRelay,
+        MessageKind::Migrate,
     ];
 
     fn to_wire(self) -> u8 {
@@ -72,6 +75,7 @@ impl MessageKind {
             MessageKind::FindNode => 5,
             MessageKind::FindNodeReply => 6,
             MessageKind::EventRelay => 7,
+            MessageKind::Migrate => 8,
         }
     }
 

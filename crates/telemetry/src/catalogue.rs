@@ -39,9 +39,13 @@ pub const METRICS: &[&str] = &[
     "net.recoveries",
     "range.app.deliveries",
     "range.call.wait_us",
+    "range.deregister.unknown",
     "range.mailbox.depth",
     "range.mailbox.highwater",
     "range.mailbox.shed",
+    "range.migrate.in",
+    "range.migrate.inflight_us",
+    "range.migrate.out",
     "range.panics",
     "range.restart.replay_errors",
     "range.restarts",

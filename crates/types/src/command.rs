@@ -105,6 +105,9 @@ pub enum RangeReply {
     Answers(Vec<DeferredAnswer>),
     /// `Audit`: the fleet drift report.
     Report(AnalysisReport),
+    /// `MigrateOut`: the departing entity's packaged state, serialised
+    /// with the workspace XML conventions so it can cross the overlay.
+    Migrated(String),
 }
 
 impl RangeReply {
@@ -120,6 +123,7 @@ impl RangeReply {
             RangeReply::Deliveries(_) => "deliveries",
             RangeReply::Answers(_) => "answers",
             RangeReply::Report(_) => "report",
+            RangeReply::Migrated(_) => "migrated",
         }
     }
 }
@@ -139,6 +143,7 @@ mod tests {
             RangeReply::Deliveries(Vec::new()).kind(),
             RangeReply::Answers(Vec::new()).kind(),
             RangeReply::Report(AnalysisReport::new()).kind(),
+            RangeReply::Migrated(String::new()).kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();

@@ -84,6 +84,10 @@ pub enum DiagCode {
     /// the `(origin, seq)` dedup envelope — retransmission would
     /// duplicate deliveries.
     EnvelopeMissing,
+    /// `SCI-A206`: the federation accepts `migrate-in` commands but its
+    /// migration message class is missing, unenveloped or unretried —
+    /// a mid-move entity could lose or double its packaged state.
+    MigrationUnenveloped,
     /// `SCI-A301`: a seeded (deterministic) code path calls a
     /// nondeterministic source (`Instant::now`, `SystemTime::now`,
     /// `thread_rng`, …) outside the telemetry allowlist.
@@ -113,6 +117,7 @@ impl DiagCode {
             DiagCode::FreshnessInfeasible => "SCI-A203",
             DiagCode::BlueprintLeak => "SCI-A204",
             DiagCode::EnvelopeMissing => "SCI-A205",
+            DiagCode::MigrationUnenveloped => "SCI-A206",
             DiagCode::NondeterministicCall => "SCI-A301",
             DiagCode::MetricNameDrift => "SCI-A302",
             DiagCode::CommandKindDrift => "SCI-A303",
@@ -133,6 +138,7 @@ impl DiagCode {
             | DiagCode::FreshnessInfeasible
             | DiagCode::BlueprintLeak
             | DiagCode::EnvelopeMissing
+            | DiagCode::MigrationUnenveloped
             | DiagCode::NondeterministicCall
             | DiagCode::MetricNameDrift
             | DiagCode::CommandKindDrift => Severity::Error,
@@ -306,6 +312,7 @@ mod tests {
             DiagCode::FreshnessInfeasible,
             DiagCode::BlueprintLeak,
             DiagCode::EnvelopeMissing,
+            DiagCode::MigrationUnenveloped,
             DiagCode::NondeterministicCall,
             DiagCode::MetricNameDrift,
             DiagCode::CommandKindDrift,

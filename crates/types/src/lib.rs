@@ -50,6 +50,7 @@ pub mod guid;
 pub mod metadata;
 pub mod profile;
 pub mod protocol;
+pub mod shard;
 pub mod time;
 pub mod value;
 
@@ -66,5 +67,6 @@ pub use protocol::{
     BlueprintKindModel, FaultModel, FaultSchedule, FederationModel, FreshnessBound, LinkFaultModel,
     MessageClassModel, RangeModel, RetryModel, RouteClaim,
 };
+pub use shard::ShardMap;
 pub use time::{VirtualDuration, VirtualTime};
 pub use value::{ContextType, ContextValue, Coord};

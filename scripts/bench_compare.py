@@ -7,8 +7,9 @@ Usage:
 
 Each ``--compare`` pair names two bench JSON files produced by the same
 harness (``BENCH_dispatch.json`` from e9, ``BENCH_federation.json`` from
-e10). Rows are matched by their identity keys and every latency metric
-is reported as a ratio ``current / baseline``.
+e10, ``BENCH_mobility.json`` from e11). Rows are matched by their
+identity keys and every latency metric is reported as a ratio
+``current / baseline``.
 
 Only the **gated** metrics fail the run. A metric's gate value in
 ``SCHEMAS`` is ``False`` (informational), ``True`` (gated at the global
@@ -19,11 +20,13 @@ metrics, where a regression is a *drop*: the run fails when
 ``current/baseline < 1/limit`` instead of ``> limit``. Gated today:
 the indexed-dispatch latency of e9 (``indexed_us`` at the global
 threshold), the federation phase timings of e10 (``barrier_us`` /
-``relay_us`` at 3.0x — noisier multi-thread paths get the wider band)
-and e10's streaming throughput (``sustained_kevents_s``,
-direction-aware at 3.0x). Everything else — the linear oracle,
-resolver plans, serial sweeps — is informational: those rows track an
-unpinned-machine trajectory and a hard gate on them would flake.
+``relay_us`` at 3.0x — noisier multi-thread paths get the wider band),
+e10's streaming throughput (``sustained_kevents_s``, direction-aware
+at 3.0x), and e11's mobility row (``handoff_p99_us`` at 3.0x plus its
+own direction-aware ``sustained_kevents_s``). Everything else — the
+linear oracle, resolver plans, serial sweeps, footprint figures — is
+informational: those rows track an unpinned-machine trajectory and a
+hard gate on them would flake.
 
 Exit status: 0 when no gated metric regressed, 1 otherwise, 2 on bad
 input. A markdown report is always written when ``--report`` is given
@@ -59,11 +62,29 @@ SCHEMAS = {
             "stream_us": False,
             "cast_us": False,
             "pump_us": False,
+            # Backpressure watermark: diagnostic for cast_us spikes
+            # (see EXPERIMENTS.md §E10), never a gate.
+            "mailbox_highwater": False,
             "barrier_us": 3.0,  # multi-thread sync: wider band
             "relay_us": 3.0,  # cross-range relay: wider band
             # Streaming throughput: a regression is a *drop*, so the
             # gate is direction-aware (fails when ratio < 1/3.0).
             "sustained_kevents_s": {"gate": 3.0, "higher_is_better": True},
+        },
+    },
+    "e11_mobility": {
+        "key": ("group", "ranges", "entities_per_range"),
+        "metrics": {
+            "handoff_p50_us": False,
+            # The tail of a complete entity handoff (package, relay,
+            # replay) is what city-scale mobility lives or dies on.
+            "handoff_p99_us": 3.0,
+            # Ingest throughput while the churn is running — gated
+            # direction-aware like e10's streaming rate.
+            "sustained_kevents_s": {"gate": 3.0, "higher_is_better": True},
+            # RSS-derived and allocator-dependent: informational.
+            "bytes_per_entity": False,
+            "deliveries": False,
         },
     },
 }

@@ -361,6 +361,55 @@ fn shed_mailbox_drops_are_accounted_not_deadlocks() {
 }
 
 #[test]
+fn shed_batches_are_accounted_whole_not_as_one() {
+    let mut ids = GuidGenerator::seeded(71);
+    let mut fed = ParallelFederation::new(3).with_mailbox_policy(MailboxPolicy::Shed(1));
+    let (cs, sensor) = server(0, &mut ids);
+    fed.add_range(cs).unwrap();
+    fed.connect_full();
+
+    let app = ids.next_guid();
+    let q = Query::builder(ids.next_guid(), app)
+        .info(ContextType::Presence)
+        .mode(Mode::Subscribe)
+        .build();
+    fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
+
+    // A big batch occupies the worker, then a stream of whole batches
+    // overruns the one-slot mailbox. A shed batch loses *all* its
+    // events, so delivered + shed == sent only holds if the shed
+    // counter is weighted by batch length, not bumped once per drop.
+    const BIG: u64 = 4_000;
+    const MINI: u64 = 100;
+    const MINIS: u64 = 10;
+    let big: Vec<ContextEvent> = (0..BIG)
+        .map(|k| presence(sensor, u128::from(k), VirtualTime::from_millis(k + 1)))
+        .collect();
+    fed.ingest_batch_at("range-0", &big, VirtualTime::from_millis(BIG))
+        .unwrap();
+    for b in 0..MINIS {
+        let t = VirtualTime::from_millis(BIG + b + 1);
+        let mini: Vec<ContextEvent> = (0..MINI)
+            .map(|k| presence(sensor, u128::from(BIG + b * MINI + k), t))
+            .collect();
+        fed.ingest_batch_at("range-0", &mini, t).unwrap();
+    }
+    fed.sync(VirtualTime::from_millis(BIG + MINIS)).unwrap();
+
+    let delivered = fed.deliveries_for(app).len() as u64;
+    let shed = fed.snapshot().counter("range.mailbox.shed");
+    assert_eq!(
+        delivered + shed,
+        BIG + MINIS * MINI,
+        "every event is either delivered or an accounted drop, \
+         even when whole batches are shed"
+    );
+    assert_eq!(shed % MINI, 0, "sheds happen in whole batches of {MINI}");
+    assert!(shed >= MINI, "the stream must overrun a one-slot mailbox");
+    fed.shutdown();
+}
+
+#[test]
 fn unknown_app_homing_is_counted_not_silent() {
     let mut ids = GuidGenerator::seeded(71);
     let mut fed = ParallelFederation::new(3);
