@@ -1,0 +1,22 @@
+//! Seeded-violation fixture for SCI-A304: a durability-codec mirror
+//! whose `TAGS` table drifted from `RangeCommand::KINDS` — two entries
+//! swapped (an on-disk format break: every frame written with either
+//! tag now decodes as the other command) and the table one entry
+//! short. The `lint_fixtures` integration test asserts sci-lint
+//! rejects it. The `KINDS` side of the comparison is taken from this
+//! same file so the fixture is self-contained.
+
+impl RangeCommand {
+    pub const KINDS: [&'static str; 4] = [
+        "register",
+        "heartbeat",
+        "ingest",
+        "audit",
+    ];
+}
+
+pub const TAGS: [&str; 3] = [
+    "register",
+    "ingest",     // swapped with heartbeat — tag 1 now decodes the wrong command
+    "heartbeat",
+];

@@ -33,8 +33,9 @@ use sci_location::floorplan::FloorPlan;
 use sci_query::{Mode, Query, What, When, Where, Which};
 use sci_types::guid::GuidGenerator;
 use sci_types::{
-    Advertisement, AnalysisReport, ContextEvent, ContextType, ContextValue, DiagCode, Diagnostic,
-    EntityDescriptor, EntityKind, Guid, Profile, SciError, SciResult, VirtualDuration, VirtualTime,
+    Advertisement, AnalysisReport, ContextEvent, ContextType, ContextValue, Coord, DiagCode,
+    Diagnostic, EntityDescriptor, EntityKind, Guid, Profile, SciError, SciResult, VirtualDuration,
+    VirtualTime,
 };
 
 use sci_analysis::fleet::{diff_subscriptions, SubscriptionRecord};
@@ -91,6 +92,20 @@ pub struct ContextServer {
     verify_plans: bool,
     rejected_plans: u64,
     metrics: CsMetrics,
+    /// Durable write-ahead log, when this range is durability-enabled
+    /// (see [`crate::durability`]). `handle` takes it out for the span
+    /// of a command so appends and snapshots can borrow the server.
+    wal: Option<crate::durability::RangeWal>,
+    /// Next relay-stream envelope sequence for application deliveries,
+    /// minted on the worker as traffic leaves the range. Durable state:
+    /// it is snapshotted together with the outbox, so a recovered range
+    /// re-streams regenerated deliveries under the *same* `(origin,
+    /// seq)` envelopes and the federation's exactly-once filter dedups
+    /// redelivery.
+    stream_delivery_seq: u64,
+    /// Next relay-stream envelope sequence for deferred answers (same
+    /// contract as `stream_delivery_seq`, separate namespace).
+    stream_answer_seq: u64,
 }
 
 impl std::fmt::Debug for ContextServer {
@@ -152,6 +167,9 @@ impl ContextServer {
             verify_plans: true,
             rejected_plans: 0,
             metrics,
+            wal: None,
+            stream_delivery_seq: 0,
+            stream_answer_seq: 0,
         }
     }
 
@@ -1275,6 +1293,149 @@ impl ContextServer {
     pub(crate) fn mark_failed(&mut self, ce: Guid) {
         self.excluded.insert(ce);
         self.mediator.untrack_publisher(ce);
+    }
+
+    // ------------------------------------------------------------------
+    // Durability surface (crate::durability, crate::runtime)
+    // ------------------------------------------------------------------
+
+    /// Whether a write-ahead log is attached to this range.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    pub(crate) fn take_wal(&mut self) -> Option<crate::durability::RangeWal> {
+        self.wal.take()
+    }
+
+    pub(crate) fn put_wal(&mut self, wal: Option<crate::durability::RangeWal>) {
+        self.wal = wal;
+    }
+
+    /// Flushes and fsyncs any buffered write-ahead-log appends — the
+    /// graceful-shutdown companion to the deferred
+    /// [`FsyncPolicy`](sci_wal::FsyncPolicy) modes (`EveryN`, `Never`),
+    /// which otherwise leave a sync-window of appends vulnerable to a
+    /// host crash. A no-op without an attached log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush/fsync failure.
+    pub fn sync_wal(&mut self) -> SciResult<()> {
+        match &mut self.wal {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Mints the next delivery-stream envelope sequence.
+    pub(crate) fn next_stream_delivery_seq(&mut self) -> u64 {
+        let seq = self.stream_delivery_seq;
+        self.stream_delivery_seq += 1;
+        seq
+    }
+
+    /// Mints the next answer-stream envelope sequence.
+    pub(crate) fn next_stream_answer_seq(&mut self) -> u64 {
+        let seq = self.stream_answer_seq;
+        self.stream_answer_seq += 1;
+        seq
+    }
+
+    /// The stream sequence counters `(delivery, answer)` — the next
+    /// values each mint would return.
+    pub(crate) fn stream_seqs(&self) -> (u64, u64) {
+        (self.stream_delivery_seq, self.stream_answer_seq)
+    }
+
+    /// Fast-forwards the stream sequence counters to at least the given
+    /// values (never rewinds): snapshot restore and supervised restarts
+    /// both use this so a rebuilt server cannot re-mint envelope seqs
+    /// the federation has already recorded for *different* traffic.
+    pub(crate) fn bump_stream_seqs(&mut self, delivery: u64, answer: u64) {
+        self.stream_delivery_seq = self.stream_delivery_seq.max(delivery);
+        self.stream_answer_seq = self.stream_answer_seq.max(answer);
+    }
+
+    pub(crate) fn origin_queries(&self) -> &HashMap<Guid, Query> {
+        &self.origin_queries
+    }
+
+    /// Stored deferred queries with their submission instants, in store
+    /// order.
+    pub(crate) fn deferred_entries(&self) -> Vec<(Query, VirtualTime)> {
+        self.deferred
+            .iter()
+            .map(|d| (d.query.clone(), d.stored_at))
+            .collect()
+    }
+
+    pub(crate) fn advertisements_all(&self) -> &HashMap<Guid, Vec<Advertisement>> {
+        &self.advertisements
+    }
+
+    /// GUIDs of every CE class with a registered logic factory, sorted.
+    pub(crate) fn logic_keys(&self) -> Vec<Guid> {
+        let mut keys: Vec<Guid> = self.factories.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    pub(crate) fn auto_register_people(&self) -> bool {
+        self.auto_register_people
+    }
+
+    pub(crate) fn outbox_ref(&self) -> &[AppDelivery] {
+        &self.outbox
+    }
+
+    pub(crate) fn answers_ref(&self) -> &[(Guid, Guid, QueryAnswer)] {
+        &self.answers
+    }
+
+    /// Re-instantiates a snapshot-restored *standing* query, bypassing
+    /// the deferral gate: a standing query with a non-`Immediate`
+    /// trigger already fired before the snapshot was written, so
+    /// re-submission through [`RangeCommand::Submit`] would wrongly
+    /// re-arm its timer and park it as deferred again.
+    pub(crate) fn restore_standing_query(
+        &mut self,
+        query: &Query,
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        self.execute_query(query, now).map(drop)
+    }
+
+    /// Re-queues snapshot-restored deliveries and deferred answers.
+    pub(crate) fn restore_transients(
+        &mut self,
+        deliveries: Vec<AppDelivery>,
+        answers: Vec<(Guid, Guid, QueryAnswer)>,
+    ) {
+        self.outbox.extend(deliveries);
+        self.answers.extend(answers);
+    }
+
+    /// Re-marks snapshot-restored failure exclusions. Must run *after*
+    /// profile restoration: `register` clears an entity's exclusion.
+    pub(crate) fn restore_excluded(&mut self, excluded: impl IntoIterator<Item = Guid>) {
+        self.excluded.extend(excluded);
+    }
+
+    /// Re-records snapshot-restored history events, in export order.
+    pub(crate) fn restore_history(&mut self, events: &[ContextEvent]) {
+        for event in events {
+            self.history.record(event);
+        }
+    }
+
+    /// Re-seeds snapshot-restored entity positions. Must run *after*
+    /// profile restoration so `register`'s own position seeding (when
+    /// the profile carries one) is overwritten by the last known fix.
+    pub(crate) fn restore_positions(&mut self, positions: impl IntoIterator<Item = (Guid, Coord)>) {
+        for (entity, at) in positions {
+            self.location.set_position(entity, at);
+        }
     }
 
     /// The configuration of a live query, if any.

@@ -1,0 +1,1087 @@
+//! Durable ranges: a write-ahead command log plus snapshot recovery.
+//!
+//! The paper's Context Server is "the most important component of a
+//! Range" (Section 3.1) — and the seed middleware kept all of its state
+//! in memory, so a process crash erased a range's registrations,
+//! standing subscriptions and undrained deliveries. This module makes a
+//! range *durable* by exploiting the actor discipline the runtime
+//! already enforces: every mutation is a [`RangeCommand`] through
+//! [`ContextServer::handle`], so logging the command stream is logging
+//! the full state history.
+//!
+//! # Design
+//!
+//! * **Append-before-apply.** `handle` encodes each durable command
+//!   into a CRC-framed binary record ([`encode_command`]) and appends
+//!   it to a [`sci_wal::SegmentLog`] *before* executing it. Commands
+//!   that subsequently fail are logged anyway: replay re-runs them and
+//!   they fail identically, which keeps recovery deterministic without
+//!   the log having to know outcomes.
+//! * **Drains are not durable.** `drain-outbox`, `drain-outbox-for`,
+//!   `drain-answers` and `audit` mutate no durable state worth
+//!   reconstructing — and *not* logging drains is what makes recovery
+//!   safe: a crash after a drain but before its items reached anyone
+//!   would otherwise discard them permanently. Replay regenerates the
+//!   undrained outbox; direct callers see at-least-once redelivery, and
+//!   the federation dedups to exactly-once via stream sequences (see
+//!   below).
+//! * **Snapshots bound replay.** Every [`DurabilityConfig::snapshot_every`]
+//!   logged commands, the post-command state is serialised to a
+//!   `<range-snapshot>` document (the same `Element` conventions as
+//!   [`crate::migration::MigrationPacket`]) and written atomically via
+//!   [`sci_wal::write_snapshot`]; fully covered closed segments and
+//!   older snapshots are pruned.
+//! * **Exactly-once across restarts.** Stream envelope sequences are
+//!   durable counters on the server (snapshotted, never rewound), so a
+//!   recovered range re-streams regenerated deliveries under the *same*
+//!   `(origin, seq)` envelopes the federation may already have seen —
+//!   receiver-side dedup then collapses redelivery to exactly-once.
+//!
+//! # What is deliberately not durable
+//!
+//! Logic *instance* GUIDs (minted by the server's deterministic
+//! generator, but consumed in timeline order) and derived-event
+//! sequence numbers can differ between an uninterrupted run and a
+//! recovered one, because snapshot restore re-resolves configurations
+//! the way migration replay does. [`durable_digest`] therefore
+//! normalises events whose source is not a registered profile. Signal-
+//! reading buffers (30 s TTL trilateration scratch) and telemetry
+//! counters are likewise transient — though a recovered server reuses
+//! the registry handed to [`recover`], preserving counter continuity.
+//!
+//! The crash-safety contract is proven by the kill-at-any-prefix
+//! property suite in `tests/durability_recovery.rs`: truncating the
+//! log at *any* byte prefix recovers exactly the state of the longest
+//! intact command prefix (plus a reported torn tail).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sci_location::floorplan::FloorPlan;
+use sci_query::codec as qcodec;
+use sci_query::xml::{parse, Element};
+use sci_query::Query;
+use sci_telemetry::{Counter, Gauge, Histogram, Registry};
+use sci_types::{
+    AppDelivery, ContextEvent, ContextType, ContextValue, Coord, EventSeq, Guid, SciError,
+    SciResult, VirtualTime,
+};
+use sci_wal::codec::wire;
+use sci_wal::{
+    prune_snapshots, read_latest_snapshot, CodecError, Frame, FsyncPolicy, SegmentLog, WalError,
+};
+
+use crate::context_server::ContextServer;
+use crate::federation::{answer_element, answer_from_element, answer_to_xml};
+use crate::logic::LogicFactory;
+use crate::migration::MigrationPacket;
+use crate::runtime::RangeCommand;
+use crate::telemetry::elapsed_us;
+
+/// Frame tag registry: the wire name of every [`RangeCommand`] kind, in
+/// [`RangeCommand::KINDS`] order. A record's frame tag is its index in
+/// this table, so the table *is* the on-disk (and future on-wire)
+/// format: entries must never be reordered or removed, only appended.
+/// The `SCI-A304` source lint cross-checks this table against
+/// `RangeCommand::KINDS` so the two cannot drift apart silently.
+pub const TAGS: [&str; 21] = [
+    "register",
+    "register-logic",
+    "declare-equivalence",
+    "heartbeat",
+    "advertise",
+    "deregister",
+    "submit",
+    "cancel",
+    "ingest",
+    "ingest-batch",
+    "poll-timers",
+    "expire-history",
+    "drain-outbox",
+    "drain-outbox-for",
+    "drain-answers",
+    "set-reuse",
+    "set-auto-register-people",
+    "set-plan-verification",
+    "audit",
+    "migrate-out",
+    "migrate-in",
+];
+
+/// Whether a command belongs in the write-ahead log.
+///
+/// Drain commands and the read-only audit are excluded: they carry no
+/// durable state, and logging drains would make replay believe queued
+/// items had safely left the range when the crash may have eaten them
+/// in transit (see the module docs).
+pub fn is_durable(cmd: &RangeCommand) -> bool {
+    !matches!(
+        cmd,
+        RangeCommand::DrainOutbox
+            | RangeCommand::DrainOutboxFor(_)
+            | RangeCommand::DrainAnswers
+            | RangeCommand::Audit
+    )
+}
+
+fn wal_err(e: WalError) -> SciError {
+    SciError::Internal(format!("wal: {e}"))
+}
+
+fn frame_err(e: CodecError) -> SciError {
+    SciError::Codec(format!("wal frame payload: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Binary value / event codec
+// ---------------------------------------------------------------------
+//
+// Events are the hot path (ingest dominates a range's command volume),
+// so they get a compact binary form instead of XML. Value tags are part
+// of the on-disk format: append-only, like `TAGS`.
+
+fn put_value(out: &mut Vec<u8>, v: &ContextValue) {
+    match v {
+        ContextValue::Empty => wire::put_u8(out, 0),
+        ContextValue::Bool(b) => {
+            wire::put_u8(out, 1);
+            wire::put_u8(out, u8::from(*b));
+        }
+        ContextValue::Int(i) => {
+            wire::put_u8(out, 2);
+            wire::put_u64(out, *i as u64);
+        }
+        ContextValue::Float(f) => {
+            wire::put_u8(out, 3);
+            wire::put_u64(out, f.to_bits());
+        }
+        ContextValue::Text(s) => {
+            wire::put_u8(out, 4);
+            wire::put_str(out, s);
+        }
+        ContextValue::Id(g) => {
+            wire::put_u8(out, 5);
+            wire::put_u128(out, g.as_u128());
+        }
+        ContextValue::Coord(c) => {
+            wire::put_u8(out, 6);
+            wire::put_u64(out, c.x.to_bits());
+            wire::put_u64(out, c.y.to_bits());
+        }
+        ContextValue::Place(s) => {
+            wire::put_u8(out, 7);
+            wire::put_str(out, s);
+        }
+        ContextValue::Time(t) => {
+            wire::put_u8(out, 8);
+            wire::put_u64(out, t.as_micros());
+        }
+        ContextValue::List(items) => {
+            wire::put_u8(out, 9);
+            wire::put_u32(out, items.len() as u32);
+            for item in items {
+                put_value(out, item);
+            }
+        }
+        ContextValue::Record(fields) => {
+            wire::put_u8(out, 10);
+            wire::put_u32(out, fields.len() as u32);
+            for (key, value) in fields {
+                wire::put_str(out, key);
+                put_value(out, value);
+            }
+        }
+    }
+}
+
+fn get_value(r: &mut wire::Reader<'_>) -> SciResult<ContextValue> {
+    let tag = r.u8().map_err(frame_err)?;
+    Ok(match tag {
+        0 => ContextValue::Empty,
+        1 => ContextValue::Bool(r.u8().map_err(frame_err)? != 0),
+        2 => ContextValue::Int(r.u64().map_err(frame_err)? as i64),
+        3 => ContextValue::Float(f64::from_bits(r.u64().map_err(frame_err)?)),
+        4 => ContextValue::Text(r.str().map_err(frame_err)?.to_owned()),
+        5 => ContextValue::Id(Guid::from_u128(r.u128().map_err(frame_err)?)),
+        6 => ContextValue::Coord(Coord::new(
+            f64::from_bits(r.u64().map_err(frame_err)?),
+            f64::from_bits(r.u64().map_err(frame_err)?),
+        )),
+        7 => ContextValue::Place(r.str().map_err(frame_err)?.to_owned()),
+        8 => ContextValue::Time(VirtualTime::from_micros(r.u64().map_err(frame_err)?)),
+        9 => {
+            let n = r.u32().map_err(frame_err)?;
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                items.push(get_value(r)?);
+            }
+            ContextValue::List(items)
+        }
+        10 => {
+            let n = r.u32().map_err(frame_err)?;
+            let mut fields = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let key = r.str().map_err(frame_err)?.to_owned();
+                fields.push((key, get_value(r)?));
+            }
+            ContextValue::Record(fields)
+        }
+        other => return Err(SciError::Codec(format!("unknown value tag {other}"))),
+    })
+}
+
+fn put_event(out: &mut Vec<u8>, ev: &ContextEvent) {
+    wire::put_u128(out, ev.source.as_u128());
+    wire::put_str(out, ev.topic.name());
+    wire::put_u64(out, ev.timestamp.as_micros());
+    wire::put_u64(out, ev.seq.0);
+    put_value(out, &ev.payload);
+}
+
+fn get_event(r: &mut wire::Reader<'_>) -> SciResult<ContextEvent> {
+    let source = Guid::from_u128(r.u128().map_err(frame_err)?);
+    let topic = ContextType::from_name(r.str().map_err(frame_err)?);
+    let timestamp = VirtualTime::from_micros(r.u64().map_err(frame_err)?);
+    let seq = EventSeq(r.u64().map_err(frame_err)?);
+    let payload = get_value(r)?;
+    Ok(ContextEvent::new(source, topic, payload, timestamp).with_seq(seq))
+}
+
+// ---------------------------------------------------------------------
+// Command <-> frame codec
+// ---------------------------------------------------------------------
+
+/// Encodes one durable command as a WAL frame: tag =
+/// [`RangeCommand::kind_index`], payload = `[u64 now-us]` followed by
+/// the variant body. Structured bodies (profiles, advertisements,
+/// queries, migration packets) reuse the existing XML wire codecs;
+/// GUIDs, flags and events are binary.
+pub fn encode_command(cmd: &RangeCommand, now: VirtualTime) -> Frame {
+    let mut p = Vec::new();
+    wire::put_u64(&mut p, now.as_micros());
+    match cmd {
+        RangeCommand::Register(profile) => {
+            wire::put_str(&mut p, &qcodec::profile_to_element(profile).to_xml());
+        }
+        RangeCommand::RegisterLogic(ce, _factory) => wire::put_u128(&mut p, ce.as_u128()),
+        RangeCommand::DeclareEquivalence(a, b) => {
+            wire::put_str(&mut p, a.name());
+            wire::put_str(&mut p, b.name());
+        }
+        RangeCommand::Heartbeat(g)
+        | RangeCommand::Deregister(g)
+        | RangeCommand::Cancel(g)
+        | RangeCommand::DrainOutboxFor(g)
+        | RangeCommand::MigrateOut(g) => wire::put_u128(&mut p, g.as_u128()),
+        RangeCommand::Advertise(ad) => {
+            wire::put_str(&mut p, &qcodec::advertisement_to_element(ad).to_xml());
+        }
+        RangeCommand::Submit(query) => wire::put_str(&mut p, &qcodec::to_xml(query)),
+        RangeCommand::Ingest(event) => put_event(&mut p, event),
+        RangeCommand::IngestBatch(events) => {
+            wire::put_u32(&mut p, events.len() as u32);
+            for event in events {
+                put_event(&mut p, event);
+            }
+        }
+        RangeCommand::PollTimers
+        | RangeCommand::ExpireHistory
+        | RangeCommand::DrainOutbox
+        | RangeCommand::DrainAnswers
+        | RangeCommand::Audit => {}
+        RangeCommand::SetReuse(b)
+        | RangeCommand::SetAutoRegisterPeople(b)
+        | RangeCommand::SetPlanVerification(b) => wire::put_u8(&mut p, u8::from(*b)),
+        RangeCommand::MigrateIn(packet) => wire::put_str(&mut p, &packet.to_xml()),
+    }
+    Frame::new(cmd.kind_index() as u8, p)
+}
+
+/// Decodes a WAL frame back into `(command, now)`.
+///
+/// Logic factories are closures and cannot live in a log;
+/// `register-logic` records store only the CE class GUID, and replay
+/// resolves it against `logic` — the same factories the embedding
+/// program registered the first time around.
+///
+/// # Errors
+///
+/// [`SciError::Codec`] for malformed payloads or unknown tags,
+/// [`SciError::Internal`] when a `register-logic` record has no
+/// matching resolver.
+pub fn decode_command(
+    frame: &Frame,
+    logic: &HashMap<Guid, LogicFactory>,
+) -> SciResult<(RangeCommand, VirtualTime)> {
+    let mut r = wire::Reader::new(&frame.payload);
+    let now = VirtualTime::from_micros(r.u64().map_err(frame_err)?);
+    let cmd = match frame.tag as usize {
+        0 => {
+            let xml = r.str().map_err(frame_err)?;
+            RangeCommand::Register(Box::new(qcodec::profile_from_element(&parse(xml)?)?))
+        }
+        1 => {
+            let ce = Guid::from_u128(r.u128().map_err(frame_err)?);
+            let factory = logic.get(&ce).cloned().ok_or_else(|| {
+                SciError::Internal(format!("no logic resolver for CE class {ce} during replay"))
+            })?;
+            RangeCommand::RegisterLogic(ce, factory)
+        }
+        2 => {
+            let a = ContextType::from_name(r.str().map_err(frame_err)?);
+            let b = ContextType::from_name(r.str().map_err(frame_err)?);
+            RangeCommand::DeclareEquivalence(a, b)
+        }
+        3 => RangeCommand::Heartbeat(Guid::from_u128(r.u128().map_err(frame_err)?)),
+        4 => {
+            let xml = r.str().map_err(frame_err)?;
+            RangeCommand::Advertise(Box::new(qcodec::advertisement_from_element(&parse(xml)?)?))
+        }
+        5 => RangeCommand::Deregister(Guid::from_u128(r.u128().map_err(frame_err)?)),
+        6 => RangeCommand::Submit(Box::new(qcodec::from_xml(r.str().map_err(frame_err)?)?)),
+        7 => RangeCommand::Cancel(Guid::from_u128(r.u128().map_err(frame_err)?)),
+        8 => RangeCommand::Ingest(get_event(&mut r)?),
+        9 => {
+            let n = r.u32().map_err(frame_err)?;
+            let mut events = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                events.push(get_event(&mut r)?);
+            }
+            RangeCommand::IngestBatch(events)
+        }
+        10 => RangeCommand::PollTimers,
+        11 => RangeCommand::ExpireHistory,
+        12 => RangeCommand::DrainOutbox,
+        13 => RangeCommand::DrainOutboxFor(Guid::from_u128(r.u128().map_err(frame_err)?)),
+        14 => RangeCommand::DrainAnswers,
+        15 => RangeCommand::SetReuse(r.u8().map_err(frame_err)? != 0),
+        16 => RangeCommand::SetAutoRegisterPeople(r.u8().map_err(frame_err)? != 0),
+        17 => RangeCommand::SetPlanVerification(r.u8().map_err(frame_err)? != 0),
+        18 => RangeCommand::Audit,
+        19 => RangeCommand::MigrateOut(Guid::from_u128(r.u128().map_err(frame_err)?)),
+        20 => RangeCommand::MigrateIn(Box::new(MigrationPacket::from_xml(
+            r.str().map_err(frame_err)?,
+        )?)),
+        other => {
+            return Err(SciError::Codec(format!(
+                "unknown command frame tag {other}"
+            )))
+        }
+    };
+    Ok((cmd, now))
+}
+
+// ---------------------------------------------------------------------
+// Configuration and metrics
+// ---------------------------------------------------------------------
+
+/// How a range's write-ahead log behaves.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding segments and snapshots (one range per dir).
+    pub dir: PathBuf,
+    /// Fsync discipline (default: every 32 appends).
+    pub fsync: FsyncPolicy,
+    /// Segment rotation threshold in bytes (default: 1 MiB).
+    pub segment_bytes: u64,
+    /// Write a snapshot every N logged commands; `0` disables
+    /// snapshotting (default: 256).
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Defaults for `dir`: `EveryN(32)` fsync, 1 MiB segments, a
+    /// snapshot every 256 commands.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(32),
+            segment_bytes: 1 << 20,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// WAL instruments, registered on the owning range's registry.
+struct WalMetrics {
+    append_us: Histogram,
+    fsync_us: Histogram,
+    snapshot_us: Histogram,
+    recover_us: Histogram,
+    bytes: Counter,
+    torn_tail: Counter,
+    segments: Gauge,
+}
+
+impl WalMetrics {
+    fn new(registry: &Registry) -> Self {
+        WalMetrics {
+            append_us: registry.histogram("wal.append_us"),
+            fsync_us: registry.histogram("wal.fsync_us"),
+            snapshot_us: registry.histogram("wal.snapshot_us"),
+            recover_us: registry.histogram("wal.recover_us"),
+            bytes: registry.counter("wal.bytes"),
+            torn_tail: registry.counter("wal.torn_tail"),
+            segments: registry.gauge("wal.segments"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The per-range WAL handle
+// ---------------------------------------------------------------------
+
+/// A range's attached write-ahead log: the segmented log plus snapshot
+/// scheduling state. Lives inside the [`ContextServer`] and is driven
+/// exclusively by [`ContextServer::handle`]; construct one via
+/// [`attach`] (fresh range) or [`recover`] (restart).
+pub struct RangeWal {
+    log: SegmentLog,
+    dir: PathBuf,
+    snapshot_every: u64,
+    since_snapshot: u64,
+    metrics: WalMetrics,
+}
+
+impl RangeWal {
+    /// Appends one durable command, recording append/fsync latency.
+    /// `fsync_us` samples the full append when the policy synced it —
+    /// an upper bound on the sync itself, which is the component that
+    /// matters for policy comparison.
+    pub(crate) fn append(&mut self, cmd: &RangeCommand, now: VirtualTime) -> SciResult<()> {
+        let frame = encode_command(cmd, now);
+        let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
+        let appended = self.log.append(&frame).map_err(wal_err)?;
+        let us = elapsed_us(started);
+        self.metrics.append_us.record(us);
+        if appended.synced {
+            self.metrics.fsync_us.record(us);
+        }
+        self.metrics.bytes.add(appended.bytes);
+        self.metrics.segments.set(self.log.segment_count() as i64);
+        self.since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Whether enough commands accumulated to warrant a snapshot.
+    pub(crate) fn snapshot_due(&self) -> bool {
+        self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every
+    }
+
+    /// Writes `snapshot_xml` covering everything logged so far, prunes
+    /// covered segments and older snapshots. On failure
+    /// `since_snapshot` is left alone, so the next command retries.
+    pub(crate) fn write_snapshot(&mut self, snapshot_xml: &str) -> SciResult<()> {
+        let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
+        let applied = self.log.next_index();
+        sci_wal::write_snapshot(&self.dir, applied, snapshot_xml.as_bytes()).map_err(wal_err)?;
+        self.log.prune_below(applied).map_err(wal_err)?;
+        prune_snapshots(&self.dir).map_err(wal_err)?;
+        self.since_snapshot = 0;
+        self.metrics.snapshot_us.record(elapsed_us(started));
+        self.metrics.segments.set(self.log.segment_count() as i64);
+        Ok(())
+    }
+
+    /// Flushes and fsyncs buffered appends (shutdown path).
+    pub(crate) fn sync(&mut self) -> SciResult<()> {
+        self.log.sync().map_err(wal_err)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------
+
+fn delivery_element(d: &AppDelivery) -> Element {
+    Element::new("delivery")
+        .with_attr("app", d.app.to_string())
+        .with_attr("query", d.query.to_string())
+        .with_child(qcodec::event_to_element(&d.event))
+}
+
+/// Serialises the durable state of a server at `now` into a
+/// `<range-snapshot>` element. Every collection is emitted in a
+/// deterministic order so identical states produce identical bytes.
+pub(crate) fn snapshot_element(cs: &ContextServer, now: VirtualTime) -> Element {
+    let (delivery_seq, answer_seq) = cs.stream_seqs();
+    let mut e = Element::new("range-snapshot")
+        .with_attr("now-us", now.as_micros().to_string())
+        .with_attr("reuse", cs.instances().reuse_enabled().to_string())
+        .with_attr("auto-register", cs.auto_register_people().to_string())
+        .with_attr("verify-plans", cs.plan_verification().to_string())
+        .with_attr("delivery-seq", delivery_seq.to_string())
+        .with_attr("answer-seq", answer_seq.to_string());
+
+    for ce in cs.logic_keys() {
+        e = e.with_child(Element::new("logic").with_attr("ce", ce.to_string()));
+    }
+    for class in cs.profiles().equivalence_classes() {
+        let mut eq = Element::new("equivalence");
+        for member in class {
+            eq = eq.with_child(Element::new("member").with_attr("name", member.name()));
+        }
+        e = e.with_child(eq);
+    }
+    let mut profiles: Vec<_> = cs.profiles().iter().collect();
+    profiles.sort_by_key(|p| p.id());
+    for p in profiles {
+        e = e.with_child(qcodec::profile_to_element(p));
+    }
+    let mut excluded: Vec<Guid> = cs.excluded().iter().copied().collect();
+    excluded.sort_unstable();
+    for id in excluded {
+        e = e.with_child(Element::new("excluded").with_attr("id", id.to_string()));
+    }
+    let mut providers: Vec<&Guid> = cs.advertisements_all().keys().collect();
+    providers.sort_unstable();
+    for provider in providers {
+        if let Some(ads) = cs.advertisements_all().get(provider) {
+            for ad in ads {
+                e = e.with_child(qcodec::advertisement_to_element(ad));
+            }
+        }
+    }
+    let mut standing: Vec<(&Guid, &Query)> = cs.origin_queries().iter().collect();
+    standing.sort_by_key(|(id, _)| **id);
+    for (_, q) in standing {
+        e = e.with_child(qcodec::query_to_element(q));
+    }
+    for (q, stored_at) in cs.deferred_entries() {
+        e = e.with_child(
+            Element::new("deferred")
+                .with_attr("stored-at-us", stored_at.as_micros().to_string())
+                .with_child(qcodec::query_to_element(&q)),
+        );
+    }
+    for d in cs.outbox_ref() {
+        e = e.with_child(delivery_element(d));
+    }
+    for (query, owner, answer) in cs.answers_ref() {
+        e = e.with_child(
+            Element::new("deferred-answer")
+                .with_attr("query", query.to_string())
+                .with_attr("owner", owner.to_string())
+                .with_child(answer_element(answer)),
+        );
+    }
+    let mut history = Element::new("history");
+    for event in cs.history().export() {
+        history = history.with_child(qcodec::event_to_element(&event));
+    }
+    e = e.with_child(history);
+    for (entity, at) in cs.location().export_positions() {
+        e = e.with_child(
+            Element::new("position")
+                .with_attr("entity", entity.to_string())
+                .with_attr("x", at.x.to_string())
+                .with_attr("y", at.y.to_string()),
+        );
+    }
+    e
+}
+
+fn req_attr<'a>(e: &'a Element, key: &str) -> SciResult<&'a str> {
+    e.attr(key)
+        .ok_or_else(|| SciError::Codec(format!("<{}> missing `{key}`", e.name)))
+}
+
+fn bool_attr(e: &Element, key: &str) -> SciResult<bool> {
+    match req_attr(e, key)? {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(SciError::Codec(format!("bad boolean `{other}` in `{key}`"))),
+    }
+}
+
+/// Replays a `<range-snapshot>` into a freshly built server and
+/// returns the snapshot's `now`.
+///
+/// Restore order matters and mirrors how the state was built the first
+/// time: settings, logic factories and equivalences first (the
+/// resolver consults them), then profiles, then exclusions (`register`
+/// clears an entity's exclusion, so they must come after), then
+/// advertisements and query re-submission (standing queries re-resolve
+/// their configurations at snapshot time; deferred queries re-submit
+/// at their original `stored_at`, re-arming the same absolute timers),
+/// and finally the verbatim transients: outbox, deferred answers,
+/// history, entity positions and stream sequence counters.
+///
+/// # Errors
+///
+/// Propagates codec errors and the first command-replay failure — a
+/// snapshot was written from consistent state, so any failure here
+/// means the document (or the restore path) is broken, not the data.
+pub(crate) fn restore_snapshot(
+    cs: &mut ContextServer,
+    root: &Element,
+    logic: &HashMap<Guid, LogicFactory>,
+) -> SciResult<VirtualTime> {
+    if root.name != "range-snapshot" {
+        return Err(SciError::Codec(format!(
+            "expected <range-snapshot>, got <{}>",
+            root.name
+        )));
+    }
+    let now = VirtualTime::from_micros(
+        req_attr(root, "now-us")?
+            .parse::<u64>()
+            .map_err(|e| SciError::Codec(format!("bad now-us: {e}")))?,
+    );
+    cs.handle(RangeCommand::SetReuse(bool_attr(root, "reuse")?), now)?;
+    cs.handle(
+        RangeCommand::SetAutoRegisterPeople(bool_attr(root, "auto-register")?),
+        now,
+    )?;
+    cs.handle(
+        RangeCommand::SetPlanVerification(bool_attr(root, "verify-plans")?),
+        now,
+    )?;
+    for l in root.children_named("logic") {
+        let ce: Guid = req_attr(l, "ce")?.parse()?;
+        let factory = logic.get(&ce).cloned().ok_or_else(|| {
+            SciError::Internal(format!("no logic resolver for CE class {ce} in snapshot"))
+        })?;
+        cs.handle(RangeCommand::RegisterLogic(ce, factory), now)?;
+    }
+    for eq in root.children_named("equivalence") {
+        let members: Vec<ContextType> = eq
+            .children_named("member")
+            .map(|m| Ok(ContextType::from_name(req_attr(m, "name")?)))
+            .collect::<SciResult<_>>()?;
+        for pair in members.windows(2) {
+            cs.handle(
+                RangeCommand::DeclareEquivalence(pair[0].clone(), pair[1].clone()),
+                now,
+            )?;
+        }
+    }
+    for p in root.children_named("profile") {
+        let profile = qcodec::profile_from_element(p)?;
+        cs.handle(RangeCommand::Register(Box::new(profile)), now)?;
+    }
+    cs.restore_excluded(
+        root.children_named("excluded")
+            .map(|x| req_attr(x, "id")?.parse::<Guid>())
+            .collect::<SciResult<Vec<_>>>()?,
+    );
+    for ad in root.children_named("advertisement") {
+        let ad = qcodec::advertisement_from_element(ad)?;
+        cs.handle(RangeCommand::Advertise(Box::new(ad)), now)?;
+    }
+    for q in root.children_named("query") {
+        let query = qcodec::query_from_element(q)?;
+        cs.restore_standing_query(&query, now)?;
+    }
+    for d in root.children_named("deferred") {
+        let stored_at = VirtualTime::from_micros(
+            req_attr(d, "stored-at-us")?
+                .parse::<u64>()
+                .map_err(|e| SciError::Codec(format!("bad stored-at-us: {e}")))?,
+        );
+        let query = qcodec::query_from_element(d.require_child("query")?)?;
+        cs.handle(RangeCommand::Submit(Box::new(query)), stored_at)?;
+    }
+    let mut deliveries = Vec::new();
+    for d in root.children_named("delivery") {
+        let app: Guid = req_attr(d, "app")?.parse()?;
+        let query: Guid = req_attr(d, "query")?.parse()?;
+        let event = qcodec::event_from_element(d.require_child("event")?)?;
+        deliveries.push(AppDelivery { app, query, event });
+    }
+    let mut answers = Vec::new();
+    for a in root.children_named("deferred-answer") {
+        let query: Guid = req_attr(a, "query")?.parse()?;
+        let owner: Guid = req_attr(a, "owner")?.parse()?;
+        answers.push((
+            query,
+            owner,
+            answer_from_element(a.require_child("answer")?)?,
+        ));
+    }
+    cs.restore_transients(deliveries, answers);
+    if let Some(history) = root.child("history") {
+        let events: Vec<ContextEvent> = history
+            .children_named("event")
+            .map(qcodec::event_from_element)
+            .collect::<SciResult<_>>()?;
+        cs.restore_history(&events);
+    }
+    let mut positions = Vec::new();
+    for p in root.children_named("position") {
+        let entity: Guid = req_attr(p, "entity")?.parse()?;
+        let x: f64 = req_attr(p, "x")?
+            .parse()
+            .map_err(|e| SciError::Codec(format!("bad position x: {e}")))?;
+        let y: f64 = req_attr(p, "y")?
+            .parse()
+            .map_err(|e| SciError::Codec(format!("bad position y: {e}")))?;
+        positions.push((entity, Coord::new(x, y)));
+    }
+    cs.restore_positions(positions);
+    let delivery_seq = req_attr(root, "delivery-seq")?
+        .parse::<u64>()
+        .map_err(|e| SciError::Codec(format!("bad delivery-seq: {e}")))?;
+    let answer_seq = req_attr(root, "answer-seq")?
+        .parse::<u64>()
+        .map_err(|e| SciError::Codec(format!("bad answer-seq: {e}")))?;
+    cs.bump_stream_seqs(delivery_seq, answer_seq);
+    Ok(now)
+}
+
+// ---------------------------------------------------------------------
+// Attach / recover
+// ---------------------------------------------------------------------
+
+/// What [`recover`] found on disk.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Applied index of the snapshot that seeded recovery, if any.
+    pub snapshot_applied: Option<u64>,
+    /// Commands replayed from the log after the snapshot.
+    pub replayed: usize,
+    /// Replayed commands that returned an error — they failed
+    /// identically in the original timeline, so this is continuity,
+    /// not damage.
+    pub replay_errors: usize,
+    /// Bytes truncated from the active segment's torn tail.
+    pub torn_bytes: u64,
+    /// Decoder diagnosis for the torn tail, when one was cut.
+    pub torn_detail: Option<String>,
+    /// Newer-but-damaged snapshot files that were skipped over.
+    pub snapshots_skipped: usize,
+    /// Virtual time of the last restored command (or snapshot): the
+    /// clock value the range had durably reached.
+    pub last_now: VirtualTime,
+}
+
+/// Attaches a fresh write-ahead log to a server, seeding it with a
+/// snapshot of the server's current state (so composition done before
+/// the attach survives recovery too).
+///
+/// # Errors
+///
+/// [`SciError::Internal`] when `config.dir` already holds log records
+/// or a snapshot — recovering an existing log is [`recover`]'s job —
+/// or when the filesystem fails.
+pub fn attach(
+    cs: &mut ContextServer,
+    config: &DurabilityConfig,
+    now: VirtualTime,
+) -> SciResult<()> {
+    let (log, recovered) =
+        SegmentLog::open(&config.dir, config.fsync, config.segment_bytes).map_err(wal_err)?;
+    let (snap, _) = read_latest_snapshot(&config.dir).map_err(wal_err)?;
+    if !recovered.frames.is_empty() || snap.is_some() {
+        return Err(SciError::Internal(format!(
+            "durability dir {} already holds a log; use recover()",
+            config.dir.display()
+        )));
+    }
+    let metrics = WalMetrics::new(cs.telemetry());
+    let mut wal = RangeWal {
+        log,
+        dir: config.dir.clone(),
+        snapshot_every: config.snapshot_every,
+        since_snapshot: 0,
+        metrics,
+    };
+    wal.write_snapshot(&snapshot_element(cs, now).to_xml())?;
+    cs.put_wal(Some(wal));
+    Ok(())
+}
+
+/// Rebuilds a range from its durability directory: opens the log
+/// (truncating any torn tail), restores the newest intact snapshot,
+/// replays every logged command past it through the ordinary
+/// [`ContextServer::handle`] dispatcher, and re-attaches the log for
+/// continued appending.
+///
+/// Passing the predecessor's telemetry `registry` preserves counter
+/// continuity across the restart, exactly like supervised restarts do.
+/// Replayed commands *do* re-record command metrics — the counters
+/// describe work this process performed, and replay is work.
+///
+/// # Errors
+///
+/// Filesystem failures, closed-segment corruption
+/// ([`sci_wal::WalError::Corrupt`] mapped to [`SciError::Internal`]),
+/// malformed snapshot/frame payloads, or a missing logic resolver.
+/// Commands that replay with an error are *not* errors here — they
+/// failed the first time too (see [`RecoveryReport::replay_errors`]).
+pub fn recover(
+    id: Guid,
+    name: impl Into<String>,
+    plan: FloorPlan,
+    registry: Registry,
+    config: &DurabilityConfig,
+    logic: &HashMap<Guid, LogicFactory>,
+) -> SciResult<(ContextServer, RecoveryReport)> {
+    let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
+    let (log, recovered) =
+        SegmentLog::open(&config.dir, config.fsync, config.segment_bytes).map_err(wal_err)?;
+    let (snap, snapshots_skipped) = read_latest_snapshot(&config.dir).map_err(wal_err)?;
+    let mut cs = ContextServer::with_registry(id, name, plan, registry);
+    let mut last_now = VirtualTime::ZERO;
+    let mut snapshot_applied = None;
+    if let Some((applied, payload)) = snap {
+        let xml = String::from_utf8(payload)
+            .map_err(|e| SciError::Codec(format!("snapshot is not UTF-8: {e}")))?;
+        last_now = restore_snapshot(&mut cs, &parse(&xml)?, logic)?;
+        snapshot_applied = Some(applied);
+    }
+    let floor = snapshot_applied.unwrap_or(0);
+    let mut replayed = 0usize;
+    let mut replay_errors = 0usize;
+    for (idx, frame) in &recovered.frames {
+        if *idx < floor {
+            continue;
+        }
+        let (cmd, now) = decode_command(frame, logic)?;
+        last_now = now;
+        if cs.handle(cmd, now).is_err() {
+            replay_errors += 1;
+        }
+        replayed += 1;
+    }
+    let metrics = WalMetrics::new(cs.telemetry());
+    metrics.recover_us.record(elapsed_us(started));
+    metrics.torn_tail.add(recovered.torn_bytes);
+    metrics.segments.set(log.segment_count() as i64);
+    let wal = RangeWal {
+        log,
+        dir: config.dir.clone(),
+        snapshot_every: config.snapshot_every,
+        since_snapshot: replayed as u64,
+        metrics,
+    };
+    cs.put_wal(Some(wal));
+    Ok((
+        cs,
+        RecoveryReport {
+            snapshot_applied,
+            replayed,
+            replay_errors,
+            torn_bytes: recovered.torn_bytes,
+            torn_detail: recovered.torn_detail,
+            snapshots_skipped,
+            last_now,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// State digest (test oracle)
+// ---------------------------------------------------------------------
+
+/// Scrubs the non-durable identity of derived events: a source that is
+/// not a registered profile is a logic-instance GUID, whose mint order
+/// (and per-instance sequence numbering) legitimately differs between
+/// an uninterrupted timeline and a recovered one.
+fn normalized_event(cs: &ContextServer, event: &ContextEvent) -> Element {
+    let mut ev = event.clone();
+    if cs.profiles().get(ev.source).is_none() {
+        ev.source = Guid::NIL;
+        ev.seq = EventSeq(0);
+    }
+    qcodec::event_to_element(&ev)
+}
+
+/// A deterministic serialisation of everything [`recover`] promises to
+/// reconstruct — the equality oracle for the crash-recovery property
+/// suite. Two servers with equal digests are indistinguishable to any
+/// durable-state observer.
+///
+/// Deliberately excluded: instance counts, telemetry, stale-drop and
+/// rejected-plan tallies, registrar timestamps, mediator liveness
+/// bookkeeping, and (per the module docs) logic-instance GUIDs, which
+/// are normalised away.
+pub fn durable_digest(cs: &ContextServer) -> String {
+    let (delivery_seq, answer_seq) = cs.stream_seqs();
+    let mut e = Element::new("durable-digest")
+        .with_attr("reuse", cs.instances().reuse_enabled().to_string())
+        .with_attr("auto-register", cs.auto_register_people().to_string())
+        .with_attr("verify-plans", cs.plan_verification().to_string())
+        .with_attr("delivery-seq", delivery_seq.to_string())
+        .with_attr("answer-seq", answer_seq.to_string());
+    for ce in cs.logic_keys() {
+        e = e.with_child(Element::new("logic").with_attr("ce", ce.to_string()));
+    }
+    for class in cs.profiles().equivalence_classes() {
+        let mut eq = Element::new("equivalence");
+        for member in class {
+            eq = eq.with_child(Element::new("member").with_attr("name", member.name()));
+        }
+        e = e.with_child(eq);
+    }
+    let mut profiles: Vec<_> = cs.profiles().iter().collect();
+    profiles.sort_by_key(|p| p.id());
+    for p in profiles {
+        e = e.with_child(qcodec::profile_to_element(p));
+    }
+    let mut excluded: Vec<Guid> = cs.excluded().iter().copied().collect();
+    excluded.sort_unstable();
+    for id in excluded {
+        e = e.with_child(Element::new("excluded").with_attr("id", id.to_string()));
+    }
+    let mut providers: Vec<&Guid> = cs.advertisements_all().keys().collect();
+    providers.sort_unstable();
+    for provider in providers {
+        if let Some(ads) = cs.advertisements_all().get(provider) {
+            for ad in ads {
+                e = e.with_child(qcodec::advertisement_to_element(ad));
+            }
+        }
+    }
+    let mut standing: Vec<(&Guid, &Query)> = cs.origin_queries().iter().collect();
+    standing.sort_by_key(|(id, _)| **id);
+    for (_, q) in standing {
+        e = e.with_child(qcodec::query_to_element(q));
+    }
+    for (q, stored_at) in cs.deferred_entries() {
+        e = e.with_child(
+            Element::new("deferred")
+                .with_attr("stored-at-us", stored_at.as_micros().to_string())
+                .with_child(qcodec::query_to_element(&q)),
+        );
+    }
+    for d in cs.outbox_ref() {
+        e = e.with_child(
+            Element::new("delivery")
+                .with_attr("app", d.app.to_string())
+                .with_attr("query", d.query.to_string())
+                .with_child(normalized_event(cs, &d.event)),
+        );
+    }
+    for (query, owner, answer) in cs.answers_ref() {
+        e = e.with_child(
+            Element::new("deferred-answer")
+                .with_attr("query", query.to_string())
+                .with_attr("owner", owner.to_string())
+                .with_child(Element::text_node("answer-xml", answer_to_xml(answer))),
+        );
+    }
+    let mut history = Element::new("history");
+    for event in cs.history().export() {
+        history = history.with_child(normalized_event(cs, &event));
+    }
+    e = e.with_child(history);
+    for (entity, at) in cs.location().export_positions() {
+        e = e.with_child(
+            Element::new("position")
+                .with_attr("entity", entity.to_string())
+                .with_attr("x", at.x.to_string())
+                .with_attr("y", at.y.to_string()),
+        );
+    }
+    e.to_xml()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use sci_types::{EntityKind, PortSpec, Profile};
+
+    fn ev(source: u128, t: u64) -> ContextEvent {
+        ContextEvent::new(
+            Guid::from_u128(source),
+            ContextType::Temperature,
+            ContextValue::record([
+                ("subject", ContextValue::Id(Guid::from_u128(source))),
+                ("c", ContextValue::Float(21.5)),
+            ]),
+            VirtualTime::from_secs(t),
+        )
+        .with_seq(EventSeq(7))
+    }
+
+    #[test]
+    fn tags_mirror_kinds() {
+        assert_eq!(TAGS.len(), RangeCommand::KINDS.len());
+        assert_eq!(TAGS, RangeCommand::KINDS);
+    }
+
+    #[test]
+    fn value_codec_round_trips_every_variant() {
+        let values = [
+            ContextValue::Empty,
+            ContextValue::Bool(true),
+            ContextValue::Int(-42),
+            ContextValue::Float(-0.125),
+            ContextValue::text("hello"),
+            ContextValue::Id(Guid::from_u128(0xBEEF)),
+            ContextValue::Coord(Coord::new(1.5, -2.5)),
+            ContextValue::place("L10.01"),
+            ContextValue::Time(VirtualTime::from_secs(9)),
+            ContextValue::List(vec![ContextValue::Int(1), ContextValue::Bool(false)]),
+            ContextValue::record([("k", ContextValue::text("v"))]),
+        ];
+        for v in values {
+            let mut buf = Vec::new();
+            put_value(&mut buf, &v);
+            let mut r = wire::Reader::new(&buf);
+            assert_eq!(get_value(&mut r).unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn command_codec_round_trips() {
+        let now = VirtualTime::from_secs(3);
+        let logic: HashMap<Guid, LogicFactory> = HashMap::new();
+        let profile = Profile::builder(Guid::from_u128(1), EntityKind::Device, "thermo")
+            .output(PortSpec::new("t", ContextType::Temperature))
+            .build();
+        let cmds = [
+            RangeCommand::Register(Box::new(profile)),
+            RangeCommand::DeclareEquivalence(ContextType::Temperature, ContextType::custom("temp")),
+            RangeCommand::Heartbeat(Guid::from_u128(2)),
+            RangeCommand::Deregister(Guid::from_u128(3)),
+            RangeCommand::Cancel(Guid::from_u128(4)),
+            RangeCommand::Ingest(ev(5, 1)),
+            RangeCommand::IngestBatch(vec![ev(6, 2), ev(7, 3)]),
+            RangeCommand::PollTimers,
+            RangeCommand::ExpireHistory,
+            RangeCommand::SetReuse(false),
+            RangeCommand::SetAutoRegisterPeople(true),
+            RangeCommand::SetPlanVerification(false),
+            RangeCommand::MigrateOut(Guid::from_u128(8)),
+            RangeCommand::MigrateIn(Box::new(MigrationPacket::new(Guid::from_u128(9)))),
+        ];
+        for cmd in cmds {
+            let frame = encode_command(&cmd, now);
+            let (back, back_now) = decode_command(&frame, &logic).unwrap();
+            assert_eq!(back.kind_index(), cmd.kind_index());
+            assert_eq!(back_now, now);
+        }
+    }
+
+    #[test]
+    fn register_logic_replay_needs_a_resolver() {
+        let ce = Guid::from_u128(0xCE);
+        let frame = encode_command(
+            &RangeCommand::RegisterLogic(
+                ce,
+                crate::logic::factory(crate::logic::OccupancyLogic::new),
+            ),
+            VirtualTime::ZERO,
+        );
+        assert!(decode_command(&frame, &HashMap::new()).is_err());
+        let mut logic = HashMap::new();
+        logic.insert(ce, crate::logic::factory(crate::logic::OccupancyLogic::new));
+        let (cmd, _) = decode_command(&frame, &logic).unwrap();
+        assert_eq!(cmd.kind(), "register-logic");
+    }
+
+    #[test]
+    fn drains_are_not_durable() {
+        assert!(!is_durable(&RangeCommand::DrainOutbox));
+        assert!(!is_durable(&RangeCommand::DrainOutboxFor(Guid::NIL)));
+        assert!(!is_durable(&RangeCommand::DrainAnswers));
+        assert!(!is_durable(&RangeCommand::Audit));
+        assert!(is_durable(&RangeCommand::PollTimers));
+        assert!(is_durable(&RangeCommand::Ingest(ev(1, 1))));
+    }
+}

@@ -113,6 +113,22 @@ impl ContextStore {
         out
     }
 
+    /// Every stored event in a deterministic order: buckets sorted by
+    /// (type name, subject), events within a bucket in insertion order.
+    /// Re-`record`ing the export into an empty store reproduces the
+    /// same per-key buckets — the durability snapshot relies on that.
+    pub fn export(&self) -> Vec<ContextEvent> {
+        let mut keys: Vec<&HistoryKey> = self.entries.keys().collect();
+        keys.sort_by(|a, b| (a.ty.name(), a.subject).cmp(&(b.ty.name(), b.subject)));
+        let mut out = Vec::with_capacity(self.len());
+        for key in keys {
+            if let Some(bucket) = self.entries.get(key) {
+                out.extend(bucket.iter().cloned());
+            }
+        }
+        out
+    }
+
     /// Total stored events.
     pub fn len(&self) -> usize {
         self.entries.values().map(Vec::len).sum()

@@ -70,6 +70,7 @@ pub mod capa;
 pub mod configuration;
 pub mod context_server;
 pub mod driver;
+pub mod durability;
 pub mod entity_rt;
 pub mod federation;
 pub mod history;
@@ -86,6 +87,7 @@ pub mod telemetry;
 pub use configuration::Configuration;
 pub use context_server::{ContextServer, QueryAnswer, RangeReply};
 pub use driver::Deployment;
+pub use durability::{DurabilityConfig, RecoveryReport};
 pub use federation::Federation;
 pub use location_service::LocationService;
 pub use migration::MigrationPacket;

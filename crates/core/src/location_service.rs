@@ -163,6 +163,14 @@ impl LocationService {
         let p = self.position_of(entity)?;
         self.plan.centroid(room).ok().map(|c| c.distance(p))
     }
+
+    /// Every tracked entity position, sorted by entity id. Used by the
+    /// durability snapshot. Signal-reading buffers are deliberately
+    /// excluded: they are TTL-bounded trilateration scratch (30 s of
+    /// virtual time) that WAL replay of the ingests regenerates.
+    pub fn export_positions(&self) -> Vec<(Guid, Coord)> {
+        self.tracker.positions()
+    }
 }
 
 #[cfg(test)]

@@ -206,6 +206,28 @@ impl ProfileManager {
             .unwrap_or_else(|| vec![ty.clone()])
     }
 
+    /// Every declared equivalence class, each class's members sorted by
+    /// name and the classes sorted by their first member — the
+    /// deterministic export the durability snapshot serialises, from
+    /// which `declare_equivalence` replay rebuilds identical classes.
+    pub fn equivalence_classes(&self) -> Vec<Vec<ContextType>> {
+        let mut classes: Vec<Vec<ContextType>> = self
+            .equivalence_classes
+            .iter()
+            .map(|class| {
+                let mut c = class.clone();
+                c.sort_by(|a, b| a.name().cmp(b.name()));
+                c
+            })
+            .collect();
+        classes.sort_by(|a, b| {
+            let an = a.first().map(ContextType::name).unwrap_or("");
+            let bn = b.first().map(ContextType::name).unwrap_or("");
+            an.cmp(bn)
+        });
+        classes
+    }
+
     /// Returns `true` if the two types are the same or declared
     /// equivalent. Constant-time: two hash lookups, no allocation.
     pub fn compatible(&self, a: &ContextType, b: &ContextType) -> bool {

@@ -202,7 +202,33 @@ impl ContextServer {
         let tracer = self.metrics().tracer().clone();
         let _span = tracer.span(cmd.kind());
         let started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
+
+        // Durability: append-before-apply. The WAL is moved out for the
+        // duration of the dispatch so replay (which runs through this
+        // same method on a server whose WAL is detached) cannot re-log.
+        let mut wal = self.take_wal();
+        if let Some(w) = wal.as_mut() {
+            if crate::durability::is_durable(&cmd) {
+                if let Err(e) = w.append(&cmd, now) {
+                    self.put_wal(wal);
+                    self.metrics().record_command(idx, elapsed_us(started));
+                    return Err(e);
+                }
+            }
+        }
         let reply = self.handle_inner(cmd, now);
+        if let Some(w) = wal.as_mut() {
+            // Snapshot *after* applying: the document captures the
+            // command's effects (outbox included), and its applied
+            // index covers the command's own record. A failed write
+            // leaves the due-counter alone, so the next command
+            // retries.
+            if w.snapshot_due() {
+                let doc = crate::durability::snapshot_element(self, now).to_xml();
+                let _ = w.write_snapshot(&doc);
+            }
+        }
+        self.put_wal(wal);
         self.metrics().record_command(idx, elapsed_us(started));
         reply
     }
@@ -319,25 +345,51 @@ impl MailboxPolicy {
     }
 }
 
+/// Envelope-sequence namespace bit for deferred-answer relays. Worker
+/// servers mint delivery and answer sequences from *separate* durable
+/// counters; the receiver-side exactly-once filter keys on a single
+/// `(origin, seq)` set, so each class gets a disjoint high-bit
+/// namespace to keep a delivery from shadowing an answer with the
+/// same count.
+const ANSWER_SEQ_NS: u64 = 1 << 62;
+
+/// Envelope-sequence namespace bit for migration relays, which remain
+/// coordinator-minted (a migration is a coordinator-driven range-pair
+/// operation, not worker stream traffic).
+const MIGRATE_SEQ_NS: u64 = 1 << 63;
+
 /// One unit of cross-range traffic drained from a range worker *as it
 /// executes*: the continuously-streamed replacement for the old
-/// per-sync `DrainOutbox`/`DrainAnswers` round-trips.
+/// per-sync `DrainOutbox`/`DrainAnswers` round-trips. Each item carries
+/// the envelope sequence its server minted for it — durable state, so
+/// a WAL-recovered range re-streams its unrelayed traffic under the
+/// *same* `(origin, seq)` envelopes and the receiver-side filter
+/// squashes redelivery to exactly-once.
 enum StreamItem {
-    Delivery(AppDelivery),
-    Answer(DeferredAnswer),
+    Delivery(u64, AppDelivery),
+    Answer(u64, DeferredAnswer),
 }
 
+/// A drained item paired with its worker-minted envelope sequence.
+type Sequenced<T> = Vec<(u64, T)>;
+
 /// Moves everything the last command produced out of the server and
-/// into the range's relay stream. Runs on the worker thread, *before*
-/// the command's reply is sent, so a coordinator that has observed a
-/// barrier reply is guaranteed to find the barrier's traffic in the
-/// stream.
+/// into the range's relay stream, minting each item's envelope
+/// sequence from the server's durable stream counters. Runs on the
+/// worker thread, *before* the command's reply is sent, so a
+/// coordinator that has observed a barrier reply is guaranteed to find
+/// the barrier's traffic in the stream. Minting worker-side (rather
+/// than at the coordinator) is what makes post-crash redelivery
+/// idempotent: replaying the same commands against the same restored
+/// counters reproduces the same sequences.
 fn drain_into_stream(cs: &mut ContextServer, stream: &Sender<StreamItem>) {
     for d in cs.drain_outbox_impl() {
-        let _ = stream.send(StreamItem::Delivery(d));
+        let seq = cs.next_stream_delivery_seq();
+        let _ = stream.send(StreamItem::Delivery(seq, d));
     }
     for a in cs.drain_answers_impl() {
-        let _ = stream.send(StreamItem::Answer(a));
+        let seq = cs.next_stream_answer_seq();
+        let _ = stream.send(StreamItem::Answer(seq, a));
     }
 }
 
@@ -450,6 +502,13 @@ fn worker_loop(
     metrics: RuntimeMetrics,
     stream: Option<Sender<StreamItem>>,
 ) -> Option<ContextServer> {
+    // A WAL-recovered server starts with its unrelayed outbox already
+    // restored; flush it into the stream before serving commands so
+    // redelivery does not wait for the next mutation. No-op for fresh
+    // servers (empty outbox).
+    if let Some(stream) = &stream {
+        drain_into_stream(&mut cs, stream);
+    }
     loop {
         match rx.recv() {
             Ok(ToWorker::Cmd { cmd, now }) => {
@@ -522,6 +581,18 @@ pub struct RangeRuntime {
     /// holds both ends so the channel survives worker restarts; each
     /// worker gets a sender clone.
     stream: Option<(Sender<StreamItem>, Receiver<StreamItem>)>,
+    /// Stream items pulled off the channel but not yet handed to the
+    /// coordinator — buffered so a restart can inspect sequences
+    /// without losing the traffic they ride on.
+    parked_stream: Vec<StreamItem>,
+    /// One past the highest delivery-stream sequence observed from any
+    /// incarnation of the worker: the floor a rebuilt (non-durable)
+    /// server's counter is fast-forwarded to, so replacement traffic
+    /// never re-mints an envelope the federation may already have seen
+    /// for *different* traffic.
+    stream_delivery_floor: u64,
+    /// The answer-stream twin of `stream_delivery_floor`.
+    stream_answer_floor: u64,
     restarts_used: u32,
     /// Replayable composition commands recorded since spawn (only when
     /// supervision is enabled), each tagged with the serial that ties
@@ -615,6 +686,9 @@ impl RangeRuntime {
             policy,
             mailbox_policy,
             stream,
+            parked_stream: Vec::new(),
+            stream_delivery_floor: 0,
+            stream_answer_floor: 0,
             restarts_used: 0,
             blueprint: Vec::new(),
             bp_serial: 0,
@@ -751,12 +825,19 @@ impl RangeRuntime {
         }
         // Same GUID, name, plan and registry: the rebuilt server keeps
         // incrementing the counters its predecessor registered.
-        let cs = ContextServer::with_registry(
+        let mut cs = ContextServer::with_registry(
             self.id,
             self.name.clone(),
             self.plan.clone(),
             self.registry.clone(),
         );
+        // The dead worker minted stream sequences the rebuilt server
+        // knows nothing about. Pull whatever it streamed (preserving
+        // the traffic) and fast-forward the replacement's counters past
+        // every sequence observed, so its fresh traffic can never be
+        // mistaken for a redelivery and deduplicated away.
+        self.pull_stream_items();
+        cs.bump_stream_seqs(self.stream_delivery_floor, self.stream_answer_floor);
         let (cmd_tx, cmd_rx) = self.mailbox_policy.make_mailbox();
         let (reply_tx, reply_rx) = mailbox::<SciResult<RangeReply>>();
         let worker_metrics = self.metrics.clone();
@@ -978,22 +1059,41 @@ impl RangeRuntime {
         std::mem::take(&mut self.errors)
     }
 
+    /// Pulls everything the worker has streamed so far into the parked
+    /// buffer, tracking one-past-the-highest sequence seen per class
+    /// (the floor a rebuilt server is fast-forwarded to).
+    fn pull_stream_items(&mut self) {
+        if let Some((_, rx)) = &self.stream {
+            for item in rx.try_iter() {
+                match &item {
+                    StreamItem::Delivery(seq, _) => {
+                        self.stream_delivery_floor = self.stream_delivery_floor.max(seq + 1);
+                    }
+                    StreamItem::Answer(seq, _) => {
+                        self.stream_answer_floor = self.stream_answer_floor.max(seq + 1);
+                    }
+                }
+                self.parked_stream.push(item);
+            }
+        }
+    }
+
     /// Collects everything the worker has streamed so far, without
     /// blocking and without a command round-trip. Items are partitioned
     /// by class — all application deliveries, then all deferred
-    /// answers, each in production order — which reproduces the exact
-    /// send order of the historical `DrainOutbox`-then-`DrainAnswers`
-    /// barrier, so seeded fault-injection schedules replay unchanged.
-    /// Always empty when the runtime was spawned without streaming.
-    fn drain_stream(&mut self) -> (Vec<AppDelivery>, Vec<DeferredAnswer>) {
+    /// answers, each in production order with its worker-minted
+    /// envelope sequence — which reproduces the exact send order of
+    /// the historical `DrainOutbox`-then-`DrainAnswers` barrier, so
+    /// seeded fault-injection schedules replay unchanged. Always empty
+    /// when the runtime was spawned without streaming.
+    fn drain_stream(&mut self) -> (Sequenced<AppDelivery>, Sequenced<DeferredAnswer>) {
+        self.pull_stream_items();
         let mut deliveries = Vec::new();
         let mut answers = Vec::new();
-        if let Some((_, rx)) = &self.stream {
-            for item in rx.try_iter() {
-                match item {
-                    StreamItem::Delivery(d) => deliveries.push(d),
-                    StreamItem::Answer(a) => answers.push(a),
-                }
+        for item in self.parked_stream.drain(..) {
+            match item {
+                StreamItem::Delivery(seq, d) => deliveries.push((seq, d)),
+                StreamItem::Answer(seq, a) => answers.push((seq, a)),
             }
         }
         (deliveries, answers)
@@ -1006,6 +1106,25 @@ impl RangeRuntime {
         self.worker
             .take()
             .and_then(|h| h.join().unwrap_or_default())
+    }
+
+    /// Stops the worker *without* retrieving its server — the
+    /// crash-simulation counterpart of [`RangeRuntime::shutdown`]. The
+    /// mailbox is severed and the thread reaped, so any in-flight WAL
+    /// append has finished by the time this returns; the in-memory
+    /// server state is then discarded, leaving only what reached disk —
+    /// exactly the view a recovery sees after a process kill.
+    fn kill(mut self) {
+        let (dead_tx, dead_rx) = mailbox::<ToWorker>();
+        drop(dead_rx);
+        // Replacing the sender drops the worker's only mailbox handle;
+        // its recv disconnects once the queue drains.
+        self.tx = dead_tx;
+        if let Some(handle) = self.worker.take() {
+            // The returned server (if the worker didn't panic) is
+            // dropped right here, unexamined.
+            let _ = handle.join();
+        }
     }
 }
 
@@ -1057,7 +1176,11 @@ pub struct ParallelFederation<T: Transport = SimNetwork> {
     /// Mailbox backpressure discipline applied to every worker spawned
     /// by [`ParallelFederation::add_range`].
     mailbox_policy: MailboxPolicy,
-    /// Per-origin monotonic relay sequence numbers (envelope `seq`).
+    /// Per-origin monotonic sequence numbers for *coordinator-minted*
+    /// envelopes (migrations, in the [`MIGRATE_SEQ_NS`] namespace).
+    /// Delivery and answer relays mint their sequences worker-side
+    /// from the server's durable stream counters instead — see
+    /// [`StreamItem`].
     relay_seq: HashMap<Guid, u64>,
     /// Envelopes already absorbed (`(origin, seq)`): the receiver-side
     /// half of exactly-once relay.
@@ -1456,7 +1579,7 @@ impl<T: Transport> ParallelFederation<T> {
         // produce while the packet is in flight must chase the new
         // home, not pile up at the abandoned one.
         self.app_home.insert(entity, dst);
-        let seq = self.next_seq(src);
+        let seq = self.next_seq(src) | MIGRATE_SEQ_NS;
         let payload = Element::new("migrate")
             .with_attr("entity", entity.to_string())
             .with_attr("origin", src.to_string())
@@ -1472,6 +1595,79 @@ impl<T: Transport> ParallelFederation<T> {
         );
         self.migrate_started.insert((src, seq), started);
         self.send_reliable(msg, now)
+    }
+
+    /// Simulates a whole-process crash of the named range: the worker
+    /// is stopped without a graceful handover and its in-memory server
+    /// state is discarded — only what the range's write-ahead log and
+    /// snapshots persisted survives. The fabric node, place directory
+    /// and application homes stay registered so a durably recovered
+    /// replacement ([`crate::durability::recover`]) can rejoin under
+    /// the same identity via
+    /// [`ParallelFederation::recover_range`]. Returns the dead range's
+    /// telemetry registry so the recovered server can keep its
+    /// counters continuous.
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::UnknownLocation`] for unknown ranges;
+    /// * [`SciError::Internal`] if the range has no live runtime (e.g.
+    ///   killed twice).
+    pub fn kill_range(&mut self, range: &str) -> SciResult<Registry> {
+        let id = self
+            .fabric
+            .find_by_name(range)
+            .ok_or_else(|| SciError::UnknownLocation(range.to_owned()))?;
+        let worker = self
+            .workers
+            .remove(&id)
+            .ok_or_else(|| SciError::Internal(format!("node {id} has no runtime")))?;
+        let registry = worker.registry().clone();
+        worker.kill();
+        Ok(registry)
+    }
+
+    /// Rejoins a recovered Context Server to the federation after a
+    /// [`ParallelFederation::kill_range`]: the server goes back onto a
+    /// fresh worker thread under the federation's restart and mailbox
+    /// policies, and the worker's initial stream flush re-offers any
+    /// WAL-restored outbox traffic — which the `(origin, seq)`
+    /// exactly-once filter squashes to the deliveries the crash
+    /// actually lost. Also accepts a brand-new range whose fabric node
+    /// was never registered.
+    ///
+    /// # Errors
+    ///
+    /// * [`SciError::Internal`] if the range is still running, or if
+    ///   the server's name is registered under a different GUID;
+    /// * fabric registration failures for brand-new nodes.
+    pub fn recover_range(&mut self, cs: ContextServer) -> SciResult<Guid> {
+        let id = cs.id();
+        if self.workers.contains_key(&id) {
+            return Err(SciError::Internal(format!(
+                "range {id} is still running; kill it before recovering"
+            )));
+        }
+        match self.fabric.find_by_name(cs.name()) {
+            Some(existing) if existing == id => {}
+            Some(existing) => {
+                return Err(SciError::Internal(format!(
+                    "range name `{}` belongs to node {existing}, not {id}",
+                    cs.name()
+                )));
+            }
+            None => {
+                self.fabric.add_node(id, cs.name())?;
+            }
+        }
+        for room in cs.location().plan().rooms() {
+            self.places.entry(room.name.clone()).or_insert(id);
+        }
+        self.workers.insert(
+            id,
+            RangeRuntime::spawn_with(cs, self.restart_policy, self.mailbox_policy, true),
+        );
+        Ok(id)
     }
 
     /// Builds the degraded answer for a query whose target range could
@@ -1689,13 +1885,13 @@ impl<T: Transport> ParallelFederation<T> {
             }
             let (deliveries, answers) = worker.drain_stream();
             let relay_started = Instant::now(); // sci-lint: allow(wall-clock): telemetry timing
-            for d in deliveries {
+            for (seq, d) in deliveries {
                 self.metrics.stream_events.inc();
-                self.route_delivery(node, d, now)?;
+                self.route_delivery(node, seq, d, now)?;
             }
-            for a in answers {
+            for (seq, a) in answers {
                 self.metrics.stream_answers.inc();
-                self.route_answer(node, a, now)?;
+                self.route_answer(node, seq, a, now)?;
             }
             self.metrics.relay_us.record(elapsed_us(relay_started));
         }
@@ -1738,13 +1934,13 @@ impl<T: Transport> ParallelFederation<T> {
                 continue;
             };
             let (deliveries, answers) = worker.drain_stream();
-            for d in deliveries {
+            for (seq, d) in deliveries {
                 self.metrics.stream_events.inc();
-                self.route_delivery(node, d, now)?;
+                self.route_delivery(node, seq, d, now)?;
             }
-            for a in answers {
+            for (seq, a) in answers {
                 self.metrics.stream_answers.inc();
-                self.route_answer(node, a, now)?;
+                self.route_answer(node, seq, a, now)?;
             }
         }
         self.sweep(now)?;
@@ -1752,15 +1948,25 @@ impl<T: Transport> ParallelFederation<T> {
         Ok(())
     }
 
-    /// Routes one application delivery produced at `node`: local-home
-    /// traffic lands in the coordinator inbox, cross-range traffic
-    /// travels the fabric in an exactly-once `(origin, seq)` envelope.
+    /// Routes one application delivery produced at `node` under its
+    /// worker-minted envelope sequence: local-home traffic lands in the
+    /// coordinator inbox, cross-range traffic travels the fabric in an
+    /// exactly-once `(origin, seq)` envelope. Local traffic passes the
+    /// same `seen_relays` filter the fabric path uses, so a
+    /// WAL-recovered range re-streaming traffic it already handed over
+    /// before the crash deduplicates to exactly-once on both paths.
     ///
     /// An app with no recorded home is *not* silently homed any more:
     /// the decision is counted in `federation.relay.unknown_app` and
     /// traced, then the delivery is kept at its producing range (the
     /// only safe default — it is where the subscription lives).
-    fn route_delivery(&mut self, node: Guid, d: AppDelivery, now: VirtualTime) -> SciResult<()> {
+    fn route_delivery(
+        &mut self,
+        node: Guid,
+        seq: u64,
+        d: AppDelivery,
+        now: VirtualTime,
+    ) -> SciResult<()> {
         let home = match self.app_home.get(&d.app) {
             Some(&home) => home,
             None => {
@@ -1772,10 +1978,13 @@ impl<T: Transport> ParallelFederation<T> {
             }
         };
         if home == node {
-            self.inbox.entry(d.app).or_default().push(d);
+            if self.seen_relays.insert((node, seq)) {
+                self.inbox.entry(d.app).or_default().push(d);
+            } else {
+                self.metrics.relay_dedup_hits.inc();
+            }
             return Ok(());
         }
-        let seq = self.next_seq(node);
         let payload = Element::new("relay")
             .with_attr("app", d.app.to_string())
             .with_attr("query", d.query.to_string())
@@ -1797,8 +2006,18 @@ impl<T: Transport> ParallelFederation<T> {
     /// Routes one deferred answer produced at `node` — the
     /// [`route_delivery`](ParallelFederation::route_delivery) twin for
     /// the `answer-relay` envelope, with the same unknown-app
-    /// accounting.
-    fn route_answer(&mut self, node: Guid, a: DeferredAnswer, now: VirtualTime) -> SciResult<()> {
+    /// accounting and local-path dedup. The worker-minted sequence is
+    /// shifted into the [`ANSWER_SEQ_NS`] namespace so answer and
+    /// delivery counters cannot collide in the shared `(origin, seq)`
+    /// filter.
+    fn route_answer(
+        &mut self,
+        node: Guid,
+        seq: u64,
+        a: DeferredAnswer,
+        now: VirtualTime,
+    ) -> SciResult<()> {
+        let seq = seq | ANSWER_SEQ_NS;
         let (query, owner, answer) = a;
         let home = match self.app_home.get(&owner) {
             Some(&home) => home,
@@ -1811,10 +2030,13 @@ impl<T: Transport> ParallelFederation<T> {
             }
         };
         if home == node {
-            self.answers.entry(owner).or_default().push((query, answer));
+            if self.seen_relays.insert((node, seq)) {
+                self.answers.entry(owner).or_default().push((query, answer));
+            } else {
+                self.metrics.relay_dedup_hits.inc();
+            }
             return Ok(());
         }
-        let seq = self.next_seq(node);
         let payload = Element::new("answer-relay")
             .with_attr("app", owner.to_string())
             .with_attr("query", query.to_string())
@@ -1833,7 +2055,9 @@ impl<T: Transport> ParallelFederation<T> {
         self.send_reliable(msg, now)
     }
 
-    /// Mints the next envelope sequence number for `origin`.
+    /// Mints the next coordinator-side envelope sequence number for
+    /// `origin` (migration relays only; stream traffic carries
+    /// worker-minted sequences).
     fn next_seq(&mut self, origin: Guid) -> u64 {
         let seq = self.relay_seq.entry(origin).or_insert(0);
         *seq += 1;

@@ -56,6 +56,13 @@
 //! | `fault.drops` / `fault.delays` / `fault.dups` / `fault.reorders` / `fault.partition_blocks` | counter | faults injected by `sci_overlay::fault::FaultyTransport` |
 //! | `net.delivered` / `net.failed` / `net.recoveries` | counter | overlay routing outcomes |
 //! | `net.hops` | histogram | hops per delivered overlay message |
+//! | `wal.append_us` | histogram | per-command write-ahead log append time |
+//! | `wal.fsync_us` | histogram | time spent in explicit WAL fsyncs |
+//! | `wal.bytes` | counter | bytes appended to the WAL |
+//! | `wal.segments` | gauge | live WAL segment files after snapshot GC |
+//! | `wal.snapshot_us` | histogram | time per periodic registry snapshot |
+//! | `wal.recover_us` | histogram | time per crash recovery (snapshot restore + replay) |
+//! | `wal.torn_tail` | counter | torn bytes truncated from the log tail at recovery |
 
 use sci_overlay::stats::LoadStats;
 use sci_query::xml::{parse, Element};

@@ -101,6 +101,14 @@ impl GeometricModel {
     pub fn tracked_entities(&self) -> usize {
         self.positions.len()
     }
+
+    /// Every tracked entity and its position, sorted by entity id so
+    /// snapshots serialise deterministically.
+    pub fn positions(&self) -> Vec<(Guid, Coord)> {
+        let mut out: Vec<(Guid, Coord)> = self.positions.iter().map(|(g, c)| (*g, *c)).collect();
+        out.sort_unstable_by_key(|(g, _)| *g);
+        out
+    }
 }
 
 #[cfg(test)]

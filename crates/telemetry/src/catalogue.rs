@@ -55,6 +55,13 @@ pub const METRICS: &[&str] = &[
     "resolver.plan.latency_us",
     "resolver.plan.nodes",
     "resolver.plan.rejected",
+    "wal.append_us",
+    "wal.bytes",
+    "wal.fsync_us",
+    "wal.recover_us",
+    "wal.segments",
+    "wal.snapshot_us",
+    "wal.torn_tail",
 ];
 
 /// Metric families whose names are minted at runtime: `*` stands for

@@ -98,6 +98,11 @@ pub enum DiagCode {
     /// `SCI-A303`: `RangeCommand::KINDS` and the enum's variants have
     /// drifted apart (count, order, or kebab-case naming).
     CommandKindDrift,
+    /// `SCI-A304`: the write-ahead log's codec `TAGS` table and
+    /// `RangeCommand::KINDS` have drifted apart (count or order) — a
+    /// frame tag is its index in the table, so drift silently corrupts
+    /// every durable log written after it.
+    CodecTagDrift,
 }
 
 impl DiagCode {
@@ -121,6 +126,7 @@ impl DiagCode {
             DiagCode::NondeterministicCall => "SCI-A301",
             DiagCode::MetricNameDrift => "SCI-A302",
             DiagCode::CommandKindDrift => "SCI-A303",
+            DiagCode::CodecTagDrift => "SCI-A304",
         }
     }
 
@@ -141,7 +147,8 @@ impl DiagCode {
             | DiagCode::MigrationUnenveloped
             | DiagCode::NondeterministicCall
             | DiagCode::MetricNameDrift
-            | DiagCode::CommandKindDrift => Severity::Error,
+            | DiagCode::CommandKindDrift
+            | DiagCode::CodecTagDrift => Severity::Error,
             DiagCode::UnreachableNode | DiagCode::OrphanSubscription => Severity::Warning,
         }
     }
@@ -316,6 +323,7 @@ mod tests {
             DiagCode::NondeterministicCall,
             DiagCode::MetricNameDrift,
             DiagCode::CommandKindDrift,
+            DiagCode::CodecTagDrift,
         ];
         let mut codes: Vec<&str> = all.iter().map(DiagCode::code).collect();
         codes.sort_unstable();

@@ -72,6 +72,25 @@ SCHEMAS = {
             "sustained_kevents_s": {"gate": 3.0, "higher_is_better": True},
         },
     },
+    "e12_durability": {
+        "key": ("group", "mode"),
+        "metrics": {
+            # Streaming-ingest cost with the WAL attached — the
+            # durability tax. Gated wide (3.0x): fsync latency belongs
+            # to the runner's disk, not the code under test.
+            "ingest_us": 3.0,
+            "sustained_kevents_s": {"gate": 3.0, "higher_is_better": True},
+            # Overhead vs the WAL-off row of the *same run* — already a
+            # ratio, so machine-independent but fsync-noisy: recorded,
+            # not gated.
+            "overhead_pct": False,
+            "wal_bytes": False,
+            # Recovery trajectory (snapshot restore + replay):
+            # informational in this first PR, gate once a trend exists.
+            "recover_us": False,
+            "replayed": False,
+        },
+    },
     "e11_mobility": {
         "key": ("group", "ranges", "entities_per_range"),
         "metrics": {

@@ -19,6 +19,7 @@
 //! | [`core`] | `sci-core` | Context Server, Registrar, Query Resolver, configurations, adaptation, federation, CAPA (§3–§5) |
 //! | [`analysis`] | `sci-analysis` | static verification of composition plans, fleet drift audits |
 //! | [`baselines`] | `sci-baselines` | Context-Toolkit and Solar comparison systems (§2) |
+//! | [`wal`] | `sci-wal` | segmented write-ahead command log and snapshot store behind durable ranges |
 //!
 //! # Quickstart
 //!
@@ -75,6 +76,7 @@ pub use sci_query as query;
 pub use sci_sensors as sensors;
 pub use sci_telemetry as telemetry;
 pub use sci_types as types;
+pub use sci_wal as wal;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use sci_core::capa::CapaApp;
     pub use sci_core::context_server::{AppDelivery, ContextServer, QueryAnswer, RangeReply};
     pub use sci_core::driver::{Deployment, StandardCes};
+    pub use sci_core::durability::{durable_digest, DurabilityConfig, RecoveryReport};
     pub use sci_core::entity_rt::{
         start_caa, start_ce, CaaHandle, CeHandle, ConsumeInterface, RegisterInterface,
         ServiceInterface,
@@ -111,4 +114,5 @@ pub mod prelude {
         Diagnostic, EntityDescriptor, EntityKind, FederationModel, Guid, Metadata, PortSpec,
         Profile, SciError, SciResult, Severity, VirtualDuration, VirtualTime,
     };
+    pub use sci_wal::FsyncPolicy;
 }

@@ -1,0 +1,500 @@
+//! Crash-matrix durability tests (ISSUE 9 centrepiece).
+//!
+//! Two scenarios:
+//!
+//! 1. **Kill-at-any-byte-prefix.** A Context Server records a rich
+//!    command history through its write-ahead log, then we simulate a
+//!    crash at every chosen byte offset of the on-disk log: truncate
+//!    the segment files to that prefix, recover, and demand that the
+//!    recovered durable state equals an uninterrupted oracle that
+//!    applied exactly the commands the truncated log still holds — or
+//!    that the torn suffix is cleanly reported. The crash offsets are
+//!    overridable through `SCI_CRASH_POINTS` (mirroring
+//!    `SCI_CHAOS_SEEDS`): unset samples ~96 evenly spaced offsets,
+//!    `all` sweeps every byte, an integer `N` samples `N` offsets, and
+//!    a comma list names explicit offsets.
+//!
+//! 2. **Exactly-once redelivery.** A durable range inside a
+//!    [`ParallelFederation`] is killed and recovered from its WAL; the
+//!    replayed outbox re-offers every delivery since the last
+//!    snapshot, and the `(origin, seq)` filter squashes the re-offers
+//!    so each application sees each event exactly once across the
+//!    crash — including deliveries that were already relayed
+//!    cross-range before the range died.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sci::core::durability;
+use sci::core::logic::LogicFactory;
+use sci::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory per call (pid + counter), so parallel
+/// test binaries and repeated runs never collide.
+fn tmpdir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sci-durability-{tag}-{}-{n}", std::process::id()))
+}
+
+fn t(secs: u64) -> VirtualTime {
+    VirtualTime::from_secs(secs)
+}
+
+fn presence(sensor: Guid, subject: u128, at: VirtualTime) -> ContextEvent {
+    ContextEvent::new(
+        sensor,
+        ContextType::Presence,
+        ContextValue::record([
+            ("subject", ContextValue::Id(Guid::from_u128(subject))),
+            ("to", ContextValue::place("L10.01")),
+        ]),
+        at,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: kill-at-any-byte-prefix equals the uninterrupted oracle.
+// ---------------------------------------------------------------------------
+
+const RANGE_ID: u128 = 0xD00D;
+const DERIVER: u128 = 0xDE01;
+const DOOR: u128 = 0xD001;
+const BADGE: u128 = 0xBA06;
+const APP_A: u128 = 0xAAA1;
+const APP_B: u128 = 0xAAA2;
+
+/// A deterministic all-durable command history exercising every
+/// durable state family: settings, equivalences, profiles, logic
+/// classes, advertisements, live subscriptions, a deferred query that
+/// fires mid-script, single and batched ingests, heartbeats, history
+/// expiry, cancellation and deregistration. Regenerated per use —
+/// [`RangeCommand`] is deliberately not `Clone` (it can carry logic
+/// factories).
+fn durable_script() -> Vec<(RangeCommand, VirtualTime)> {
+    let deriver = Guid::from_u128(DERIVER);
+    let door = Guid::from_u128(DOOR);
+    let badge = Guid::from_u128(BADGE);
+    let app_a = Guid::from_u128(APP_A);
+    let app_b = Guid::from_u128(APP_B);
+
+    let mut script: Vec<(RangeCommand, VirtualTime)> = vec![
+        (RangeCommand::SetReuse(true), t(0)),
+        (RangeCommand::SetAutoRegisterPeople(true), t(0)),
+        (RangeCommand::SetPlanVerification(false), t(0)),
+        (
+            RangeCommand::DeclareEquivalence(
+                ContextType::Presence,
+                ContextType::custom("badge-sighting"),
+            ),
+            t(0),
+        ),
+        (
+            RangeCommand::Register(Box::new(
+                Profile::builder(door, EntityKind::Device, "door-L10.01")
+                    .output(PortSpec::new("presence", ContextType::Presence))
+                    .attribute("max-silence-us", ContextValue::Int(15_000_000))
+                    .build(),
+            )),
+            t(1),
+        ),
+        (
+            RangeCommand::Register(Box::new(
+                Profile::builder(badge, EntityKind::Device, "badge-reader")
+                    .output(PortSpec::new(
+                        "sight",
+                        ContextType::custom("badge-sighting"),
+                    ))
+                    .build(),
+            )),
+            t(1),
+        ),
+        (
+            RangeCommand::RegisterLogic(deriver, factory(OccupancyLogic::new)),
+            t(1),
+        ),
+        (
+            RangeCommand::Advertise(Box::new(Advertisement::new(door, "presence-feed"))),
+            t(2),
+        ),
+        (
+            RangeCommand::Submit(Box::new(
+                Query::builder(Guid::from_u128(0x100), app_a)
+                    .info(ContextType::Presence)
+                    .mode(Mode::Subscribe)
+                    .build(),
+            )),
+            t(2),
+        ),
+        (
+            RangeCommand::Submit(Box::new(
+                Query::builder(Guid::from_u128(0x101), app_b)
+                    .info(ContextType::Presence)
+                    .mode(Mode::Subscribe)
+                    .build(),
+            )),
+            t(2),
+        ),
+        (
+            RangeCommand::Submit(Box::new(
+                Query::builder(Guid::from_u128(0x102), app_a)
+                    .info(ContextType::Presence)
+                    .at(t(8))
+                    .build(),
+            )),
+            t(3),
+        ),
+    ];
+    for k in 0..6u64 {
+        let ev = presence(door, 0x1000 + u128::from(k), t(3 + k));
+        script.push((RangeCommand::Ingest(ev), t(3 + k)));
+    }
+    script.push((RangeCommand::Heartbeat(door), t(6)));
+    script.push((
+        RangeCommand::IngestBatch(vec![
+            presence(door, 0x2000, t(9)),
+            presence(door, 0x2001, t(9)),
+        ]),
+        t(9),
+    ));
+    script.push((RangeCommand::PollTimers, t(9)));
+    script.push((RangeCommand::ExpireHistory, t(10)));
+    script.push((RangeCommand::Cancel(Guid::from_u128(0x101)), t(10)));
+    script.push((RangeCommand::Deregister(badge), t(11)));
+    for k in 0..4u64 {
+        let ev = presence(door, 0x3000 + u128::from(k), t(12 + k));
+        script.push((RangeCommand::Ingest(ev), t(12 + k)));
+    }
+    script.push((RangeCommand::PollTimers, t(16)));
+    script
+}
+
+fn logic_resolver() -> HashMap<Guid, LogicFactory> {
+    let mut logic: HashMap<Guid, LogicFactory> = HashMap::new();
+    logic.insert(Guid::from_u128(DERIVER), factory(OccupancyLogic::new));
+    logic
+}
+
+/// The oracle: a fresh (WAL-free) server that applied exactly the
+/// first `k` script commands without interruption.
+fn oracle_digest(k: usize) -> String {
+    let mut cs = ContextServer::new(Guid::from_u128(RANGE_ID), "durable-range", capa_level10());
+    for (cmd, now) in durable_script().into_iter().take(k) {
+        let _ = cs.handle(cmd, now);
+    }
+    durable_digest(&cs)
+}
+
+/// Sorted `(name, len)` of the segment files in a WAL directory.
+fn segment_files(dir: &Path) -> Vec<(String, u64)> {
+    let mut segs: Vec<(String, u64)> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                e.metadata().unwrap().len(),
+            )
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+/// Stages a crash image: snapshots are copied intact (they are written
+/// atomically via rename), and the concatenated segment stream is cut
+/// at byte offset `cut` — the straddled segment is truncated, later
+/// segments never made it to disk.
+fn stage_crash(src: &Path, dst: &Path, cut: u64) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap().filter_map(|e| e.ok()) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".snap") {
+            std::fs::copy(entry.path(), dst.join(&name)).unwrap();
+        }
+    }
+    let mut remaining = cut;
+    for (name, len) in segment_files(src) {
+        if remaining == 0 {
+            break;
+        }
+        let take = remaining.min(len) as usize;
+        let bytes = std::fs::read(src.join(&name)).unwrap();
+        std::fs::write(dst.join(&name), &bytes[..take]).unwrap();
+        remaining -= take as u64;
+    }
+}
+
+/// `n` evenly spaced offsets across `[0, total]`, endpoints included.
+fn spaced(total: u64, n: u64) -> Vec<u64> {
+    if total == 0 {
+        return vec![0];
+    }
+    let n = n.clamp(2, total + 1);
+    let mut pts: Vec<u64> = (0..n).map(|i| i * total / (n - 1)).collect();
+    pts.dedup();
+    pts
+}
+
+/// Crash offsets under test. `SCI_CRASH_POINTS` mirrors
+/// `SCI_CHAOS_SEEDS`: unset → ~96 spaced offsets, `all` → every byte,
+/// an integer → that many spaced offsets, a comma list → explicit
+/// offsets (clamped to the log size).
+fn crash_points(total: u64) -> Vec<u64> {
+    let mut pts = match std::env::var("SCI_CRASH_POINTS") {
+        Ok(spec) if spec.trim().eq_ignore_ascii_case("all") => (0..=total).collect(),
+        Ok(spec) if spec.contains(',') => spec
+            .split(',')
+            .filter_map(|s| s.trim().parse::<u64>().ok())
+            .map(|c| c.min(total))
+            .collect(),
+        Ok(spec) => spaced(total, spec.trim().parse::<u64>().unwrap_or(96)),
+        Err(_) => spaced(total, 96),
+    };
+    // Always include a guaranteed-torn offset and both endpoints.
+    pts.push(total.saturating_sub(1));
+    pts.push(0);
+    pts.push(total);
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+#[test]
+fn truncation_at_any_byte_prefix_recovers_the_oracle_state() {
+    let record_dir = tmpdir("record");
+    let config = DurabilityConfig {
+        dir: record_dir.clone(),
+        fsync: FsyncPolicy::Always,
+        segment_bytes: 2048,
+        snapshot_every: 9,
+    };
+
+    // Recording run: every durable command goes through the WAL; small
+    // segments force rotation, the snapshot cadence forces snapshots
+    // and segment GC mid-history.
+    let script = durable_script();
+    let n = script.len();
+    {
+        let mut cs = ContextServer::new(Guid::from_u128(RANGE_ID), "durable-range", capa_level10());
+        durability::attach(&mut cs, &config, VirtualTime::ZERO).unwrap();
+        for (i, (cmd, now)) in script.into_iter().enumerate() {
+            let kind = cmd.kind();
+            cs.handle(cmd, now)
+                .unwrap_or_else(|e| panic!("script command {i} ({kind}) failed: {e}"));
+        }
+        cs.sync_wal().unwrap();
+    }
+
+    let total: u64 = segment_files(&record_dir).iter().map(|(_, len)| len).sum();
+    assert!(total > 0, "recording run produced no log bytes");
+    let logic = logic_resolver();
+
+    let mut prev_k = 0u64;
+    let mut torn_seen = false;
+    for cut in crash_points(total) {
+        let scratch = tmpdir("cut");
+        stage_crash(&record_dir, &scratch, cut);
+
+        let crash_config = DurabilityConfig {
+            dir: scratch.clone(),
+            ..config.clone()
+        };
+        let (recovered, report) = durability::recover(
+            Guid::from_u128(RANGE_ID),
+            "durable-range",
+            capa_level10(),
+            Registry::new(),
+            &crash_config,
+            &logic,
+        )
+        .unwrap_or_else(|e| panic!("recovery failed at cut {cut}/{total}: {e}"));
+
+        // Commands durably recovered: snapshot floor plus replayed log
+        // suffix. Torn tails may only appear for genuine truncations,
+        // and recovered history never shrinks as the cut grows.
+        let k = report.snapshot_applied.unwrap_or(0) + report.replayed as u64;
+        assert_eq!(
+            report.replay_errors, 0,
+            "cut {cut}/{total}: replay errors {report:?}"
+        );
+        if report.torn_bytes > 0 {
+            torn_seen = true;
+            assert!(
+                cut < total,
+                "cut {cut}/{total}: intact log reported torn: {report:?}"
+            );
+        }
+        assert!(
+            k >= prev_k,
+            "cut {cut}/{total}: recovered history shrank ({k} < {prev_k})"
+        );
+        prev_k = k;
+        if cut == total {
+            assert_eq!(k, n as u64, "full log must recover the whole history");
+            assert_eq!(report.torn_bytes, 0, "full log must not report torn bytes");
+            assert!(report.torn_detail.is_none());
+        }
+
+        assert_eq!(
+            durable_digest(&recovered),
+            oracle_digest(k as usize),
+            "cut {cut}/{total}: recovered state diverges from the oracle at K={k} ({report:?})"
+        );
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    assert!(torn_seen, "the crash matrix never exercised a torn tail");
+    let _ = std::fs::remove_dir_all(&record_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: federation kill/recover with exactly-once redelivery.
+// ---------------------------------------------------------------------------
+
+fn fed_plan(i: usize) -> FloorPlan {
+    FloorPlan::builder("campus")
+        .zone(format!("wing-{i}"))
+        .room(
+            format!("hall-{i}"),
+            Rect::with_size(Coord::new(0.0, 0.0), 20.0, 10.0),
+        )
+        .build()
+        .unwrap()
+}
+
+fn delivery_keys(deliveries: Vec<AppDelivery>) -> Vec<String> {
+    let mut keys: Vec<String> = deliveries.iter().map(|d| format!("{d:?}")).collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[test]
+fn killed_range_recovers_from_wal_and_redelivers_exactly_once() {
+    let dir = tmpdir("fed");
+    let config = DurabilityConfig {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Always,
+        segment_bytes: 64 * 1024,
+        // No mid-run snapshot: replay regenerates the entire outbox, so
+        // every pre-crash delivery is re-offered and must be squashed.
+        snapshot_every: 1 << 20,
+    };
+
+    let a_id = Guid::from_u128(0xA11CE);
+    let sensor = Guid::from_u128(0x5E75);
+    let mut cs_a = ContextServer::new(a_id, "range-a", fed_plan(0));
+    cs_a.register(
+        Profile::builder(sensor, EntityKind::Device, "sensor-a")
+            .output(PortSpec::new("presence", ContextType::Presence))
+            .build(),
+        VirtualTime::ZERO,
+    )
+    .unwrap();
+    durability::attach(&mut cs_a, &config, VirtualTime::ZERO).unwrap();
+
+    let mut fed = ParallelFederation::new(17);
+    fed.add_range(cs_a).unwrap();
+    fed.add_range(ContextServer::new(
+        Guid::from_u128(0xB0B),
+        "range-b",
+        fed_plan(1),
+    ))
+    .unwrap();
+    fed.connect_full();
+
+    // One cross-range subscriber homed at range-b, one local at range-a.
+    let remote_app = Guid::from_u128(0xA99);
+    let local_app = Guid::from_u128(0xA88);
+    let fa = fed
+        .submit_from(
+            "range-b",
+            &Query::builder(Guid::from_u128(0x200), remote_app)
+                .info(ContextType::Presence)
+                .in_range("range-a")
+                .mode(Mode::Subscribe)
+                .build(),
+            t(0),
+        )
+        .unwrap();
+    assert!(
+        matches!(fa.answer, QueryAnswer::Subscribed { .. }),
+        "{fa:?}"
+    );
+    let fa = fed
+        .submit_from(
+            "range-a",
+            &Query::builder(Guid::from_u128(0x201), local_app)
+                .info(ContextType::Presence)
+                .mode(Mode::Subscribe)
+                .build(),
+            t(0),
+        )
+        .unwrap();
+    assert!(
+        matches!(fa.answer, QueryAnswer::Subscribed { .. }),
+        "{fa:?}"
+    );
+
+    // Wave 1: delivered and consumed before the crash.
+    for k in 0..4u64 {
+        let ev = presence(sensor, 0x1000 + u128::from(k), t(1 + k));
+        fed.ingest_at("range-a", &ev, t(1 + k)).unwrap();
+    }
+    fed.sync(t(5)).unwrap();
+    assert_eq!(delivery_keys(fed.deliveries_for(remote_app)).len(), 4);
+    assert_eq!(delivery_keys(fed.deliveries_for(local_app)).len(), 4);
+
+    // Wave 2: relayed and absorbed, but not yet consumed when the
+    // range dies.
+    for k in 4..6u64 {
+        let ev = presence(sensor, 0x1000 + u128::from(k), t(2 + k));
+        fed.ingest_at("range-a", &ev, t(2 + k)).unwrap();
+    }
+    fed.sync(t(9)).unwrap();
+
+    // Crash: the worker is severed and joined, in-memory state is
+    // lost; the WAL directory is all that survives (plus the telemetry
+    // registry, which stays continuous across the recovery).
+    let registry = fed.kill_range("range-a").unwrap();
+    let logic: HashMap<Guid, LogicFactory> = HashMap::new();
+    let (recovered, report) =
+        durability::recover(a_id, "range-a", fed_plan(0), registry, &config, &logic).unwrap();
+    assert_eq!(report.torn_bytes, 0, "{report:?}");
+    assert_eq!(report.replay_errors, 0, "{report:?}");
+    assert!(report.replayed > 0, "{report:?}");
+
+    // Rejoin: the replayed outbox re-offers all six events to both
+    // apps; the (origin, seq) filter must squash every one of them.
+    let dedup_before = fed.relay_dedup_hits();
+    fed.recover_range(recovered).unwrap();
+    // Round-trip one command so the recovered worker's startup flush is
+    // ordered before the next stream drain (workers stream before
+    // replying; the flush precedes command processing).
+    fed.command("range-a", RangeCommand::Audit, t(10)).unwrap();
+    fed.sync(t(10)).unwrap();
+    assert!(
+        fed.relay_dedup_hits() > dedup_before,
+        "recovery re-offered no duplicates — the redelivery path never ran"
+    );
+    let wave2 = delivery_keys(fed.deliveries_for(remote_app));
+    assert_eq!(wave2.len(), 2, "wave-2 must arrive exactly once: {wave2:?}");
+    assert_eq!(delivery_keys(fed.deliveries_for(local_app)).len(), 2);
+
+    // Wave 3: fresh post-recovery traffic must NOT be falsely deduped —
+    // the restored stream counters continue past every pre-crash seq.
+    for k in 6..9u64 {
+        let ev = presence(sensor, 0x1000 + u128::from(k), t(11 + k));
+        fed.ingest_at("range-a", &ev, t(11 + k)).unwrap();
+    }
+    fed.sync(t(30)).unwrap();
+    assert_eq!(delivery_keys(fed.deliveries_for(remote_app)).len(), 3);
+    assert_eq!(delivery_keys(fed.deliveries_for(local_app)).len(), 3);
+
+    fed.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
