@@ -29,13 +29,18 @@
 //!   that is retried *and* enveloped; anything less and a mid-move
 //!   entity can lose its packaged state (no retry), double-replay it
 //!   (no envelope), or never receive it at all (no class).
+//! * **SCI-A207** — when the transport declares its wire-level
+//!   peerings (a socket transport, as opposed to an in-process one),
+//!   every directory-implied relay route must ride on a live or
+//!   dialable peering in both directions; a route with no wire
+//!   underneath it fails only at runtime, with traffic in flight.
 
 use std::collections::{HashMap, HashSet};
 
 use sci_types::{AnalysisReport, DiagCode, Diagnostic, FederationModel, Guid};
 
 /// Verifies a federation protocol model, returning one diagnostic per
-/// defect (codes SCI-A201..A206). A clean report means the declared
+/// defect (codes SCI-A201..A207). A clean report means the declared
 /// topology, retry discipline, blueprint taxonomy and envelope
 /// discipline are consistent — it does not prove liveness under
 /// faults, only the absence of statically-visible protocol defects.
@@ -47,6 +52,7 @@ pub fn verify_federation(model: &FederationModel) -> AnalysisReport {
     check_blueprint(model, &mut report);
     check_envelopes(model, &mut report);
     check_migration(model, &mut report);
+    check_transport_links(model, &mut report);
     report
 }
 
@@ -264,6 +270,45 @@ fn check_migration(model: &FederationModel, report: &mut AnalysisReport) {
     }
 }
 
+/// SCI-A207: every directory-implied relay route must have wire
+/// underneath it — a live or dialable peering, in both directions —
+/// whenever the transport declares its peerings at all. In-process
+/// transports (`transport_links == None`) reach anything and are
+/// skipped.
+fn check_transport_links(model: &FederationModel, report: &mut AnalysisReport) {
+    if model.transport_links.is_none() {
+        return;
+    }
+    let mut flagged: HashSet<(Guid, Guid)> = HashSet::new();
+    for claim in &model.routes {
+        if claim.at == claim.coverer {
+            continue;
+        }
+        for (src, dst, leg) in [
+            (claim.at, claim.coverer, "relay"),
+            (claim.coverer, claim.at, "answer"),
+        ] {
+            if model.wired(src, dst) || !flagged.insert((src, dst)) {
+                continue; // wired, or already reported for this pair
+            }
+            report.push(
+                Diagnostic::new(
+                    DiagCode::TransportLinkMissing,
+                    format!(
+                        "{leg} leg {} -> {} for place `{}` has no wire underneath \
+                         it: the transport holds neither a live peering nor a \
+                         dialable listener address for the pair",
+                        model.range_name(src),
+                        model.range_name(dst),
+                        claim.place,
+                    ),
+                )
+                .for_ce(src),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -295,6 +340,7 @@ mod tests {
             ],
             links: vec![(a, b), (b, a)],
             faults: None,
+            transport_links: None,
             retry: RetryModel {
                 retries: 4,
                 backoff_base_us: 500,
@@ -526,6 +572,62 @@ mod tests {
         // required.
         let report = verify_federation(&healthy());
         assert!(!report.has_code(DiagCode::MigrationUnenveloped), "{report}");
+    }
+
+    #[test]
+    fn a207_in_process_transport_is_skipped() {
+        // healthy() declares no transport links: nothing to verify.
+        let report = verify_federation(&healthy());
+        assert!(!report.has_code(DiagCode::TransportLinkMissing), "{report}");
+    }
+
+    #[test]
+    fn a207_wired_both_ways_is_clean() {
+        use sci_types::TransportLinkModel;
+        let mut model = healthy();
+        model.transport_links = Some(vec![
+            TransportLinkModel {
+                src: g(1),
+                dst: g(2),
+                established: true,
+            },
+            TransportLinkModel {
+                src: g(2),
+                dst: g(1),
+                // A merely dialable answer leg still counts as wire.
+                established: false,
+            },
+        ]);
+        let report = verify_federation(&model);
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn a207_missing_answer_leg_is_an_error() {
+        use sci_types::TransportLinkModel;
+        let mut model = healthy();
+        // Forward wire only: the answer could never come home.
+        model.transport_links = Some(vec![TransportLinkModel {
+            src: g(1),
+            dst: g(2),
+            established: true,
+        }]);
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::TransportLinkMissing), "{report}");
+        assert!(report.has_errors());
+        let rendered = report.to_string();
+        assert!(rendered.contains("answer leg"), "{rendered}");
+        assert_eq!(report.errors().count(), 1, "one finding per directed pair");
+    }
+
+    #[test]
+    fn a207_empty_declaration_flags_every_route() {
+        let mut model = healthy();
+        // A socket transport that peered with nobody.
+        model.transport_links = Some(vec![]);
+        let report = verify_federation(&model);
+        assert!(report.has_code(DiagCode::TransportLinkMissing), "{report}");
+        assert_eq!(report.errors().count(), 2, "both legs flagged");
     }
 
     #[test]

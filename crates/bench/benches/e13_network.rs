@@ -1,0 +1,333 @@
+//! E13 — the cost of real bytes on a real wire.
+//!
+//! Every other experiment runs the federation over the in-process
+//! [`SimNetwork`]; this one runs the identical relay workload over
+//! [`TcpTransport`] — loopback sockets, `sci-wal` codec frames, acked
+//! sends — and prices the difference.
+//!
+//! The `relay` group wall-clocks a one-event relay round trip
+//! (ingest in `range-1`, delivery drained in `range-0`) per transport:
+//! `rtt_us` is the end-to-end latency of the production relay path,
+//! which over TCP includes the frame encode, the kernel round trip and
+//! the synchronous delivery ack. The `sustained` group streams a
+//! batched workload through the same two-range federation and reports
+//! `sustained_kevents_s` — throughput with the ack pipeline warm.
+//!
+//! Shape rows land in `BENCH_network.json` at the repo root, compared
+//! by `scripts/bench_compare.py`: per-transport `rtt_us` and
+//! `sustained_kevents_s` gate at 3.0x (directional — latency up is bad,
+//! throughput down is bad); the sim/tcp ratio rows are informational,
+//! because the gap between a function call and a kernel round trip is
+//! a property of the host, not the code.
+//!
+//! The Criterion group keeps a steady-state probe on the raw
+//! [`Transport::send`] path over sockets, away from federation noise.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sci_core::context_server::ContextServer;
+use sci_core::federation::Federation;
+use sci_location::{FloorPlan, Rect};
+use sci_overlay::message::{Message, MessageKind};
+use sci_overlay::{SimNetwork, TcpTransport, Transport};
+use sci_query::{Mode, Query};
+use sci_types::{
+    ContextEvent, ContextType, ContextValue, Coord, EntityKind, Guid, PortSpec, Profile,
+    VirtualTime,
+};
+
+/// Round trips per measured relay row (after warm-up).
+const ROUND_TRIPS: u64 = 400;
+/// Events per measured sustained row.
+const EVENTS: u64 = 4_000;
+/// Events per ingest batch on the sustained path.
+const BATCH: u64 = 100;
+/// Warm-up events kept out of every measured window.
+const WARMUP: u64 = 100;
+
+fn plan(i: usize) -> FloorPlan {
+    FloorPlan::builder("campus")
+        .zone(format!("wing-{i}"))
+        .room(
+            format!("hall-{i}"),
+            Rect::with_size(Coord::new(0.0, 0.0), 20.0, 10.0),
+        )
+        .build()
+        .expect("static plan")
+}
+
+fn presence(sensor: Guid, subject: u64, at: VirtualTime) -> ContextEvent {
+    ContextEvent::new(
+        sensor,
+        ContextType::Presence,
+        ContextValue::record([(
+            "subject",
+            ContextValue::Id(Guid::from_u128(0xBEEF_0000 + u128::from(subject))),
+        )]),
+        at,
+    )
+}
+
+struct Row {
+    group: &'static str,
+    mode: &'static str,
+    events: u64,
+    rtt_us: f64,
+    sustained_kevents_s: f64,
+    ratio: f64,
+}
+
+/// A two-range federation with one cross-range presence subscription:
+/// the smallest topology in which every event crosses the transport.
+fn two_range_fed<T: Transport>(inner: T) -> (Federation<T>, Guid, Guid) {
+    let mut fed: Federation<T> = Federation::with_transport(inner, 7);
+    let sensor = Guid::from_u128(0x5E50);
+    let app = Guid::from_u128(0xA990);
+    for i in 0..2usize {
+        let mut cs = ContextServer::new(
+            Guid::from_u128(0xE130 + i as u128),
+            format!("range-{i}"),
+            plan(i),
+        );
+        if i == 1 {
+            cs.register(
+                Profile::builder(sensor, EntityKind::Device, "sensor-1")
+                    .output(PortSpec::new("p", ContextType::Presence))
+                    .build(),
+                VirtualTime::ZERO,
+            )
+            .expect("fresh sensor");
+        }
+        fed.add_range(cs).expect("unique range");
+    }
+    fed.connect_full();
+    let q = Query::builder(Guid::from_u128(0x100), app)
+        .info(ContextType::Presence)
+        .in_range("range-1")
+        .mode(Mode::Subscribe)
+        .build();
+    fed.submit_from("range-0", &q, VirtualTime::ZERO)
+        .expect("subscriber");
+    (fed, sensor, app)
+}
+
+/// Drains deliveries, pumping once if the relay is still in flight.
+fn settle<T: Transport>(fed: &mut Federation<T>, app: Guid, now: VirtualTime) -> usize {
+    let mut got = fed.deliveries_for(app).len();
+    if got == 0 {
+        fed.pump(now).expect("pumps");
+        got = fed.deliveries_for(app).len();
+    }
+    got
+}
+
+/// One relay row: `ROUND_TRIPS` single-event round trips, each timed
+/// from ingest to drained delivery.
+fn measure_relay<T: Transport>(mode: &'static str, inner: T) -> Row {
+    let (mut fed, sensor, app) = two_range_fed(inner);
+    let mut clock = 0u64;
+    for _ in 0..WARMUP {
+        clock += 1;
+        let now = VirtualTime::from_micros(clock);
+        fed.ingest_at("range-1", &presence(sensor, clock, now), now)
+            .expect("warm-up ingests");
+        settle(&mut fed, app, now);
+    }
+
+    let mut delivered = 0usize;
+    let start = Instant::now();
+    for _ in 0..ROUND_TRIPS {
+        clock += 1;
+        let now = VirtualTime::from_micros(clock);
+        fed.ingest_at("range-1", &presence(sensor, clock, now), now)
+            .expect("ingests");
+        delivered += settle(&mut fed, app, now);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        delivered as u64 >= ROUND_TRIPS,
+        "{mode}: saw {delivered} of {ROUND_TRIPS} round trips"
+    );
+
+    Row {
+        group: "relay",
+        mode,
+        events: ROUND_TRIPS,
+        rtt_us: elapsed * 1e6 / ROUND_TRIPS as f64,
+        sustained_kevents_s: 0.0,
+        ratio: 0.0,
+    }
+}
+
+/// One sustained row: `EVENTS` events in `BATCH`-sized ingests with
+/// the delivery drain riding along, timed end to end.
+fn measure_sustained<T: Transport>(mode: &'static str, inner: T) -> Row {
+    let (mut fed, sensor, app) = two_range_fed(inner);
+    let mut clock = 0u64;
+    let batch_of = |n: u64, clock: &mut u64| -> Vec<ContextEvent> {
+        (0..n)
+            .map(|_| {
+                *clock += 1;
+                presence(sensor, *clock, VirtualTime::from_micros(*clock))
+            })
+            .collect()
+    };
+    let warmup = batch_of(WARMUP, &mut clock);
+    fed.ingest_batch_at("range-1", &warmup, VirtualTime::from_micros(clock))
+        .expect("warm-up ingests");
+    settle(&mut fed, app, VirtualTime::from_micros(clock));
+
+    let mut delivered = 0usize;
+    let start = Instant::now();
+    for _ in 0..EVENTS / BATCH {
+        let batch = batch_of(BATCH, &mut clock);
+        let now = VirtualTime::from_micros(clock);
+        fed.ingest_batch_at("range-1", &batch, now)
+            .expect("ingests");
+        delivered += settle(&mut fed, app, now);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        delivered as u64 >= EVENTS,
+        "{mode}: subscriber saw {delivered} of {EVENTS} streamed events"
+    );
+
+    Row {
+        group: "sustained",
+        mode,
+        events: EVENTS,
+        rtt_us: 0.0,
+        sustained_kevents_s: EVENTS as f64 / elapsed / 1e3,
+        ratio: 0.0,
+    }
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn write_json(rows: &[Row]) {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| match r.group {
+            "relay" => format!(
+                "    {{\"group\": \"relay\", \"mode\": \"{}\", \"events\": {}, \
+                 \"rtt_us\": {:.2}}}",
+                r.mode, r.events, r.rtt_us
+            ),
+            "sustained" => format!(
+                "    {{\"group\": \"sustained\", \"mode\": \"{}\", \"events\": {}, \
+                 \"sustained_kevents_s\": {:.1}}}",
+                r.mode, r.events, r.sustained_kevents_s
+            ),
+            _ => format!(
+                "    {{\"group\": \"ratio\", \"mode\": \"{}\", \"ratio\": {:.2}}}",
+                r.mode, r.ratio
+            ),
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_network\",\n  \"unit\": \"us\",\n  \
+         \"available_cores\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        available_cores(),
+        body.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_network.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "\nE13: bytes on the wire, loopback sockets vs in-process ({} cores available)",
+        available_cores()
+    );
+    println!(
+        "{:>12} | {:>6} {:>8} {:>12} {:>21} {:>8}",
+        "group", "mode", "events", "rtt", "sustained (kevents/s)", "ratio"
+    );
+    for r in rows {
+        match r.group {
+            "relay" => println!(
+                "{:>12} | {:>6} {:>8} {:>9.2} us {:>21} {:>8}",
+                r.group, r.mode, r.events, r.rtt_us, "", ""
+            ),
+            "sustained" => println!(
+                "{:>12} | {:>6} {:>8} {:>12} {:>21.1} {:>8}",
+                r.group, r.mode, r.events, "", r.sustained_kevents_s, ""
+            ),
+            _ => println!(
+                "{:>12} | {:>6} {:>8} {:>12} {:>21} {:>7.2}x",
+                r.group, r.mode, "", "", "", r.ratio
+            ),
+        }
+    }
+    println!();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut rows = vec![
+        measure_relay("sim", SimNetwork::new()),
+        measure_relay("tcp", TcpTransport::new()),
+        measure_sustained("sim", SimNetwork::new()),
+        measure_sustained("tcp", TcpTransport::new()),
+    ];
+    let rtt_ratio = rows[1].rtt_us / rows[0].rtt_us.max(f64::EPSILON);
+    let tput_ratio = rows[2].sustained_kevents_s / rows[3].sustained_kevents_s.max(f64::EPSILON);
+    rows.push(Row {
+        group: "ratio",
+        mode: "rtt_tcp_over_sim",
+        events: 0,
+        rtt_us: 0.0,
+        sustained_kevents_s: 0.0,
+        ratio: rtt_ratio,
+    });
+    rows.push(Row {
+        group: "ratio",
+        mode: "tput_sim_over_tcp",
+        events: 0,
+        rtt_us: 0.0,
+        sustained_kevents_s: 0.0,
+        ratio: tput_ratio,
+    });
+    print_table(&rows);
+    write_json(&rows);
+
+    // Steady-state probe: the raw acked send path over a socket pair,
+    // no federation on top.
+    let mut group = c.benchmark_group("e13_net");
+    group.bench_function(BenchmarkId::new("send", "tcp"), |b| {
+        let mut net = TcpTransport::new();
+        let a = Guid::from_u128(0xA);
+        let z = Guid::from_u128(0xB);
+        net.add_node(a, "alpha").expect("node");
+        net.add_node(z, "zeta").expect("node");
+        net.connect_full();
+        let mut n = 0u128;
+        b.iter(|| {
+            n += 1;
+            let msg = Message::new(
+                Guid::from_u128(0x1000 + n),
+                a,
+                z,
+                MessageKind::Ping,
+                vec![0xA5u8; 64],
+            );
+            net.send(msg).expect("routes");
+            net.drain(z)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_network
+}
+criterion_main!(benches);

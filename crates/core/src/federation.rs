@@ -195,8 +195,16 @@ impl<T: Transport> Federation<T> {
         let id = cs.id();
         let name = cs.name().to_owned();
         self.net.add_node(id, &name)?;
+        // Replicate the range's registrations through the transport's
+        // anti-entropy store (a no-op on in-process transports), so a
+        // socket federation's late joiners converge on coverage during
+        // the peering handshake.
+        self.net
+            .publish_registration(id, &format!("range/{name}"), &id.to_string())?;
         for room in cs.location().plan().rooms() {
             self.places.entry(room.name.clone()).or_insert(id);
+            self.net
+                .publish_registration(id, &format!("place/{}", room.name), &id.to_string())?;
         }
         self.names.insert(id, name);
         self.servers.insert(id, cs);
@@ -388,6 +396,7 @@ impl<T: Transport> Federation<T> {
             ranges,
             links,
             faults: self.net.fault_model(),
+            transport_links: self.net.link_model(),
             retry: RetryModel {
                 retries: RELAY_RETRIES,
                 backoff_base_us: RETRY_BACKOFF_BASE_US,

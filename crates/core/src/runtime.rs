@@ -1277,8 +1277,17 @@ impl<T: Transport> ParallelFederation<T> {
     pub fn add_range(&mut self, cs: ContextServer) -> SciResult<Guid> {
         let id = cs.id();
         self.fabric.add_node(id, cs.name())?;
+        // Mirror Federation::add_range: replicate coverage through the
+        // transport's anti-entropy store (no-op in-process).
+        self.fabric
+            .publish_registration(id, &format!("range/{}", cs.name()), &id.to_string())?;
         for room in cs.location().plan().rooms() {
             self.places.entry(room.name.clone()).or_insert(id);
+            self.fabric.publish_registration(
+                id,
+                &format!("place/{}", room.name),
+                &id.to_string(),
+            )?;
         }
         self.workers.insert(
             id,
@@ -1340,6 +1349,7 @@ impl<T: Transport> ParallelFederation<T> {
             ranges,
             links,
             faults: self.fabric.fault_model(),
+            transport_links: self.fabric.link_model(),
             retry: RetryModel {
                 retries: RELAY_RETRIES,
                 backoff_base_us: RETRY_BACKOFF_BASE_US,

@@ -341,6 +341,24 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         Some(&self.registry)
     }
 
+    fn publish_registration(&mut self, node: Guid, key: &str, value: &str) -> SciResult<()> {
+        // Registration replication is control-plane traffic; the fault
+        // layer targets the data plane, so it passes through clean.
+        self.inner.publish_registration(node, key, value)
+    }
+
+    fn retract_registration(&mut self, node: Guid, key: &str) -> SciResult<()> {
+        self.inner.retract_registration(node, key)
+    }
+
+    fn registration_digest(&self, node: Guid) -> Option<u64> {
+        self.inner.registration_digest(node)
+    }
+
+    fn link_model(&self) -> Option<Vec<sci_types::TransportLinkModel>> {
+        self.inner.link_model()
+    }
+
     fn fault_model(&self) -> Option<FaultSchedule> {
         let mut link_probs: Vec<LinkFaultModel> = self
             .link_probs

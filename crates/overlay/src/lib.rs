@@ -40,6 +40,7 @@ pub mod message;
 pub mod net;
 pub mod routing;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 
 pub use fault::{FaultProbs, FaultyTransport};
@@ -48,4 +49,5 @@ pub use message::{Message, MessageKind};
 pub use net::{RouteOutcome, SimNetwork};
 pub use routing::RoutingTable;
 pub use stats::LoadStats;
+pub use tcp::{SyncEntry, SyncStore, TcpTransport, TCP_PROTOCOL_VERSION};
 pub use transport::{ThreadedTransport, Transport};

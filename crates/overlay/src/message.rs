@@ -65,7 +65,10 @@ impl MessageKind {
         MessageKind::Migrate,
     ];
 
-    fn to_wire(self) -> u8 {
+    /// The kind's wire tag (0–8). Shared by the message header and the
+    /// TCP transport's frame tags, so a frame's kind is readable before
+    /// the payload is parsed.
+    pub fn to_wire(self) -> u8 {
         match self {
             MessageKind::QueryForward => 0,
             MessageKind::QueryResponse => 1,
@@ -79,7 +82,12 @@ impl MessageKind {
         }
     }
 
-    fn from_wire(byte: u8) -> SciResult<MessageKind> {
+    /// Parses a wire tag back into a kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SciError::Codec`] for tags outside 0–8.
+    pub fn from_wire(byte: u8) -> SciResult<MessageKind> {
         MessageKind::ALL
             .into_iter()
             .find(|k| k.to_wire() == byte)

@@ -1,0 +1,1449 @@
+//! Bytes-on-the-wire transport: the SCINET over real TCP sockets.
+//!
+//! Every in-process transport in this crate routes by shared memory;
+//! [`TcpTransport`] puts the same [`Transport`] contract on loopback
+//! sockets so the federation layer — and the chaos suite wrapped
+//! around it — runs unchanged over a real wire (ROADMAP item 1).
+//!
+//! Three mechanisms make that possible:
+//!
+//! * **Framing** reuses `sci-wal`'s tagged frame codec verbatim: every
+//!   message travels as `len | tag | payload | crc`, reassembled from
+//!   arbitrary kernel read boundaries by
+//!   [`sci_wal::codec::StreamDecoder`]. `Incomplete` means "wait for
+//!   more bytes"; `Corrupt` closes the connection and counts
+//!   `net.tcp.corrupt_frames` — a damaged stream never yields a wrong
+//!   frame (see `crates/wal/tests/stream_reassembly.rs`).
+//! * **Peering handshake**: a dialer opens with `HELLO` (protocol
+//!   version, node GUID and name, listener address, registration
+//!   digest); the acceptor answers `WELCOME` (same fields plus a
+//!   gossip list of known peers) or `REJECT` on version mismatch.
+//!   When the two registration digests differ, a three-step
+//!   anti-entropy exchange (`OFFER` → `DELTA` → `DELTA`) runs before
+//!   either side trusts the link, so late joiners converge on the
+//!   federation's replicated registration state during `join`.
+//! * **Acked sends**: [`Transport::send`] writes the frame and blocks
+//!   until the receiver acknowledges *enqueue* into its inbox. The
+//!   inbox observed by any [`Transport::drain`] is therefore a pure
+//!   function of the call sequence — which is exactly the property
+//!   [`crate::fault::FaultyTransport`] needs for seed-exact chaos
+//!   replay over real sockets.
+//!
+//! The transport binds every listener to `127.0.0.1:0` (the kernel
+//! picks a free port), so parallel test runs never collide.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use sci_telemetry::{Counter, Registry};
+use sci_types::{Guid, SciError, SciResult, TransportLinkModel, VirtualDuration};
+use sci_wal::codec::{encode_frame, wire, CodecError, Frame, StreamDecoder};
+
+use crate::message::Message;
+use crate::net::RouteOutcome;
+use crate::stats::LoadStats;
+use crate::transport::Transport;
+
+/// Protocol version spoken by this build; a handshake between
+/// different versions is rejected.
+pub const TCP_PROTOCOL_VERSION: u32 = 1;
+
+// Control-frame tags sit above the 0–8 range MessageKind occupies, so
+// a frame's role is readable from its tag alone.
+const TAG_HELLO: u8 = 0xE0;
+const TAG_WELCOME: u8 = 0xE1;
+const TAG_REJECT: u8 = 0xE2;
+const TAG_SYNC_OFFER: u8 = 0xE3;
+const TAG_SYNC_DELTA: u8 = 0xE4;
+const TAG_ACK: u8 = 0xE5;
+
+/// Socket read timeout: the granularity at which reader and acceptor
+/// threads notice shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+/// Acceptor poll interval while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Read attempts before a handshake is abandoned (× [`READ_TIMEOUT`]).
+const HANDSHAKE_ATTEMPTS: u32 = 200;
+/// How long a send waits for the receiver's enqueue acknowledgement.
+const ACK_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned
+/// it — counters and connection maps stay usable either way.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn codec_err(e: CodecError) -> SciError {
+    SciError::Codec(e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Replicated registration state (anti-entropy store)
+// ---------------------------------------------------------------------
+
+/// One replicated registration entry: a key/value pair stamped with a
+/// Lamport version and its publishing node, tombstoned on retraction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SyncEntry {
+    /// Registration key (e.g. `place/L10.01`).
+    pub key: String,
+    /// Registration value (e.g. the covering range's GUID rendering).
+    pub value: String,
+    /// Lamport stamp; higher wins, ties broken by `origin`.
+    pub version: u64,
+    /// The node that published this write.
+    pub origin: Guid,
+    /// `true` for a tombstone: the key is retracted but the fact of
+    /// retraction still replicates.
+    pub deleted: bool,
+}
+
+/// Per-entry summary exchanged in a sync `OFFER`: key, version, origin.
+pub type SyncSummary = (String, u64, Guid);
+
+/// A grow-only last-writer-wins map with tombstones — the node-local
+/// replica of the federation's registration state.
+#[derive(Clone, Debug, Default)]
+pub struct SyncStore {
+    entries: BTreeMap<String, SyncEntry>,
+    clock: u64,
+}
+
+impl SyncStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SyncStore::default()
+    }
+
+    /// Publishes `key = value`, stamping it past everything seen.
+    pub fn publish(&mut self, key: &str, value: &str, origin: Guid) -> SyncEntry {
+        self.clock += 1;
+        let entry = SyncEntry {
+            key: key.to_owned(),
+            value: value.to_owned(),
+            version: self.clock,
+            origin,
+            deleted: false,
+        };
+        self.entries.insert(entry.key.clone(), entry.clone());
+        entry
+    }
+
+    /// Tombstones `key`; the retraction replicates like any write.
+    pub fn retract(&mut self, key: &str, origin: Guid) -> SyncEntry {
+        self.clock += 1;
+        let entry = SyncEntry {
+            key: key.to_owned(),
+            value: String::new(),
+            version: self.clock,
+            origin,
+            deleted: true,
+        };
+        self.entries.insert(entry.key.clone(), entry.clone());
+        entry
+    }
+
+    /// Merges a remote entry, last-writer-wins on `(version, origin)`.
+    /// Returns whether the entry was applied (i.e. it was news).
+    pub fn merge(&mut self, entry: SyncEntry) -> bool {
+        self.clock = self.clock.max(entry.version);
+        match self.entries.get(&entry.key) {
+            Some(cur) if (cur.version, cur.origin) >= (entry.version, entry.origin) => false,
+            _ => {
+                self.entries.insert(entry.key.clone(), entry);
+                true
+            }
+        }
+    }
+
+    /// The live (non-tombstoned) value of `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .get(key)
+            .filter(|e| !e.deleted)
+            .map(|e| e.value.as_str())
+    }
+
+    /// Number of entries, tombstones included.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// FNV-1a 64 digest over the canonical (sorted) encoding of every
+    /// entry, tombstones included. Equal digests ⇒ converged replicas.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for e in self.entries.values() {
+            eat(e.key.as_bytes());
+            eat(&[0xFF]);
+            eat(e.value.as_bytes());
+            eat(&e.version.to_be_bytes());
+            eat(&e.origin.as_u128().to_be_bytes());
+            eat(&[u8::from(e.deleted)]);
+        }
+        h
+    }
+
+    /// Per-entry summaries for a sync `OFFER`.
+    pub fn summaries(&self) -> Vec<SyncSummary> {
+        self.entries
+            .values()
+            .map(|e| (e.key.clone(), e.version, e.origin))
+            .collect()
+    }
+
+    /// Given the remote side's summaries: the entries to send (ours
+    /// that the remote lacks or holds older) and the keys to request
+    /// (theirs that we lack or hold older).
+    pub fn delta_for(&self, remote: &[SyncSummary]) -> (Vec<SyncEntry>, Vec<String>) {
+        let theirs: HashMap<&str, (u64, Guid)> = remote
+            .iter()
+            .map(|(k, v, o)| (k.as_str(), (*v, *o)))
+            .collect();
+        let send = self
+            .entries
+            .values()
+            .filter(|e| match theirs.get(e.key.as_str()) {
+                None => true,
+                Some(&(v, o)) => (v, o) < (e.version, e.origin),
+            })
+            .cloned()
+            .collect();
+        let want = remote
+            .iter()
+            .filter(|(k, v, o)| match self.entries.get(k) {
+                None => true,
+                Some(cur) => (cur.version, cur.origin) < (*v, *o),
+            })
+            .map(|(k, _, _)| k.clone())
+            .collect();
+        (send, want)
+    }
+
+    /// Full entries for `keys`, for answering a `DELTA` want-list.
+    pub fn entries_for(&self, keys: &[String]) -> Vec<SyncEntry> {
+        keys.iter()
+            .filter_map(|k| self.entries.get(k).cloned())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire encodings of the control frames
+// ---------------------------------------------------------------------
+
+/// Identity block shared by `HELLO` and `WELCOME`.
+struct PeerHello {
+    version: u32,
+    guid: Guid,
+    name: String,
+    addr: SocketAddr,
+    digest: u64,
+}
+
+#[derive(Clone, Debug)]
+struct PeerInfo {
+    guid: Guid,
+    name: String,
+    addr: SocketAddr,
+}
+
+fn put_identity(p: &mut Vec<u8>, version: u32, id: &PeerInfo, digest: u64) {
+    wire::put_u32(p, version);
+    wire::put_u128(p, id.guid.as_u128());
+    wire::put_str(p, &id.name);
+    wire::put_str(p, &id.addr.to_string());
+    wire::put_u64(p, digest);
+}
+
+fn read_identity(r: &mut wire::Reader<'_>) -> SciResult<PeerHello> {
+    let version = r.u32().map_err(codec_err)?;
+    let guid = Guid::from_u128(r.u128().map_err(codec_err)?);
+    let name = r.str().map_err(codec_err)?.to_owned();
+    let addr_str = r.str().map_err(codec_err)?;
+    let addr = addr_str
+        .parse::<SocketAddr>()
+        .map_err(|e| SciError::Codec(format!("bad listener address `{addr_str}`: {e}")))?;
+    let digest = r.u64().map_err(codec_err)?;
+    Ok(PeerHello {
+        version,
+        guid,
+        name,
+        addr,
+        digest,
+    })
+}
+
+fn hello_frame(version: u32, id: &PeerInfo, digest: u64) -> Frame {
+    let mut p = Vec::new();
+    put_identity(&mut p, version, id, digest);
+    Frame::new(TAG_HELLO, p)
+}
+
+fn welcome_frame(version: u32, id: &PeerInfo, digest: u64, gossip: &[PeerInfo]) -> Frame {
+    let mut p = Vec::new();
+    put_identity(&mut p, version, id, digest);
+    wire::put_u32(&mut p, gossip.len() as u32);
+    for peer in gossip {
+        wire::put_u128(&mut p, peer.guid.as_u128());
+        wire::put_str(&mut p, &peer.name);
+        wire::put_str(&mut p, &peer.addr.to_string());
+    }
+    Frame::new(TAG_WELCOME, p)
+}
+
+fn parse_welcome(payload: &[u8]) -> SciResult<(PeerHello, Vec<PeerInfo>)> {
+    let mut r = wire::Reader::new(payload);
+    let hello = read_identity(&mut r)?;
+    let count = r.u32().map_err(codec_err)?;
+    let mut gossip = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let guid = Guid::from_u128(r.u128().map_err(codec_err)?);
+        let name = r.str().map_err(codec_err)?.to_owned();
+        let addr_str = r.str().map_err(codec_err)?;
+        let addr = addr_str
+            .parse::<SocketAddr>()
+            .map_err(|e| SciError::Codec(format!("bad gossip address `{addr_str}`: {e}")))?;
+        gossip.push(PeerInfo { guid, name, addr });
+    }
+    Ok((hello, gossip))
+}
+
+fn reject_frame(version: u32, reason: &str) -> Frame {
+    let mut p = Vec::new();
+    wire::put_u32(&mut p, version);
+    wire::put_str(&mut p, reason);
+    Frame::new(TAG_REJECT, p)
+}
+
+fn parse_reject(payload: &[u8]) -> SciResult<(u32, String)> {
+    let mut r = wire::Reader::new(payload);
+    let version = r.u32().map_err(codec_err)?;
+    let reason = r.str().map_err(codec_err)?.to_owned();
+    Ok((version, reason))
+}
+
+fn offer_frame(summaries: &[SyncSummary]) -> Frame {
+    let mut p = Vec::new();
+    wire::put_u32(&mut p, summaries.len() as u32);
+    for (key, version, origin) in summaries {
+        wire::put_str(&mut p, key);
+        wire::put_u64(&mut p, *version);
+        wire::put_u128(&mut p, origin.as_u128());
+    }
+    Frame::new(TAG_SYNC_OFFER, p)
+}
+
+fn parse_offer(payload: &[u8]) -> SciResult<Vec<SyncSummary>> {
+    let mut r = wire::Reader::new(payload);
+    let count = r.u32().map_err(codec_err)?;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let key = r.str().map_err(codec_err)?.to_owned();
+        let version = r.u64().map_err(codec_err)?;
+        let origin = Guid::from_u128(r.u128().map_err(codec_err)?);
+        out.push((key, version, origin));
+    }
+    Ok(out)
+}
+
+fn delta_frame(entries: &[SyncEntry], wants: &[String]) -> Frame {
+    let mut p = Vec::new();
+    wire::put_u32(&mut p, entries.len() as u32);
+    for e in entries {
+        wire::put_str(&mut p, &e.key);
+        wire::put_str(&mut p, &e.value);
+        wire::put_u64(&mut p, e.version);
+        wire::put_u128(&mut p, e.origin.as_u128());
+        wire::put_u8(&mut p, u8::from(e.deleted));
+    }
+    wire::put_u32(&mut p, wants.len() as u32);
+    for key in wants {
+        wire::put_str(&mut p, key);
+    }
+    Frame::new(TAG_SYNC_DELTA, p)
+}
+
+fn parse_delta(payload: &[u8]) -> SciResult<(Vec<SyncEntry>, Vec<String>)> {
+    let mut r = wire::Reader::new(payload);
+    let count = r.u32().map_err(codec_err)?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let key = r.str().map_err(codec_err)?.to_owned();
+        let value = r.str().map_err(codec_err)?.to_owned();
+        let version = r.u64().map_err(codec_err)?;
+        let origin = Guid::from_u128(r.u128().map_err(codec_err)?);
+        let deleted = r.u8().map_err(codec_err)? != 0;
+        entries.push(SyncEntry {
+            key,
+            value,
+            version,
+            origin,
+            deleted,
+        });
+    }
+    let want_count = r.u32().map_err(codec_err)?;
+    let mut wants = Vec::with_capacity(want_count as usize);
+    for _ in 0..want_count {
+        wants.push(r.str().map_err(codec_err)?.to_owned());
+    }
+    Ok((entries, wants))
+}
+
+fn ack_frame(seq: u64) -> Frame {
+    let mut p = Vec::new();
+    wire::put_u64(&mut p, seq);
+    Frame::new(TAG_ACK, p)
+}
+
+fn data_frame(seq: u64, message: &Message) -> Frame {
+    let mut p = Vec::new();
+    wire::put_u64(&mut p, seq);
+    wire::put_bytes(&mut p, &message.encode());
+    Frame::new(message.kind.to_wire(), p)
+}
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct NetCounters {
+    accepts: Counter,
+    ack_timeouts: Counter,
+    bytes_recv: Counter,
+    bytes_sent: Counter,
+    conns: Counter,
+    corrupt_frames: Counter,
+    frames_recv: Counter,
+    frames_sent: Counter,
+    handshake_rejected: Counter,
+    handshakes: Counter,
+    sync_applied: Counter,
+    sync_rounds: Counter,
+}
+
+impl NetCounters {
+    fn new(registry: &Registry) -> Self {
+        NetCounters {
+            accepts: registry.counter("net.tcp.accepts"),
+            ack_timeouts: registry.counter("net.tcp.ack_timeouts"),
+            bytes_recv: registry.counter("net.tcp.bytes.recv"),
+            bytes_sent: registry.counter("net.tcp.bytes.sent"),
+            conns: registry.counter("net.tcp.conns"),
+            corrupt_frames: registry.counter("net.tcp.corrupt_frames"),
+            frames_recv: registry.counter("net.tcp.frames.recv"),
+            frames_sent: registry.counter("net.tcp.frames.sent"),
+            handshake_rejected: registry.counter("net.tcp.handshake.rejected"),
+            handshakes: registry.counter("net.tcp.handshakes"),
+            sync_applied: registry.counter("net.tcp.sync.applied"),
+            sync_rounds: registry.counter("net.tcp.sync.rounds"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connections and per-node shared state
+// ---------------------------------------------------------------------
+
+/// One established, handshaken connection to a peer. The stream is the
+/// write half (sends and acks both go through it); a dedicated reader
+/// thread owns a cloned handle for reads.
+struct Conn {
+    stream: Mutex<TcpStream>,
+    ack_rx: Mutex<mpsc::Receiver<u64>>,
+    next_seq: AtomicU64,
+}
+
+/// The part of a node's state shared with its acceptor and reader
+/// threads.
+struct NodeShared {
+    guid: Guid,
+    name: String,
+    listen_addr: SocketAddr,
+    version: u32,
+    inbox_tx: mpsc::Sender<Message>,
+    store: Mutex<SyncStore>,
+    conns: Mutex<HashMap<Guid, Arc<Conn>>>,
+    /// Peers this node could dial: learned from handshakes and gossip.
+    directory: Mutex<HashMap<Guid, PeerInfo>>,
+    shutdown: Arc<AtomicBool>,
+    counters: NetCounters,
+}
+
+impl NodeShared {
+    fn identity(&self) -> PeerInfo {
+        PeerInfo {
+            guid: self.guid,
+            name: self.name.clone(),
+            addr: self.listen_addr,
+        }
+    }
+}
+
+struct TcpNode {
+    shared: Arc<NodeShared>,
+    inbox_rx: mpsc::Receiver<Message>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+fn write_frame_direct(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    counters: &NetCounters,
+) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(frame.encoded_len());
+    encode_frame(frame, &mut out);
+    stream.write_all(&out)?;
+    stream.flush()?;
+    counters.bytes_sent.add(out.len() as u64);
+    counters.frames_sent.inc();
+    Ok(())
+}
+
+fn write_frame(
+    stream: &Mutex<TcpStream>,
+    frame: &Frame,
+    counters: &NetCounters,
+) -> std::io::Result<()> {
+    write_frame_direct(&mut lock(stream), frame, counters)
+}
+
+/// Reads exactly one frame during a handshake, blocking in
+/// [`READ_TIMEOUT`] slices so shutdown is noticed promptly.
+fn read_frame_sync(
+    stream: &mut TcpStream,
+    dec: &mut StreamDecoder,
+    shared: &NodeShared,
+) -> SciResult<Frame> {
+    let mut buf = [0u8; 4096];
+    for _ in 0..HANDSHAKE_ATTEMPTS {
+        if let Some(frame) = dec.next_frame().map_err(codec_err)? {
+            shared.counters.frames_recv.inc();
+            return Ok(frame);
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return Err(SciError::Stopped("tcp transport".into()));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(SciError::Codec("connection closed during handshake".into())),
+            Ok(n) => {
+                shared.counters.bytes_recv.add(n as u64);
+                dec.extend(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(SciError::Codec(format!("handshake read: {e}"))),
+        }
+    }
+    Err(SciError::Codec("handshake timed out".into()))
+}
+
+/// Registers the handshaken `stream` as a live connection to `peer`
+/// and spawns its reader thread (which inherits the decoder, in case
+/// the peer pipelined frames behind the handshake).
+fn finish_conn(shared: &Arc<NodeShared>, stream: TcpStream, dec: StreamDecoder, peer: Guid) {
+    let (ack_tx, ack_rx) = mpsc::channel();
+    let read_half = stream.try_clone().ok();
+    let conn = Arc::new(Conn {
+        stream: Mutex::new(stream),
+        ack_rx: Mutex::new(ack_rx),
+        next_seq: AtomicU64::new(1),
+    });
+    lock(&shared.conns).insert(peer, conn.clone());
+    shared.counters.conns.inc();
+    shared.counters.handshakes.inc();
+    if let Some(read_stream) = read_half {
+        let reader_shared = shared.clone();
+        thread::spawn(move || run_reader(&reader_shared, &conn, &ack_tx, read_stream, dec));
+    }
+}
+
+/// Per-connection reader: reassembles frames from the byte stream and
+/// routes them — data to the inbox (acked on enqueue), acks to the
+/// sender's channel, sync deltas into the registration store. Exits on
+/// EOF, shutdown, I/O error or a corrupt frame.
+fn run_reader(
+    shared: &Arc<NodeShared>,
+    conn: &Arc<Conn>,
+    ack_tx: &mpsc::Sender<u64>,
+    mut stream: TcpStream,
+    mut dec: StreamDecoder,
+) {
+    let mut buf = [0u8; 8192];
+    loop {
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => {
+                    shared.counters.frames_recv.inc();
+                    if !handle_frame(shared, conn, ack_tx, frame) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(CodecError::Incomplete { .. }) => break,
+                Err(CodecError::Corrupt { .. }) => {
+                    shared.counters.corrupt_frames.inc();
+                    let _ = lock(&conn.stream).shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                shared.counters.bytes_recv.add(n as u64);
+                dec.extend(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one reassembled frame; returns `false` when the
+/// connection should close.
+fn handle_frame(
+    shared: &Arc<NodeShared>,
+    conn: &Arc<Conn>,
+    ack_tx: &mpsc::Sender<u64>,
+    frame: Frame,
+) -> bool {
+    match frame.tag {
+        TAG_ACK => {
+            let mut r = wire::Reader::new(&frame.payload);
+            if let Ok(seq) = r.u64() {
+                let _ = ack_tx.send(seq);
+            }
+            true
+        }
+        TAG_SYNC_DELTA => {
+            if let Ok((entries, _wants)) = parse_delta(&frame.payload) {
+                let mut store = lock(&shared.store);
+                for e in entries {
+                    if store.merge(e) {
+                        shared.counters.sync_applied.inc();
+                    }
+                }
+            }
+            true
+        }
+        // Handshake frames never arrive after a connection is live;
+        // drop them rather than corrupting connection state.
+        TAG_HELLO | TAG_WELCOME | TAG_REJECT | TAG_SYNC_OFFER => true,
+        tag if tag <= 8 => {
+            let mut r = wire::Reader::new(&frame.payload);
+            let parsed = r.u64().ok().and_then(|seq| {
+                let raw = r.bytes().ok()?;
+                let msg = Message::decode(Bytes::from(raw.to_vec())).ok()?;
+                Some((seq, msg))
+            });
+            match parsed {
+                Some((seq, msg)) => {
+                    // Enqueue strictly before the ack: a sender whose
+                    // `send` returned Ok is guaranteed the message is
+                    // already drainable at the destination.
+                    let _ = shared.inbox_tx.send(msg);
+                    let _ = write_frame(&conn.stream, &ack_frame(seq), &shared.counters);
+                    true
+                }
+                None => {
+                    shared.counters.corrupt_frames.inc();
+                    false
+                }
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Acceptor loop: polls the nonblocking listener, runs the server side
+/// of the handshake inline, then hands the socket to a reader thread.
+fn run_acceptor(shared: &Arc<NodeShared>, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.accepts.inc();
+                let _ = handle_accept(shared, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_accept(shared: &Arc<NodeShared>, mut stream: TcpStream) -> SciResult<()> {
+    let io_err = |e: std::io::Error| SciError::Codec(format!("accept setup: {e}"));
+    stream.set_nonblocking(false).map_err(io_err)?;
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(io_err)?;
+    let _ = stream.set_nodelay(true);
+
+    let mut dec = StreamDecoder::new();
+    let frame = read_frame_sync(&mut stream, &mut dec, shared)?;
+    if frame.tag != TAG_HELLO {
+        return Err(SciError::Codec(format!(
+            "expected HELLO, got tag {:#04x}",
+            frame.tag
+        )));
+    }
+    let mut r = wire::Reader::new(&frame.payload);
+    let hello = read_identity(&mut r)?;
+
+    if hello.version != shared.version {
+        shared.counters.handshake_rejected.inc();
+        let reject = reject_frame(
+            shared.version,
+            &format!(
+                "protocol version mismatch: peer speaks {}, this node speaks {}",
+                hello.version, shared.version
+            ),
+        );
+        let _ = write_frame_direct(&mut stream, &reject, &shared.counters);
+        return Ok(());
+    }
+
+    let own_digest = lock(&shared.store).digest();
+    let gossip: Vec<PeerInfo> = lock(&shared.directory)
+        .values()
+        .filter(|p| p.guid != hello.guid)
+        .cloned()
+        .collect();
+    let welcome = welcome_frame(shared.version, &shared.identity(), own_digest, &gossip);
+    write_frame_direct(&mut stream, &welcome, &shared.counters)
+        .map_err(|e| SciError::Codec(format!("welcome write: {e}")))?;
+
+    lock(&shared.directory).insert(
+        hello.guid,
+        PeerInfo {
+            guid: hello.guid,
+            name: hello.name.clone(),
+            addr: hello.addr,
+        },
+    );
+
+    // Anti-entropy, acceptor side: both ends compare the same digest
+    // pair (HELLO's vs WELCOME's), so they agree on whether it runs.
+    if hello.digest != own_digest {
+        let offer = read_frame_sync(&mut stream, &mut dec, shared)?;
+        if offer.tag != TAG_SYNC_OFFER {
+            return Err(SciError::Codec(format!(
+                "expected SYNC_OFFER, got tag {:#04x}",
+                offer.tag
+            )));
+        }
+        let summaries = parse_offer(&offer.payload)?;
+        let (send_entries, wants) = lock(&shared.store).delta_for(&summaries);
+        let delta = delta_frame(&send_entries, &wants);
+        write_frame_direct(&mut stream, &delta, &shared.counters)
+            .map_err(|e| SciError::Codec(format!("delta write: {e}")))?;
+        let reply = read_frame_sync(&mut stream, &mut dec, shared)?;
+        if reply.tag != TAG_SYNC_DELTA {
+            return Err(SciError::Codec(format!(
+                "expected SYNC_DELTA, got tag {:#04x}",
+                reply.tag
+            )));
+        }
+        let (entries, _wants) = parse_delta(&reply.payload)?;
+        let mut store = lock(&shared.store);
+        for e in entries {
+            if store.merge(e) {
+                shared.counters.sync_applied.inc();
+            }
+        }
+        drop(store);
+        shared.counters.sync_rounds.inc();
+    }
+
+    finish_conn(shared, stream, dec, hello.guid);
+    Ok(())
+}
+
+/// Dials `addr` from `local`, running the client side of the handshake
+/// (and anti-entropy when digests differ). Returns the peer's GUID.
+fn dial(local: &Arc<NodeShared>, addr: SocketAddr) -> SciResult<Guid> {
+    let io_err = |e: std::io::Error| SciError::Codec(format!("dial {addr}: {e}"));
+    let mut stream = TcpStream::connect(addr).map_err(io_err)?;
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(io_err)?;
+    let _ = stream.set_nodelay(true);
+
+    let own_digest = lock(&local.store).digest();
+    let hello = hello_frame(local.version, &local.identity(), own_digest);
+    write_frame_direct(&mut stream, &hello, &local.counters).map_err(io_err)?;
+
+    let mut dec = StreamDecoder::new();
+    let frame = read_frame_sync(&mut stream, &mut dec, local)?;
+    let (welcome, gossip) = match frame.tag {
+        TAG_WELCOME => parse_welcome(&frame.payload)?,
+        TAG_REJECT => {
+            let (version, reason) = parse_reject(&frame.payload)?;
+            return Err(SciError::Codec(format!(
+                "peer at {addr} (protocol {version}) rejected handshake: {reason}"
+            )));
+        }
+        tag => {
+            return Err(SciError::Codec(format!(
+                "expected WELCOME or REJECT, got tag {tag:#04x}"
+            )))
+        }
+    };
+
+    {
+        let mut dir = lock(&local.directory);
+        dir.insert(
+            welcome.guid,
+            PeerInfo {
+                guid: welcome.guid,
+                name: welcome.name.clone(),
+                addr,
+            },
+        );
+        for peer in gossip {
+            if peer.guid != local.guid {
+                dir.entry(peer.guid).or_insert(peer);
+            }
+        }
+    }
+
+    // Anti-entropy, dialer side.
+    if welcome.digest != own_digest {
+        let summaries = lock(&local.store).summaries();
+        write_frame_direct(&mut stream, &offer_frame(&summaries), &local.counters)
+            .map_err(io_err)?;
+        let reply = read_frame_sync(&mut stream, &mut dec, local)?;
+        if reply.tag != TAG_SYNC_DELTA {
+            return Err(SciError::Codec(format!(
+                "expected SYNC_DELTA, got tag {:#04x}",
+                reply.tag
+            )));
+        }
+        let (entries, wants) = parse_delta(&reply.payload)?;
+        let wanted = {
+            let mut store = lock(&local.store);
+            for e in entries {
+                if store.merge(e) {
+                    local.counters.sync_applied.inc();
+                }
+            }
+            store.entries_for(&wants)
+        };
+        // Always answer, even with an empty delta, so the acceptor's
+        // state machine sees a fixed three-message exchange.
+        write_frame_direct(&mut stream, &delta_frame(&wanted, &[]), &local.counters)
+            .map_err(io_err)?;
+        local.counters.sync_rounds.inc();
+    }
+
+    finish_conn(local, stream, dec, welcome.guid);
+    Ok(welcome.guid)
+}
+
+// ---------------------------------------------------------------------
+// The transport
+// ---------------------------------------------------------------------
+
+/// A [`Transport`] over real loopback TCP sockets.
+///
+/// Each node owns a listener on `127.0.0.1:0` and an acceptor thread;
+/// each established connection owns a reader thread. Sends are
+/// synchronous and acked (see the module docs), so the federation and
+/// chaos layers observe the same delivery semantics as
+/// [`crate::net::SimNetwork`] — one hop, immediate drainability — with
+/// every byte actually crossing the kernel's TCP stack.
+pub struct TcpTransport {
+    nodes: HashMap<Guid, TcpNode>,
+    names: HashMap<String, Guid>,
+    stats: LoadStats,
+    registry: Registry,
+    counters: NetCounters,
+    version: u32,
+    shutdown: Arc<AtomicBool>,
+    hop_latency: VirtualDuration,
+}
+
+impl TcpTransport {
+    /// Creates an empty transport speaking [`TCP_PROTOCOL_VERSION`].
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let counters = NetCounters::new(&registry);
+        TcpTransport {
+            nodes: HashMap::new(),
+            names: HashMap::new(),
+            stats: LoadStats::new(),
+            registry,
+            counters,
+            version: TCP_PROTOCOL_VERSION,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            hop_latency: VirtualDuration::from_millis(1),
+        }
+    }
+
+    /// Overrides the protocol version offered by nodes added *after*
+    /// this call — the lever version-mismatch tests pull.
+    pub fn set_protocol_version(&mut self, version: u32) {
+        self.version = version;
+    }
+
+    /// The kernel-assigned listener address of `node`.
+    pub fn listener_addr(&self, node: Guid) -> Option<SocketAddr> {
+        self.nodes.get(&node).map(|n| n.shared.listen_addr)
+    }
+
+    /// Dials `addr` from `local` and completes the peering handshake,
+    /// returning the remote node's GUID. The remote listener may
+    /// belong to a different `TcpTransport` instance.
+    ///
+    /// # Errors
+    ///
+    /// Unknown `local` node, connection failure, handshake timeout or
+    /// a `REJECT` from the peer (version mismatch).
+    pub fn peer_with(&mut self, local: Guid, addr: SocketAddr) -> SciResult<Guid> {
+        let shared = self
+            .nodes
+            .get(&local)
+            .ok_or(SciError::UnknownRange(local))?
+            .shared
+            .clone();
+        dial(&shared, addr)
+    }
+
+    /// Number of live (handshaken) connections held by `node`.
+    pub fn connections_of(&self, node: Guid) -> usize {
+        self.nodes
+            .get(&node)
+            .map(|n| lock(&n.shared.conns).len())
+            .unwrap_or(0)
+    }
+
+    /// The live value of a replicated registration entry at `node`.
+    pub fn registration_value(&self, node: Guid, key: &str) -> Option<String> {
+        self.nodes
+            .get(&node)
+            .and_then(|n| lock(&n.shared.store).get(key).map(str::to_owned))
+    }
+
+    fn conn_to(&self, src: &Arc<NodeShared>, dst: Guid) -> Option<Arc<Conn>> {
+        let _ = self;
+        lock(&src.conns).get(&dst).cloned()
+    }
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport::new()
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("nodes", &self.nodes.len())
+            .field("version", &self.version)
+            .finish()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn add_node(&mut self, guid: Guid, name: &str) -> SciResult<()> {
+        if self.nodes.contains_key(&guid) {
+            return Err(SciError::Internal(format!("duplicate node {guid}")));
+        }
+        if self.names.contains_key(name) {
+            return Err(SciError::Internal(format!("duplicate range name `{name}`")));
+        }
+        let bind_err = |e: std::io::Error| SciError::Internal(format!("listener bind: {e}"));
+        // Port 0: the kernel picks a free port, so parallel test runs
+        // never collide on an address.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(bind_err)?;
+        listener.set_nonblocking(true).map_err(bind_err)?;
+        let listen_addr = listener.local_addr().map_err(bind_err)?;
+        let (inbox_tx, inbox_rx) = mpsc::channel();
+        let shared = Arc::new(NodeShared {
+            guid,
+            name: name.to_owned(),
+            listen_addr,
+            version: self.version,
+            inbox_tx,
+            store: Mutex::new(SyncStore::new()),
+            conns: Mutex::new(HashMap::new()),
+            directory: Mutex::new(HashMap::new()),
+            shutdown: self.shutdown.clone(),
+            counters: self.counters.clone(),
+        });
+        let accept_shared = shared.clone();
+        let accept_handle = thread::spawn(move || run_acceptor(&accept_shared, &listener));
+        self.nodes.insert(
+            guid,
+            TcpNode {
+                shared,
+                inbox_rx,
+                accept_handle: Some(accept_handle),
+            },
+        );
+        self.names.insert(name.to_owned(), guid);
+        Ok(())
+    }
+
+    fn find_by_name(&self, name: &str) -> Option<Guid> {
+        self.names.get(name).copied()
+    }
+
+    fn connect_full(&mut self) {
+        let infos: Vec<PeerInfo> = self.nodes.values().map(|n| n.shared.identity()).collect();
+        // Everyone learns everyone's listener, so any pair is at least
+        // dialable even before a live connection exists.
+        for node in self.nodes.values() {
+            let mut dir = lock(&node.shared.directory);
+            for p in &infos {
+                if p.guid != node.shared.guid {
+                    dir.entry(p.guid).or_insert_with(|| p.clone());
+                }
+            }
+        }
+        // One dial per unordered pair: the acceptor registers the
+        // reverse connection on its side of the same socket.
+        let mut guids: Vec<Guid> = self.nodes.keys().copied().collect();
+        guids.sort();
+        for (i, &a) in guids.iter().enumerate() {
+            for &b in &guids[i + 1..] {
+                let (Some(na), Some(nb)) = (self.nodes.get(&a), self.nodes.get(&b)) else {
+                    continue;
+                };
+                let shared = na.shared.clone();
+                if self.conn_to(&shared, b).is_none() {
+                    let _ = dial(&shared, nb.shared.listen_addr);
+                }
+            }
+        }
+    }
+
+    fn join(&mut self, node: Guid, bootstrap: Guid, seed: u64) -> SciResult<()> {
+        // Discovery over TCP is the peering handshake plus gossip; the
+        // simulation's lookup seed has no socket equivalent.
+        let _ = seed;
+        let target = self
+            .nodes
+            .get(&bootstrap)
+            .map(|n| n.shared.listen_addr)
+            .ok_or(SciError::UnknownRange(bootstrap))?;
+        let shared = self
+            .nodes
+            .get(&node)
+            .ok_or(SciError::UnknownRange(node))?
+            .shared
+            .clone();
+        dial(&shared, target)?;
+        Ok(())
+    }
+
+    fn send(&mut self, message: Message) -> SciResult<RouteOutcome> {
+        let (src, dst) = (message.src, message.dst);
+        let unroutable = SciError::Unroutable { from: src, to: dst };
+        let Some(node) = self.nodes.get(&src) else {
+            self.stats.record_failure();
+            return Err(unroutable);
+        };
+        let shared = node.shared.clone();
+        // A live connection, or a lazy dial through the directory.
+        let conn = match self.conn_to(&shared, dst) {
+            Some(c) => c,
+            None => {
+                let addr = lock(&shared.directory).get(&dst).map(|p| p.addr);
+                let dialed = match addr {
+                    Some(a) => dial(&shared, a)
+                        .ok()
+                        .and_then(|_| self.conn_to(&shared, dst)),
+                    None => None,
+                };
+                match dialed {
+                    Some(c) => c,
+                    None => {
+                        self.stats.record_failure();
+                        return Err(unroutable);
+                    }
+                }
+            }
+        };
+        let seq = conn.next_seq.fetch_add(1, Ordering::Relaxed);
+        if write_frame(&conn.stream, &data_frame(seq, &message), &shared.counters).is_err() {
+            self.stats.record_failure();
+            return Err(unroutable);
+        }
+        // Block until the receiver acked enqueue. Acks are per-conn and
+        // monotonic, so anything below `seq` is a stale ack from a send
+        // that already timed out — skip it.
+        let acked = {
+            let rx = lock(&conn.ack_rx);
+            loop {
+                match rx.recv_timeout(ACK_TIMEOUT) {
+                    Ok(s) if s >= seq => break true,
+                    Ok(_) => {}
+                    Err(_) => break false,
+                }
+            }
+        };
+        if !acked {
+            shared.counters.ack_timeouts.inc();
+            self.stats.record_failure();
+            return Err(unroutable);
+        }
+        self.stats.record_forward(src);
+        self.stats.record_delivery(1);
+        Ok(RouteOutcome {
+            path: vec![src, dst],
+            hops: 1,
+            latency: self.hop_latency,
+        })
+    }
+
+    fn drain(&mut self, node: Guid) -> Vec<Message> {
+        self.nodes
+            .get(&node)
+            .map(|n| n.inbox_rx.try_iter().collect())
+            .unwrap_or_default()
+    }
+
+    fn stats(&self) -> &LoadStats {
+        &self.stats
+    }
+
+    fn telemetry(&self) -> Option<&Registry> {
+        Some(&self.registry)
+    }
+
+    fn publish_registration(&mut self, node: Guid, key: &str, value: &str) -> SciResult<()> {
+        let shared = self
+            .nodes
+            .get(&node)
+            .ok_or(SciError::UnknownRange(node))?
+            .shared
+            .clone();
+        let entry = lock(&shared.store).publish(key, value, node);
+        broadcast_delta(&shared, &entry);
+        Ok(())
+    }
+
+    fn retract_registration(&mut self, node: Guid, key: &str) -> SciResult<()> {
+        let shared = self
+            .nodes
+            .get(&node)
+            .ok_or(SciError::UnknownRange(node))?
+            .shared
+            .clone();
+        let entry = lock(&shared.store).retract(key, node);
+        broadcast_delta(&shared, &entry);
+        Ok(())
+    }
+
+    fn registration_digest(&self, node: Guid) -> Option<u64> {
+        self.nodes
+            .get(&node)
+            .map(|n| lock(&n.shared.store).digest())
+    }
+
+    fn link_model(&self) -> Option<Vec<TransportLinkModel>> {
+        let mut links = Vec::new();
+        for node in self.nodes.values() {
+            let src = node.shared.guid;
+            let live: Vec<Guid> = lock(&node.shared.conns).keys().copied().collect();
+            for &dst in &live {
+                links.push(TransportLinkModel {
+                    src,
+                    dst,
+                    established: true,
+                });
+            }
+            for &dst in lock(&node.shared.directory).keys() {
+                if dst != src && !live.contains(&dst) {
+                    links.push(TransportLinkModel {
+                        src,
+                        dst,
+                        established: false,
+                    });
+                }
+            }
+        }
+        links.sort_by_key(|l| (l.src, l.dst));
+        Some(links)
+    }
+}
+
+/// Pushes one freshly written entry to every live connection of the
+/// publishing node, so connected peers converge without waiting for
+/// the next handshake.
+fn broadcast_delta(shared: &Arc<NodeShared>, entry: &SyncEntry) {
+    let frame = delta_frame(std::slice::from_ref(entry), &[]);
+    let conns: Vec<Arc<Conn>> = lock(&shared.conns).values().cloned().collect();
+    for conn in conns {
+        let _ = write_frame(&conn.stream, &frame, &shared.counters);
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for node in self.nodes.values_mut() {
+            let conns: Vec<Arc<Conn>> = lock(&node.shared.conns).values().cloned().collect();
+            for conn in conns {
+                let _ = lock(&conn.stream).shutdown(Shutdown::Both);
+            }
+            if let Some(handle) = node.accept_handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+
+    fn msg(id: u128, src: Guid, dst: Guid) -> Message {
+        Message::new(
+            Guid::from_u128(id),
+            src,
+            dst,
+            MessageKind::EventRelay,
+            Bytes::from_static(b"payload"),
+        )
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..400 {
+            if cond() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn roundtrip_over_real_sockets() {
+        let mut t = TcpTransport::new();
+        let a = Guid::from_u128(0xa);
+        let b = Guid::from_u128(0xb);
+        t.add_node(a, "a").unwrap();
+        t.add_node(b, "b").unwrap();
+        t.connect_full();
+        let out = t.send(msg(1, a, b)).unwrap();
+        assert_eq!(out.hops, 1);
+        assert_eq!(out.path, vec![a, b]);
+        // Acked send: the message is drainable the moment send returns.
+        let delivered = t.drain(b);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].id, Guid::from_u128(1));
+        assert!(t.drain(b).is_empty(), "drain consumes");
+        assert_eq!(t.stats().delivered(), 1);
+        let snap = t.telemetry().unwrap().snapshot();
+        assert!(snap.counter("net.tcp.handshakes") >= 2);
+        assert!(snap.counter("net.tcp.frames.sent") >= 2);
+        assert!(snap.counter("net.tcp.bytes.recv") > 0);
+    }
+
+    #[test]
+    fn reverse_direction_works_on_the_same_socket_pair() {
+        let mut t = TcpTransport::new();
+        let a = Guid::from_u128(0xa);
+        let b = Guid::from_u128(0xb);
+        t.add_node(a, "a").unwrap();
+        t.add_node(b, "b").unwrap();
+        t.connect_full();
+        t.send(msg(1, a, b)).unwrap();
+        assert!(
+            wait_until(|| t.connections_of(b) == 1),
+            "acceptor registers the reverse connection"
+        );
+        t.send(msg(2, b, a)).unwrap();
+        assert_eq!(t.drain(a).len(), 1);
+        assert_eq!(t.drain(b).len(), 1);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut old = TcpTransport::new();
+        let a = Guid::from_u128(0xa);
+        old.add_node(a, "a").unwrap();
+
+        let mut new = TcpTransport::new();
+        new.set_protocol_version(TCP_PROTOCOL_VERSION + 1);
+        let b = Guid::from_u128(0xb);
+        new.add_node(b, "b").unwrap();
+
+        let err = old
+            .peer_with(a, new.listener_addr(b).unwrap())
+            .expect_err("mismatched versions must not peer");
+        assert!(
+            err.to_string().contains("rejected"),
+            "dialer learns the rejection: {err}"
+        );
+        assert_eq!(
+            new.telemetry()
+                .unwrap()
+                .snapshot()
+                .counter("net.tcp.handshake.rejected"),
+            1
+        );
+        assert_eq!(old.connections_of(a), 0);
+    }
+
+    #[test]
+    fn late_joiner_converges_through_anti_entropy() {
+        let mut t = TcpTransport::new();
+        let a = Guid::from_u128(0xa);
+        let b = Guid::from_u128(0xb);
+        t.add_node(a, "a").unwrap();
+        t.publish_registration(a, "place/L10.01", "range-a")
+            .unwrap();
+        t.publish_registration(a, "place/lobby", "range-a").unwrap();
+        t.retract_registration(a, "place/lobby").unwrap();
+
+        t.add_node(b, "b").unwrap();
+        assert_ne!(t.registration_digest(a), t.registration_digest(b));
+        t.join(b, a, 0).unwrap();
+        assert_eq!(
+            t.registration_digest(a),
+            t.registration_digest(b),
+            "handshake anti-entropy converges the late joiner"
+        );
+        assert_eq!(
+            t.registration_value(b, "place/L10.01").as_deref(),
+            Some("range-a")
+        );
+        assert_eq!(
+            t.registration_value(b, "place/lobby"),
+            None,
+            "tombstones replicate as absence"
+        );
+        assert!(
+            t.telemetry()
+                .unwrap()
+                .snapshot()
+                .counter("net.tcp.sync.rounds")
+                >= 1
+        );
+    }
+
+    #[test]
+    fn live_publish_propagates_to_connected_peers() {
+        let mut t = TcpTransport::new();
+        let a = Guid::from_u128(0xa);
+        let b = Guid::from_u128(0xb);
+        t.add_node(a, "a").unwrap();
+        t.add_node(b, "b").unwrap();
+        t.connect_full();
+        t.publish_registration(a, "place/L10.02", "range-a")
+            .unwrap();
+        assert!(
+            wait_until(|| t.registration_value(b, "place/L10.02").is_some()),
+            "live delta reaches the connected peer"
+        );
+        assert!(
+            wait_until(|| t.registration_digest(a) == t.registration_digest(b)),
+            "stores converge"
+        );
+    }
+
+    #[test]
+    fn gossip_makes_third_parties_dialable() {
+        let mut t = TcpTransport::new();
+        let a = Guid::from_u128(0xa);
+        let b = Guid::from_u128(0xb);
+        let c = Guid::from_u128(0xc);
+        t.add_node(a, "a").unwrap();
+        t.add_node(b, "b").unwrap();
+        t.add_node(c, "c").unwrap();
+        // a ↔ b live; then c joins via a and learns b from gossip.
+        t.join(b, a, 0).unwrap();
+        assert!(wait_until(|| t.connections_of(a) == 1));
+        t.join(c, a, 0).unwrap();
+        let links = t.link_model().unwrap();
+        assert!(
+            links
+                .iter()
+                .any(|l| l.src == c && l.dst == b && !l.established),
+            "gossip made b dialable from c: {links:?}"
+        );
+        // The lazy dial turns the dialable link into a live one.
+        t.send(msg(9, c, b)).unwrap();
+        assert_eq!(t.drain(b).len(), 1);
+        let links = t.link_model().unwrap();
+        assert!(links
+            .iter()
+            .any(|l| l.src == c && l.dst == b && l.established));
+    }
+
+    #[test]
+    fn sync_store_merge_is_lww_with_tombstones() {
+        let origin_a = Guid::from_u128(1);
+        let origin_b = Guid::from_u128(2);
+        let mut s = SyncStore::new();
+        s.publish("k", "old", origin_a);
+        let newer = SyncEntry {
+            key: "k".into(),
+            value: "new".into(),
+            version: 9,
+            origin: origin_b,
+            deleted: false,
+        };
+        assert!(s.merge(newer.clone()));
+        assert!(!s.merge(newer), "replays are idempotent");
+        assert_eq!(s.get("k"), Some("new"));
+        // A publish after merging version 9 must stamp past it.
+        let e = s.publish("k2", "v", origin_a);
+        assert!(e.version > 9, "lamport clock advanced by merge");
+        s.retract("k", origin_a);
+        assert_eq!(s.get("k"), None);
+        assert_eq!(s.len(), 2, "tombstone still replicates");
+    }
+
+    #[test]
+    fn unknown_destination_is_unroutable() {
+        let mut t = TcpTransport::new();
+        let a = Guid::from_u128(0xa);
+        t.add_node(a, "a").unwrap();
+        let ghost = Guid::from_u128(0xdead);
+        assert!(matches!(
+            t.send(msg(1, a, ghost)),
+            Err(SciError::Unroutable { .. })
+        ));
+        assert_eq!(t.stats().failed(), 1);
+    }
+}

@@ -80,6 +80,46 @@ pub trait Transport {
     fn fault_model(&self) -> Option<sci_types::FaultSchedule> {
         None
     }
+
+    /// Publishes one entry of `node`'s replicated registration state
+    /// (range adverts, place coverage) into the transport's
+    /// anti-entropy store, if it keeps one. In-process transports
+    /// share memory, so replication is a no-op for them.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific; the defaults never fail.
+    fn publish_registration(&mut self, node: Guid, key: &str, value: &str) -> SciResult<()> {
+        let _ = (node, key, value);
+        Ok(())
+    }
+
+    /// Tombstones a previously published registration entry so peers
+    /// converge on its absence. No-op for in-process transports.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific; the defaults never fail.
+    fn retract_registration(&mut self, node: Guid, key: &str) -> SciResult<()> {
+        let _ = (node, key);
+        Ok(())
+    }
+
+    /// A digest over `node`'s replicated registration state — equal
+    /// digests mean converged stores. `None` when the transport keeps
+    /// no anti-entropy store.
+    fn registration_digest(&self, node: Guid) -> Option<u64> {
+        let _ = node;
+        None
+    }
+
+    /// The wire-level peerings this transport holds or can open, for
+    /// the [`FederationModel`](sci_types::FederationModel)'s SCI-A207
+    /// check. `None` (the default) declares an in-process transport:
+    /// reachability is free and there is nothing to verify.
+    fn link_model(&self) -> Option<Vec<sci_types::TransportLinkModel>> {
+        None
+    }
 }
 
 impl Transport for SimNetwork {

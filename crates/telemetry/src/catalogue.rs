@@ -37,6 +37,18 @@ pub const METRICS: &[&str] = &[
     "net.failed",
     "net.hops",
     "net.recoveries",
+    "net.tcp.accepts",
+    "net.tcp.ack_timeouts",
+    "net.tcp.bytes.recv",
+    "net.tcp.bytes.sent",
+    "net.tcp.conns",
+    "net.tcp.corrupt_frames",
+    "net.tcp.frames.recv",
+    "net.tcp.frames.sent",
+    "net.tcp.handshake.rejected",
+    "net.tcp.handshakes",
+    "net.tcp.sync.applied",
+    "net.tcp.sync.rounds",
     "range.app.deliveries",
     "range.call.wait_us",
     "range.deregister.unknown",

@@ -88,6 +88,11 @@ pub enum DiagCode {
     /// migration message class is missing, unenveloped or unretried —
     /// a mid-move entity could lose or double its packaged state.
     MigrationUnenveloped,
+    /// `SCI-A207`: a relay route the place directories imply has no
+    /// wire underneath it — the socket transport declares neither a
+    /// live peering nor a dialable listener address for the directed
+    /// pair, so the relay would fail at connect time, not route time.
+    TransportLinkMissing,
     /// `SCI-A301`: a seeded (deterministic) code path calls a
     /// nondeterministic source (`Instant::now`, `SystemTime::now`,
     /// `thread_rng`, …) outside the telemetry allowlist.
@@ -123,6 +128,7 @@ impl DiagCode {
             DiagCode::BlueprintLeak => "SCI-A204",
             DiagCode::EnvelopeMissing => "SCI-A205",
             DiagCode::MigrationUnenveloped => "SCI-A206",
+            DiagCode::TransportLinkMissing => "SCI-A207",
             DiagCode::NondeterministicCall => "SCI-A301",
             DiagCode::MetricNameDrift => "SCI-A302",
             DiagCode::CommandKindDrift => "SCI-A303",
@@ -145,6 +151,7 @@ impl DiagCode {
             | DiagCode::BlueprintLeak
             | DiagCode::EnvelopeMissing
             | DiagCode::MigrationUnenveloped
+            | DiagCode::TransportLinkMissing
             | DiagCode::NondeterministicCall
             | DiagCode::MetricNameDrift
             | DiagCode::CommandKindDrift
@@ -320,6 +327,7 @@ mod tests {
             DiagCode::BlueprintLeak,
             DiagCode::EnvelopeMissing,
             DiagCode::MigrationUnenveloped,
+            DiagCode::TransportLinkMissing,
             DiagCode::NondeterministicCall,
             DiagCode::MetricNameDrift,
             DiagCode::CommandKindDrift,

@@ -65,7 +65,7 @@ pub use metadata::Metadata;
 pub use profile::{PortSpec, Profile, ProfileBuilder};
 pub use protocol::{
     BlueprintKindModel, FaultModel, FaultSchedule, FederationModel, FreshnessBound, LinkFaultModel,
-    MessageClassModel, RangeModel, RetryModel, RouteClaim,
+    MessageClassModel, RangeModel, RetryModel, RouteClaim, TransportLinkModel,
 };
 pub use shard::ShardMap;
 pub use time::{VirtualDuration, VirtualTime};

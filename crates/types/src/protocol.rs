@@ -121,6 +121,25 @@ pub struct RouteClaim {
     pub coverer: Guid,
 }
 
+/// One peering a bytes-on-the-wire transport holds or can open.
+///
+/// In-process transports route by shared memory, so any-to-any
+/// reachability is free; a socket transport only reaches peers it has
+/// a live connection to or a learned listener address for. The
+/// transport exports these claims so `sci-analysis` can prove every
+/// directory-implied relay route has wire underneath it (SCI-A207)
+/// before traffic is trusted to the federation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransportLinkModel {
+    /// The node that would send.
+    pub src: Guid,
+    /// The peer it would send to.
+    pub dst: Guid,
+    /// `true` for a live, handshaken connection; `false` when only a
+    /// listener address is known (the link dials lazily on first use).
+    pub established: bool,
+}
+
 /// One class of cross-range message the protocol exchanges.
 #[derive(Clone, PartialEq, Debug)]
 pub struct MessageClassModel {
@@ -163,6 +182,12 @@ pub struct FederationModel {
     /// The transport's declared fault schedule, when a fault layer is
     /// installed.
     pub faults: Option<FaultSchedule>,
+    /// The wire-level peerings a socket transport declares. `None`
+    /// means the transport is in-process (shared-memory reachability,
+    /// nothing to check); `Some` lists every directed peering that is
+    /// live or dialable, and SCI-A207 requires every relay route to
+    /// ride on one.
+    pub transport_links: Option<Vec<TransportLinkModel>>,
     /// The relay retry discipline.
     pub retry: RetryModel,
     /// Restarts each supervised range may perform (`None`: fail-stop,
@@ -198,6 +223,16 @@ impl FederationModel {
     /// is unknown, i.e. `links` is empty).
     pub fn linked(&self, src: Guid, dst: Guid) -> bool {
         self.links.is_empty() || self.links.iter().any(|&(a, b)| a == src && b == dst)
+    }
+
+    /// Whether `src → dst` has wire underneath it: `true` when the
+    /// transport is in-process (`transport_links` is `None`) or when a
+    /// live or dialable peering is declared for the directed pair.
+    pub fn wired(&self, src: Guid, dst: Guid) -> bool {
+        match &self.transport_links {
+            None => true,
+            Some(links) => links.iter().any(|l| l.src == src && l.dst == dst),
+        }
     }
 
     /// The name of `node`, falling back to its GUID rendering.
@@ -246,6 +281,21 @@ mod tests {
         });
         assert_eq!(model.partition_group(a), "");
         assert_eq!(model.partition_group(b), "island");
+    }
+
+    #[test]
+    fn absent_transport_links_mean_in_process_reachability() {
+        let a = Guid::from_u128(1);
+        let b = Guid::from_u128(2);
+        let mut model = FederationModel::default();
+        assert!(model.wired(a, b), "in-process: everything is reachable");
+        model.transport_links = Some(vec![TransportLinkModel {
+            src: a,
+            dst: b,
+            established: false,
+        }]);
+        assert!(model.wired(a, b), "a dialable peering counts");
+        assert!(!model.wired(b, a), "wire claims are directed");
     }
 
     #[test]

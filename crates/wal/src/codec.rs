@@ -225,6 +225,102 @@ impl<'a> FrameReader<'a> {
     }
 }
 
+/// Incremental frame reassembly over a byte stream.
+///
+/// A socket (or any other chunked byte source) delivers frames split
+/// at arbitrary boundaries: half a length header in one read, three
+/// frames and a torn tail in the next. [`StreamDecoder`] buffers
+/// whatever arrives and yields complete frames as soon as they close,
+/// mapping the two [`decode_frame`] failure modes onto stream
+/// semantics:
+///
+/// * [`CodecError::Incomplete`] — the buffered bytes end mid-frame.
+///   On a stream this is not an error at all, merely "wait for the
+///   next read": [`StreamDecoder::next_frame`] returns `Ok(None)`.
+/// * [`CodecError::Corrupt`] — the bytes are all there but wrong.
+///   Framing is lost and nothing after this point can be trusted;
+///   the error is surfaced (with the offset rebased to the whole
+///   stream) and every subsequent call repeats it. The connection
+///   that fed the decoder must be torn down.
+///
+/// The consumed prefix is compacted away lazily, so long-lived
+/// connections do not grow the buffer without bound.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` not yet compacted away.
+    read: usize,
+    /// Total bytes consumed as complete frames over the stream's
+    /// lifetime; corrupt-frame offsets are rebased onto this.
+    consumed: u64,
+}
+
+/// Compact the consumed prefix once it passes this many bytes, so the
+/// memmove amortises over many small frames.
+const COMPACT_THRESHOLD: usize = 16 * 1024;
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Appends freshly received bytes to the reassembly buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Total stream bytes consumed as complete frames so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Yields the next complete frame, or `Ok(None)` when the buffer
+    /// ends mid-frame (feed more bytes with [`StreamDecoder::extend`]
+    /// and try again).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Corrupt`] when the stream is poisoned: the bytes
+    /// at the reassembly point fail their CRC or carry an insane
+    /// length. The offset is rebased to the whole stream. The error
+    /// is sticky — reassembly cannot resynchronise past corruption.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, CodecError> {
+        if self.read == self.buf.len() {
+            self.buf.clear();
+            self.read = 0;
+            return Ok(None);
+        }
+        match decode_frame(&self.buf[self.read..]) {
+            Ok((frame, used)) => {
+                self.read += used;
+                self.consumed += used as u64;
+                if self.read >= COMPACT_THRESHOLD {
+                    self.buf.drain(..self.read);
+                    self.read = 0;
+                }
+                Ok(Some(frame))
+            }
+            Err(CodecError::Incomplete { .. }) => {
+                if self.read > 0 {
+                    self.buf.drain(..self.read);
+                    self.read = 0;
+                }
+                Ok(None)
+            }
+            Err(CodecError::Corrupt { offset, detail }) => Err(CodecError::Corrupt {
+                offset: self.consumed as usize + offset,
+                detail,
+            }),
+        }
+    }
+}
+
 /// Primitive big-endian writers shared by the codecs layered on top of
 /// frames (the WAL command codec today, the network codec later).
 pub mod wire {
@@ -467,6 +563,45 @@ mod tests {
             Err(CodecError::Incomplete { offset }) => assert_eq!(offset, second_at),
             other => panic!("expected torn tail, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_byte_at_a_time() {
+        let frames: Vec<Frame> = (0..4u8)
+            .map(|t| Frame::new(t, vec![t ^ 0x5A; t as usize * 3]))
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for &b in &stream {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(dec.buffered(), 0);
+        assert_eq!(dec.consumed(), stream.len() as u64);
+    }
+
+    #[test]
+    fn stream_decoder_corruption_is_sticky_and_stream_offset_rebased() {
+        let mut stream = Vec::new();
+        encode_frame(&Frame::new(1, b"first".to_vec()), &mut stream);
+        let second_at = stream.len();
+        encode_frame(&Frame::new(2, b"second".to_vec()), &mut stream);
+        *stream.last_mut().unwrap() ^= 0xFF; // break the second CRC
+        let mut dec = StreamDecoder::new();
+        dec.extend(&stream);
+        assert_eq!(dec.next_frame().unwrap().unwrap().tag, 1);
+        match dec.next_frame() {
+            Err(CodecError::Corrupt { offset, .. }) => assert_eq!(offset, second_at),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        assert!(dec.next_frame().is_err(), "corruption is sticky");
     }
 
     #[test]

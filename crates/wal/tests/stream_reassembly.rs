@@ -1,0 +1,210 @@
+//! Stream-reassembly properties of [`StreamDecoder`].
+//!
+//! The TCP transport feeds socket reads through the same frame codec
+//! the WAL uses, so the decoder must honour two contracts whatever
+//! the kernel does to the byte stream:
+//!
+//! - **every split reassembles losslessly** — chopping an encoded
+//!   frame sequence at arbitrary byte boundaries (including one byte
+//!   at a time) yields exactly the original frames, in order;
+//! - **every flip surfaces as `Corrupt`, never a wrong frame** —
+//!   flipping any single bit anywhere in the stream can truncate the
+//!   decoded sequence (a frame that no longer closes looks like a
+//!   torn tail), but no decoded frame ever differs from the original
+//!   at its position, and the full sequence never survives intact.
+//!
+//! Mirrors the crash-matrix style of `tests/durability_recovery.rs`:
+//! the exhaustive small cases run unconditionally, the randomised
+//! sweeps run under proptest.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use sci_wal::codec::{encode_frame, CodecError, StreamDecoder};
+use sci_wal::Frame;
+
+/// Deterministic pseudo-random frame set derived from a seed: varied
+/// tags (including the 0xE0+ control range the transport uses) and
+/// payload sizes from empty to a few hundred bytes.
+fn frames_from_seed(seed: u64, count: usize) -> Vec<Frame> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|_| {
+            let tag = (next() % 256) as u8;
+            let len = (next() % 300) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| (next() & 0xFF) as u8).collect();
+            Frame::new(tag, payload)
+        })
+        .collect()
+}
+
+fn encode_all(frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        encode_frame(f, &mut out);
+    }
+    out
+}
+
+/// Feeds `stream` into a fresh decoder in chunks whose sizes cycle
+/// through `chunks` (0 means "empty read"), collecting every frame
+/// until the stream is exhausted or the decoder errors.
+fn reassemble(stream: &[u8], chunks: &[usize]) -> Result<Vec<Frame>, CodecError> {
+    let mut dec = StreamDecoder::new();
+    let mut out = Vec::new();
+    let mut fed = 0;
+    let mut i = 0;
+    while fed < stream.len() {
+        let want = if chunks.is_empty() {
+            stream.len()
+        } else {
+            chunks[i % chunks.len()]
+        };
+        i += 1;
+        let take = want
+            .min(stream.len() - fed)
+            .max(if want == 0 { 0 } else { 1 });
+        dec.extend(&stream[fed..fed + take]);
+        fed += take;
+        while let Some(f) = dec.next_frame()? {
+            out.push(f);
+        }
+    }
+    // One final drain in case the last chunk closed several frames.
+    while let Some(f) = dec.next_frame()? {
+        out.push(f);
+    }
+    Ok(out)
+}
+
+#[test]
+fn exhaustive_two_chunk_splits_reassemble() {
+    let frames = frames_from_seed(7, 3);
+    let stream = encode_all(&frames);
+    for cut in 0..=stream.len() {
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for part in [&stream[..cut], &stream[cut..]] {
+            dec.extend(part);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, frames, "split at byte {cut} lost or altered a frame");
+    }
+}
+
+#[test]
+fn byte_at_a_time_is_the_worst_split_and_still_lossless() {
+    let frames = frames_from_seed(11, 5);
+    let stream = encode_all(&frames);
+    assert_eq!(reassemble(&stream, &[1]).unwrap(), frames);
+}
+
+#[test]
+fn torn_tail_never_yields_a_partial_frame() {
+    let frames = frames_from_seed(13, 3);
+    let stream = encode_all(&frames);
+    let boundaries: Vec<usize> = {
+        let mut acc = 0;
+        frames
+            .iter()
+            .map(|f| {
+                acc += f.encoded_len();
+                acc
+            })
+            .collect()
+    };
+    for cut in 0..stream.len() {
+        let got = reassemble(&stream[..cut], &[]).unwrap();
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count();
+        assert_eq!(
+            got,
+            frames[..whole],
+            "cut at {cut}: exactly the fully-received frames, nothing torn"
+        );
+    }
+}
+
+#[test]
+fn exhaustive_single_bit_flips_never_fabricate_a_frame() {
+    let frames = frames_from_seed(17, 3);
+    let stream = encode_all(&frames);
+    for byte in 0..stream.len() {
+        for bit in 0..8u8 {
+            let mut bad = stream.clone();
+            bad[byte] ^= 1 << bit;
+            check_flip(&bad, &frames, byte, bit);
+        }
+    }
+}
+
+/// The shared flip contract: decoding the damaged stream yields some
+/// strict prefix of the original frames (each equal at its index) and
+/// then either reports `Corrupt` or stops waiting for bytes that will
+/// never come (an inflated length header looks like a torn tail) —
+/// never a frame that differs from the original at its position.
+fn check_flip(bad: &[u8], frames: &[Frame], byte: usize, bit: u8) {
+    let mut dec = StreamDecoder::new();
+    dec.extend(bad);
+    let mut got = Vec::new();
+    loop {
+        match dec.next_frame() {
+            Ok(Some(f)) => got.push(f),
+            Ok(None) => break,
+            Err(CodecError::Corrupt { .. }) => break,
+            Err(e @ CodecError::Incomplete { .. }) => {
+                panic!("flip {byte}.{bit}: decoder leaked Incomplete: {e}")
+            }
+        }
+    }
+    assert!(
+        got.len() < frames.len(),
+        "flip {byte}.{bit}: the full sequence survived a damaged stream"
+    );
+    assert_eq!(
+        got,
+        frames[..got.len()],
+        "flip {byte}.{bit}: a decoded frame differs from the original — \
+         corruption fabricated a frame instead of surfacing"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary frame sets, arbitrary chunk schedules: reassembly is
+    /// the identity.
+    #[test]
+    fn random_splits_reassemble_losslessly(
+        seed in any::<u64>(),
+        count in 1usize..8,
+        chunks in proptest::collection::vec(1usize..97, 1..6),
+    ) {
+        let frames = frames_from_seed(seed, count);
+        let stream = encode_all(&frames);
+        prop_assert_eq!(reassemble(&stream, &chunks).unwrap(), frames);
+    }
+
+    /// Arbitrary single-bit flips at arbitrary positions obey the
+    /// never-a-wrong-frame contract.
+    #[test]
+    fn random_bit_flips_surface_and_never_fabricate(
+        seed in any::<u64>(),
+        count in 1usize..6,
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let frames = frames_from_seed(seed, count);
+        let mut stream = encode_all(&frames);
+        let byte = (pos % stream.len() as u64) as usize;
+        stream[byte] ^= 1 << bit;
+        check_flip(&stream, &frames, byte, bit);
+    }
+}

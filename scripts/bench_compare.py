@@ -91,6 +91,21 @@ SCHEMAS = {
             "replayed": False,
         },
     },
+    "e13_network": {
+        "key": ("group", "mode"),
+        "metrics": {
+            # One-event relay round trip per transport. The tcp row
+            # includes a kernel round trip and the delivery ack, so it
+            # gets the wide multi-thread band; latency up is bad.
+            "rtt_us": 3.0,
+            # Streamed relay throughput per transport — direction-aware
+            # like every other streaming gate: a regression is a drop.
+            "sustained_kevents_s": {"gate": 3.0, "higher_is_better": True},
+            # sim/tcp ratio rows: the gap between a function call and a
+            # socket is a property of the host, never a gate.
+            "ratio": False,
+        },
+    },
     "e11_mobility": {
         "key": ("group", "ranges", "entities_per_range"),
         "metrics": {

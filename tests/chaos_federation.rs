@@ -13,139 +13,25 @@
 //!   dedup counter must equal the retransmission counter *exactly* —
 //!   one accepted copy per envelope, every extra copy caught.
 //!
+//! The scenario itself lives in `support::chaos` so the socket suite
+//! (`tests/tcp_federation.rs`) can run the identical logic over
+//! [`TcpTransport`]; here it runs over the in-process [`SimNetwork`].
+//!
 //! The fixed-seed matrix honours `SCI_CHAOS_SEEDS` (comma-separated
 //! `u64`s) so CI can pin the schedule set; failures always print the
 //! seed that provoked them.
 
+mod support;
+
 use proptest::prelude::*;
 use sci::prelude::*;
+use support::chaos::{collect, matrix_seeds, range_plan, run_with, Outcome};
 
 type ChaosFed = Federation<FaultyTransport<SimNetwork>>;
 
-fn range_plan(i: usize) -> FloorPlan {
-    FloorPlan::builder("campus")
-        .zone(format!("wing-{i}"))
-        .room(
-            format!("hall-{i}"),
-            Rect::with_size(Coord::new(0.0, 0.0), 20.0, 10.0),
-        )
-        .build()
-        .unwrap()
-}
-
-/// What a chaos run produced, reduced to comparable data.
-struct Outcome {
-    /// Sorted multiset of final deliveries (app, query, event).
-    deliveries: Vec<String>,
-    dedup_hits: u64,
-    retry_attempts: u64,
-}
-
-/// Three ranges, one app homed in `range-0` subscribed to presence in
-/// `range-1` and `range-2`; 20 events ingested under `probs`, then the
-/// transport heals and the federation pumps to quiescence.
+/// The canonical scenario over the in-process overlay.
 fn run(seed: u64, probs: FaultProbs) -> Outcome {
-    let mut ids = GuidGenerator::seeded(0xc0ffee);
-    let mut fed: ChaosFed =
-        Federation::with_transport(FaultyTransport::new(SimNetwork::new(), seed), 7);
-    let mut sensors = Vec::new();
-    for i in 0..3usize {
-        let mut cs = ContextServer::new(ids.next_guid(), format!("range-{i}"), range_plan(i));
-        let sensor = ids.next_guid();
-        cs.register(
-            Profile::builder(sensor, EntityKind::Device, format!("sensor-{i}"))
-                .output(PortSpec::new("presence", ContextType::Presence))
-                .build(),
-            VirtualTime::ZERO,
-        )
-        .unwrap();
-        sensors.push(sensor);
-        fed.add_range(cs).unwrap();
-    }
-    fed.connect_full();
-
-    // Clean phase: the app subscribes across the overlay.
-    let app = ids.next_guid();
-    for target in ["range-1", "range-2"] {
-        let q = Query::builder(ids.next_guid(), app)
-            .info(ContextType::Presence)
-            .in_range(target)
-            .mode(Mode::Subscribe)
-            .build();
-        let fa = fed.submit_from("range-0", &q, VirtualTime::ZERO).unwrap();
-        assert!(
-            matches!(fa.answer, QueryAnswer::Subscribed { .. }),
-            "seed {seed}: subscription failed before any fault was injected"
-        );
-    }
-
-    // Chaos phase: every relay now crosses a faulty link.
-    fed.transport_mut().set_default_probs(probs);
-    let mut deliveries: Vec<String> = Vec::new();
-    for k in 0..10u64 {
-        let now = VirtualTime::from_secs(k + 1);
-        for (i, target) in ["range-1", "range-2"].iter().enumerate() {
-            let ev = ContextEvent::new(
-                sensors[i + 1],
-                ContextType::Presence,
-                ContextValue::record([(
-                    "subject",
-                    ContextValue::Id(Guid::from_u128(1_000 + u128::from(k))),
-                )]),
-                now,
-            );
-            fed.ingest_at(target, &ev, now).unwrap();
-        }
-        collect(&mut fed, app, &mut deliveries);
-    }
-
-    // Eventual connectivity: heal and pump to quiescence.
-    fed.transport_mut().heal();
-    for step in 0..64u64 {
-        if fed.pending_relay_count() == 0 && fed.transport().delayed_len() == 0 {
-            break;
-        }
-        fed.pump(VirtualTime::from_secs(100 + step)).unwrap();
-        collect(&mut fed, app, &mut deliveries);
-    }
-    assert_eq!(
-        fed.pending_relay_count(),
-        0,
-        "seed {seed}: relays still parked after the network healed"
-    );
-    // One last pump so the final sweep lands everything.
-    fed.pump(VirtualTime::from_secs(200)).unwrap();
-    collect(&mut fed, app, &mut deliveries);
-
-    deliveries.sort_unstable();
-    Outcome {
-        deliveries,
-        dedup_hits: fed.relay_dedup_hits(),
-        retry_attempts: fed.retry_attempts(),
-    }
-}
-
-fn collect(fed: &mut ChaosFed, app: Guid, into: &mut Vec<String>) {
-    for d in fed.deliveries_for(app) {
-        into.push(format!(
-            "{}|{}|{}|{:?}",
-            d.app, d.query, d.event.timestamp, d.event.payload
-        ));
-    }
-}
-
-/// Seeds for the fixed matrix: `SCI_CHAOS_SEEDS` (comma-separated)
-/// overrides the default set, so CI pins the schedules it replays.
-fn matrix_seeds() -> Vec<u64> {
-    std::env::var("SCI_CHAOS_SEEDS")
-        .ok()
-        .map(|s| {
-            s.split(',')
-                .filter_map(|t| t.trim().parse().ok())
-                .collect::<Vec<u64>>()
-        })
-        .filter(|v| !v.is_empty())
-        .unwrap_or_else(|| vec![1, 2, 3, 5, 8, 13, 21, 34, 55, 89])
+    run_with(SimNetwork::new(), seed, probs)
 }
 
 proptest! {

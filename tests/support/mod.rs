@@ -1,0 +1,6 @@
+//! Shared helpers for integration tests. Not a test crate itself:
+//! each `tests/*.rs` crate that needs these declares `mod support;`
+//! and compiles its own copy.
+
+pub mod chaos;
+pub mod net;

@@ -1,0 +1,30 @@
+//! Socket-test policy: every listener binds `127.0.0.1:0`.
+//!
+//! The kernel picks a free ephemeral port per node, so parallel test
+//! processes (cargo runs integration tests concurrently) never race
+//! for an address. [`TcpTransport`] hard-codes that bind itself; the
+//! helpers here let tests assert the policy instead of trusting it.
+#![allow(dead_code)]
+
+use std::net::SocketAddr;
+
+use sci::prelude::*;
+
+/// A fresh socket transport. Every node added to it binds
+/// `127.0.0.1:0` by construction.
+pub fn tcp() -> TcpTransport {
+    TcpTransport::new()
+}
+
+/// Asserts `addr` follows the test policy: loopback, with a real
+/// kernel-assigned port (never 0, never a well-known port).
+pub fn assert_loopback_ephemeral(addr: SocketAddr) {
+    assert!(
+        addr.ip().is_loopback(),
+        "socket tests must stay on loopback, got {addr}"
+    );
+    assert!(
+        addr.port() >= 1024,
+        "port must be kernel-assigned and unprivileged, got {addr}"
+    );
+}
